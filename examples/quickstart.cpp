@@ -1,0 +1,178 @@
+// Quickstart: build a tiny two-task producer/consumer KPN, run it on the
+// CAKE-like platform twice — shared L2 vs partitioned L2 — and print the
+// per-client miss counts. Demonstrates the whole public API surface in
+// ~100 lines.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "kpn/network.hpp"
+#include "mem/partitioned_cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+
+using namespace cms;
+
+namespace {
+
+constexpr int kItems = 4000;
+constexpr std::size_t kStreamBytes = 256 * 1024;  // producer streams, no reuse
+constexpr std::size_t kTableBytes = 32 * 1024;    // consumer reuses this table
+                                                  // (bigger than the 16 KB L1)
+
+/// Producer: streams sequentially through a large buffer (video-style
+/// traffic, no reuse) and pushes one token per firing. In a shared cache
+/// this stream flushes everyone else's data — the paper's core problem.
+class Producer final : public kpn::Process {
+ public:
+  Producer(TaskId id, std::string name, kpn::Fifo<std::uint32_t>* out)
+      : Process(id, std::move(name)), out_(out) {}
+
+  void init() override {
+    stream_ = make_array<std::uint32_t>(kStreamBytes / 4);
+    // Host-side content (video samples); simulated reads cold-miss.
+    for (std::size_t i = 0; i < stream_.size(); ++i)
+      stream_.host_data()[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  bool can_fire() const override { return produced_ < kItems && out_->can_write(); }
+  bool done() const override { return produced_ >= kItems; }
+
+  void run(sim::TaskContext& ctx) override {
+    ctx.fetch_code(64);
+    std::uint32_t acc = 0;
+    for (int i = 0; i < 256; ++i) {  // 1 KB of fresh stream per firing
+      const std::size_t idx = (cursor_ + static_cast<std::size_t>(i)) % stream_.size();
+      acc += stream_.get(idx);
+      ctx.mem().compute(1);
+    }
+    cursor_ = (cursor_ + 256) % stream_.size();
+    out_->write(ctx.mem(), acc);
+    ++produced_;
+  }
+
+ private:
+  kpn::Fifo<std::uint32_t>* out_;
+  sim::TrackedArray<std::uint32_t> stream_;
+  std::size_t cursor_ = 0;
+  int produced_ = 0;
+};
+
+/// Consumer: hashes tokens through a small lookup table it reuses heavily.
+/// Its performance depends entirely on that table staying cached.
+class Consumer final : public kpn::Process {
+ public:
+  Consumer(TaskId id, std::string name, kpn::Fifo<std::uint32_t>* in)
+      : Process(id, std::move(name)), in_(in) {}
+
+  void init() override {
+    table_ = make_array<std::uint32_t>(kTableBytes / 4);
+    for (std::size_t i = 0; i < table_.size(); ++i)
+      table_.host_data()[i] = static_cast<std::uint32_t>(i * 40503u + 7u);
+  }
+  bool can_fire() const override { return consumed_ < kItems && in_->can_read(); }
+  bool done() const override { return consumed_ >= kItems; }
+
+  void run(sim::TaskContext& ctx) override {
+    ctx.fetch_code(64);
+    std::uint32_t v = in_->read(ctx.mem());
+    for (int i = 0; i < 32; ++i) {
+      const std::size_t idx = (v + static_cast<std::uint32_t>(i) * 97) % table_.size();
+      v ^= table_.get(idx);
+      ctx.mem().compute(3);
+    }
+    checksum_ += v;
+    ++consumed_;
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  kpn::Fifo<std::uint32_t>* in_;
+  sim::TrackedArray<std::uint32_t> table_;
+  std::uint64_t checksum_ = 0;
+  int consumed_ = 0;
+};
+
+sim::SimResults run_once(bool partitioned) {
+  kpn::Network net;
+  auto* fifo = net.make_fifo<std::uint32_t>("tokens", 64);
+  kpn::ProcessSpec prod_spec;
+  prod_spec.heap_bytes = kStreamBytes + 4096;
+  kpn::ProcessSpec cons_spec;
+  cons_spec.heap_bytes = kTableBytes + 4096;
+  auto* prod = net.add_process<Producer>("producer", prod_spec, fifo);
+  auto* cons = net.add_process<Consumer>("consumer", cons_spec, fifo);
+
+  // 2 processors, 64 KB 4-way shared L2 (256 sets): big enough for the
+  // consumer's 48 KB table — unless the producer's stream evicts it.
+  sim::PlatformConfig pc;
+  pc.hier.num_procs = 2;
+  pc.hier.l2.size_bytes = 64 * 1024;
+  sim::Platform platform(pc);
+
+  mem::PartitionedCache& l2 = platform.hierarchy().l2();
+  for (const auto& b : net.buffers())
+    l2.interval_table().add(b.base, b.footprint, b.id);
+
+  if (partitioned) {
+    // The streaming producer gets almost nothing (streams don't cache);
+    // the consumer gets enough sets to hold its whole table plus its hot
+    // code lines; the FIFO gets its own small range.
+    l2.partition_table().assign(mem::ClientId::task(prod->id()), {0, 8});
+    l2.partition_table().assign(mem::ClientId::task(cons->id()), {8, 224});
+    l2.partition_table().assign(mem::ClientId::buffer(fifo->id()), {232, 4});
+    l2.partition_table().set_default_partition({236, 20});
+    l2.set_partitioning_enabled(true);
+  }
+
+  sim::Os os(sim::SchedPolicy::kMigrating, pc.hier.num_procs);
+  sim::TimingEngine engine(platform, os, net.tasks());
+  engine.set_buffer_names(net.buffer_names());
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CMS quickstart: producer/consumer, shared vs partitioned L2 (table %zu KB)\n", kTableBytes / 1024);
+
+  Table table({"mode", "client", "L2 accesses", "L2 misses", "miss rate %"});
+  std::uint64_t protected_misses[2] = {0, 0};
+  for (const bool partitioned : {false, true}) {
+    const sim::SimResults res = run_once(partitioned);
+    const char* mode = partitioned ? "partitioned" : "shared";
+    const auto* cons_stats = res.find_task("consumer");
+    const auto* fifo_stats = res.find_buffer("tokens");
+    protected_misses[partitioned ? 1 : 0] =
+        (cons_stats != nullptr ? cons_stats->l2.misses : 0) +
+        (fifo_stats != nullptr ? fifo_stats->l2.misses : 0);
+    for (const auto& t : res.tasks)
+      table.row()
+          .cell(mode)
+          .cell(t.name)
+          .integer(static_cast<std::int64_t>(t.l2.accesses))
+          .integer(static_cast<std::int64_t>(t.l2.misses))
+          .num(100.0 * t.l2.miss_rate())
+          .done();
+    for (const auto& b : res.buffers)
+      table.row()
+          .cell(mode)
+          .cell(b.name)
+          .integer(static_cast<std::int64_t>(b.l2.accesses))
+          .integer(static_cast<std::int64_t>(b.l2.misses))
+          .num(100.0 * b.l2.miss_rate())
+          .done();
+    std::printf("%s: makespan=%llu cycles, L2 miss rate %.2f%%, CPI %.3f%s\n",
+                mode, static_cast<unsigned long long>(res.makespan),
+                100.0 * res.l2_miss_rate(), res.mean_cpi(),
+                res.deadlocked ? " [DEADLOCK]" : "");
+  }
+  table.print();
+  std::printf(
+      "\nThe producer's stream misses either way (streams don't cache); the\n"
+      "point is everyone else: consumer + FIFO misses drop %llu -> %llu under\n"
+      "partitioning, and are now guaranteed not to depend on the co-runner.\n",
+      static_cast<unsigned long long>(protected_misses[0]),
+      static_cast<unsigned long long>(protected_misses[1]));
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "apps/applications.hpp"
+
+#include "common/log.hpp"
+
+namespace cms::apps {
+
+namespace {
+
+/// Create the four shared static segments in the paper's order and hook
+/// up the progress counters in appl bss.
+void make_segments(Application& app, std::size_t max_tasks) {
+  kpn::Network& net = *app.net;
+  app.appl_data = net.make_segment("appl_data", 4096);
+  app.appl_bss = net.make_segment("appl_bss", 4096);
+  app.rt_data = net.make_segment("rt_data", 4096);
+  app.rt_bss = net.make_segment("rt_bss", 4096);
+  app.progress = std::make_unique<sim::SharedArray<std::uint64_t>>(
+      sim::Region{app.appl_bss.base, max_tasks * sizeof(std::uint64_t),
+                  "progress"},
+      std::vector<std::uint64_t>(max_tasks, 0));
+  net.set_progress_counters(app.progress.get());
+}
+
+bool frame_matches(const std::vector<std::uint8_t>& got, const Image& want,
+                   const char* what) {
+  if (static_cast<int>(got.size()) != want.width() * want.height()) {
+    log_warn() << what << ": size mismatch";
+    return false;
+  }
+  if (got != want.pixels()) {
+    log_warn() << what << ": pixel mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AppConfig AppConfig::tiny(std::uint64_t seed) {
+  AppConfig cfg;
+  cfg.jpeg1_width = 48;
+  cfg.jpeg1_height = 32;
+  cfg.jpeg2_width = 32;
+  cfg.jpeg2_height = 32;
+  cfg.canny_width = 48;
+  cfg.canny_height = 32;
+  cfg.m2v_width = 48;
+  cfg.m2v_height = 32;
+  cfg.m2v_frames = 3;
+  cfg.jpeg_pictures = 2;
+  cfg.canny_frames = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Application make_jpeg_canny_app(const AppConfig& cfg) {
+  Application app;
+  app.name = "2jpeg+canny";
+  app.net = std::make_unique<kpn::Network>();
+  make_segments(app, 16);
+  app.tables =
+      std::make_unique<SharedCodecTables>(app.appl_data, cfg.jpeg_quality);
+
+  app.jpeg1 = std::make_unique<JpegSequence>(
+      jpeg_encode_sequence(cfg.jpeg1_width, cfg.jpeg1_height, cfg.jpeg_pictures,
+                           cfg.jpeg_quality, cfg.seed));
+  app.jpeg2 = std::make_unique<JpegSequence>(
+      jpeg_encode_sequence(cfg.jpeg2_width, cfg.jpeg2_height, cfg.jpeg_pictures,
+                           cfg.jpeg_quality, cfg.seed ^ 0xBEEF));
+  for (int f = 0; f < cfg.canny_frames; ++f)
+    app.canny_srcs.push_back(testimg::blocks(cfg.canny_width, cfg.canny_height,
+                                             (cfg.seed ^ 0xF00D) + f));
+
+  app.jpeg_pipe1 = add_jpeg_decoder(*app.net, "1", *app.jpeg1, *app.tables);
+  app.jpeg_pipe2 = add_jpeg_decoder(*app.net, "2", *app.jpeg2, *app.tables);
+  app.canny_pipe = add_canny(*app.net, app.canny_srcs);
+
+  // Capture raw pointers (the Application object may move).
+  const JpegSequence* s1 = app.jpeg1.get();
+  const JpegSequence* s2 = app.jpeg2.get();
+  const kpn::FrameBuffer* out1 = app.jpeg_pipe1.output;
+  const kpn::FrameBuffer* out2 = app.jpeg_pipe2.output;
+  const kpn::FrameBuffer* cout = app.canny_pipe.output;
+  const Image canny_want = canny_reference(app.canny_srcs.back());
+
+  app.verify = [s1, s2, out1, out2, cout, canny_want]() {
+    bool ok = true;
+    // The output frame buffers hold the most recently decoded picture.
+    ok &= frame_matches(out1->host_data(),
+                        jpeg_reference_decode(s1->pictures.back()), "jpeg1");
+    ok &= frame_matches(out2->host_data(),
+                        jpeg_reference_decode(s2->pictures.back()), "jpeg2");
+    // Canny: compare away from the borders (the streaming pipeline and
+    // the oracle clamp identically, but this keeps the check robust).
+    const int w = canny_want.width(), h = canny_want.height();
+    const auto& got = cout->host_data();
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        if (got[static_cast<std::size_t>(y) * w + x] != canny_want.at(x, y)) {
+          log_warn() << "canny mismatch at (" << x << "," << y << ")";
+          return false;
+        }
+    return ok;
+  };
+  return app;
+}
+
+Application make_m2v_app(const AppConfig& cfg) {
+  Application app;
+  app.name = "mpeg2";
+  app.net = std::make_unique<kpn::Network>();
+  make_segments(app, 16);
+  app.tables = std::make_unique<SharedCodecTables>(app.appl_data, 75);
+
+  std::vector<Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.m2v_frames));
+  for (int f = 0; f < cfg.m2v_frames; ++f)
+    frames.push_back(
+        testimg::moving_boxes(cfg.m2v_width, cfg.m2v_height, f, cfg.seed ^ 0xC0DE));
+  app.m2v = std::make_unique<M2vStream>(m2v_encode(frames, cfg.m2v_qscale));
+
+  app.m2v_pipe = add_m2v_decoder(*app.net, *app.m2v, *app.tables);
+
+  const M2vStream* stream = app.m2v.get();
+  const M2vOutput* output = app.m2v_pipe.output;
+  app.verify = [stream, output]() {
+    const std::vector<Image> want = m2v_reference_decode(*stream);
+    if (want.size() != output->frames().size()) {
+      log_warn() << "mpeg2: frame count mismatch";
+      return false;
+    }
+    for (std::size_t f = 0; f < want.size(); ++f)
+      if (!frame_matches(output->frames()[f], want[f], "mpeg2 frame"))
+        return false;
+    return true;
+  };
+  return app;
+}
+
+}  // namespace cms::apps

@@ -1,0 +1,87 @@
+// Workload factories: the paper's two evaluation applications, fully
+// assembled (network + shared segments + input content + verification).
+//
+//   Application 1 (15 tasks): two JPEG decoders working on different
+//   picture formats + one line-based Canny edge detection.
+//   Application 2 (13 tasks): the MPEG2 video decoder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/canny/canny_kpn.hpp"
+#include "apps/codec/shared_tables.hpp"
+#include "apps/jpeg/jpeg_kpn.hpp"
+#include "apps/m2v/m2v_codec.hpp"
+#include "apps/m2v/m2v_kpn.hpp"
+#include "kpn/network.hpp"
+
+namespace cms::apps {
+
+struct AppConfig {
+  // Application 1 content.
+  int jpeg1_width = 176, jpeg1_height = 144;  // QCIF
+  int jpeg2_width = 128, jpeg2_height = 96;   // SQCIF-ish: different format
+  int canny_width = 176, canny_height = 144;
+  int jpeg_quality = 75;
+  // Application 2 content.
+  int m2v_width = 176, m2v_height = 144;
+  int m2v_frames = 8;
+  int m2v_qscale = 8;
+
+  /// Periodic execution (paper section 3.1: applications execute "for an
+  /// infinite time in a periodic manner"): number of distinct pictures
+  /// each JPEG decoder decodes and of frames the edge detection processes.
+  int jpeg_pictures = 4;
+  int canny_frames = 4;
+
+  std::uint64_t seed = 1;
+
+  /// Uniformly scale the content down (for fast unit tests).
+  static AppConfig tiny(std::uint64_t seed = 1);
+};
+
+/// One fully assembled workload. Owns its content streams, network and
+/// shared tables; non-copyable, heap-held members keep internal pointers
+/// stable.
+class Application {
+ public:
+  std::string name;
+  std::unique_ptr<kpn::Network> net;
+  std::unique_ptr<SharedCodecTables> tables;
+
+  // Shared static segments (the last rows of Tables 1 and 2).
+  sim::Region appl_data, appl_bss, rt_data, rt_bss;
+
+  // Content (kept alive for the processes that reference it).
+  std::unique_ptr<JpegSequence> jpeg1, jpeg2;
+  std::unique_ptr<M2vStream> m2v;
+  std::vector<Image> canny_srcs;
+  std::unique_ptr<sim::SharedArray<std::uint64_t>> progress;
+
+  // Pipeline handles.
+  JpegPipeline jpeg_pipe1, jpeg_pipe2;
+  CannyPipeline canny_pipe;
+  M2vPipeline m2v_pipe;
+
+  /// Functional-correctness oracle; call after a simulation run.
+  /// Returns true when every pipeline produced bit-exact output.
+  std::function<bool()> verify;
+
+  Application() = default;
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+  Application(Application&&) = default;
+  Application& operator=(Application&&) = default;
+};
+
+/// Application 1: 2x JPEG + Canny (15 tasks).
+Application make_jpeg_canny_app(const AppConfig& cfg);
+
+/// Application 2: MPEG2 decoder (13 tasks).
+Application make_m2v_app(const AppConfig& cfg);
+
+}  // namespace cms::apps

@@ -1,0 +1,545 @@
+#include "apps/canny/canny_kpn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace cms::apps {
+
+namespace {
+
+constexpr int kSmoothW[5] = {1, 4, 6, 4, 1};  // binomial, sum 16
+
+int clampi(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+
+/// Pack/unpack helpers shared by the stages.
+void unpack_pixels(PixLineTok tok, std::uint8_t* dst) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<std::uint8_t>(tok >> (8 * i));
+}
+PixLineTok pack_pixels(const std::uint8_t* src) {
+  PixLineTok tok = 0;
+  for (int i = 0; i < 8; ++i) tok |= static_cast<PixLineTok>(src[i]) << (8 * i);
+  return tok;
+}
+void unpack_grads(GradLineTok tok, std::int16_t* dst) {
+  for (int i = 0; i < 4; ++i)
+    dst[i] = static_cast<std::int16_t>(static_cast<std::uint16_t>(tok >> (16 * i)));
+}
+GradLineTok pack_grads(const std::int16_t* src) {
+  GradLineTok tok = 0;
+  for (int i = 0; i < 4; ++i)
+    tok |= static_cast<GradLineTok>(static_cast<std::uint16_t>(src[i])) << (16 * i);
+  return tok;
+}
+
+int sobel_gx(const std::uint8_t* rm1, const std::uint8_t* r0,
+             const std::uint8_t* rp1, int x, int w) {
+  const int xm = clampi(x - 1, 0, w - 1), xp = clampi(x + 1, 0, w - 1);
+  return (rm1[xp] + 2 * r0[xp] + rp1[xp]) - (rm1[xm] + 2 * r0[xm] + rp1[xm]);
+}
+
+int sobel_gy(const std::uint8_t* rm1, const std::uint8_t* r0,
+             const std::uint8_t* rp1, int x, int w) {
+  const int xm = clampi(x - 1, 0, w - 1), xp = clampi(x + 1, 0, w - 1);
+  (void)r0;
+  return (rp1[xm] + 2 * rp1[x] + rp1[xp]) - (rm1[xm] + 2 * rm1[x] + rm1[xp]);
+}
+
+}  // namespace
+
+// -------------------------------------------------------- reference oracle
+
+Image canny_reference(const Image& src) {
+  const int w = src.width(), h = src.height();
+
+  // LowPass: vertical then horizontal 5-tap binomial.
+  Image vs(w, h), sm(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int j = 0; j < 5; ++j) acc += kSmoothW[j] * src.at(x, clampi(y + j - 2, 0, h - 1));
+      vs.set(x, y, static_cast<std::uint8_t>((acc + 8) >> 4));
+    }
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int i = 0; i < 5; ++i) acc += kSmoothW[i] * vs.at(clampi(x + i - 2, 0, w - 1), y);
+      sm.set(x, y, static_cast<std::uint8_t>((acc + 8) >> 4));
+    }
+
+  // Sobel gradients with clamped borders.
+  std::vector<std::int16_t> gx(static_cast<std::size_t>(w) * h);
+  std::vector<std::int16_t> gy(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    const int ym = clampi(y - 1, 0, h - 1), yp = clampi(y + 1, 0, h - 1);
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t rm1[1], r0[1], rp1[1];
+      (void)rm1; (void)r0; (void)rp1;
+      const int xm = clampi(x - 1, 0, w - 1), xp = clampi(x + 1, 0, w - 1);
+      const int vgx = (sm.at(xp, ym) + 2 * sm.at(xp, y) + sm.at(xp, yp)) -
+                      (sm.at(xm, ym) + 2 * sm.at(xm, y) + sm.at(xm, yp));
+      const int vgy = (sm.at(xm, yp) + 2 * sm.at(x, yp) + sm.at(xp, yp)) -
+                      (sm.at(xm, ym) + 2 * sm.at(x, ym) + sm.at(xp, ym));
+      gx[static_cast<std::size_t>(y) * w + x] = static_cast<std::int16_t>(vgx);
+      gy[static_cast<std::size_t>(y) * w + x] = static_cast<std::int16_t>(vgy);
+    }
+  }
+
+  // Magnitude + horizontal NMS.
+  std::vector<std::int16_t> mh(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      auto mag = [&](int xx) {
+        const std::size_t i = static_cast<std::size_t>(y) * w + clampi(xx, 0, w - 1);
+        return std::min(1023, std::abs(static_cast<int>(gx[i])) +
+                                  std::abs(static_cast<int>(gy[i])));
+      };
+      const int m = mag(x);
+      mh[static_cast<std::size_t>(y) * w + x] =
+          static_cast<std::int16_t>((m >= mag(x - 1) && m >= mag(x + 1)) ? m : 0);
+    }
+
+  // Vertical NMS.
+  std::vector<std::int16_t> mv(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      auto at = [&](int yy) {
+        return mh[static_cast<std::size_t>(clampi(yy, 0, h - 1)) * w + x];
+      };
+      const int m = at(y);
+      mv[static_cast<std::size_t>(y) * w + x] =
+          static_cast<std::int16_t>((m >= at(y - 1) && m >= at(y + 1)) ? m : 0);
+    }
+
+  Image out(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      out.set(x, y,
+              mv[static_cast<std::size_t>(y) * w + x] >= kCannyThreshold ? 255 : 0);
+  return out;
+}
+
+// ------------------------------------------------------------------- Front
+
+CannyFront::CannyFront(TaskId id, std::string name, const kpn::FrameBuffer* src,
+                       int w, int h, kpn::Fifo<PixLineTok>* out, int passes)
+    : Process(id, std::move(name)), src_(src), w_(w), h_(h), out_(out),
+      passes_(passes) {}
+
+bool CannyFront::can_fire() const {
+  return !done() && out_->can_write(static_cast<std::uint32_t>(w_ / 8));
+}
+
+void CannyFront::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+  std::uint8_t line[8];
+  const std::uint64_t frame_off = static_cast<std::uint64_t>(pass_) *
+                                  static_cast<std::uint64_t>(w_) * h_;
+  for (int x = 0; x < w_; x += 8) {
+    src_->read_block(rec, frame_off + static_cast<std::uint64_t>(y_) * w_ + x,
+                     line, 8);
+    out_->write(rec, pack_pixels(line));
+    rec.compute(4);
+  }
+  ++y_;
+  if (y_ >= h_) {
+    ++pass_;
+    if (pass_ < passes_) y_ = 0;
+  }
+}
+
+// ----------------------------------------------------------------- LowPass
+
+CannyLowPass::CannyLowPass(TaskId id, std::string name, int w, int h,
+                           kpn::Fifo<PixLineTok>* in,
+                           kpn::Fifo<PixLineTok>* out_a,
+                           kpn::Fifo<PixLineTok>* out_b, int passes)
+    : Process(id, std::move(name)), w_(w), h_(h), passes_(passes), in_(in),
+      out_a_(out_a), out_b_(out_b) {}
+
+void CannyLowPass::advance_pass() {
+  ++pass_;
+  if (pass_ < passes_) {
+    y_in_ = 0;
+    y_out_ = 0;
+  }
+}
+
+void CannyLowPass::init() {
+  window_ = make_array<std::uint8_t>(static_cast<std::size_t>(w_) * 5);
+  vtmp_ = make_array<std::uint8_t>(static_cast<std::size_t>(w_));
+}
+
+bool CannyLowPass::can_consume() const {
+  // Consuming row y_in_ overwrites ring slot y_in_ % 5, which holds row
+  // y_in_ - 5; that row is still needed while y_out_ - 2 <= y_in_ - 5.
+  return y_in_ < h_ && y_in_ < y_out_ + 3 &&
+         in_->can_read(static_cast<std::uint32_t>(w_ / 8));
+}
+
+bool CannyLowPass::can_produce() const {
+  if (y_out_ >= h_) return false;
+  // Output line o needs input rows up to o+2 (clamped to the last line).
+  const int need = std::min(y_out_ + 2, h_ - 1);
+  if (y_in_ <= need) return false;
+  const auto tokens = static_cast<std::uint32_t>(w_ / 8);
+  return out_a_->can_write(tokens) && out_b_->can_write(tokens);
+}
+
+void CannyLowPass::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(96);
+
+  if (can_produce()) {
+    const int o = y_out_;
+    // Vertical pass into vtmp_.
+    for (int x = 0; x < w_; ++x) {
+      int acc = 0;
+      for (int j = 0; j < 5; ++j) {
+        const int row = clampi(o + j - 2, 0, h_ - 1);
+        acc += kSmoothW[j] *
+               window_.get(static_cast<std::size_t>(row % 5) * w_ + x);
+      }
+      vtmp_.set(static_cast<std::size_t>(x), static_cast<std::uint8_t>((acc + 8) >> 4));
+      rec.compute(3);
+    }
+    // Horizontal pass, pack and fan out to both consumers.
+    for (int x = 0; x < w_; x += 8) {
+      std::uint8_t out8[8];
+      for (int i = 0; i < 8; ++i) {
+        int acc = 0;
+        for (int k = 0; k < 5; ++k)
+          acc += kSmoothW[k] *
+                 vtmp_.get(static_cast<std::size_t>(clampi(x + i + k - 2, 0, w_ - 1)));
+        out8[i] = static_cast<std::uint8_t>((acc + 8) >> 4);
+        rec.compute(3);
+      }
+      const PixLineTok tok = pack_pixels(out8);
+      out_a_->write(rec, tok);
+      out_b_->write(rec, tok);
+    }
+    ++y_out_;
+    if (y_out_ >= h_) advance_pass();
+    return;
+  }
+
+  assert(can_consume());
+  for (int x = 0; x < w_; x += 8) {
+    std::uint8_t px[8];
+    unpack_pixels(in_->read(rec), px);
+    for (int i = 0; i < 8; ++i)
+      window_.set(static_cast<std::size_t>(y_in_ % 5) * w_ + x + i, px[i]);
+  }
+  ++y_in_;
+}
+
+bool CannyLowPass::can_fire() const {
+  return !done() && (can_produce() || can_consume());
+}
+
+// ------------------------------------------------------------------- Sobel
+
+CannySobel::CannySobel(TaskId id, std::string name, int w, int h,
+                       bool horizontal, kpn::Fifo<PixLineTok>* in,
+                       kpn::Fifo<GradLineTok>* out, int passes)
+    : Process(id, std::move(name)), w_(w), h_(h), passes_(passes),
+      horizontal_(horizontal), in_(in), out_(out) {}
+
+void CannySobel::advance_pass() {
+  ++pass_;
+  if (pass_ < passes_) {
+    y_in_ = 0;
+    y_out_ = 0;
+  }
+}
+
+void CannySobel::init() {
+  window_ = make_array<std::uint8_t>(static_cast<std::size_t>(w_) * 3);
+}
+
+bool CannySobel::can_consume() const {
+  // 3-line ring: consuming row y_in_ evicts row y_in_ - 3, needed while
+  // y_out_ - 1 <= y_in_ - 3.
+  return y_in_ < h_ && y_in_ < y_out_ + 2 &&
+         in_->can_read(static_cast<std::uint32_t>(w_ / 8));
+}
+
+bool CannySobel::can_produce() const {
+  if (y_out_ >= h_) return false;
+  const int need = std::min(y_out_ + 1, h_ - 1);
+  if (y_in_ <= need) return false;
+  return out_->can_write(static_cast<std::uint32_t>(w_ / 4));
+}
+
+void CannySobel::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(96);
+
+  if (can_produce()) {
+    const int o = y_out_;
+    const int rm = clampi(o - 1, 0, h_ - 1) % 3;
+    const int r0 = o % 3;
+    const int rp = clampi(o + 1, 0, h_ - 1) % 3;
+    std::int16_t grads[4];
+    int gi = 0;
+    for (int x = 0; x < w_; ++x) {
+      // Read the 3x3 neighbourhood from the tracked window.
+      std::uint8_t rowm[3], row0[3], rowp[3];
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto cx = static_cast<std::size_t>(clampi(x + dx, 0, w_ - 1));
+        rowm[dx + 1] = window_.get(static_cast<std::size_t>(rm) * w_ + cx);
+        row0[dx + 1] = window_.get(static_cast<std::size_t>(r0) * w_ + cx);
+        rowp[dx + 1] = window_.get(static_cast<std::size_t>(rp) * w_ + cx);
+      }
+      const int g = horizontal_ ? sobel_gx(rowm, row0, rowp, 1, 3)
+                                : sobel_gy(rowm, row0, rowp, 1, 3);
+      grads[gi++] = static_cast<std::int16_t>(g);
+      rec.compute(4);
+      if (gi == 4) {
+        out_->write(rec, pack_grads(grads));
+        gi = 0;
+      }
+    }
+    ++y_out_;
+    if (y_out_ >= h_) advance_pass();
+    return;
+  }
+
+  assert(can_consume());
+  for (int x = 0; x < w_; x += 8) {
+    std::uint8_t px[8];
+    unpack_pixels(in_->read(rec), px);
+    for (int i = 0; i < 8; ++i)
+      window_.set(static_cast<std::size_t>(y_in_ % 3) * w_ + x + i, px[i]);
+  }
+  ++y_in_;
+}
+
+bool CannySobel::can_fire() const {
+  return !done() && (can_produce() || can_consume());
+}
+
+// ---------------------------------------------------------------- HorizNMS
+
+CannyHorizNms::CannyHorizNms(TaskId id, std::string name, int w, int h,
+                             kpn::Fifo<GradLineTok>* gx,
+                             kpn::Fifo<GradLineTok>* gy,
+                             kpn::Fifo<GradLineTok>* out, int passes)
+    : Process(id, std::move(name)), w_(w), h_(h), passes_(passes), gx_(gx),
+      gy_(gy), out_(out) {}
+
+void CannyHorizNms::init() {
+  mag_ = make_array<std::int16_t>(static_cast<std::size_t>(w_));
+}
+
+bool CannyHorizNms::can_fire() const {
+  const auto tokens = static_cast<std::uint32_t>(w_ / 4);
+  return !done() && gx_->can_read(tokens) && gy_->can_read(tokens) &&
+         out_->can_write(tokens);
+}
+
+void CannyHorizNms::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+
+  // Magnitude line into the tracked buffer.
+  for (int x = 0; x < w_; x += 4) {
+    std::int16_t vgx[4], vgy[4];
+    unpack_grads(gx_->read(rec), vgx);
+    unpack_grads(gy_->read(rec), vgy);
+    for (int i = 0; i < 4; ++i) {
+      const int m = std::min(1023, std::abs(static_cast<int>(vgx[i])) +
+                                       std::abs(static_cast<int>(vgy[i])));
+      mag_.set(static_cast<std::size_t>(x + i), static_cast<std::int16_t>(m));
+      rec.compute(2);
+    }
+  }
+  // Horizontal suppression.
+  std::int16_t out4[4];
+  int oi = 0;
+  for (int x = 0; x < w_; ++x) {
+    const int m = mag_.get(static_cast<std::size_t>(x));
+    const int ml = mag_.get(static_cast<std::size_t>(clampi(x - 1, 0, w_ - 1)));
+    const int mr = mag_.get(static_cast<std::size_t>(clampi(x + 1, 0, w_ - 1)));
+    out4[oi++] = static_cast<std::int16_t>((m >= ml && m >= mr) ? m : 0);
+    rec.compute(2);
+    if (oi == 4) {
+      out_->write(rec, pack_grads(out4));
+      oi = 0;
+    }
+  }
+  ++y_;
+  if (y_ >= h_) {
+    ++pass_;
+    if (pass_ < passes_) y_ = 0;
+  }
+}
+
+// ----------------------------------------------------------------- VertNMS
+
+CannyVertNms::CannyVertNms(TaskId id, std::string name, int w, int h,
+                           kpn::Fifo<GradLineTok>* in,
+                           kpn::Fifo<GradLineTok>* out, int passes)
+    : Process(id, std::move(name)), w_(w), h_(h), passes_(passes), in_(in),
+      out_(out) {}
+
+void CannyVertNms::advance_pass() {
+  ++pass_;
+  if (pass_ < passes_) {
+    y_in_ = 0;
+    y_out_ = 0;
+  }
+}
+
+void CannyVertNms::init() {
+  window_ = make_array<std::int16_t>(static_cast<std::size_t>(w_) * 3);
+}
+
+bool CannyVertNms::can_consume() const {
+  // Same 3-line ring discipline as the Sobel stages.
+  return y_in_ < h_ && y_in_ < y_out_ + 2 &&
+         in_->can_read(static_cast<std::uint32_t>(w_ / 4));
+}
+
+bool CannyVertNms::can_produce() const {
+  if (y_out_ >= h_) return false;
+  const int need = std::min(y_out_ + 1, h_ - 1);
+  if (y_in_ <= need) return false;
+  return out_->can_write(static_cast<std::uint32_t>(w_ / 4));
+}
+
+void CannyVertNms::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+
+  if (can_produce()) {
+    const int o = y_out_;
+    const int rm = clampi(o - 1, 0, h_ - 1) % 3;
+    const int r0 = o % 3;
+    const int rp = clampi(o + 1, 0, h_ - 1) % 3;
+    std::int16_t out4[4];
+    int oi = 0;
+    for (int x = 0; x < w_; ++x) {
+      const int m = window_.get(static_cast<std::size_t>(r0) * w_ + x);
+      const int mu = window_.get(static_cast<std::size_t>(rm) * w_ + x);
+      const int md = window_.get(static_cast<std::size_t>(rp) * w_ + x);
+      out4[oi++] = static_cast<std::int16_t>((m >= mu && m >= md) ? m : 0);
+      rec.compute(2);
+      if (oi == 4) {
+        out_->write(rec, pack_grads(out4));
+        oi = 0;
+      }
+    }
+    ++y_out_;
+    if (y_out_ >= h_) advance_pass();
+    return;
+  }
+
+  assert(can_consume());
+  for (int x = 0; x < w_; x += 4) {
+    std::int16_t m4[4];
+    unpack_grads(in_->read(rec), m4);
+    for (int i = 0; i < 4; ++i)
+      window_.set(static_cast<std::size_t>(y_in_ % 3) * w_ + x + i, m4[i]);
+  }
+  ++y_in_;
+}
+
+bool CannyVertNms::can_fire() const {
+  return !done() && (can_produce() || can_consume());
+}
+
+// ------------------------------------------------------------ MaxThreshold
+
+CannyMaxThreshold::CannyMaxThreshold(TaskId id, std::string name, int w, int h,
+                                     kpn::Fifo<GradLineTok>* in,
+                                     kpn::FrameBuffer* out, int passes)
+    : Process(id, std::move(name)), w_(w), h_(h), passes_(passes), in_(in),
+      out_(out) {}
+
+bool CannyMaxThreshold::can_fire() const {
+  return !done() && in_->can_read(static_cast<std::uint32_t>(w_ / 4));
+}
+
+void CannyMaxThreshold::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(48);
+  std::uint8_t line8[8];
+  int li = 0;
+  for (int x = 0; x < w_; x += 4) {
+    std::int16_t m4[4];
+    unpack_grads(in_->read(rec), m4);
+    for (int i = 0; i < 4; ++i) {
+      line8[li++] = m4[i] >= kCannyThreshold ? 255 : 0;
+      rec.compute(1);
+      if (li == 8) {
+        out_->write_block(rec, static_cast<std::uint64_t>(y_) * w_ + x + i - 7,
+                          line8, 8);
+        li = 0;
+      }
+    }
+  }
+  ++y_;
+  if (y_ >= h_) {
+    ++pass_;
+    if (pass_ < passes_) y_ = 0;
+  }
+}
+
+// ----------------------------------------------------------------- builder
+
+CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames) {
+  assert(!frames.empty());
+  const int w = frames[0].width(), h = frames[0].height();
+  const int passes = static_cast<int>(frames.size());
+  assert(w % 8 == 0);
+
+  CannyPipeline p;
+  p.source = net.make_frame_buffer(
+      "cannySrc", static_cast<std::uint64_t>(w) * h * frames.size());
+  p.output = net.make_frame_buffer("cannyOut", static_cast<std::uint64_t>(w) * h);
+  // Pre-fill the sources (host-side; the first simulated reads cold-miss).
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    std::copy(frames[f].pixels().begin(), frames[f].pixels().end(),
+              p.source->host_data().begin() +
+                  static_cast<std::ptrdiff_t>(f * frames[f].pixels().size()));
+
+  const auto ltoks = static_cast<std::uint32_t>(w / 8) * 4;
+  const auto gtoks = static_cast<std::uint32_t>(w / 4) * 4;
+  auto* raw = net.make_fifo<PixLineTok>("cnRaw", ltoks);
+  auto* sm_a = net.make_fifo<PixLineTok>("cnSmoothA", ltoks);
+  auto* sm_b = net.make_fifo<PixLineTok>("cnSmoothB", ltoks);
+  auto* gx = net.make_fifo<GradLineTok>("cnGx", gtoks);
+  auto* gy = net.make_fifo<GradLineTok>("cnGy", gtoks);
+  auto* mh = net.make_fifo<GradLineTok>("cnMagH", gtoks);
+  auto* mv = net.make_fifo<GradLineTok>("cnMagV", gtoks);
+
+  kpn::ProcessSpec small;
+  small.heap_bytes = 4096;
+  kpn::ProcessSpec lines5;
+  lines5.heap_bytes = static_cast<std::uint64_t>(w) * 6 + 4096;
+  kpn::ProcessSpec lines3;
+  lines3.heap_bytes = static_cast<std::uint64_t>(w) * 4 + 4096;
+  kpn::ProcessSpec lines3w;
+  lines3w.heap_bytes = static_cast<std::uint64_t>(w) * 8 + 4096;
+
+  p.front =
+      net.add_process<CannyFront>("FrCanny", small, p.source, w, h, raw, passes);
+  p.lowpass = net.add_process<CannyLowPass>("LowPass", lines5, w, h, raw, sm_a,
+                                            sm_b, passes);
+  p.hsobel = net.add_process<CannySobel>("HorizSobel", lines3, w, h, true, sm_a,
+                                         gx, passes);
+  p.vsobel = net.add_process<CannySobel>("VertSobel", lines3, w, h, false, sm_b,
+                                         gy, passes);
+  p.hnms = net.add_process<CannyHorizNms>("HorizNMS", lines3, w, h, gx, gy, mh,
+                                          passes);
+  p.vnms =
+      net.add_process<CannyVertNms>("VertNMS", lines3w, w, h, mh, mv, passes);
+  p.threshold = net.add_process<CannyMaxThreshold>("MaxTreshold", small, w, h,
+                                                   mv, p.output, passes);
+  return p;
+}
+
+}  // namespace cms::apps

@@ -1,0 +1,188 @@
+// Line-based Canny edge detection as a 7-task KPN — the task list of the
+// paper's first workload (Table 1): Fr.canny, LowPass, HorizSobel,
+// VertSobel, HorizNMS, VertNMS, MaxTreshold (the paper's spelling).
+//
+//   FrCanny -> LowPass -> {HorizSobel, VertSobel} -> HorizNMS -> VertNMS
+//           -> MaxTreshold -> output frame buffer
+//
+// Every stage is a streaming line filter with a small ring window of
+// tracked lines; border handling clamps row/column indices, and
+// canny_reference() applies the identical arithmetic so the pipeline
+// output can be verified pixel-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/image.hpp"
+#include "kpn/network.hpp"
+
+namespace cms::apps {
+
+/// 8 pixels per token.
+using PixLineTok = std::uint64_t;
+/// 4 signed 16-bit values per token.
+using GradLineTok = std::uint64_t;
+
+inline constexpr int kCannyThreshold = 80;
+
+/// Reference implementation (host-only oracle).
+Image canny_reference(const Image& src);
+
+class CannyFront final : public kpn::Process {
+ public:
+  /// `src` holds `passes` frames of w*h back to back; pass p reads frame p
+  /// (each detection period processes a new camera frame).
+  CannyFront(TaskId id, std::string name, const kpn::FrameBuffer* src, int w,
+             int h, kpn::Fifo<PixLineTok>* out, int passes = 1);
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  const kpn::FrameBuffer* src_;
+  int w_, h_;
+  kpn::Fifo<PixLineTok>* out_;
+  int passes_ = 1;
+  int pass_ = 0;
+  int y_ = 0;
+};
+
+/// 5-tap binomial smoothing, vertical then horizontal.
+class CannyLowPass final : public kpn::Process {
+ public:
+  CannyLowPass(TaskId id, std::string name, int w, int h,
+               kpn::Fifo<PixLineTok>* in, kpn::Fifo<PixLineTok>* out_a,
+               kpn::Fifo<PixLineTok>* out_b, int passes = 1);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  bool can_consume() const;
+  bool can_produce() const;
+  void advance_pass();
+
+  int w_, h_;
+  int passes_ = 1;
+  int pass_ = 0;
+  kpn::Fifo<PixLineTok>* in_;
+  kpn::Fifo<PixLineTok>* out_a_;
+  kpn::Fifo<PixLineTok>* out_b_;
+  sim::TrackedArray<std::uint8_t> window_;  // 5 lines, ring by row index
+  sim::TrackedArray<std::uint8_t> vtmp_;    // vertically smoothed line
+  int y_in_ = 0;
+  int y_out_ = 0;
+};
+
+/// 3x3 Sobel, horizontal (gx) or vertical (gy) kernel.
+class CannySobel final : public kpn::Process {
+ public:
+  CannySobel(TaskId id, std::string name, int w, int h, bool horizontal,
+             kpn::Fifo<PixLineTok>* in, kpn::Fifo<GradLineTok>* out,
+             int passes = 1);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  bool can_consume() const;
+  bool can_produce() const;
+  void advance_pass();
+
+  int w_, h_;
+  int passes_ = 1;
+  int pass_ = 0;
+  bool horizontal_;
+  kpn::Fifo<PixLineTok>* in_;
+  kpn::Fifo<GradLineTok>* out_;
+  sim::TrackedArray<std::uint8_t> window_;  // 3 lines
+  int y_in_ = 0;
+  int y_out_ = 0;
+};
+
+/// Magnitude + suppression of non-maxima along x.
+class CannyHorizNms final : public kpn::Process {
+ public:
+  CannyHorizNms(TaskId id, std::string name, int w, int h,
+                kpn::Fifo<GradLineTok>* gx, kpn::Fifo<GradLineTok>* gy,
+                kpn::Fifo<GradLineTok>* out, int passes = 1);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  int w_, h_;
+  int passes_ = 1;
+  int pass_ = 0;
+  kpn::Fifo<GradLineTok>* gx_;
+  kpn::Fifo<GradLineTok>* gy_;
+  kpn::Fifo<GradLineTok>* out_;
+  sim::TrackedArray<std::int16_t> mag_;  // one line of magnitudes
+  int y_ = 0;
+};
+
+/// Suppression of non-maxima along y (3-line window).
+class CannyVertNms final : public kpn::Process {
+ public:
+  CannyVertNms(TaskId id, std::string name, int w, int h,
+               kpn::Fifo<GradLineTok>* in, kpn::Fifo<GradLineTok>* out,
+               int passes = 1);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  bool can_consume() const;
+  bool can_produce() const;
+  void advance_pass();
+
+  int w_, h_;
+  int passes_ = 1;
+  int pass_ = 0;
+  kpn::Fifo<GradLineTok>* in_;
+  kpn::Fifo<GradLineTok>* out_;
+  sim::TrackedArray<std::int16_t> window_;  // 3 magnitude lines
+  int y_in_ = 0;
+  int y_out_ = 0;
+};
+
+class CannyMaxThreshold final : public kpn::Process {
+ public:
+  CannyMaxThreshold(TaskId id, std::string name, int w, int h,
+                    kpn::Fifo<GradLineTok>* in, kpn::FrameBuffer* out,
+                    int passes = 1);
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return pass_ >= passes_; }
+
+ private:
+  int w_, h_;
+  int passes_ = 1;
+  int pass_ = 0;
+  kpn::Fifo<GradLineTok>* in_;
+  kpn::FrameBuffer* out_;
+  int y_ = 0;
+};
+
+struct CannyPipeline {
+  CannyFront* front = nullptr;
+  CannyLowPass* lowpass = nullptr;
+  CannySobel* hsobel = nullptr;
+  CannySobel* vsobel = nullptr;
+  CannyHorizNms* hnms = nullptr;
+  CannyVertNms* vnms = nullptr;
+  CannyMaxThreshold* threshold = nullptr;
+  kpn::FrameBuffer* source = nullptr;
+  kpn::FrameBuffer* output = nullptr;
+};
+
+/// Build the pipeline over a sequence of equally sized source frames
+/// (one detection pass per frame — the periodic model with fresh input).
+CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames);
+
+}  // namespace cms::apps

@@ -1,0 +1,95 @@
+#include "apps/codec/dct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cms::apps {
+
+namespace {
+
+// Precomputed cosine basis: cos((2x+1) u pi / 16) scaled by the DCT norm.
+struct Basis {
+  double c[kBlockDim][kBlockDim];  // c[u][x]
+  Basis() {
+    for (int u = 0; u < kBlockDim; ++u) {
+      const double alpha = u == 0 ? std::sqrt(1.0 / kBlockDim) : std::sqrt(2.0 / kBlockDim);
+      for (int x = 0; x < kBlockDim; ++x)
+        c[u][x] = alpha * std::cos((2.0 * x + 1.0) * u * M_PI / (2.0 * kBlockDim));
+    }
+  }
+};
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+void fdct_core(const double* in, std::int16_t* out) {
+  const Basis& b = basis();
+  double tmp[kBlockSize];
+  // Rows.
+  for (int y = 0; y < kBlockDim; ++y)
+    for (int u = 0; u < kBlockDim; ++u) {
+      double acc = 0;
+      for (int x = 0; x < kBlockDim; ++x) acc += in[y * kBlockDim + x] * b.c[u][x];
+      tmp[y * kBlockDim + u] = acc;
+    }
+  // Columns.
+  for (int u = 0; u < kBlockDim; ++u)
+    for (int v = 0; v < kBlockDim; ++v) {
+      double acc = 0;
+      for (int y = 0; y < kBlockDim; ++y) acc += tmp[y * kBlockDim + u] * b.c[v][y];
+      out[v * kBlockDim + u] =
+          static_cast<std::int16_t>(std::lround(std::clamp(acc, -32767.0, 32767.0)));
+    }
+}
+
+void idct_core(const std::int16_t* in, double* out) {
+  const Basis& b = basis();
+  double tmp[kBlockSize];
+  // Columns.
+  for (int u = 0; u < kBlockDim; ++u)
+    for (int y = 0; y < kBlockDim; ++y) {
+      double acc = 0;
+      for (int v = 0; v < kBlockDim; ++v) acc += in[v * kBlockDim + u] * b.c[v][y];
+      tmp[y * kBlockDim + u] = acc;
+    }
+  // Rows.
+  for (int y = 0; y < kBlockDim; ++y)
+    for (int x = 0; x < kBlockDim; ++x) {
+      double acc = 0;
+      for (int u = 0; u < kBlockDim; ++u) acc += tmp[y * kBlockDim + u] * b.c[u][x];
+      out[y * kBlockDim + x] = acc;
+    }
+}
+
+}  // namespace
+
+void forward_dct(const std::uint8_t* pixels, std::int16_t* coefs) {
+  double shifted[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) shifted[i] = static_cast<double>(pixels[i]) - 128.0;
+  fdct_core(shifted, coefs);
+}
+
+void forward_dct_residual(const std::int16_t* residual, std::int16_t* coefs) {
+  double in[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) in[i] = static_cast<double>(residual[i]);
+  fdct_core(in, coefs);
+}
+
+void inverse_dct(const std::int16_t* coefs, std::uint8_t* pixels) {
+  double out[kBlockSize];
+  idct_core(coefs, out);
+  for (int i = 0; i < kBlockSize; ++i)
+    pixels[i] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(out[i] + 128.0), 0l, 255l));
+}
+
+void inverse_dct_residual(const std::int16_t* coefs, std::int16_t* residual) {
+  double out[kBlockSize];
+  idct_core(coefs, out);
+  for (int i = 0; i < kBlockSize; ++i)
+    residual[i] = static_cast<std::int16_t>(
+        std::clamp(std::lround(out[i]), -255l, 255l));
+}
+
+}  // namespace cms::apps

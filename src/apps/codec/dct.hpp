@@ -1,0 +1,31 @@
+// 8x8 forward/inverse DCT used by both the JPEG and the MPEG2-like codec.
+//
+// Integer-friendly double-precision implementation; encoder and decoder
+// use the same transforms so reconstruction loops stay consistent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cms::apps {
+
+inline constexpr int kBlockDim = 8;
+inline constexpr int kBlockSize = kBlockDim * kBlockDim;
+
+using PixelBlock = std::array<std::uint8_t, kBlockSize>;
+using CoefBlock = std::array<std::int16_t, kBlockSize>;
+
+/// Forward DCT of (pixels - 128); output in natural (row-major) order.
+void forward_dct(const std::uint8_t* pixels, std::int16_t* coefs);
+/// Forward DCT of signed residuals (no level shift).
+void forward_dct_residual(const std::int16_t* residual, std::int16_t* coefs);
+
+/// Inverse DCT to pixels (+128 level shift, clamped to [0,255]).
+void inverse_dct(const std::int16_t* coefs, std::uint8_t* pixels);
+/// Inverse DCT to signed residuals (no level shift, clamped to [-255,255]).
+void inverse_dct_residual(const std::int16_t* coefs, std::int16_t* residual);
+
+/// Nominal VLIW cycle cost of one 8x8 (I)DCT, charged by the tasks.
+inline constexpr std::uint32_t kDctCycles = 320;
+
+}  // namespace cms::apps

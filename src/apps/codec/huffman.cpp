@@ -1,0 +1,125 @@
+#include "apps/codec/huffman.hpp"
+
+#include <cassert>
+
+namespace cms::apps {
+
+HuffmanTable::HuffmanTable(const std::array<std::uint8_t, 16>& bits,
+                           std::vector<std::uint8_t> values)
+    : values_(std::move(values)) {
+  // Generate canonical code sizes/codes (T.81 Annex C.1/C.2).
+  std::vector<int> sizes;
+  for (int l = 0; l < 16; ++l)
+    for (int k = 0; k < bits[l]; ++k) sizes.push_back(l + 1);
+  assert(sizes.size() == values_.size());
+
+  std::vector<std::uint16_t> codes(sizes.size());
+  std::uint16_t code = 0;
+  int prev_size = sizes.empty() ? 0 : sizes[0];
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    while (sizes[k] > prev_size) {
+      code = static_cast<std::uint16_t>(code << 1);
+      ++prev_size;
+    }
+    codes[k] = code++;
+  }
+
+  // Decoder tables (T.81 F.2.2.3).
+  std::size_t k = 0;
+  for (int l = 1; l <= 16; ++l) {
+    if (bits[l - 1] == 0) {
+      min_code_[l] = 0;
+      max_code_[l] = -1;
+      val_ptr_[l] = 0;
+      continue;
+    }
+    val_ptr_[l] = static_cast<std::int32_t>(k);
+    min_code_[l] = codes[k];
+    k += bits[l - 1];
+    max_code_[l] = codes[k - 1];
+  }
+
+  // Encoder tables.
+  enc_len_.fill(0);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    enc_code_[values_[i]] = codes[i];
+    enc_len_[values_[i]] = static_cast<std::uint8_t>(sizes[i]);
+  }
+}
+
+void HuffmanTable::encode(BitWriter& bw, std::uint8_t symbol) const {
+  assert(enc_len_[symbol] != 0 && "symbol not in Huffman table");
+  bw.put(enc_code_[symbol], enc_len_[symbol]);
+}
+
+std::uint8_t HuffmanTable::decode(BitReader& br) const {
+  std::int32_t code = static_cast<std::int32_t>(br.get(1));
+  for (int l = 1; l <= 16; ++l) {
+    if (max_code_[l] >= 0 && code <= max_code_[l]) {
+      const std::int32_t idx = val_ptr_[l] + code - min_code_[l];
+      return values_[static_cast<std::size_t>(idx)];
+    }
+    code = (code << 1) | static_cast<std::int32_t>(br.get(1));
+  }
+  return 0xFF;
+}
+
+namespace {
+const std::array<std::uint8_t, 16> kDcBits = {0, 1, 5, 1, 1, 1, 1, 1,
+                                              1, 0, 0, 0, 0, 0, 0, 0};
+const std::vector<std::uint8_t> kDcVals = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+const std::array<std::uint8_t, 16> kAcBits = {0, 2, 1, 3, 3, 2, 4, 3,
+                                              5, 5, 4, 4, 0, 0, 1, 0x7D};
+const std::vector<std::uint8_t> kAcVals = {
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
+    0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72,
+    0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3,
+    0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9,
+    0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+    0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA};
+}  // namespace
+
+const HuffmanTable& jpeg_dc_luma() {
+  static const HuffmanTable t(kDcBits, kDcVals);
+  return t;
+}
+
+const HuffmanTable& jpeg_ac_luma() {
+  static const HuffmanTable t(kAcBits, kAcVals);
+  return t;
+}
+
+int magnitude_category(int v) {
+  int a = v < 0 ? -v : v;
+  int cat = 0;
+  while (a) {
+    ++cat;
+    a >>= 1;
+  }
+  return cat;
+}
+
+void put_magnitude(BitWriter& bw, int v, int category) {
+  if (category == 0) return;
+  // Negative values are coded as one's complement (T.81 F.1.2.1.1).
+  const int bits = v >= 0 ? v : v + (1 << category) - 1;
+  bw.put(static_cast<std::uint32_t>(bits), category);
+}
+
+int get_magnitude(BitReader& br, int category) {
+  if (category == 0) return 0;
+  const int bits = static_cast<int>(br.get(category));
+  if (bits < (1 << (category - 1))) return bits - (1 << category) + 1;
+  return bits;
+}
+
+}  // namespace cms::apps

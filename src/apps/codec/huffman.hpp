@@ -1,0 +1,56 @@
+// Canonical Huffman coding in the JPEG style: a table is specified by the
+// number of codes of each length (1..16) plus the symbol values in code
+// order (exactly the DHT segment layout). The standard Annex-K luminance
+// DC and AC tables are provided; the JPEG workload performs real Huffman
+// decoding with them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.hpp"
+
+namespace cms::apps {
+
+class HuffmanTable {
+ public:
+  /// `bits[i]` = number of codes of length i+1 (i in [0,16)), `values` =
+  /// symbols in canonical order. Follows ITU-T T.81 Annex C.
+  HuffmanTable(const std::array<std::uint8_t, 16>& bits,
+               std::vector<std::uint8_t> values);
+
+  /// Encode `symbol`; the symbol must be in the table.
+  void encode(BitWriter& bw, std::uint8_t symbol) const;
+
+  /// Decode one symbol (canonical decode, one bit at a time as a JPEG
+  /// decoder does). Returns 0xFF on malformed input.
+  std::uint8_t decode(BitReader& br) const;
+
+  /// Code length of `symbol` (0 if absent).
+  int code_length(std::uint8_t symbol) const { return enc_len_[symbol]; }
+
+  std::size_t num_symbols() const { return values_.size(); }
+
+ private:
+  std::vector<std::uint8_t> values_;
+  // Canonical decode tables indexed by code length 1..16.
+  std::array<std::int32_t, 17> min_code_{};
+  std::array<std::int32_t, 17> max_code_{};  // -1 when no codes of this length
+  std::array<std::int32_t, 17> val_ptr_{};
+  // Encode tables indexed by symbol.
+  std::array<std::uint16_t, 256> enc_code_{};
+  std::array<std::uint8_t, 256> enc_len_{};
+};
+
+/// Standard JPEG luminance DC table (Annex K.3.1).
+const HuffmanTable& jpeg_dc_luma();
+/// Standard JPEG luminance AC table (Annex K.3.2).
+const HuffmanTable& jpeg_ac_luma();
+
+/// JPEG-style magnitude category coding: value -> (category, extra bits).
+int magnitude_category(int v);
+void put_magnitude(BitWriter& bw, int v, int category);
+int get_magnitude(BitReader& br, int category);
+
+}  // namespace cms::apps

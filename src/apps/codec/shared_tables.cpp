@@ -1,0 +1,18 @@
+#include "apps/codec/shared_tables.hpp"
+
+#include <cassert>
+
+namespace cms::apps {
+
+SharedCodecTables::SharedCodecTables(const sim::Region& segment,
+                                     int jpeg_quality)
+    : quant_(scaled_quant(jpeg_quality)), quality_(jpeg_quality) {
+  // Layout: quant (128 B) | zigzag (64 B) | DC table (256 B) | AC (256 B).
+  assert(segment.size >= 128 + 64 + 256 + 256);
+  quant_base_ = segment.base;
+  zigzag_base_ = quant_base_ + 128;
+  dc_base_ = zigzag_base_ + 64;
+  ac_base_ = dc_base_ + 256;
+}
+
+}  // namespace cms::apps

@@ -1,0 +1,65 @@
+// Codec constant tables placed in the *shared application data segment*.
+//
+// The paper's evaluation gives the application's static data ("appl data")
+// its own small exclusive cache partition and observes that "with only few
+// sets of exclusive cache assigned to static allocated data a major
+// improvement in performance is obtained". To reproduce that, the quant /
+// zigzag / Huffman tables all tasks consult live at addresses inside the
+// appl-data segment, and every lookup is recorded by the acting task.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "apps/codec/dct.hpp"
+#include "apps/codec/huffman.hpp"
+#include "apps/codec/tables.hpp"
+#include "sim/recorder.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::apps {
+
+class SharedCodecTables {
+ public:
+  SharedCodecTables() = default;
+
+  /// Lay the tables out inside `segment` (the appl-data region).
+  SharedCodecTables(const sim::Region& segment, int jpeg_quality);
+
+  /// Scaled JPEG quantizer entry (natural order).
+  std::uint16_t quant(sim::MemoryRecorder& rec, int i) const {
+    rec.read(quant_base_ + static_cast<Addr>(i) * 2, 2);
+    return quant_[static_cast<std::size_t>(i)];
+  }
+
+  /// Zigzag order: natural index of scan position k.
+  int zigzag(sim::MemoryRecorder& rec, int k) const {
+    rec.read(zigzag_base_ + static_cast<Addr>(k), 1);
+    return zigzag_order()[static_cast<std::size_t>(k)];
+  }
+
+  /// Huffman decode with table-resident lookups: each decoded symbol
+  /// records one access into the table's shared-memory image.
+  std::uint8_t dc_decode(sim::MemoryRecorder& rec, BitReader& br) const {
+    const std::uint8_t s = jpeg_dc_luma().decode(br);
+    rec.read(dc_base_ + s, 1);
+    return s;
+  }
+  std::uint8_t ac_decode(sim::MemoryRecorder& rec, BitReader& br) const {
+    const std::uint8_t s = jpeg_ac_luma().decode(br);
+    rec.read(ac_base_ + s, 1);
+    return s;
+  }
+
+  int jpeg_quality() const { return quality_; }
+
+ private:
+  std::array<std::uint16_t, kBlockSize> quant_{};
+  Addr quant_base_ = 0;
+  Addr zigzag_base_ = 0;
+  Addr dc_base_ = 0;
+  Addr ac_base_ = 0;
+  int quality_ = 75;
+};
+
+}  // namespace cms::apps

@@ -1,0 +1,27 @@
+// Constant codec tables: zigzag scan order and the JPEG Annex-K luminance
+// quantization matrix. In the simulated system these live in the shared
+// application data segment, so lookups by different tasks hit the same
+// cache client (one of the paper's "appl data" partitions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "apps/codec/dct.hpp"
+
+namespace cms::apps {
+
+/// Zigzag scan: zigzag_order()[k] = natural index of the k-th scanned
+/// coefficient.
+const std::array<std::uint8_t, kBlockSize>& zigzag_order();
+
+/// Inverse: natural index -> zigzag position.
+const std::array<std::uint8_t, kBlockSize>& zigzag_inverse();
+
+/// JPEG Annex K.1 luminance quantization matrix (natural order).
+const std::array<std::uint8_t, kBlockSize>& jpeg_luma_quant();
+
+/// Scale the base matrix by a libjpeg-style quality factor in [1, 100].
+std::array<std::uint16_t, kBlockSize> scaled_quant(int quality);
+
+}  // namespace cms::apps

@@ -1,0 +1,45 @@
+#include "apps/codec/vlc.hpp"
+
+namespace cms::apps {
+
+namespace {
+int bit_width(std::uint32_t v) {
+  int w = 0;
+  while (v) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+}  // namespace
+
+void put_ue(BitWriter& bw, std::uint32_t v) {
+  const std::uint32_t code = v + 1;
+  const int len = bit_width(code);
+  bw.put(0, len - 1);     // len-1 zero prefix
+  bw.put(code, len);      // code with leading 1
+}
+
+std::uint32_t get_ue(BitReader& br) {
+  int zeros = 0;
+  while (!br.exhausted() && br.get(1) == 0) ++zeros;
+  std::uint32_t v = 1;
+  if (zeros > 0) v = (1u << zeros) | br.get(zeros);
+  return v - 1;
+}
+
+void put_se(BitWriter& bw, std::int32_t v) {
+  const std::uint32_t u =
+      v > 0 ? static_cast<std::uint32_t>(2 * v - 1) : static_cast<std::uint32_t>(-2 * v);
+  put_ue(bw, u);
+}
+
+std::int32_t get_se(BitReader& br) {
+  const std::uint32_t u = get_ue(br);
+  return (u & 1) ? static_cast<std::int32_t>((u + 1) / 2)
+                 : -static_cast<std::int32_t>(u / 2);
+}
+
+int ue_bits(std::uint32_t v) { return 2 * bit_width(v + 1) - 1; }
+
+}  // namespace cms::apps

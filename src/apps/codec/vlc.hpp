@@ -1,0 +1,21 @@
+// Exp-Golomb variable-length codes (the MPEG2-like codec's entropy layer).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitstream.hpp"
+
+namespace cms::apps {
+
+/// Unsigned exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011", ...
+void put_ue(BitWriter& bw, std::uint32_t v);
+std::uint32_t get_ue(BitReader& br);
+
+/// Signed exp-Golomb: 0, 1, -1, 2, -2, ... mapped onto ue.
+void put_se(BitWriter& bw, std::int32_t v);
+std::int32_t get_se(BitReader& br);
+
+/// Number of bits ue(v) occupies (for rate accounting).
+int ue_bits(std::uint32_t v);
+
+}  // namespace cms::apps

@@ -1,0 +1,157 @@
+#include "apps/jpeg/jpeg_codec.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/codec/dct.hpp"
+#include "apps/codec/huffman.hpp"
+#include "apps/codec/tables.hpp"
+#include "common/bitstream.hpp"
+
+namespace cms::apps {
+
+namespace {
+
+void encode_block(BitWriter& bw, const std::int16_t zz[kBlockSize], int& dc_pred) {
+  // DC: category + magnitude bits of the difference from the previous
+  // block's DC (T.81 differential DC coding).
+  const int diff = zz[0] - dc_pred;
+  dc_pred = zz[0];
+  const int dc_cat = magnitude_category(diff);
+  jpeg_dc_luma().encode(bw, static_cast<std::uint8_t>(dc_cat));
+  put_magnitude(bw, diff, dc_cat);
+
+  // AC: (run,size) symbols with ZRL and EOB.
+  int run = 0;
+  for (int k = 1; k < kBlockSize; ++k) {
+    const int v = zz[k];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      jpeg_ac_luma().encode(bw, 0xF0);  // ZRL: 16 zeros
+      run -= 16;
+    }
+    const int cat = magnitude_category(v);
+    assert(cat <= 10);
+    jpeg_ac_luma().encode(bw, static_cast<std::uint8_t>((run << 4) | cat));
+    put_magnitude(bw, v, cat);
+    run = 0;
+  }
+  if (run > 0) jpeg_ac_luma().encode(bw, 0x00);  // EOB
+}
+
+}  // namespace
+
+bool jpeg_decode_block(BitReader& br, int& dc_pred, std::int16_t zz[kBlockSize]) {
+  std::memset(zz, 0, kBlockSize * sizeof(std::int16_t));
+  const std::uint8_t dc_cat = jpeg_dc_luma().decode(br);
+  if (dc_cat == 0xFF || dc_cat > 11) return false;
+  dc_pred += get_magnitude(br, dc_cat);
+  zz[0] = static_cast<std::int16_t>(dc_pred);
+
+  int k = 1;
+  while (k < kBlockSize) {
+    const std::uint8_t rs = jpeg_ac_luma().decode(br);
+    if (rs == 0xFF && br.exhausted()) return false;
+    if (rs == 0x00) break;  // EOB
+    if (rs == 0xF0) {       // ZRL
+      k += 16;
+      continue;
+    }
+    const int run = rs >> 4;
+    const int cat = rs & 0x0F;
+    k += run;
+    if (k >= kBlockSize || cat == 0 || cat > 10) return false;
+    zz[k] = static_cast<std::int16_t>(get_magnitude(br, cat));
+    ++k;
+  }
+  return true;
+}
+
+JpegStream jpeg_encode(const Image& img, int quality) {
+  assert(img.width() % 8 == 0 && img.height() % 8 == 0);
+  JpegStream s;
+  s.width = img.width();
+  s.height = img.height();
+  s.quality = quality;
+
+  const auto q = scaled_quant(quality);
+  const auto& zig = zigzag_order();
+  BitWriter bw;
+  int dc_pred = 0;
+
+  for (int by = 0; by < s.blocks_high(); ++by) {
+    for (int bx = 0; bx < s.blocks_wide(); ++bx) {
+      std::uint8_t pix[kBlockSize];
+      for (int y = 0; y < kBlockDim; ++y)
+        for (int x = 0; x < kBlockDim; ++x)
+          pix[y * kBlockDim + x] = img.at(bx * 8 + x, by * 8 + y);
+
+      std::int16_t coef[kBlockSize];
+      forward_dct(pix, coef);
+
+      std::int16_t zz[kBlockSize];
+      for (int k = 0; k < kBlockSize; ++k) {
+        const int n = zig[k];
+        const int v = coef[n];
+        const int d = q[static_cast<std::size_t>(n)];
+        // Symmetric rounding division.
+        zz[k] = static_cast<std::int16_t>(v >= 0 ? (v + d / 2) / d : -((-v + d / 2) / d));
+      }
+      encode_block(bw, zz, dc_pred);
+    }
+  }
+  s.payload = bw.take();
+  return s;
+}
+
+std::size_t JpegSequence::total_payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& p : pictures) n += p.payload.size();
+  return n;
+}
+
+JpegSequence jpeg_encode_sequence(int w, int h, int count, int quality,
+                                  std::uint64_t seed) {
+  JpegSequence seq;
+  seq.pictures.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Alternate content flavours so consecutive pictures differ.
+    const Image img = (i % 2 == 0)
+                          ? testimg::blocks(w, h, seed + static_cast<std::uint64_t>(i))
+                          : testimg::gradient(w, h, seed + 0x9E37ull * (i + 1));
+    seq.pictures.push_back(jpeg_encode(img, quality));
+  }
+  return seq;
+}
+
+Image jpeg_reference_decode(const JpegStream& s) {
+  Image out(s.width, s.height);
+  const auto q = scaled_quant(s.quality);
+  const auto& zig = zigzag_order();
+  BitReader br(s.payload.data(), s.payload.size());
+  int dc_pred = 0;
+
+  for (int by = 0; by < s.blocks_high(); ++by) {
+    for (int bx = 0; bx < s.blocks_wide(); ++bx) {
+      std::int16_t zz[kBlockSize];
+      if (!jpeg_decode_block(br, dc_pred, zz)) return out;
+
+      std::int16_t coef[kBlockSize] = {};
+      for (int k = 0; k < kBlockSize; ++k) {
+        const int n = zig[k];
+        coef[n] = static_cast<std::int16_t>(zz[k] * q[static_cast<std::size_t>(n)]);
+      }
+      std::uint8_t pix[kBlockSize];
+      inverse_dct(coef, pix);
+      for (int y = 0; y < kBlockDim; ++y)
+        for (int x = 0; x < kBlockDim; ++x)
+          out.set(bx * 8 + x, by * 8 + y, pix[y * kBlockDim + x]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cms::apps

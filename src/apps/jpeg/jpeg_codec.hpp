@@ -1,0 +1,62 @@
+// Simplified-but-real JPEG codec (grayscale baseline): 8x8 DCT, Annex-K
+// quantization scaled by quality, zigzag, and genuine Huffman entropy
+// coding with the standard luminance tables. The encoder generates the
+// bitstreams the JPEG decoder pipelines chew on; the reference decoder is
+// the functional-correctness oracle for the KPN pipeline.
+//
+// Container: out-of-band header (width/height/quality in the struct),
+// payload = entropy-coded blocks in raster order, no restart markers and
+// no byte stuffing (the KPN front end does not need them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/image.hpp"
+
+namespace cms::apps {
+
+struct JpegStream {
+  int width = 0;
+  int height = 0;   // both multiples of 8
+  int quality = 75;
+  std::vector<std::uint8_t> payload;
+
+  int blocks_wide() const { return width / 8; }
+  int blocks_high() const { return height / 8; }
+  int num_blocks() const { return blocks_wide() * blocks_high(); }
+};
+
+/// Encode a grayscale image (dimensions must be multiples of 8).
+JpegStream jpeg_encode(const Image& img, int quality);
+
+/// A sequence of equally sized pictures decoded back to back — the
+/// periodic workload of the paper's evaluation (each period brings *new*
+/// data; only the decoder's own state is reused across periods).
+struct JpegSequence {
+  std::vector<JpegStream> pictures;  // all with identical dimensions
+
+  int width() const { return pictures.empty() ? 0 : pictures[0].width; }
+  int height() const { return pictures.empty() ? 0 : pictures[0].height; }
+  int num_pictures() const { return static_cast<int>(pictures.size()); }
+  int blocks_per_picture() const {
+    return pictures.empty() ? 0 : pictures[0].num_blocks();
+  }
+  std::size_t total_payload_bytes() const;
+};
+
+/// Encode `count` deterministic synthetic pictures of `w` x `h`.
+JpegSequence jpeg_encode_sequence(int w, int h, int count, int quality,
+                                  std::uint64_t seed);
+
+/// Reference decoder (host-only, no simulation).
+Image jpeg_reference_decode(const JpegStream& s);
+
+/// Decode a single block's quantized coefficients (zigzag order) from the
+/// bit reader, updating the DC predictor. Shared by the reference decoder
+/// and the KPN FrontEnd so both perform identical entropy decoding.
+/// Returns false on malformed input.
+bool jpeg_decode_block(BitReader& br, int& dc_pred, std::int16_t zz[64]);
+
+}  // namespace cms::apps

@@ -1,0 +1,246 @@
+#include "apps/jpeg/jpeg_kpn.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace cms::apps {
+
+// ---------------------------------------------------------------- FrontEnd
+
+JpegFrontEnd::JpegFrontEnd(TaskId id, std::string name, const JpegSequence* seq,
+                           const SharedCodecTables* tables,
+                           kpn::Fifo<JpegBlockTok>* out)
+    : Process(id, std::move(name)), seq_(seq), tables_(tables), out_(out) {}
+
+void JpegFrontEnd::init() {
+  // The whole sequence arrives during initialization (untracked host
+  // fill, so the first simulated reads are genuine cold misses).
+  payload_ = make_array<std::uint8_t>(seq_->total_payload_bytes());
+  std::size_t off = 0;
+  for (const auto& pic : seq_->pictures) {
+    offsets_.push_back(off);
+    std::copy(pic.payload.begin(), pic.payload.end(),
+              payload_.host_data().begin() + static_cast<std::ptrdiff_t>(off));
+    off += pic.payload.size();
+  }
+  rewind_to_picture(0);
+}
+
+void JpegFrontEnd::rewind_to_picture(int picture) {
+  picture_ = picture;
+  const auto& pic = seq_->pictures[static_cast<std::size_t>(picture)];
+  br_ = BitReader(pic.payload.data(), pic.payload.size());
+  dc_pred_ = 0;
+  bytes_touched_ = offsets_[static_cast<std::size_t>(picture)];
+}
+
+bool JpegFrontEnd::can_fire() const { return !done() && out_->can_write(); }
+
+void JpegFrontEnd::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(192);
+
+  JpegBlockTok tok;
+  const std::size_t bits_before = br_.bit_pos();
+  // Huffman decode one block. Table lookups are recorded against the
+  // shared appl-data segment through `tables_`; magnitude bits need no
+  // table.  The decode itself is shared with the reference decoder except
+  // for the recorded lookups, so keep the loop structure in sync with
+  // jpeg_decode_block().
+  std::memset(tok.zz, 0, sizeof(tok.zz));
+  const std::uint8_t dc_cat = tables_->dc_decode(rec, br_);
+  assert(dc_cat != 0xFF && dc_cat <= 11 && "corrupt JPEG payload");
+  dc_pred_ += get_magnitude(br_, dc_cat);
+  tok.zz[0] = static_cast<std::int16_t>(dc_pred_);
+  rec.compute(8);
+
+  int k = 1;
+  while (k < kBlockSize) {
+    const std::uint8_t rs = tables_->ac_decode(rec, br_);
+    rec.compute(4);
+    if (rs == 0x00) break;
+    if (rs == 0xF0) {
+      k += 16;
+      continue;
+    }
+    const int run = rs >> 4;
+    const int cat = rs & 0x0F;
+    k += run;
+    assert(k < kBlockSize && cat != 0 && cat <= 10 && "corrupt JPEG payload");
+    tok.zz[k] = static_cast<std::int16_t>(get_magnitude(br_, cat));
+    ++k;
+  }
+
+  // Record the payload bytes this block consumed (sequential reads).
+  const std::size_t byte_end =
+      offsets_[static_cast<std::size_t>(picture_)] + (br_.bit_pos() + 7) / 8;
+  (void)bits_before;
+  while (bytes_touched_ < byte_end && bytes_touched_ < payload_.size()) {
+    rec.read(payload_.addr_of(bytes_touched_), 1);
+    ++bytes_touched_;
+  }
+
+  out_->write(rec, tok);
+  ++blocks_done_;
+  if (blocks_done_ % seq_->blocks_per_picture() == 0 && !done())
+    rewind_to_picture(picture_ + 1);
+}
+
+// -------------------------------------------------------------------- IDCT
+
+JpegIdct::JpegIdct(TaskId id, std::string name, int num_blocks,
+                   const SharedCodecTables* tables, kpn::Fifo<JpegBlockTok>* in,
+                   kpn::Fifo<JpegPixTok>* out)
+    : Process(id, std::move(name)), num_blocks_(num_blocks), tables_(tables),
+      in_(in), out_(out) {}
+
+bool JpegIdct::can_fire() const {
+  return !done() && in_->can_read() && out_->can_write();
+}
+
+void JpegIdct::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(128);
+
+  const JpegBlockTok tok = in_->read(rec);
+  std::int16_t coef[kBlockSize] = {};
+  for (int k = 0; k < kBlockSize; ++k) {
+    if (tok.zz[k] == 0) continue;  // sparse dequant, like a real decoder
+    const int n = tables_->zigzag(rec, k);
+    coef[n] = static_cast<std::int16_t>(tok.zz[k] * tables_->quant(rec, n));
+    rec.compute(2);
+  }
+  JpegPixTok out;
+  inverse_dct(coef, out.p);
+  rec.compute(kDctCycles);
+  out_->write(rec, out);
+  ++blocks_done_;
+}
+
+// ------------------------------------------------------------------ Raster
+
+JpegRaster::JpegRaster(TaskId id, std::string name, int width, int height,
+                       kpn::Fifo<JpegPixTok>* in, kpn::Fifo<JpegLineTok>* out,
+                       int repeat)
+    : Process(id, std::move(name)), width_(width), height_(height),
+      repeat_(repeat), in_(in), out_(out) {}
+
+void JpegRaster::init() {
+  row_buf_ = make_array<std::uint8_t>(static_cast<std::size_t>(width_) * 8);
+}
+
+bool JpegRaster::can_fire() const {
+  if (done()) return false;
+  if (emit_line_ >= 0) return out_->can_write(static_cast<std::uint32_t>(width_ / 8));
+  return in_->can_read();
+}
+
+void JpegRaster::emit_rows(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  // Emit one raster line per firing from the completed block row.
+  const int y = emit_line_;
+  for (int x = 0; x < width_; x += 8) {
+    JpegLineTok tok = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint8_t v =
+          row_buf_.get(static_cast<std::size_t>(y) * width_ + x + i);
+      tok |= static_cast<JpegLineTok>(v) << (8 * i);
+    }
+    rec.compute(4);
+    out_->write(rec, tok);
+  }
+  ++emit_line_;
+  if (emit_line_ == 8) {
+    emit_line_ = -1;
+    blocks_in_row_ = 0;
+    ++rows_done_;
+  }
+}
+
+void JpegRaster::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(96);
+
+  if (emit_line_ >= 0) {
+    emit_rows(ctx);
+    return;
+  }
+  const JpegPixTok tok = in_->read(rec);
+  const int bx = blocks_in_row_;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      row_buf_.set(static_cast<std::size_t>(y) * width_ + bx * 8 + x,
+                   tok.p[y * 8 + x]);
+  rec.compute(64);
+  ++blocks_in_row_;
+  if (blocks_in_row_ == width_ / 8) emit_line_ = 0;
+}
+
+// ----------------------------------------------------------------- BackEnd
+
+JpegBackEnd::JpegBackEnd(TaskId id, std::string name, int width, int height,
+                         kpn::Fifo<JpegLineTok>* in, kpn::FrameBuffer* out,
+                         int repeat)
+    : Process(id, std::move(name)), width_(width), height_(height),
+      repeat_(repeat), in_(in), out_(out) {}
+
+bool JpegBackEnd::can_fire() const {
+  return !done() && in_->can_read(static_cast<std::uint32_t>(width_ / 8));
+}
+
+void JpegBackEnd::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+
+  const int y = lines_done_ % height_;  // periodic: rewrite the frame
+  for (int x = 0; x < width_; x += 8) {
+    const JpegLineTok tok = in_->read(rec);
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+      bytes[i] = static_cast<std::uint8_t>(tok >> (8 * i));
+    out_->write_block(rec, static_cast<std::uint64_t>(y) * width_ + x, bytes, 8);
+    checksum_ = checksum_ * 1099511628211ull + tok;
+    rec.compute(4);
+  }
+  ++lines_done_;
+}
+
+// ----------------------------------------------------------------- builder
+
+JpegPipeline add_jpeg_decoder(kpn::Network& net, const std::string& suffix,
+                              const JpegSequence& seq,
+                              const SharedCodecTables& tables) {
+  JpegPipeline p;
+  const int width = seq.width(), height = seq.height();
+  const int pictures = seq.num_pictures();
+  auto* blocks = net.make_fifo<JpegBlockTok>("jpegBlocks" + suffix, 8);
+  auto* pixels = net.make_fifo<JpegPixTok>("jpegPixels" + suffix, 8);
+  auto* lines = net.make_fifo<JpegLineTok>(
+      "jpegLines" + suffix, static_cast<std::uint32_t>(width / 8) * 10);
+  p.output = net.make_frame_buffer(
+      "jpegOut" + suffix, static_cast<std::uint64_t>(width) * height);
+
+  kpn::ProcessSpec fe_spec;
+  fe_spec.heap_bytes = seq.total_payload_bytes() + 4096;
+  p.frontend = net.add_process<JpegFrontEnd>("FrontEnd" + suffix, fe_spec, &seq,
+                                             &tables, blocks);
+
+  kpn::ProcessSpec idct_spec;
+  idct_spec.heap_bytes = 4096;
+  p.idct = net.add_process<JpegIdct>("IDCT" + suffix, idct_spec,
+                                     seq.blocks_per_picture() * pictures,
+                                     &tables, blocks, pixels);
+
+  kpn::ProcessSpec raster_spec;
+  raster_spec.heap_bytes = static_cast<std::uint64_t>(width) * 8 + 4096;
+  p.raster = net.add_process<JpegRaster>("Raster" + suffix, raster_spec, width,
+                                         height, pixels, lines, pictures);
+
+  kpn::ProcessSpec be_spec;
+  be_spec.heap_bytes = 4096;
+  p.backend = net.add_process<JpegBackEnd>("BackEnd" + suffix, be_spec, width,
+                                           height, lines, p.output, pictures);
+  return p;
+}
+
+}  // namespace cms::apps

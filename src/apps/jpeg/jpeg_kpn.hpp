@@ -1,0 +1,141 @@
+// The JPEG decoder as a KPN pipeline — the task decomposition of the
+// multiprocessor JPEG case study the paper uses as workload [1]:
+//
+//   FrontEnd --(quantized blocks)--> IDCT --(pixel blocks)--> Raster
+//     --(raster lines)--> BackEnd --> output frame buffer
+//
+// FrontEnd performs real Huffman decoding on the encoded payload held in
+// its private heap; IDCT dequantizes and inverse-transforms; Raster
+// converts block order to line order (the block-row buffer makes it the
+// pipeline's largest cache client, matching Table 1); BackEnd writes the
+// shared output frame buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/codec/dct.hpp"
+#include "apps/codec/shared_tables.hpp"
+#include "apps/jpeg/jpeg_codec.hpp"
+#include "kpn/network.hpp"
+
+namespace cms::apps {
+
+/// Token carrying one block of quantized coefficients in zigzag order.
+struct JpegBlockTok {
+  std::int16_t zz[kBlockSize];
+};
+
+/// Token carrying one decoded 8x8 pixel block.
+struct JpegPixTok {
+  std::uint8_t p[kBlockSize];
+};
+
+/// Line tokens pack 8 pixels per token.
+using JpegLineTok = std::uint64_t;
+
+class JpegFrontEnd final : public kpn::Process {
+ public:
+  /// Decodes every picture of `seq` back to back (the paper's periodic
+  /// execution model: each period brings new input data).
+  JpegFrontEnd(TaskId id, std::string name, const JpegSequence* seq,
+               const SharedCodecTables* tables, kpn::Fifo<JpegBlockTok>* out);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override {
+    return blocks_done_ >=
+           seq_->blocks_per_picture() * seq_->num_pictures();
+  }
+
+ private:
+  void rewind_to_picture(int picture);
+
+  const JpegSequence* seq_;
+  const SharedCodecTables* tables_;
+  kpn::Fifo<JpegBlockTok>* out_;
+  sim::TrackedArray<std::uint8_t> payload_;  // all pictures, concatenated
+  std::vector<std::size_t> offsets_;         // payload start per picture
+  BitReader br_;
+  int picture_ = 0;
+  int dc_pred_ = 0;
+  int blocks_done_ = 0;
+  std::size_t bytes_touched_ = 0;  // absolute offset into payload_
+};
+
+class JpegIdct final : public kpn::Process {
+ public:
+  JpegIdct(TaskId id, std::string name, int num_blocks,
+           const SharedCodecTables* tables, kpn::Fifo<JpegBlockTok>* in,
+           kpn::Fifo<JpegPixTok>* out);
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return blocks_done_ >= num_blocks_; }
+
+ private:
+  int num_blocks_;
+  const SharedCodecTables* tables_;
+  kpn::Fifo<JpegBlockTok>* in_;
+  kpn::Fifo<JpegPixTok>* out_;
+  int blocks_done_ = 0;
+};
+
+class JpegRaster final : public kpn::Process {
+ public:
+  JpegRaster(TaskId id, std::string name, int width, int height,
+             kpn::Fifo<JpegPixTok>* in, kpn::Fifo<JpegLineTok>* out,
+             int repeat = 1);
+  void init() override;
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return rows_done_ >= (height_ / 8) * repeat_; }
+
+ private:
+  void emit_rows(sim::TaskContext& ctx);
+
+  int width_, height_;
+  int repeat_ = 1;
+  kpn::Fifo<JpegPixTok>* in_;
+  kpn::Fifo<JpegLineTok>* out_;
+  sim::TrackedArray<std::uint8_t> row_buf_;  // one block row: width * 8
+  int blocks_in_row_ = 0;
+  int rows_done_ = 0;
+  int emit_line_ = -1;  // >= 0 while draining the completed block row
+};
+
+class JpegBackEnd final : public kpn::Process {
+ public:
+  JpegBackEnd(TaskId id, std::string name, int width, int height,
+              kpn::Fifo<JpegLineTok>* in, kpn::FrameBuffer* out,
+              int repeat = 1);
+  bool can_fire() const override;
+  void run(sim::TaskContext& ctx) override;
+  bool done() const override { return lines_done_ >= height_ * repeat_; }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  int width_, height_;
+  int repeat_ = 1;
+  kpn::Fifo<JpegLineTok>* in_;
+  kpn::FrameBuffer* out_;
+  int lines_done_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+/// Handles to one decoder instance's pieces.
+struct JpegPipeline {
+  JpegFrontEnd* frontend = nullptr;
+  JpegIdct* idct = nullptr;
+  JpegRaster* raster = nullptr;
+  JpegBackEnd* backend = nullptr;
+  kpn::FrameBuffer* output = nullptr;
+};
+
+/// Build one JPEG decoder instance. Task names follow the paper's Table 1
+/// ("FrontEnd1", "IDCT1", ...). `seq` must outlive the network.
+JpegPipeline add_jpeg_decoder(kpn::Network& net, const std::string& suffix,
+                              const JpegSequence& seq,
+                              const SharedCodecTables& tables);
+
+}  // namespace cms::apps

@@ -1,0 +1,288 @@
+#include "apps/m2v/m2v_codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "apps/codec/dct.hpp"
+#include "apps/codec/tables.hpp"
+#include "apps/codec/vlc.hpp"
+
+namespace cms::apps {
+
+namespace {
+
+constexpr std::uint32_t kEob = 64;  // runs are <= 63, so 64 is unambiguous
+
+int quantize(int v, int q) {
+  return v >= 0 ? (v + q / 2) / q : -((-v + q / 2) / q);
+}
+
+/// Encode one block: zigzag the coefficients, quantize, run/level code.
+void encode_block(BitWriter& bw, const std::int16_t coef[64], int qscale) {
+  const auto& zig = zigzag_order();
+  int run = 0;
+  for (int k = 0; k < kBlockSize; ++k) {
+    const int lvl = quantize(coef[zig[k]], qscale);
+    if (lvl == 0) {
+      ++run;
+      continue;
+    }
+    put_ue(bw, static_cast<std::uint32_t>(run));
+    put_se(bw, lvl);
+    run = 0;
+  }
+  put_ue(bw, kEob);
+}
+
+/// The quantized levels in zigzag order (encoder-side mirror of the
+/// decoder's zz array), for the reconstruction loop.
+void quantized_levels(const std::int16_t coef[64], int qscale, std::int16_t zz[64]) {
+  const auto& zig = zigzag_order();
+  for (int k = 0; k < kBlockSize; ++k)
+    zz[k] = static_cast<std::int16_t>(quantize(coef[zig[k]], qscale));
+}
+
+std::uint64_t sad16(const Image& cur, const Image& ref, int cx, int cy, int rx,
+                    int ry) {
+  std::uint64_t acc = 0;
+  for (int y = 0; y < kMbDim; ++y)
+    for (int x = 0; x < kMbDim; ++x)
+      acc += static_cast<std::uint64_t>(
+          std::abs(static_cast<int>(cur.at(cx + x, cy + y)) -
+                   static_cast<int>(ref.at(rx + x, ry + y))));
+  return acc;
+}
+
+void append_u16(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x & 0xFF));
+  v.push_back(static_cast<std::uint8_t>((x >> 8) & 0xFF));
+}
+void append_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  append_u16(v, x & 0xFFFF);
+  append_u16(v, x >> 16);
+}
+
+}  // namespace
+
+bool m2v_parse_seq_header(const std::uint8_t* b, int& width, int& height,
+                          int& num_frames, int& qscale) {
+  if (b[0] != 'M' || b[1] != '2') return false;
+  width = b[2] * kMbDim;
+  height = b[3] * kMbDim;
+  num_frames = b[4] | (b[5] << 8);
+  qscale = b[6];
+  return true;
+}
+
+M2vFrameHeader m2v_parse_frame_header(const std::uint8_t* b) {
+  M2vFrameHeader h;
+  h.type = b[0];
+  h.payload_bytes = static_cast<std::uint32_t>(b[1]) |
+                    (static_cast<std::uint32_t>(b[2]) << 8) |
+                    (static_cast<std::uint32_t>(b[3]) << 16) |
+                    (static_cast<std::uint32_t>(b[4]) << 24);
+  return h;
+}
+
+M2vMbInfo m2v_decode_mb_info(BitReader& br, std::uint8_t frame_type) {
+  M2vMbInfo info;
+  if (frame_type == 'I') return info;  // all intra, no bits
+  info.intra = get_ue(br) == 1;
+  if (!info.intra) {
+    info.dx = get_se(br);
+    info.dy = get_se(br);
+  }
+  return info;
+}
+
+void m2v_decode_block_levels(BitReader& br, std::int16_t zz[64]) {
+  std::memset(zz, 0, 64 * sizeof(std::int16_t));
+  int k = 0;
+  for (;;) {
+    const std::uint32_t run = get_ue(br);
+    if (run >= kEob) break;
+    k += static_cast<int>(run);
+    if (k >= kBlockSize) break;  // malformed; stop defensively
+    zz[k] = static_cast<std::int16_t>(get_se(br));
+    ++k;
+    if (k >= kBlockSize) {
+      // A full block still carries its EOB.
+      if (get_ue(br) != kEob) { /* malformed; tolerated */ }
+      break;
+    }
+  }
+}
+
+void m2v_block_to_residual(const std::int16_t zz[64], int qscale,
+                           std::int16_t res[64]) {
+  const auto& zig = zigzag_order();
+  std::int16_t coef[kBlockSize] = {};
+  for (int k = 0; k < kBlockSize; ++k)
+    if (zz[k] != 0)
+      coef[zig[k]] = static_cast<std::int16_t>(zz[k] * qscale);
+  inverse_dct_residual(coef, res);
+}
+
+void m2v_reconstruct(const std::uint8_t pred[64], const std::int16_t res[64],
+                     std::uint8_t out[64]) {
+  for (int i = 0; i < kBlockSize; ++i)
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(pred[i]) + static_cast<int>(res[i]), 0, 255));
+}
+
+M2vStream m2v_encode(const std::vector<Image>& frames, int qscale) {
+  assert(!frames.empty());
+  const int w = frames[0].width(), h = frames[0].height();
+  assert(w % kMbDim == 0 && h % kMbDim == 0);
+  qscale = std::clamp(qscale, 1, 62);
+
+  M2vStream s;
+  s.width = w;
+  s.height = h;
+  s.num_frames = static_cast<int>(frames.size());
+  s.qscale = qscale;
+
+  s.bytes = {'M', '2', static_cast<std::uint8_t>(w / kMbDim),
+             static_cast<std::uint8_t>(h / kMbDim)};
+  append_u16(s.bytes, static_cast<std::uint32_t>(s.num_frames));
+  s.bytes.push_back(static_cast<std::uint8_t>(qscale));
+  s.bytes.push_back(0);
+
+  Image recon(w, h);  // decoder-identical reference frame
+
+  for (int f = 0; f < s.num_frames; ++f) {
+    const Image& cur = frames[static_cast<std::size_t>(f)];
+    const std::uint8_t type = f == 0 ? 'I' : 'P';
+    Image next_recon(w, h);
+    BitWriter bw;
+
+    for (int mby = 0; mby < s.mb_high(); ++mby) {
+      for (int mbx = 0; mbx < s.mb_wide(); ++mbx) {
+        const int cx = mbx * kMbDim, cy = mby * kMbDim;
+
+        // Mode decision + motion estimation.
+        M2vMbInfo info;
+        if (type == 'P') {
+          std::uint64_t best = ~0ull;
+          int bdx = 0, bdy = 0;
+          for (int dy = -kM2vSearchRange; dy <= kM2vSearchRange; ++dy) {
+            for (int dx = -kM2vSearchRange; dx <= kM2vSearchRange; ++dx) {
+              const int rx = cx + dx, ry = cy + dy;
+              if (rx < 0 || ry < 0 || rx + kMbDim > w || ry + kMbDim > h)
+                continue;
+              const std::uint64_t d = sad16(cur, recon, cx, cy, rx, ry);
+              if (d < best || (d == best && dx == 0 && dy == 0)) {
+                best = d;
+                bdx = dx;
+                bdy = dy;
+              }
+            }
+          }
+          info.intra = best > static_cast<std::uint64_t>(kM2vIntraSadThreshold) *
+                                  kMbDim * kMbDim;
+          info.dx = bdx;
+          info.dy = bdy;
+          put_ue(bw, info.intra ? 1u : 0u);
+          if (!info.intra) {
+            put_se(bw, info.dx);
+            put_se(bw, info.dy);
+          }
+        }
+
+        // Four 8x8 blocks: residual -> DCT -> quant -> code, plus the
+        // reconstruction loop that mirrors the decoder bit-exactly.
+        for (int blk = 0; blk < 4; ++blk) {
+          const int bx = cx + (blk % 2) * 8, by = cy + (blk / 2) * 8;
+          std::uint8_t pred[kBlockSize];
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x) {
+              if (info.intra)
+                pred[y * 8 + x] = 128;
+              else
+                pred[y * 8 + x] = recon.at(bx + info.dx + x, by + info.dy + y);
+            }
+          std::int16_t res[kBlockSize];
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x)
+              res[y * 8 + x] = static_cast<std::int16_t>(
+                  static_cast<int>(cur.at(bx + x, by + y)) -
+                  static_cast<int>(pred[y * 8 + x]));
+
+          std::int16_t coef[kBlockSize];
+          forward_dct_residual(res, coef);
+          encode_block(bw, coef, qscale);
+
+          // Reconstruction (what the decoder will produce).
+          std::int16_t zz[kBlockSize];
+          quantized_levels(coef, qscale, zz);
+          std::int16_t rres[kBlockSize];
+          m2v_block_to_residual(zz, qscale, rres);
+          std::uint8_t rec[kBlockSize];
+          m2v_reconstruct(pred, rres, rec);
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x)
+              next_recon.set(bx + x, by + y, rec[y * 8 + x]);
+        }
+      }
+    }
+
+    const std::vector<std::uint8_t> payload = bw.take();
+    s.max_frame_payload =
+        std::max(s.max_frame_payload, static_cast<std::uint32_t>(payload.size()));
+    s.bytes.push_back(type);
+    append_u32(s.bytes, static_cast<std::uint32_t>(payload.size()));
+    s.bytes.insert(s.bytes.end(), payload.begin(), payload.end());
+    recon = next_recon;
+  }
+  return s;
+}
+
+std::vector<Image> m2v_reference_decode(const M2vStream& s) {
+  std::vector<Image> out;
+  const std::uint8_t* b = s.bytes.data();
+  int w = 0, h = 0, nframes = 0, qscale = 0;
+  if (!m2v_parse_seq_header(b, w, h, nframes, qscale)) return out;
+  std::size_t pos = kM2vSeqHeaderBytes;
+
+  Image recon(w, h);
+  const int mbw = w / kMbDim, mbh = h / kMbDim;
+
+  for (int f = 0; f < nframes; ++f) {
+    const M2vFrameHeader fh = m2v_parse_frame_header(b + pos);
+    pos += kM2vFrameHeaderBytes;
+    BitReader br(b + pos, fh.payload_bytes);
+    pos += fh.payload_bytes;
+
+    Image next(w, h);
+    for (int mby = 0; mby < mbh; ++mby) {
+      for (int mbx = 0; mbx < mbw; ++mbx) {
+        const M2vMbInfo info = m2v_decode_mb_info(br, fh.type);
+        const int cx = mbx * kMbDim, cy = mby * kMbDim;
+        for (int blk = 0; blk < 4; ++blk) {
+          const int bx = cx + (blk % 2) * 8, by = cy + (blk / 2) * 8;
+          std::int16_t zz[kBlockSize];
+          m2v_decode_block_levels(br, zz);
+          std::int16_t res[kBlockSize];
+          m2v_block_to_residual(zz, qscale, res);
+          std::uint8_t pred[kBlockSize];
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x)
+              pred[y * 8 + x] =
+                  info.intra ? 128
+                             : recon.at(bx + info.dx + x, by + info.dy + y);
+          std::uint8_t rec[kBlockSize];
+          m2v_reconstruct(pred, res, rec);
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x) next.set(bx + x, by + y, rec[y * 8 + x]);
+        }
+      }
+    }
+    recon = next;
+    out.push_back(recon);
+  }
+  return out;
+}
+
+}  // namespace cms::apps

@@ -1,0 +1,687 @@
+#include "apps/m2v/m2v_kpn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "apps/codec/dct.hpp"
+
+namespace cms::apps {
+
+// ------------------------------------------------------------------- input
+
+M2vInput::M2vInput(TaskId id, std::string name, const M2vStream* stream,
+                   kpn::Fifo<M2vChunkTok>* out)
+    : Process(id, std::move(name)), stream_(stream), out_(out) {}
+
+void M2vInput::init() {
+  bytes_ = make_array<std::uint8_t>(stream_->bytes.size());
+  bytes_.host_data() = stream_->bytes;
+}
+
+bool M2vInput::can_fire() const { return !done() && out_->can_write(); }
+
+void M2vInput::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(48);
+  M2vChunkTok tok{};
+  const std::size_t n = std::min<std::size_t>(16, bytes_.size() - pos_);
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.read(bytes_.addr_of(pos_ + i), 1);
+    tok.b[i] = bytes_.host_data()[pos_ + i];
+  }
+  rec.compute(8);
+  out_->write(rec, tok);
+  pos_ += 16;  // the final chunk is zero-padded
+}
+
+// --------------------------------------------------------------------- hdr
+
+M2vHdr::M2vHdr(TaskId id, std::string name, kpn::Fifo<M2vChunkTok>* in,
+               kpn::Fifo<M2vChunkTok>* payload,
+               kpn::Fifo<M2vFrameInfoTok>* fi_vld,
+               kpn::Fifo<M2vFrameInfoTok>* fi_mm)
+    : Process(id, std::move(name)), in_(in), payload_(payload),
+      fi_vld_(fi_vld), fi_mm_(fi_mm) {}
+
+void M2vHdr::init() { ring_ = make_array<std::uint8_t>(4096); }
+
+bool M2vHdr::can_ingest() const {
+  return in_->can_read() && ring_.size() - buffered() >= 16;
+}
+
+std::uint8_t M2vHdr::ring_get(sim::MemoryRecorder& rec, std::size_t i) const {
+  return const_cast<sim::TrackedArray<std::uint8_t>&>(ring_).get(
+      (rd_ + i) % ring_.size());
+  (void)rec;
+}
+
+bool M2vHdr::done() const { return state_ == State::kDone; }
+
+bool M2vHdr::can_fire() const {
+  if (done()) return false;
+  switch (state_) {
+    case State::kPayload:
+      if (payload_left_ > 0 &&
+          buffered() >= std::min<std::size_t>(16, payload_left_) &&
+          payload_->can_write())
+        return true;
+      break;
+    case State::kSeqHeader:
+      if (buffered() >= kM2vSeqHeaderBytes) return true;
+      break;
+    case State::kFrameHeader:
+      if (buffered() >= kM2vFrameHeaderBytes && fi_vld_->can_write() &&
+          fi_mm_->can_write())
+        return true;
+      break;
+    case State::kDone:
+      return false;
+  }
+  return can_ingest();
+}
+
+void M2vHdr::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+
+  switch (state_) {
+    case State::kPayload: {
+      const std::size_t n = std::min<std::size_t>(16, payload_left_);
+      if (buffered() >= n && payload_->can_write()) {
+        M2vChunkTok tok{};
+        for (std::size_t i = 0; i < n; ++i) tok.b[i] = ring_get(rec, i);
+        rd_ += n;
+        rec.compute(8);
+        payload_->write(rec, tok);
+        payload_left_ -= static_cast<std::uint32_t>(n);
+        if (payload_left_ == 0)
+          state_ = frame_ >= num_frames_ ? State::kDone : State::kFrameHeader;
+        return;
+      }
+      break;
+    }
+    case State::kSeqHeader: {
+      if (buffered() >= kM2vSeqHeaderBytes) {
+        std::uint8_t hdr[kM2vSeqHeaderBytes];
+        for (std::size_t i = 0; i < kM2vSeqHeaderBytes; ++i)
+          hdr[i] = ring_get(rec, i);
+        rd_ += kM2vSeqHeaderBytes;
+        int w = 0, h = 0;
+        const bool ok = m2v_parse_seq_header(hdr, w, h, num_frames_, qscale_);
+        assert(ok && "bad m2v sequence header");
+        (void)ok;
+        rec.compute(16);
+        state_ = num_frames_ > 0 ? State::kFrameHeader : State::kDone;
+        return;
+      }
+      break;
+    }
+    case State::kFrameHeader: {
+      if (buffered() >= kM2vFrameHeaderBytes && fi_vld_->can_write() &&
+          fi_mm_->can_write()) {
+        std::uint8_t hdr[kM2vFrameHeaderBytes];
+        for (std::size_t i = 0; i < kM2vFrameHeaderBytes; ++i)
+          hdr[i] = ring_get(rec, i);
+        rd_ += kM2vFrameHeaderBytes;
+        const M2vFrameHeader fh = m2v_parse_frame_header(hdr);
+        M2vFrameInfoTok fi;
+        fi.frame_idx = static_cast<std::uint16_t>(frame_);
+        fi.type = fh.type;
+        fi.qscale = static_cast<std::uint8_t>(qscale_);
+        fi.payload_bytes = fh.payload_bytes;
+        rec.compute(12);
+        fi_vld_->write(rec, fi);
+        fi_mm_->write(rec, fi);
+        frame_type_ = fh.type;
+        payload_left_ = fh.payload_bytes;
+        ++frame_;
+        state_ = State::kPayload;
+        return;
+      }
+      break;
+    }
+    case State::kDone:
+      return;
+  }
+
+  // Fallback action: ingest one chunk into the staging ring.
+  assert(can_ingest());
+  const M2vChunkTok tok = in_->read(rec);
+  for (std::size_t i = 0; i < 16; ++i)
+    ring_.set((wr_ + i) % ring_.size(), tok.b[i]);
+  wr_ += 16;
+  rec.compute(8);
+}
+
+// --------------------------------------------------------------------- vld
+
+M2vVld::M2vVld(TaskId id, std::string name, const M2vStream* stream,
+               kpn::Fifo<M2vFrameInfoTok>* fi, kpn::Fifo<M2vChunkTok>* payload,
+               kpn::Fifo<M2vMvCodeTok>* mvs, kpn::Fifo<M2vCoefTok>* coefs)
+    : Process(id, std::move(name)), stream_(stream), fi_(fi),
+      payload_(payload), mvs_(mvs), coefs_(coefs) {}
+
+void M2vVld::init() {
+  buf_ = make_array<std::uint8_t>(stream_->max_frame_payload + 16);
+}
+
+bool M2vVld::can_fire() const {
+  if (done()) return false;
+  if (!have_info_) return fi_->can_read();
+  if (collected_ < info_.payload_bytes) return payload_->can_read();
+  return mvs_->can_write() && coefs_->can_write(4);
+}
+
+void M2vVld::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(128);
+
+  if (!have_info_) {
+    info_ = fi_->read(rec);
+    have_info_ = true;
+    collected_ = 0;
+    mb_ = 0;
+    bytes_touched_ = 0;
+    rec.compute(8);
+    if (info_.payload_bytes == 0)
+      br_ = BitReader(buf_.host_data().data(), 0);
+    return;
+  }
+
+  if (collected_ < info_.payload_bytes) {
+    const M2vChunkTok tok = payload_->read(rec);
+    const std::size_t n =
+        std::min<std::size_t>(16, info_.payload_bytes - collected_);
+    for (std::size_t i = 0; i < n; ++i) buf_.set(collected_ + i, tok.b[i]);
+    collected_ += static_cast<std::uint32_t>(n);
+    rec.compute(8);
+    if (collected_ == info_.payload_bytes)
+      br_ = BitReader(buf_.host_data().data(), info_.payload_bytes);
+    return;
+  }
+
+  // Decode one macroblock: side info + 4 coefficient blocks.
+  const M2vMbInfo info = m2v_decode_mb_info(br_, info_.type);
+  M2vMvCodeTok mv;
+  mv.mb_idx = static_cast<std::uint16_t>(mb_);
+  mv.intra = info.intra ? 1 : 0;
+  mv.dx = static_cast<std::int8_t>(info.dx);
+  mv.dy = static_cast<std::int8_t>(info.dy);
+  rec.compute(10);
+  mvs_->write(rec, mv);
+
+  for (int blk = 0; blk < 4; ++blk) {
+    M2vCoefTok tok;
+    tok.mb_idx = static_cast<std::uint16_t>(mb_);
+    tok.blk = static_cast<std::uint8_t>(blk);
+    tok.qscale = info_.qscale;
+    m2v_decode_block_levels(br_, tok.zz);
+    int nz = 0;
+    for (int k = 0; k < kBlockSize; ++k) nz += tok.zz[k] != 0;
+    rec.compute(static_cast<std::uint32_t>(8 + 4 * nz));
+    coefs_->write(rec, tok);
+  }
+
+  // Record sequential reads of the payload bytes this MB consumed.
+  const std::size_t byte_end =
+      std::min<std::size_t>((br_.bit_pos() + 7) / 8, buf_.size());
+  while (bytes_touched_ < byte_end) {
+    rec.read(buf_.addr_of(bytes_touched_), 1);
+    ++bytes_touched_;
+  }
+
+  ++mb_;
+  if (mb_ >= stream_->mbs_per_frame()) {
+    ++frames_done_;
+    have_info_ = false;
+  }
+}
+
+// -------------------------------------------------------------------- isiq
+
+M2vIsiq::M2vIsiq(TaskId id, std::string name, int total_blocks,
+                 const SharedCodecTables* tables, kpn::Fifo<M2vCoefTok>* in,
+                 kpn::Fifo<M2vDctTok>* out)
+    : Process(id, std::move(name)), total_blocks_(total_blocks),
+      tables_(tables), in_(in), out_(out) {}
+
+bool M2vIsiq::can_fire() const {
+  return !done() && in_->can_read() && out_->can_write();
+}
+
+void M2vIsiq::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(96);
+  const M2vCoefTok tok = in_->read(rec);
+  M2vDctTok out;
+  out.mb_idx = tok.mb_idx;
+  out.blk = tok.blk;
+  std::memset(out.coef, 0, sizeof(out.coef));
+  for (int k = 0; k < kBlockSize; ++k) {
+    if (tok.zz[k] == 0) continue;
+    const int n = tables_->zigzag(rec, k);
+    out.coef[n] = static_cast<std::int16_t>(tok.zz[k] * tok.qscale);
+    rec.compute(2);
+  }
+  out_->write(rec, out);
+  ++blocks_done_;
+}
+
+// -------------------------------------------------------------------- idct
+
+M2vIdct::M2vIdct(TaskId id, std::string name, int total_blocks,
+                 kpn::Fifo<M2vDctTok>* in, kpn::Fifo<M2vResTok>* out)
+    : Process(id, std::move(name)), total_blocks_(total_blocks), in_(in),
+      out_(out) {}
+
+bool M2vIdct::can_fire() const {
+  return !done() && in_->can_read() && out_->can_write();
+}
+
+void M2vIdct::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(128);
+  const M2vDctTok tok = in_->read(rec);
+  M2vResTok out;
+  out.mb_idx = tok.mb_idx;
+  out.blk = tok.blk;
+  inverse_dct_residual(tok.coef, out.res);
+  rec.compute(kDctCycles);
+  out_->write(rec, out);
+  ++blocks_done_;
+}
+
+// ------------------------------------------------------------------- decMV
+
+M2vDecMv::M2vDecMv(TaskId id, std::string name, const M2vStream* stream,
+                   kpn::Fifo<M2vMvCodeTok>* in, kpn::Fifo<M2vMvTok>* out)
+    : Process(id, std::move(name)), stream_(stream), in_(in), out_(out) {}
+
+bool M2vDecMv::can_fire() const {
+  return !done() && in_->can_read() && out_->can_write();
+}
+
+void M2vDecMv::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(48);
+  const M2vMvCodeTok tok = in_->read(rec);
+  const int mb_in_frame = tok.mb_idx;
+  const int mbx = mb_in_frame % stream_->mb_wide();
+  const int mby = mb_in_frame / stream_->mb_wide();
+  M2vMvTok out;
+  out.mb_idx = tok.mb_idx;
+  out.intra = tok.intra;
+  out.px = static_cast<std::int16_t>(
+      std::clamp(mbx * kMbDim + tok.dx, 0, stream_->width - kMbDim));
+  out.py = static_cast<std::int16_t>(
+      std::clamp(mby * kMbDim + tok.dy, 0, stream_->height - kMbDim));
+  rec.compute(12);
+  out_->write(rec, out);
+  ++mbs_done_;
+}
+
+// ------------------------------------------------------------------ memMan
+
+M2vMemMan::M2vMemMan(TaskId id, std::string name, int num_frames,
+                     kpn::Fifo<M2vFrameInfoTok>* fi,
+                     kpn::Fifo<M2vReleaseTok>* release,
+                     kpn::Fifo<M2vSlotTok>* slots_rd,
+                     kpn::Fifo<M2vSlotTok>* slots_wr,
+                     kpn::Fifo<M2vSlotTok>* slots_st)
+    : Process(id, std::move(name)), num_frames_(num_frames), fi_(fi),
+      release_(release), slots_rd_(slots_rd), slots_wr_(slots_wr),
+      slots_st_(slots_st) {}
+
+bool M2vMemMan::can_fire() const {
+  if (done()) return false;
+  if (release_->can_read()) return true;
+  return frames_issued_ < num_frames_ && fi_->can_read() && free_slots_ > 0 &&
+         slots_rd_->can_write() && slots_wr_->can_write() &&
+         slots_st_->can_write();
+}
+
+void M2vMemMan::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(32);
+  if (release_->can_read()) {
+    (void)release_->read(rec);
+    ++free_slots_;
+    ++releases_seen_;
+    rec.compute(4);
+    return;
+  }
+  const M2vFrameInfoTok fi = fi_->read(rec);
+  M2vSlotTok slot;
+  slot.frame_idx = fi.frame_idx;
+  slot.cur = static_cast<std::uint8_t>(fi.frame_idx % 2);
+  slot.ref = static_cast<std::uint8_t>((fi.frame_idx + 1) % 2);
+  slot.type = fi.type;
+  rec.compute(8);
+  slots_rd_->write(rec, slot);
+  slots_wr_->write(rec, slot);
+  slots_st_->write(rec, slot);
+  ++frames_issued_;
+  --free_slots_;
+}
+
+// --------------------------------------------------------------- predictRD
+
+M2vPredictRd::M2vPredictRd(TaskId id, std::string name, const M2vStream* stream,
+                           std::vector<kpn::FrameBuffer*> pool,
+                           kpn::Fifo<M2vMvTok>* mvs,
+                           kpn::Fifo<M2vSlotTok>* slots,
+                           kpn::Fifo<M2vDoneTok>* ref_ready,
+                           kpn::Fifo<M2vPredTok>* out)
+    : Process(id, std::move(name)), stream_(stream), pool_(std::move(pool)),
+      mvs_(mvs), slots_(slots), ref_ready_(ref_ready), out_(out) {}
+
+bool M2vPredictRd::can_fire() const {
+  if (done() || !mvs_->can_read() || !out_->can_write(4)) return false;
+  if (mb_in_frame_ > 0) return true;
+  if (!slots_->can_read()) return false;
+  // A P frame's reference must be fully reconstructed before reading it.
+  const M2vSlotTok next = slots_->peek_host(0);
+  return next.frame_idx == 0 || ref_ready_->can_read();
+}
+
+void M2vPredictRd::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(96);
+  if (mb_in_frame_ == 0) {
+    slot_ = slots_->read(rec);
+    if (slot_.frame_idx > 0) (void)ref_ready_->read(rec);
+  }
+  const M2vMvTok mv = mvs_->read(rec);
+  const kpn::FrameBuffer* ref = pool_[slot_.ref];
+
+  for (int blk = 0; blk < 4; ++blk) {
+    M2vPredTok tok;
+    tok.mb_idx = mv.mb_idx;
+    tok.blk = static_cast<std::uint8_t>(blk);
+    tok.intra = mv.intra;
+    if (mv.intra) {
+      std::memset(tok.p, 128, sizeof(tok.p));
+      rec.compute(16);
+    } else {
+      const int bx = mv.px + (blk % 2) * 8;
+      const int by = mv.py + (blk / 2) * 8;
+      for (int y = 0; y < 8; ++y)
+        ref->read_block(rec,
+                        static_cast<std::uint64_t>(by + y) * stream_->width + bx,
+                        &tok.p[y * 8], 8);
+      rec.compute(32);
+    }
+    out_->write(rec, tok);
+  }
+  ++mbs_done_;
+  ++mb_in_frame_;
+  if (mb_in_frame_ >= stream_->mbs_per_frame()) mb_in_frame_ = 0;
+}
+
+// ----------------------------------------------------------------- predict
+
+M2vPredict::M2vPredict(TaskId id, std::string name, int total_blocks,
+                       kpn::Fifo<M2vPredTok>* in, kpn::Fifo<M2vPredTok>* out)
+    : Process(id, std::move(name)), total_blocks_(total_blocks), in_(in),
+      out_(out) {}
+
+bool M2vPredict::can_fire() const {
+  return !done() && in_->can_read() && out_->can_write();
+}
+
+void M2vPredict::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+  M2vPredTok tok = in_->read(rec);
+  // Full-pel prediction is a filtered copy; the interpolation filter of
+  // half-pel MC would run here (same traffic shape).
+  rec.compute(kBlockSize);
+  out_->write(rec, tok);
+  ++blocks_done_;
+}
+
+// --------------------------------------------------------------------- add
+
+M2vAdd::M2vAdd(TaskId id, std::string name, int total_blocks,
+               kpn::Fifo<M2vResTok>* res, kpn::Fifo<M2vPredTok>* pred,
+               kpn::Fifo<M2vReconTok>* out)
+    : Process(id, std::move(name)), total_blocks_(total_blocks), res_(res),
+      pred_(pred), out_(out) {}
+
+bool M2vAdd::can_fire() const {
+  return !done() && res_->can_read() && pred_->can_read() && out_->can_write();
+}
+
+void M2vAdd::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+  const M2vResTok res = res_->read(rec);
+  const M2vPredTok pred = pred_->read(rec);
+  assert(res.mb_idx == pred.mb_idx && res.blk == pred.blk &&
+         "residual/prediction streams out of step");
+  M2vReconTok out;
+  out.mb_idx = res.mb_idx;
+  out.blk = res.blk;
+  m2v_reconstruct(pred.p, res.res, out.p);
+  rec.compute(kBlockSize * 2);
+  out_->write(rec, out);
+  ++blocks_done_;
+}
+
+// ----------------------------------------------------------------- writeMB
+
+M2vWriteMb::M2vWriteMb(TaskId id, std::string name, const M2vStream* stream,
+                       std::vector<kpn::FrameBuffer*> pool,
+                       kpn::Fifo<M2vReconTok>* in, kpn::Fifo<M2vSlotTok>* slots,
+                       kpn::Fifo<M2vDoneTok>* out,
+                       kpn::Fifo<M2vDoneTok>* ref_ready)
+    : Process(id, std::move(name)), stream_(stream), pool_(std::move(pool)),
+      in_(in), slots_(slots), out_(out), ref_ready_(ref_ready) {}
+
+bool M2vWriteMb::can_fire() const {
+  if (done() || !in_->can_read() || !out_->can_write() ||
+      !ref_ready_->can_write())
+    return false;
+  return blocks_in_frame_ > 0 || slots_->can_read();
+}
+
+void M2vWriteMb::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+  if (blocks_in_frame_ == 0) slot_ = slots_->read(rec);
+  const M2vReconTok tok = in_->read(rec);
+  kpn::FrameBuffer* cur = pool_[slot_.cur];
+
+  const int mbx = tok.mb_idx % stream_->mb_wide();
+  const int mby = tok.mb_idx / stream_->mb_wide();
+  const int bx = mbx * kMbDim + (tok.blk % 2) * 8;
+  const int by = mby * kMbDim + (tok.blk / 2) * 8;
+  for (int y = 0; y < 8; ++y)
+    cur->write_block(rec,
+                     static_cast<std::uint64_t>(by + y) * stream_->width + bx,
+                     &tok.p[y * 8], 8);
+  rec.compute(32);
+
+  ++blocks_done_;
+  ++blocks_in_frame_;
+  if (blocks_in_frame_ >= stream_->mbs_per_frame() * 4) {
+    M2vDoneTok done_tok;
+    done_tok.frame_idx = slot_.frame_idx;
+    done_tok.slot = slot_.cur;
+    out_->write(rec, done_tok);
+    // The frame just written may now serve as a motion-compensation
+    // reference (consumed by predictRD at the next frame's start).
+    ref_ready_->write(rec, done_tok);
+    blocks_in_frame_ = 0;
+  }
+}
+
+// ------------------------------------------------------------------- store
+
+M2vStore::M2vStore(TaskId id, std::string name, const M2vStream* stream,
+                   std::vector<kpn::FrameBuffer*> pool,
+                   kpn::FrameBuffer* display, kpn::Fifo<M2vDoneTok>* in,
+                   kpn::Fifo<M2vSlotTok>* slots, kpn::Fifo<M2vBandTok>* out,
+                   kpn::Fifo<M2vReleaseTok>* release)
+    : Process(id, std::move(name)), stream_(stream), pool_(std::move(pool)),
+      display_(display), in_(in), slots_(slots), out_(out), release_(release) {}
+
+bool M2vStore::can_fire() const {
+  if (done()) return false;
+  if (!copying_) return in_->can_read() && slots_->can_read();
+  if (band_ + 1 >= bands_per_frame()) return out_->can_write() && release_->can_write();
+  return out_->can_write();
+}
+
+void M2vStore::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(64);
+  if (!copying_) {
+    const M2vDoneTok done_tok = in_->read(rec);
+    slot_ = slots_->read(rec);
+    assert(done_tok.frame_idx == slot_.frame_idx);
+    (void)done_tok;
+    copying_ = true;
+    band_ = 0;
+    rec.compute(8);
+    return;
+  }
+
+  // Copy one band from the finished pool slot to the display buffer.
+  const kpn::FrameBuffer* cur = pool_[slot_.cur];
+  const int y0 = band_ * kM2vBandLines;
+  const int y1 = std::min(y0 + kM2vBandLines, stream_->height);
+  std::uint8_t chunk[8];
+  for (int y = y0; y < y1; ++y) {
+    const std::uint64_t row = static_cast<std::uint64_t>(y) * stream_->width;
+    for (int x = 0; x < stream_->width; x += 8) {
+      cur->read_block(rec, row + x, chunk, 8);
+      display_->write_block(rec, row + x, chunk, 8);
+      rec.compute(2);
+    }
+  }
+  M2vBandTok band_tok;
+  band_tok.frame_idx = slot_.frame_idx;
+  band_tok.band = static_cast<std::uint16_t>(band_);
+  out_->write(rec, band_tok);
+  ++band_;
+  if (band_ >= bands_per_frame()) {
+    M2vReleaseTok rel;
+    rel.slot = slot_.cur;
+    release_->write(rec, rel);
+    copying_ = false;
+    ++frames_done_;
+  }
+}
+
+// ------------------------------------------------------------------ output
+
+M2vOutput::M2vOutput(TaskId id, std::string name, const M2vStream* stream,
+                     const kpn::FrameBuffer* display, kpn::Fifo<M2vBandTok>* in)
+    : Process(id, std::move(name)), stream_(stream), display_(display),
+      in_(in) {}
+
+bool M2vOutput::can_fire() const { return !done() && in_->can_read(); }
+
+void M2vOutput::run(sim::TaskContext& ctx) {
+  sim::MemoryRecorder& rec = ctx.mem();
+  ctx.fetch_code(48);
+  const M2vBandTok band = in_->read(rec);
+  const std::uint64_t frame_bytes =
+      static_cast<std::uint64_t>(stream_->width) * stream_->height;
+  if (staging_.size() != frame_bytes) staging_.resize(frame_bytes);
+
+  const int y0 = band.band * kM2vBandLines;
+  const int y1 = std::min(y0 + kM2vBandLines, stream_->height);
+  std::uint8_t chunk[8];
+  for (int y = y0; y < y1; ++y) {
+    const std::uint64_t row = static_cast<std::uint64_t>(y) * stream_->width;
+    for (int x = 0; x < stream_->width; x += 8) {
+      display_->read_block(rec, row + x, chunk, 8);
+      std::memcpy(&staging_[row + x], chunk, 8);
+      std::uint64_t word = 0;
+      std::memcpy(&word, chunk, 8);
+      checksum_ = checksum_ * 1099511628211ull + word;
+      rec.compute(2);
+    }
+  }
+  const int last_band =
+      (stream_->height + kM2vBandLines - 1) / kM2vBandLines - 1;
+  if (band.band == last_band) {
+    decoded_.push_back(staging_);
+    ++frames_done_;
+  }
+}
+
+// ----------------------------------------------------------------- builder
+
+M2vPipeline add_m2v_decoder(kpn::Network& net, const M2vStream& stream,
+                            const SharedCodecTables& tables) {
+  M2vPipeline p;
+  const std::uint64_t frame_bytes =
+      static_cast<std::uint64_t>(stream.width) * stream.height;
+  p.frame0 = net.make_frame_buffer("m2vFrame0", frame_bytes);
+  p.frame1 = net.make_frame_buffer("m2vFrame1", frame_bytes);
+  p.display = net.make_frame_buffer("m2vDisplay", frame_bytes);
+  const std::vector<kpn::FrameBuffer*> pool = {p.frame0, p.frame1};
+
+  auto* chunks = net.make_fifo<M2vChunkTok>("m2vChunks", 32);
+  auto* payload = net.make_fifo<M2vChunkTok>("m2vPayload", 32);
+  auto* fi_vld = net.make_fifo<M2vFrameInfoTok>("m2vFiVld", 4);
+  auto* fi_mm = net.make_fifo<M2vFrameInfoTok>("m2vFiMm", 4);
+  auto* mv_codes = net.make_fifo<M2vMvCodeTok>("m2vMvCodes", 32);
+  auto* coefs = net.make_fifo<M2vCoefTok>("m2vCoefs", 16);
+  auto* dcts = net.make_fifo<M2vDctTok>("m2vDcts", 16);
+  auto* residuals = net.make_fifo<M2vResTok>("m2vResiduals", 16);
+  auto* mvs = net.make_fifo<M2vMvTok>("m2vMvs", 32);
+  auto* refblocks = net.make_fifo<M2vPredTok>("m2vRefBlocks", 16);
+  auto* preds = net.make_fifo<M2vPredTok>("m2vPreds", 16);
+  auto* recon = net.make_fifo<M2vReconTok>("m2vRecon", 16);
+  auto* framedone = net.make_fifo<M2vDoneTok>("m2vFrameDone", 2);
+  auto* ref_ready = net.make_fifo<M2vDoneTok>("m2vRefReady", 2);
+  auto* slots_rd = net.make_fifo<M2vSlotTok>("m2vSlotsRd", 4);
+  auto* slots_wr = net.make_fifo<M2vSlotTok>("m2vSlotsWr", 4);
+  auto* slots_st = net.make_fifo<M2vSlotTok>("m2vSlotsSt", 4);
+  auto* display_tok = net.make_fifo<M2vBandTok>("m2vDisplayTok", 2);
+  auto* releases = net.make_fifo<M2vReleaseTok>("m2vReleases", 4);
+
+  const int total_blocks = stream.num_frames * stream.mbs_per_frame() * 4;
+
+  kpn::ProcessSpec small;
+  small.heap_bytes = 4096;
+  kpn::ProcessSpec in_spec;
+  in_spec.heap_bytes = stream.bytes.size() + 4096;
+  kpn::ProcessSpec hdr_spec;
+  hdr_spec.heap_bytes = 8192;
+  kpn::ProcessSpec vld_spec;
+  vld_spec.heap_bytes = stream.max_frame_payload + 4096;
+
+  p.input = net.add_process<M2vInput>("input", in_spec, &stream, chunks);
+  p.hdr = net.add_process<M2vHdr>("hdr", hdr_spec, chunks, payload, fi_vld, fi_mm);
+  p.vld = net.add_process<M2vVld>("vld", vld_spec, &stream, fi_vld, payload,
+                                  mv_codes, coefs);
+  p.isiq = net.add_process<M2vIsiq>("isiq", small, total_blocks, &tables, coefs,
+                                    dcts);
+  p.idct = net.add_process<M2vIdct>("idct", small, total_blocks, dcts, residuals);
+  p.decmv = net.add_process<M2vDecMv>("decMV", small, &stream, mv_codes, mvs);
+  p.memman = net.add_process<M2vMemMan>("memMan", small, stream.num_frames,
+                                        fi_mm, releases, slots_rd, slots_wr,
+                                        slots_st);
+  p.predictrd = net.add_process<M2vPredictRd>("predictRD", small, &stream, pool,
+                                              mvs, slots_rd, ref_ready,
+                                              refblocks);
+  p.predict = net.add_process<M2vPredict>("predict", small, total_blocks,
+                                          refblocks, preds);
+  p.add = net.add_process<M2vAdd>("add", small, total_blocks, residuals, preds,
+                                  recon);
+  p.writemb = net.add_process<M2vWriteMb>("writeMB", small, &stream, pool, recon,
+                                          slots_wr, framedone, ref_ready);
+  p.store = net.add_process<M2vStore>("store", small, &stream, pool, p.display,
+                                      framedone, slots_st, display_tok, releases);
+  p.output = net.add_process<M2vOutput>("output", small, &stream, p.display,
+                                        display_tok);
+  return p;
+}
+
+}  // namespace cms::apps

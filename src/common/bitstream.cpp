@@ -1,0 +1,68 @@
+#include "common/bitstream.hpp"
+
+#include <cassert>
+
+namespace cms {
+
+void BitWriter::put(std::uint32_t value, int count) {
+  assert(count >= 0 && count <= 32);
+  while (count > 0) {
+    const int take = count < free_bits_ ? count : free_bits_;
+    const std::uint32_t chunk =
+        (value >> (count - take)) & ((take == 32) ? 0xFFFFFFFFu : ((1u << take) - 1u));
+    acc_ = (acc_ << take) | chunk;
+    free_bits_ -= take;
+    count -= take;
+    if (free_bits_ == 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFFu));
+      acc_ = 0;
+      free_bits_ = 8;
+    }
+  }
+}
+
+void BitWriter::align() {
+  if (free_bits_ != 8) put((1u << free_bits_) - 1u, free_bits_);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align();
+  std::vector<std::uint8_t> out;
+  out.swap(bytes_);
+  acc_ = 0;
+  free_bits_ = 8;
+  return out;
+}
+
+std::uint32_t BitReader::get(int count) {
+  const std::uint32_t v = peek(count);
+  skip(count);
+  return v;
+}
+
+std::uint32_t BitReader::peek(int count) const {
+  assert(count >= 0 && count <= 32);
+  std::uint32_t v = 0;
+  std::size_t pos = bit_pos_;
+  for (int i = 0; i < count; ++i, ++pos) {
+    const std::size_t byte = pos >> 3;
+    std::uint32_t bit = 0;
+    if (byte < size_) bit = (data_[byte] >> (7 - (pos & 7))) & 1u;
+    v = (v << 1) | bit;
+  }
+  return v;
+}
+
+void BitReader::skip(int count) {
+  bit_pos_ += static_cast<std::size_t>(count);
+  if (bit_pos_ > size_ * 8) {
+    bit_pos_ = size_ * 8;
+    exhausted_ = true;
+  }
+}
+
+void BitReader::align() {
+  if (bit_pos_ & 7) skip(static_cast<int>(8 - (bit_pos_ & 7)));
+}
+
+}  // namespace cms

@@ -1,0 +1,60 @@
+// MSB-first bit-level reader/writer used by the JPEG and MPEG2-like codecs
+// (Huffman / VLC coding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cms {
+
+/// Appends bits most-significant-first into a growing byte vector.
+class BitWriter {
+ public:
+  /// Write the low `count` bits of `value` (count in [0, 32]).
+  void put(std::uint32_t value, int count);
+
+  /// Pad with 1-bits to the next byte boundary (JPEG convention).
+  void align();
+
+  /// Finish and take the buffer. The writer is left empty.
+  std::vector<std::uint8_t> take();
+
+  std::size_t bit_count() const { return bytes_.size() * 8 - static_cast<std::size_t>(free_bits_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t acc_ = 0;  // bits pending, left-aligned in low `8-free_bits_` slots
+  int free_bits_ = 8;      // free bit slots in the current partial byte
+};
+
+/// Reads bits most-significant-first from a byte buffer.
+class BitReader {
+ public:
+  BitReader() = default;
+  explicit BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  /// Read `count` bits (count in [0, 32]). Reads past the end return
+  /// zero bits and set `exhausted()`.
+  std::uint32_t get(int count);
+
+  /// Peek without consuming.
+  std::uint32_t peek(int count) const;
+
+  void skip(int count);
+
+  /// Discard bits up to the next byte boundary.
+  void align();
+
+  bool exhausted() const { return exhausted_; }
+  std::size_t bit_pos() const { return bit_pos_; }
+  std::size_t bits_left() const { return size_ * 8 > bit_pos_ ? size_ * 8 - bit_pos_ : 0; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t bit_pos_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace cms

@@ -1,0 +1,97 @@
+#include "common/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace cms {
+
+std::uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+namespace testimg {
+
+Image gradient(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  Rng rng(seed);
+  const double phase = rng.next_double() * 6.28318;
+  const double fx = 0.5 + rng.next_double();
+  const double fy = 0.5 + rng.next_double();
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double g = 128.0 +
+                       60.0 * (static_cast<double>(x + y) /
+                               static_cast<double>(width + height) - 0.5) * 2.0 +
+                       30.0 * std::sin(fx * x * 0.07 + phase) *
+                           std::cos(fy * y * 0.05);
+      img.set(x, y, static_cast<std::uint8_t>(std::clamp(g, 0.0, 255.0)));
+    }
+  }
+  return img;
+}
+
+Image blocks(int width, int height, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img = gradient(width, height, seed ^ 0xABCDEFull);
+  const int nblocks = 6 + static_cast<int>(rng.below(6));
+  for (int b = 0; b < nblocks; ++b) {
+    const int bw = 8 + static_cast<int>(rng.below(static_cast<std::uint64_t>(width / 3)));
+    const int bh = 8 + static_cast<int>(rng.below(static_cast<std::uint64_t>(height / 3)));
+    const int bx = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, width - bw))));
+    const int by = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, height - bh))));
+    const auto shade = static_cast<std::uint8_t>(rng.below(256));
+    for (int y = by; y < by + bh && y < height; ++y)
+      for (int x = bx; x < bx + bw && x < width; ++x) img.set(x, y, shade);
+  }
+  return img;
+}
+
+Image moving_boxes(int width, int height, int t, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img = gradient(width, height, seed ^ 0x55AAull);
+  const int nboxes = 3 + static_cast<int>(rng.below(3));
+  for (int b = 0; b < nboxes; ++b) {
+    const int bw = 12 + static_cast<int>(rng.below(20));
+    const int bh = 12 + static_cast<int>(rng.below(20));
+    const int x0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    const int y0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(height)));
+    const int vx = static_cast<int>(rng.range(-3, 3));
+    const int vy = static_cast<int>(rng.range(-2, 2));
+    const auto shade = static_cast<std::uint8_t>(40 + rng.below(176));
+    const int bx = ((x0 + vx * t) % width + width) % width;
+    const int by = ((y0 + vy * t) % height + height) % height;
+    for (int y = by; y < by + bh; ++y)
+      for (int x = bx; x < bx + bw; ++x)
+        if (x < width && y < height) img.set(x, y, shade);
+  }
+  return img;
+}
+
+}  // namespace testimg
+
+double mean_abs_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) return 255.0;
+  if (a.pixels().empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i)
+    acc += std::abs(static_cast<int>(a.pixels()[i]) - static_cast<int>(b.pixels()[i]));
+  return acc / static_cast<double>(a.pixels().size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.pixels().empty())
+    return 0.0;
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels().size());
+  if (mse <= 1e-12) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+}  // namespace cms

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cms {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean = mean_ + delta * static_cast<double>(other.n_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ = new_mean;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t acc = underflow_;
+  if (acc >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc >= target) return bucket_lo(i) + width_;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_rows) const {
+  std::ostringstream os;
+  const std::size_t step = std::max<std::size_t>(1, counts_.size() / max_rows);
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); i += step) {
+    std::uint64_t c = 0;
+    for (std::size_t j = i; j < std::min(i + step, counts_.size()); ++j) c += counts_[j];
+    const int bar = static_cast<int>(40.0 * static_cast<double>(c) /
+                                     static_cast<double>(peak * step));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%12.1f | ", bucket_lo(i));
+    os << buf << std::string(static_cast<std::size_t>(bar), '#') << " " << c << "\n";
+  }
+  return os.str();
+}
+
+std::string ratio_string(std::uint64_t num, std::uint64_t den) {
+  char buf[64];
+  const double pct = den ? 100.0 * static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  std::snprintf(buf, sizeof(buf), "%llu/%llu (%.2f%%)",
+                static_cast<unsigned long long>(num),
+                static_cast<unsigned long long>(den), pct);
+  return buf;
+}
+
+}  // namespace cms

@@ -1,0 +1,48 @@
+// Fundamental types shared across the CMS (compositional memory systems)
+// library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cms {
+
+/// Byte address in the simulated linear address space (CAKE has a linear
+/// addressing space; see paper section 4.2).
+using Addr = std::uint64_t;
+
+/// Simulated time, in processor clock cycles.
+using Cycle = std::uint64_t;
+
+/// Identifier of a task (KPN process or OS service task).
+using TaskId = std::int32_t;
+
+/// Identifier of a communication buffer (FIFO, frame buffer or shared
+/// static data segment). Buffer ids live in a separate namespace from task
+/// ids; the cache client id disambiguates (see `mem::ClientId`).
+using BufferId = std::int32_t;
+
+/// Identifier of a processor inside the tile.
+using ProcId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr BufferId kInvalidBuffer = -1;
+
+/// Kind of memory access issued by a task.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+inline const char* to_string(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+/// One recorded memory event. `gap` is the number of pure-compute cycles
+/// the issuing processor spends between the previous access of the same
+/// task and this one; the timing engine charges it before the access.
+struct MemAccess {
+  Addr addr = 0;
+  std::uint32_t size = 4;
+  AccessType type = AccessType::kRead;
+  std::uint32_t gap = 0;
+};
+
+}  // namespace cms

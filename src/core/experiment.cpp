@@ -1,0 +1,125 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace cms::core {
+
+std::vector<std::pair<TaskId, std::string>> Experiment::tasks() const {
+  const apps::Application app = factory_();
+  std::vector<std::pair<TaskId, std::string>> out;
+  for (const auto& p : app.net->processes()) out.emplace_back(p->id(), p->name());
+  return out;
+}
+
+std::vector<kpn::SharedBufferInfo> Experiment::buffers() const {
+  const apps::Application app = factory_();
+  return app.net->buffers();
+}
+
+RunOutput Experiment::run_impl(apps::Application& app,
+                               const sim::PlatformConfig& pc,
+                               const opt::PartitionPlan* plan,
+                               std::uint64_t jitter) const {
+  sim::PlatformConfig cfg = pc;
+  cfg.rt_data = app.rt_data;
+  cfg.rt_bss = app.rt_bss;
+  sim::Platform platform(cfg);
+
+  // The OS registers every shared buffer in the interval table in both
+  // modes: attribution (per-buffer stats) is mode-independent; only the
+  // index translation differs.
+  mem::PartitionedCache& l2 = platform.hierarchy().l2();
+  for (const auto& b : app.net->buffers()) {
+    const bool ok = l2.interval_table().add(b.base, b.footprint, b.id);
+    assert(ok && "overlapping shared buffers");
+    (void)ok;
+  }
+
+  if (plan != nullptr) {
+    plan->apply(l2);
+  } else {
+    l2.set_partitioning_enabled(false);
+  }
+
+  sim::Os os(cfg_.policy, cfg.hier.num_procs, jitter);
+  if (cfg_.policy == sim::SchedPolicy::kStatic) {
+    // Default static mapping: round-robin by task id. Callers wanting an
+    // optimized mapping use opt::assign_* and a custom Os.
+    ProcId p = 0;
+    for (const auto& t : app.net->processes()) {
+      os.assign(t->id(), p);
+      p = static_cast<ProcId>((p + 1) % static_cast<ProcId>(cfg.hier.num_procs));
+    }
+  }
+  sim::TimingEngine engine(platform, os, app.net->tasks());
+  engine.set_buffer_names(app.net->buffer_names());
+
+  RunOutput out;
+  out.results = engine.run();
+  out.partitioned = plan != nullptr;
+  out.verified = app.verify ? app.verify() : true;
+  if (out.results.deadlocked)
+    log_warn() << "simulation deadlocked (" << app.name << ")";
+  return out;
+}
+
+RunOutput Experiment::run(const opt::PartitionPlan* plan,
+                          std::uint64_t jitter) const {
+  apps::Application app = factory_();
+  return run_impl(app, cfg_.platform, plan, jitter);
+}
+
+RunOutput Experiment::run_shared_with_l2(std::uint32_t l2_size_bytes) const {
+  apps::Application app = factory_();
+  sim::PlatformConfig pc = cfg_.platform;
+  pc.hier.l2.size_bytes = l2_size_bytes;
+  return run_impl(app, pc, nullptr, cfg_.eval_jitter);
+}
+
+opt::MissProfile Experiment::profile() const {
+  opt::MissProfile prof;
+  const auto task_list = tasks();
+  const auto buffer_list = buffers();
+
+  for (const std::uint32_t sets : cfg_.profile_grid) {
+    // Uniform plan: every task `sets`, buffers per policy; enlarge the L2
+    // virtually so the whole plan fits (isolation makes M_i(s) independent
+    // of the total size).
+    opt::PartitionPlan uplan = opt::uniform_plan(
+        sets, task_list, buffer_list, cfg_.platform.hier.l2, cfg_.planner);
+
+    sim::PlatformConfig pc = cfg_.platform;
+    const std::uint32_t line = pc.hier.l2.line_bytes;
+    const std::uint32_t ways = pc.hier.l2.ways;
+    const std::uint32_t need_sets = std::max(uplan.used_sets, 1u);
+    pc.hier.l2.size_bytes = need_sets * line * ways;
+    uplan.total_sets = need_sets;
+
+    for (std::uint32_t r = 0; r < std::max(1u, cfg_.profile_runs); ++r) {
+      apps::Application app = factory_();
+      const RunOutput out = run_impl(app, pc, &uplan, r);
+      if (out.results.deadlocked || !out.verified)
+        log_warn() << "profiling run unusable at " << sets << " sets";
+      for (const auto& t : out.results.tasks) {
+        prof.add_sample(t.name, sets, static_cast<double>(t.l2.misses),
+                        static_cast<double>(t.active_cycles),
+                        static_cast<double>(t.instructions));
+      }
+      for (const auto& b : out.results.buffers) {
+        prof.add_sample(b.name, sets, static_cast<double>(b.l2.misses), 0.0,
+                        0.0);
+      }
+    }
+  }
+  return prof;
+}
+
+opt::PartitionPlan Experiment::plan(const opt::MissProfile& prof) const {
+  return opt::plan_partitions(prof, tasks(), buffers(), cfg_.platform.hier.l2,
+                              cfg_.planner);
+}
+
+}  // namespace cms::core

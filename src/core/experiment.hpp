@@ -1,0 +1,97 @@
+// CompositionalMemorySystem facade — the public API that ties the method
+// together: register an application, profile it in isolation, plan the L2
+// partitioning, run shared vs partitioned, and measure compositionality.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto factory = [] { return apps::make_m2v_app(apps::AppConfig{}); };
+//   core::Experiment exp(factory, core::ExperimentConfig{});
+//   auto profile = exp.profile();
+//   auto plan = exp.plan(profile);
+//   auto shared = exp.run_shared();
+//   auto part = exp.run_partitioned(plan);
+//   auto comp = opt::compare_expected_vs_simulated(profile, plan,
+//                                                  part.results);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "opt/compositionality.hpp"
+#include "opt/planner.hpp"
+#include "opt/profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+#include "sim/results.hpp"
+
+namespace cms::core {
+
+using AppFactory = std::function<apps::Application()>;
+
+struct ExperimentConfig {
+  sim::PlatformConfig platform = sim::cake_platform();
+  sim::SchedPolicy policy = sim::SchedPolicy::kMigrating;
+  opt::PlannerConfig planner;
+
+  /// Task / frame-buffer cache sizes swept by the profiler (sets).
+  std::vector<std::uint32_t> profile_grid = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  /// Number of profiling runs per size (scheduler jitter varies).
+  std::uint32_t profile_runs = 2;
+  /// Scheduler jitter of the evaluation runs.
+  std::uint64_t eval_jitter = 0;
+};
+
+struct RunOutput {
+  sim::SimResults results;
+  bool verified = false;     // functional correctness of the decoded output
+  bool partitioned = false;  // mode of this run
+};
+
+class Experiment {
+ public:
+  Experiment(AppFactory factory, ExperimentConfig cfg)
+      : factory_(std::move(factory)), cfg_(std::move(cfg)) {}
+
+  const ExperimentConfig& config() const { return cfg_; }
+
+  /// Task inventory of the application (id, name), in creation order.
+  std::vector<std::pair<TaskId, std::string>> tasks() const;
+  /// Shared buffer inventory.
+  std::vector<kpn::SharedBufferInfo> buffers() const;
+
+  /// Isolation sweeps: every task gets the same partition size s (clients
+  /// are mutually isolated, so M_i depends only on s); the L2 is virtually
+  /// enlarged so every sweep point fits. One run per (size, jitter).
+  opt::MissProfile profile() const;
+
+  /// Buffers-first + MCKP plan on the real L2 (paper section 3.2).
+  opt::PartitionPlan plan(const opt::MissProfile& prof) const;
+
+  /// Conventional shared-L2 baseline run.
+  RunOutput run_shared() const { return run(nullptr, cfg_.eval_jitter); }
+
+  /// Partitioned run under `plan`.
+  RunOutput run_partitioned(const opt::PartitionPlan& plan) const {
+    return run(&plan, cfg_.eval_jitter);
+  }
+
+  /// One run with explicit jitter (used by the profiler and tests).
+  RunOutput run(const opt::PartitionPlan* plan, std::uint64_t jitter) const;
+
+  /// Run with an L2 sized to `l2_size_bytes` (shared mode) — the paper's
+  /// "1 MB shared L2" data point and the L2-size ablation.
+  RunOutput run_shared_with_l2(std::uint32_t l2_size_bytes) const;
+
+ private:
+  RunOutput run_impl(apps::Application& app, const sim::PlatformConfig& pc,
+                     const opt::PartitionPlan* plan, std::uint64_t jitter) const;
+
+  AppFactory factory_;
+  ExperimentConfig cfg_;
+};
+
+}  // namespace cms::core

@@ -1,0 +1,69 @@
+#include "kpn/fifo.hpp"
+
+namespace cms::kpn {
+
+FifoBase::FifoBase(BufferId id, std::string name, sim::Region region,
+                   std::uint32_t token_bytes, std::uint32_t capacity_tokens)
+    : id_(id),
+      name_(std::move(name)),
+      region_(region),
+      token_bytes_(token_bytes),
+      capacity_(capacity_tokens),
+      storage_(static_cast<std::size_t>(token_bytes) * capacity_tokens) {
+  assert(token_bytes_ > 0 && capacity_ > 0);
+  assert(footprint_bytes() <= region_.size);
+}
+
+void FifoBase::write_bytes(sim::MemoryRecorder& rec, const void* src,
+                           std::uint32_t tokens) {
+  assert(!closed_ && "write after close()");
+  assert(can_write(tokens));
+  const auto* bytes = static_cast<const std::uint8_t*>(src);
+  // Admin: load read pointer (space check) and later store write pointer.
+  rec.read(region_.base, 8);
+  for (std::uint32_t t = 0; t < tokens; ++t) {
+    const std::uint64_t seq = tail_ + t;
+    std::memcpy(&storage_[(seq % capacity_) * token_bytes_],
+                bytes + static_cast<std::size_t>(t) * token_bytes_, token_bytes_);
+    rec.write(slot_addr(seq), token_bytes_);
+    rec.compute(token_bytes_ / 8 + 1);  // copy work
+  }
+  tail_ += tokens;
+  count_ += tokens;
+  total_written_ += tokens;
+  rec.write(region_.base + 8, 8);
+}
+
+void FifoBase::read_bytes(sim::MemoryRecorder& rec, void* dst,
+                          std::uint32_t tokens) {
+  assert(can_read(tokens));
+  auto* bytes = static_cast<std::uint8_t*>(dst);
+  rec.read(region_.base + 8, 8);  // load write pointer (availability check)
+  for (std::uint32_t t = 0; t < tokens; ++t) {
+    const std::uint64_t seq = head_ + t;
+    std::memcpy(bytes + static_cast<std::size_t>(t) * token_bytes_,
+                &storage_[(seq % capacity_) * token_bytes_], token_bytes_);
+    rec.read(slot_addr(seq), token_bytes_);
+    rec.compute(token_bytes_ / 8 + 1);
+  }
+  head_ += tokens;
+  count_ -= tokens;
+  total_read_ += tokens;
+  rec.write(region_.base, 8);
+}
+
+void FifoBase::peek_bytes(sim::MemoryRecorder& rec, void* dst,
+                          std::uint32_t token_index) const {
+  assert(can_read(token_index + 1));
+  const std::uint64_t seq = head_ + token_index;
+  std::memcpy(dst, &storage_[(seq % capacity_) * token_bytes_], token_bytes_);
+  rec.read(slot_addr(seq), token_bytes_);
+}
+
+void FifoBase::peek_bytes_host(void* dst, std::uint32_t token_index) const {
+  assert(can_read(token_index + 1));
+  const std::uint64_t seq = head_ + token_index;
+  std::memcpy(dst, &storage_[(seq % capacity_) * token_bytes_], token_bytes_);
+}
+
+}  // namespace cms::kpn

@@ -1,0 +1,129 @@
+// Bounded FIFO channel of a Kahn process network (YAPI model, paper
+// section 4.1).
+//
+// The FIFO lives in shared memory: a small admin block (read/write
+// pointers) followed by a circular token array. Every token transfer and
+// every admin update is mirrored into the acting process's recorder, so
+// FIFO traffic shows up at the FIFO's addresses — which the OS registers
+// in the L2 interval table, making the FIFO a first-class cache client
+// exactly as in the paper.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/recorder.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::kpn {
+
+/// Untyped byte-token FIFO. Typed access is layered on top (`Fifo<T>`).
+class FifoBase {
+ public:
+  FifoBase(BufferId id, std::string name, sim::Region region,
+           std::uint32_t token_bytes, std::uint32_t capacity_tokens);
+
+  BufferId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const sim::Region& region() const { return region_; }
+  std::uint32_t token_bytes() const { return token_bytes_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// Bytes of shared memory the FIFO actually touches (admin + data);
+  /// this is the footprint the partition planner sizes the FIFO's cache
+  /// partition for ("FIFOs [get] cache of the same size as the FIFO
+  /// size", paper section 4.1).
+  std::uint64_t footprint_bytes() const {
+    return kAdminBytes + static_cast<std::uint64_t>(token_bytes_) * capacity_;
+  }
+
+  std::uint32_t size() const { return count_; }
+  std::uint32_t space() const { return capacity_ - count_; }
+  bool can_read(std::uint32_t tokens = 1) const { return count_ >= tokens; }
+  bool can_write(std::uint32_t tokens = 1) const { return space() >= tokens; }
+
+  /// Producer signals end of stream; consumers drain and then observe
+  /// eos(). Writing after close is a programming error.
+  void close() { closed_ = true; }
+  bool closed() const { return closed_; }
+  bool eos() const { return closed_ && count_ == 0; }
+
+  /// Blocking semantics are realized by the scheduler: processes only
+  /// fire when can_read/can_write hold. The transfer itself is
+  /// non-blocking and must be preceded by such a check.
+  void write_bytes(sim::MemoryRecorder& rec, const void* src, std::uint32_t tokens);
+  void read_bytes(sim::MemoryRecorder& rec, void* dst, std::uint32_t tokens);
+
+  /// Peek `tokens`-th oldest token without consuming (records the read).
+  void peek_bytes(sim::MemoryRecorder& rec, void* dst, std::uint32_t token_index) const;
+
+  /// Host-only peek for scheduling decisions (can_fire predicates); does
+  /// not record a simulated access.
+  void peek_bytes_host(void* dst, std::uint32_t token_index) const;
+
+  std::uint64_t total_written() const { return total_written_; }
+  std::uint64_t total_read() const { return total_read_; }
+
+  static constexpr std::uint32_t kAdminBytes = 64;
+
+ private:
+  Addr slot_addr(std::uint64_t token_seq) const {
+    return region_.base + kAdminBytes +
+           (token_seq % capacity_) * static_cast<std::uint64_t>(token_bytes_);
+  }
+
+  BufferId id_;
+  std::string name_;
+  sim::Region region_;
+  std::uint32_t token_bytes_;
+  std::uint32_t capacity_;
+
+  std::vector<std::uint8_t> storage_;  // capacity_ * token_bytes_, circular
+  std::uint64_t head_ = 0;             // next token to read (sequence number)
+  std::uint64_t tail_ = 0;             // next token to write
+  std::uint32_t count_ = 0;
+  bool closed_ = false;
+  std::uint64_t total_written_ = 0;
+  std::uint64_t total_read_ = 0;
+};
+
+/// Typed FIFO for trivially copyable token types.
+template <typename T>
+class Fifo : public FifoBase {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Fifo(BufferId id, std::string name, sim::Region region,
+       std::uint32_t capacity_tokens)
+      : FifoBase(id, std::move(name), region, sizeof(T), capacity_tokens) {}
+
+  void write(sim::MemoryRecorder& rec, const T& v) { write_bytes(rec, &v, 1); }
+  void write_n(sim::MemoryRecorder& rec, const T* v, std::uint32_t n) {
+    write_bytes(rec, v, n);
+  }
+  T read(sim::MemoryRecorder& rec) {
+    T v{};
+    read_bytes(rec, &v, 1);
+    return v;
+  }
+  void read_n(sim::MemoryRecorder& rec, T* dst, std::uint32_t n) {
+    read_bytes(rec, dst, n);
+  }
+  T peek(sim::MemoryRecorder& rec, std::uint32_t i = 0) const {
+    T v{};
+    peek_bytes(rec, &v, i);
+    return v;
+  }
+  T peek_host(std::uint32_t i = 0) const {
+    T v{};
+    peek_bytes_host(&v, i);
+    return v;
+  }
+};
+
+}  // namespace cms::kpn

@@ -1,0 +1,31 @@
+#include "kpn/frame_buffer.hpp"
+
+#include <cstring>
+
+namespace cms::kpn {
+
+void FrameBuffer::write_block(sim::MemoryRecorder& rec, std::uint64_t offset,
+                              const std::uint8_t* src, std::uint64_t n,
+                              std::uint32_t chunk) {
+  assert(offset + n <= data_.size());
+  std::memcpy(&data_[offset], src, n);
+  for (std::uint64_t o = 0; o < n; o += chunk) {
+    const auto sz = static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk, n - o));
+    rec.write(region_.base + offset + o, sz);
+    rec.compute(1);
+  }
+}
+
+void FrameBuffer::read_block(sim::MemoryRecorder& rec, std::uint64_t offset,
+                             std::uint8_t* dst, std::uint64_t n,
+                             std::uint32_t chunk) const {
+  assert(offset + n <= data_.size());
+  std::memcpy(dst, &data_[offset], n);
+  for (std::uint64_t o = 0; o < n; o += chunk) {
+    const auto sz = static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk, n - o));
+    rec.read(region_.base + offset + o, sz);
+    rec.compute(1);
+  }
+}
+
+}  // namespace cms::kpn

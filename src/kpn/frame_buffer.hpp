@@ -1,0 +1,62 @@
+// Shared frame buffer (paper section 4.1): production and consumption are
+// sequential — a frame is read only after it has been completely produced
+// — so an exclusive cache partition keeps its behaviour predictable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/recorder.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::kpn {
+
+class FrameBuffer {
+ public:
+  FrameBuffer(BufferId id, std::string name, sim::Region region,
+              std::uint64_t bytes)
+      : id_(id), name_(std::move(name)), region_(region), data_(bytes, 0) {
+    assert(bytes <= region.size);
+  }
+
+  BufferId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const sim::Region& region() const { return region_; }
+  std::uint64_t size() const { return data_.size(); }
+
+  std::uint8_t read(sim::MemoryRecorder& rec, std::uint64_t offset) const {
+    assert(offset < data_.size());
+    rec.read(region_.base + offset, 1);
+    return data_[offset];
+  }
+
+  void write(sim::MemoryRecorder& rec, std::uint64_t offset, std::uint8_t v) {
+    assert(offset < data_.size());
+    rec.write(region_.base + offset, 1);
+    data_[offset] = v;
+  }
+
+  /// Bulk helpers: one recorded access per `chunk` bytes (processors move
+  /// pixel data in words, not byte by byte).
+  void write_block(sim::MemoryRecorder& rec, std::uint64_t offset,
+                   const std::uint8_t* src, std::uint64_t n,
+                   std::uint32_t chunk = 8);
+  void read_block(sim::MemoryRecorder& rec, std::uint64_t offset,
+                  std::uint8_t* dst, std::uint64_t n,
+                  std::uint32_t chunk = 8) const;
+
+  /// Untracked host view for verification (never use inside fire()).
+  const std::vector<std::uint8_t>& host_data() const { return data_; }
+  std::vector<std::uint8_t>& host_data() { return data_; }
+
+ private:
+  BufferId id_;
+  std::string name_;
+  sim::Region region_;
+  mutable std::vector<std::uint8_t> data_;
+};
+
+}  // namespace cms::kpn

@@ -1,0 +1,68 @@
+#include "kpn/network.hpp"
+
+#include <algorithm>
+
+namespace cms::kpn {
+
+FrameBuffer* Network::make_frame_buffer(const std::string& name,
+                                        std::uint64_t bytes) {
+  const sim::Region r = space_.allocate(bytes, "frame." + name);
+  auto fb = std::make_unique<FrameBuffer>(next_buffer_, name, r, bytes);
+  auto* raw = fb.get();
+  buffers_.push_back({next_buffer_, name, BufferKind::kFrame, r.base, bytes});
+  ++next_buffer_;
+  frames_.push_back(std::move(fb));
+  return raw;
+}
+
+sim::Region Network::make_segment(const std::string& name, std::uint64_t bytes) {
+  const sim::Region r = space_.allocate(bytes, "segment." + name);
+  buffers_.push_back({next_buffer_, name, BufferKind::kSegment, r.base, bytes});
+  ++next_buffer_;
+  segments_.emplace_back(name, r);
+  return r;
+}
+
+std::vector<sim::Task*> Network::tasks() const {
+  std::vector<sim::Task*> out;
+  out.reserve(processes_.size());
+  for (const auto& p : processes_) out.push_back(p.get());
+  return out;
+}
+
+Process* Network::find_process(const std::string& name) const {
+  for (const auto& p : processes_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+FifoBase* Network::find_fifo(const std::string& name) const {
+  for (const auto& f : fifos_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+FrameBuffer* Network::find_frame(const std::string& name) const {
+  for (const auto& f : frames_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+sim::Region Network::segment(const std::string& name) const {
+  for (const auto& [n, r] : segments_)
+    if (n == name) return r;
+  return {};
+}
+
+std::map<BufferId, std::string> Network::buffer_names() const {
+  std::map<BufferId, std::string> out;
+  for (const auto& b : buffers_) out[b.id] = b.name;
+  return out;
+}
+
+bool Network::all_tasks_done() const {
+  return std::all_of(processes_.begin(), processes_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+}  // namespace cms::kpn

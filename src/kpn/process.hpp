@@ -1,0 +1,76 @@
+// KPN process: a sim::Task with a private heap it carves tracked arrays
+// out of.
+//
+// Lifecycle: the Network constructs the process, assigns its code / stack
+// / heap regions, then calls init() — which is where subclasses create
+// their TrackedArray members (the heap region must exist first).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "sim/task.hpp"
+#include "sim/tracked.hpp"
+
+namespace cms::kpn {
+
+/// Region sizes requested from the network when adding a process.
+struct ProcessSpec {
+  std::uint64_t code_bytes = 8 * 1024;
+  std::uint64_t stack_bytes = 4 * 1024;
+  std::uint64_t heap_bytes = 16 * 1024;
+};
+
+class Process : public sim::Task {
+ public:
+  Process(TaskId id, std::string name) : sim::Task(id, std::move(name)) {}
+
+  /// Called by the Network once regions are assigned; create tracked
+  /// state here.
+  virtual void init() {}
+
+  /// Every firing updates a per-task progress counter in the shared
+  /// application bss segment (when configured by the network). This gives
+  /// the "appl bss" cache client the kind of cross-task shared-static
+  /// traffic the paper partitions.
+  void fire(sim::TaskContext& ctx) final {
+    if (counters_ != nullptr) {
+      const std::uint64_t v = counters_->get(ctx.mem(), counter_slot_);
+      counters_->set(ctx.mem(), counter_slot_, v + 1);
+    }
+    run(ctx);
+  }
+
+  /// The process's actual firing behaviour.
+  virtual void run(sim::TaskContext& ctx) = 0;
+
+  void set_progress(sim::SharedArray<std::uint64_t>* counters,
+                    std::size_t slot) {
+    counters_ = counters;
+    counter_slot_ = slot;
+  }
+
+ protected:
+  /// Carve a block out of this process's private heap.
+  sim::Region carve(std::uint64_t bytes) {
+    const sim::Region& heap = regions().heap;
+    assert(heap_used_ + bytes <= heap.size && "process heap exhausted");
+    sim::Region r{heap.base + heap_used_, bytes, name() + ".heap"};
+    heap_used_ += bytes;
+    return r;
+  }
+
+  /// Carve + construct a tracked array bound to this task's recorder.
+  template <typename T>
+  sim::TrackedArray<T> make_array(std::size_t count) {
+    return sim::TrackedArray<T>(&recorder(), carve(count * sizeof(T)), count);
+  }
+
+ private:
+  std::uint64_t heap_used_ = 0;
+  sim::SharedArray<std::uint64_t>* counters_ = nullptr;
+  std::size_t counter_slot_ = 0;
+};
+
+}  // namespace cms::kpn

@@ -1,0 +1,15 @@
+#include "mem/bus.hpp"
+
+#include <algorithm>
+
+namespace cms::mem {
+
+Cycle Bus::request(Cycle now) {
+  const Cycle grant = std::max(now + cfg_.arbitration_latency, free_at_);
+  wait_ += grant - (now + cfg_.arbitration_latency);
+  free_at_ = grant + cfg_.cycles_per_transaction;
+  ++transactions_;
+  return grant;
+}
+
+}  // namespace cms::mem

@@ -1,0 +1,128 @@
+// Set-associative cache model (tag store only).
+//
+// The model tracks which lines are resident and their dirtiness; data
+// values live in the functional layer. Accesses return hit/miss, cold-miss
+// classification and writeback information so the caller (hierarchy /
+// DRAM) can account for traffic and latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/cache_config.hpp"
+#include "mem/client.hpp"
+
+namespace cms::mem {
+
+/// Outcome of a single line-granular cache access.
+struct AccessResult {
+  bool hit = false;
+  bool cold = false;            // miss on a line never seen by this cache
+  bool writeback = false;       // eviction of a dirty line occurred
+  Addr victim_line = 0;         // line address written back (when writeback)
+  ClientId victim_owner = ClientId::none();  // who had inserted the victim
+};
+
+/// Aggregate counters; kept per cache and per client.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t evictions_by_other = 0;  // this client's line evicted by another client
+
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+  }
+  void merge(const CacheStats& o) {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    cold_misses += o.cold_misses;
+    writebacks += o.writebacks;
+    evictions_by_other += o.evictions_by_other;
+  }
+};
+
+/// Range of ways a client may replace into (column caching / way
+/// partitioning, the mechanism of [10]/[8] the paper compares against).
+/// Lookups still hit in any way; only victim selection is restricted.
+struct WayRange {
+  std::uint32_t first_way = 0;
+  std::uint32_t num_ways = 0;  // 0 = unrestricted
+
+  bool unrestricted() const { return num_ways == 0; }
+};
+
+/// Plain set-associative cache with configurable replacement and write
+/// policy. Set selection is delegated to the caller through an explicit
+/// set index so that the partitioned L2 can remap indices (paper's index
+/// translation); convenience entry points compute the conventional index.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg, std::uint64_t seed = 1);
+
+  const CacheConfig& config() const { return cfg_; }
+  std::uint32_t num_sets() const { return cfg_.num_sets(); }
+
+  /// Conventional set index of an address.
+  std::uint32_t index_of(Addr addr) const {
+    return static_cast<std::uint32_t>((addr / cfg_.line_bytes) % num_sets());
+  }
+  Addr line_of(Addr addr) const { return addr / cfg_.line_bytes * cfg_.line_bytes; }
+
+  /// Access one line at an explicit set index, attributed to `client`.
+  /// `ways` optionally restricts which ways a miss may replace into
+  /// (column-caching semantics: hits are found in any way).
+  AccessResult access_at(std::uint32_t set_index, Addr addr, AccessType type,
+                         ClientId client, WayRange ways = {});
+
+  /// Access with the conventional index.
+  AccessResult access(Addr addr, AccessType type, ClientId client) {
+    return access_at(index_of(addr), addr, type, client);
+  }
+
+  /// Is the line currently resident (any set — uses the stored index)?
+  bool contains(std::uint32_t set_index, Addr addr) const;
+
+  /// Invalidate everything; dirty lines count as writebacks. Returns the
+  /// number of dirty lines flushed.
+  std::uint64_t flush();
+
+  /// Invalidate all lines belonging to `client`; returns dirty count.
+  std::uint64_t flush_client(ClientId client);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Number of currently valid lines (for occupancy inspection in tests).
+  std::uint64_t occupancy() const;
+  /// Number of valid lines owned by `client`.
+  std::uint64_t occupancy_of(ClientId client) const;
+
+ private:
+  struct Line {
+    Addr tag_line = 0;  // full line address (tag comparison uses this)
+    ClientId owner = ClientId::none();
+    std::uint64_t stamp = 0;  // LRU: last use; FIFO: insertion time
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  Line* find(std::uint32_t set_index, Addr line_addr);
+  Line& choose_victim(std::uint32_t set_index, WayRange ways);
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+  Rng rng_;
+  std::unordered_set<Addr> touched_lines_;  // for cold-miss classification
+};
+
+}  // namespace cms::mem

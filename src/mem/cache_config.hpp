@@ -1,0 +1,43 @@
+// Configuration records for the cache models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cms::mem {
+
+enum class Replacement : std::uint8_t { kLru, kFifo, kRandom };
+
+enum class WritePolicy : std::uint8_t {
+  kWriteBackAllocate,     // default: write-back, write-allocate
+  kWriteThroughNoAllocate
+};
+
+/// Geometry and policy of one cache level.
+struct CacheConfig {
+  std::uint32_t size_bytes = 512 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+  Replacement replacement = Replacement::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteBackAllocate;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+  bool valid() const {
+    return line_bytes != 0 && ways != 0 && size_bytes % (line_bytes * ways) == 0 &&
+           (line_bytes & (line_bytes - 1)) == 0 && num_sets() != 0;
+  }
+  std::string to_string() const;
+};
+
+/// The CAKE instance used in the paper's evaluation: 4 TriMedia-class
+/// processors, private L1s, shared 512 KB 4-way unified L2.
+inline CacheConfig cake_l1_config() {
+  return CacheConfig{.size_bytes = 16 * 1024, .line_bytes = 64, .ways = 4};
+}
+inline CacheConfig cake_l2_config() {
+  return CacheConfig{.size_bytes = 512 * 1024, .line_bytes = 64, .ways = 4};
+}
+
+}  // namespace cms::mem

@@ -1,0 +1,52 @@
+// Cache client identities.
+//
+// The paper's partitioned cache relates every memory access either to the
+// issuing task (task id register) or — when the address falls in a shared-
+// memory interval registered by the OS — to a communication buffer id
+// (paper section 4.2, third implementation alternative).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cms::mem {
+
+enum class ClientKind : std::uint8_t { kNone = 0, kTask = 1, kBuffer = 2 };
+
+/// Identity a cache access is attributed to (and partitioned by).
+struct ClientId {
+  ClientKind kind = ClientKind::kNone;
+  std::int32_t id = -1;
+
+  static ClientId task(TaskId t) { return {ClientKind::kTask, t}; }
+  static ClientId buffer(BufferId b) { return {ClientKind::kBuffer, b}; }
+  static ClientId none() { return {ClientKind::kNone, -1}; }
+
+  bool is_task() const { return kind == ClientKind::kTask; }
+  bool is_buffer() const { return kind == ClientKind::kBuffer; }
+
+  friend bool operator==(const ClientId&, const ClientId&) = default;
+  friend auto operator<=>(const ClientId&, const ClientId&) = default;
+
+  std::string to_string() const {
+    switch (kind) {
+      case ClientKind::kTask: return "task:" + std::to_string(id);
+      case ClientKind::kBuffer: return "buf:" + std::to_string(id);
+      case ClientKind::kNone: return "none";
+    }
+    return "?";
+  }
+};
+
+struct ClientIdHash {
+  std::size_t operator()(const ClientId& c) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(c.kind) << 32) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.id)));
+  }
+};
+
+}  // namespace cms::mem

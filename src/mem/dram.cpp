@@ -1,0 +1,16 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace cms::mem {
+
+Cycle Dram::access(Addr addr, Cycle now) {
+  Cycle& free_at = bank_free_[bank_of(addr)];
+  const Cycle start = std::max(now, free_at);
+  wait_ += start - now;
+  free_at = start + cfg_.bank_occupancy;
+  ++accesses_;
+  return start + cfg_.access_latency;
+}
+
+}  // namespace cms::mem

@@ -1,0 +1,54 @@
+// Banked off-chip memory timing model.
+//
+// The CAKE tile connects to external memory through on-tile memory banks
+// (Figure 1 of the paper). We model fixed access latency plus per-bank
+// occupancy: concurrent accesses to the same bank serialize, accesses to
+// different banks proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cms::mem {
+
+struct DramConfig {
+  std::uint32_t num_banks = 4;
+  Cycle access_latency = 60;     // line fill latency once the bank is free
+  Cycle bank_occupancy = 12;     // cycles the bank stays busy per access
+  std::uint32_t interleave_bytes = 64;  // bank interleaving granularity
+};
+
+/// Timing-only DRAM model. `access` returns the completion time of a line
+/// fill or writeback issued at `now`.
+class Dram {
+ public:
+  explicit Dram(const DramConfig& cfg)
+      : cfg_(cfg), bank_free_(cfg.num_banks, 0) {}
+
+  const DramConfig& config() const { return cfg_; }
+
+  std::uint32_t bank_of(Addr addr) const {
+    return static_cast<std::uint32_t>((addr / cfg_.interleave_bytes) % cfg_.num_banks);
+  }
+
+  /// Issue an access at time `now`; returns its completion time and
+  /// advances the bank's busy window.
+  Cycle access(Addr addr, Cycle now);
+
+  std::uint64_t total_accesses() const { return accesses_; }
+  Cycle total_wait() const { return wait_; }
+  void reset_stats() {
+    accesses_ = 0;
+    wait_ = 0;
+  }
+
+ private:
+  DramConfig cfg_;
+  std::vector<Cycle> bank_free_;
+  std::uint64_t accesses_ = 0;
+  Cycle wait_ = 0;
+};
+
+}  // namespace cms::mem

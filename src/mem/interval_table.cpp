@@ -1,0 +1,39 @@
+#include "mem/interval_table.hpp"
+
+#include <algorithm>
+
+namespace cms::mem {
+
+bool IntervalTable::add(Addr base, std::uint64_t size, BufferId buffer) {
+  if (size == 0) return false;
+  const MemInterval iv{base, size, buffer};
+  // Find insertion point by base address.
+  const auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), base,
+      [](const MemInterval& a, Addr b) { return a.base < b; });
+  // Overlap with the successor?
+  if (it != intervals_.end() && it->base < iv.end()) return false;
+  // Overlap with the predecessor?
+  if (it != intervals_.begin() && std::prev(it)->end() > base) return false;
+  intervals_.insert(it, iv);
+  return true;
+}
+
+void IntervalTable::remove(BufferId buffer) {
+  std::erase_if(intervals_, [buffer](const MemInterval& iv) {
+    return iv.buffer == buffer;
+  });
+}
+
+std::optional<BufferId> IntervalTable::lookup(Addr addr) const {
+  // First interval with base > addr; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), addr,
+      [](Addr a, const MemInterval& b) { return a < b.base; });
+  if (it == intervals_.begin()) return std::nullopt;
+  --it;
+  if (it->contains(addr)) return it->buffer;
+  return std::nullopt;
+}
+
+}  // namespace cms::mem

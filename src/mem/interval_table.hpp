@@ -1,0 +1,50 @@
+// OS-loaded table of shared-memory intervals.
+//
+// Implements the paper's third buffer-identification alternative: "keep a
+// table with intervals of shared memory. This table needs to be loaded by
+// the operating system. Then for every access the cache can lookup if the
+// address has an associated buffer id." (section 4.2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cms::mem {
+
+/// Half-open address interval [base, base + size) owned by one buffer.
+struct MemInterval {
+  Addr base = 0;
+  std::uint64_t size = 0;
+  BufferId buffer = kInvalidBuffer;
+
+  Addr end() const { return base + size; }
+  bool contains(Addr a) const { return a >= base && a < end(); }
+};
+
+/// Sorted, non-overlapping interval set with binary-search lookup.
+class IntervalTable {
+ public:
+  /// Insert an interval. Returns false if it is empty or overlaps an
+  /// existing one (shared buffers must be disjoint in memory).
+  bool add(Addr base, std::uint64_t size, BufferId buffer);
+
+  /// Remove the interval(s) registered for `buffer`.
+  void remove(BufferId buffer);
+
+  void clear() { intervals_.clear(); }
+
+  /// Buffer owning `addr`, or nullopt for task-private memory.
+  std::optional<BufferId> lookup(Addr addr) const;
+
+  std::size_t size() const { return intervals_.size(); }
+  const std::vector<MemInterval>& intervals() const { return intervals_; }
+
+ private:
+  std::vector<MemInterval> intervals_;  // kept sorted by base
+};
+
+}  // namespace cms::mem

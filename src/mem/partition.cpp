@@ -1,0 +1,50 @@
+#include "mem/partition.hpp"
+
+#include <algorithm>
+
+namespace cms::mem {
+
+bool PartitionTable::assign(ClientId client, Partition p) {
+  if (p.num_sets == 0 || p.base_set + p.num_sets > total_sets_) return false;
+  map_[client] = p;
+  return true;
+}
+
+const Partition& PartitionTable::lookup(ClientId client) const {
+  const auto it = map_.find(client);
+  return it != map_.end() ? it->second : default_partition_;
+}
+
+std::optional<Partition> PartitionTable::explicit_lookup(ClientId client) const {
+  const auto it = map_.find(client);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PartitionTable::disjoint() const {
+  std::vector<Partition> parts;
+  parts.reserve(map_.size());
+  for (const auto& [client, p] : map_) parts.push_back(p);
+  std::sort(parts.begin(), parts.end(), [](const Partition& a, const Partition& b) {
+    return a.base_set < b.base_set;
+  });
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    if (parts[i - 1].overlaps(parts[i])) return false;
+  return true;
+}
+
+std::uint32_t PartitionTable::assigned_sets() const {
+  std::uint32_t total = 0;
+  for (const auto& [client, p] : map_) total += p.num_sets;
+  return total;
+}
+
+std::vector<std::pair<ClientId, Partition>> PartitionTable::entries() const {
+  std::vector<std::pair<ClientId, Partition>> out(map_.begin(), map_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace cms::mem

@@ -1,0 +1,86 @@
+// Cache set partitions and the per-client partition table.
+//
+// A partition is a contiguous range of L2 sets assigned exclusively to one
+// client (task or communication buffer). The table is managed by the OS
+// (paper section 4.2: "the operating system ... manages the necessary
+// translation tables for the cache").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/client.hpp"
+
+namespace cms::mem {
+
+/// Contiguous range [base_set, base_set + num_sets) of cache sets.
+struct Partition {
+  std::uint32_t base_set = 0;
+  std::uint32_t num_sets = 0;
+
+  bool overlaps(const Partition& o) const {
+    return base_set < o.base_set + o.num_sets && o.base_set < base_set + num_sets;
+  }
+  std::string to_string() const {
+    return "[" + std::to_string(base_set) + ", " +
+           std::to_string(base_set + num_sets) + ")";
+  }
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+/// Maps cache clients to their exclusive set ranges. Clients without an
+/// entry fall into the default partition (initially the whole cache —
+/// which makes an empty table exactly the conventional shared cache).
+class PartitionTable {
+ public:
+  explicit PartitionTable(std::uint32_t total_sets)
+      : total_sets_(total_sets), default_partition_{0, total_sets} {}
+
+  std::uint32_t total_sets() const { return total_sets_; }
+
+  /// Assign `p` to `client`. Returns false (and leaves the table
+  /// unchanged) if `p` is out of range or empty.
+  bool assign(ClientId client, Partition p);
+
+  void unassign(ClientId client) { map_.erase(client); }
+  void clear() { map_.clear(); }
+
+  /// Partition used for clients with no explicit entry (the "shared
+  /// pool"). Defaults to the full set range.
+  void set_default_partition(Partition p) { default_partition_ = p; }
+  const Partition& default_partition() const { return default_partition_; }
+
+  const Partition& lookup(ClientId client) const;
+  std::optional<Partition> explicit_lookup(ClientId client) const;
+  bool has(ClientId client) const { return map_.contains(client); }
+  std::size_t size() const { return map_.size(); }
+
+  /// True when no two explicit partitions overlap (the compositionality
+  /// precondition). The default partition is not checked: clients left in
+  /// the shared pool intentionally share it.
+  bool disjoint() const;
+
+  /// Sum of the sets in all explicit partitions.
+  std::uint32_t assigned_sets() const;
+
+  /// Translate a conventional set index to the partitioned index for
+  /// `client`: base + (index mod size). With power-of-two sizes this is
+  /// exactly the paper's "changing the conventional index part of an
+  /// address to a new index".
+  std::uint32_t translate(ClientId client, std::uint32_t conventional_index) const {
+    const Partition& p = lookup(client);
+    return p.base_set + conventional_index % p.num_sets;
+  }
+
+  std::vector<std::pair<ClientId, Partition>> entries() const;
+
+ private:
+  std::uint32_t total_sets_;
+  Partition default_partition_;
+  std::unordered_map<ClientId, Partition, ClientIdHash> map_;
+};
+
+}  // namespace cms::mem

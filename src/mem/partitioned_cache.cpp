@@ -1,0 +1,60 @@
+#include "mem/partitioned_cache.hpp"
+
+#include <algorithm>
+
+namespace cms::mem {
+
+PartitionedCache::PartitionedCache(const CacheConfig& cfg, std::uint64_t seed)
+    : cache_(cfg, seed), table_(cfg.num_sets()) {}
+
+PartitionedCache::Result PartitionedCache::access(TaskId task, Addr addr,
+                                                  AccessType type) {
+  Result res;
+  res.client = classify(task, addr);
+  const std::uint32_t conventional = cache_.index_of(addr);
+  res.set_index = mode_ == PartitionMode::kSetPartitioned
+                      ? table_.translate(res.client, conventional)
+                      : conventional;
+  const WayRange ways = mode_ == PartitionMode::kWayPartitioned
+                            ? way_assignment(res.client)
+                            : WayRange{};
+  res.raw = cache_.access_at(res.set_index, addr, type, res.client, ways);
+
+  CacheStats& cs = per_client_[res.client];
+  ++cs.accesses;
+  if (res.raw.hit) {
+    ++cs.hits;
+  } else {
+    ++cs.misses;
+    if (res.raw.cold) ++cs.cold_misses;
+  }
+  if (res.raw.writeback) ++cs.writebacks;
+  if (!res.raw.hit && res.raw.victim_owner != ClientId::none() &&
+      res.raw.victim_owner != res.client) {
+    // The victim's owner suffered an inter-client eviction.
+    ++per_client_[res.raw.victim_owner].evictions_by_other;
+  }
+  return res;
+}
+
+const CacheStats& PartitionedCache::client_stats(ClientId c) const {
+  static const CacheStats kEmpty;
+  const auto it = per_client_.find(c);
+  return it != per_client_.end() ? it->second : kEmpty;
+}
+
+std::vector<std::pair<ClientId, CacheStats>> PartitionedCache::all_client_stats()
+    const {
+  std::vector<std::pair<ClientId, CacheStats>> out(per_client_.begin(),
+                                                   per_client_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void PartitionedCache::reset_stats() {
+  cache_.reset_stats();
+  per_client_.clear();
+}
+
+}  // namespace cms::mem

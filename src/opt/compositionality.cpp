@@ -1,0 +1,33 @@
+#include "opt/compositionality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cms::opt {
+
+CompositionalityReport compare_expected_vs_simulated(
+    const MissProfile& prof, const PartitionPlan& plan,
+    const sim::SimResults& run) {
+  CompositionalityReport rep;
+  for (const auto& t : run.tasks)
+    rep.total_simulated += static_cast<double>(t.l2.misses);
+
+  for (const auto& entry : plan.entries) {
+    if (!entry.is_task) continue;
+    const sim::TaskRunStats* t = run.find_task(entry.name);
+    if (t == nullptr) continue;
+    CompositionalityRow row;
+    row.task = entry.name;
+    row.sets = entry.sets;
+    row.expected = prof.misses(entry.name, entry.sets);
+    row.simulated = static_cast<double>(t->l2.misses);
+    row.abs_diff = std::abs(row.expected - row.simulated);
+    row.rel_to_total =
+        rep.total_simulated > 0 ? row.abs_diff / rep.total_simulated : 0.0;
+    rep.max_rel_to_total = std::max(rep.max_rel_to_total, row.rel_to_total);
+    rep.rows.push_back(std::move(row));
+  }
+  return rep;
+}
+
+}  // namespace cms::opt

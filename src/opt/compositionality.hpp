@@ -1,0 +1,39 @@
+// Compositionality metric (paper Figure 3): the difference between the
+// model-expected number of misses per task (from the isolation profiles at
+// the chosen partition sizes) and the misses observed when the whole
+// application runs under that partitioning. The paper's headline: "the
+// largest difference for a task between the expected and simulated number
+// of misses relative to the overall simulated number of misses is 2%".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/planner.hpp"
+#include "opt/profile.hpp"
+#include "sim/results.hpp"
+
+namespace cms::opt {
+
+struct CompositionalityRow {
+  std::string task;
+  std::uint32_t sets = 0;
+  double expected = 0.0;   // model: average M_i(sets) from the profile
+  double simulated = 0.0;  // full-app partitioned run
+  double abs_diff = 0.0;
+  double rel_to_total = 0.0;  // |diff| / total simulated misses
+};
+
+struct CompositionalityReport {
+  std::vector<CompositionalityRow> rows;
+  double total_simulated = 0.0;
+  double max_rel_to_total = 0.0;  // the paper's <= 2% metric
+
+  bool within(double fraction) const { return max_rel_to_total <= fraction; }
+};
+
+CompositionalityReport compare_expected_vs_simulated(
+    const MissProfile& prof, const PartitionPlan& plan,
+    const sim::SimResults& partitioned_run);
+
+}  // namespace cms::opt

@@ -1,0 +1,71 @@
+#include "opt/dynamic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cms::opt {
+
+DynamicPartitioner::DynamicPartitioner(const PartitionPlan& initial,
+                                       DynamicConfig cfg)
+    : cfg_(cfg), total_sets_(initial.total_sets) {
+  for (const auto& e : initial.entries)
+    clients_.push_back({e.client, e.name, e.sets, 0});
+}
+
+std::uint32_t DynamicPartitioner::sets_of(const std::string& name) const {
+  for (const auto& c : clients_)
+    if (c.name == name) return c.sets;
+  return 0;
+}
+
+void DynamicPartitioner::install(mem::PartitionedCache& l2) const {
+  l2.partition_table().clear();
+  std::uint32_t base = 0;
+  for (const auto& c : clients_) {
+    l2.partition_table().assign(c.id, {base, c.sets});
+    base += c.sets;
+  }
+  assert(base <= total_sets_);
+  if (base < total_sets_)
+    l2.partition_table().set_default_partition({base, total_sets_ - base});
+  l2.set_mode(mem::PartitionMode::kSetPartitioned);
+}
+
+void DynamicPartitioner::epoch(Cycle /*now*/, mem::MemoryHierarchy& hierarchy) {
+  mem::PartitionedCache& l2 = hierarchy.l2();
+
+  // Miss pressure per client = misses this epoch / allocated sets.
+  double best_pressure = -1.0, worst_pressure = 1e300;
+  std::size_t taker = clients_.size(), donor = clients_.size();
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
+    const std::uint64_t misses = l2.client_stats(c.id).misses;
+    const std::uint64_t delta = misses - c.last_misses;
+    c.last_misses = misses;
+    const double pressure =
+        static_cast<double>(delta) / static_cast<double>(c.sets);
+    if (pressure > best_pressure) {
+      best_pressure = pressure;
+      taker = i;
+    }
+    const bool can_donate = c.sets > cfg_.min_sets + cfg_.move_step - 1;
+    if (can_donate && pressure < worst_pressure) {
+      worst_pressure = pressure;
+      donor = i;
+    }
+  }
+
+  if (taker >= clients_.size() || donor >= clients_.size() || taker == donor)
+    return;
+  if (worst_pressure * cfg_.hysteresis >= best_pressure) return;
+
+  const std::uint32_t step =
+      std::min(cfg_.move_step, clients_[donor].sets - cfg_.min_sets);
+  if (step == 0) return;
+  clients_[donor].sets -= step;
+  clients_[taker].sets += step;
+  ++moves_;
+  install(l2);
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,60 @@
+// Dynamic cache repartitioning in the spirit of Suh/Devadas/Rudolph [10]
+// ("based on their number of misses tasks are dynamically 'stealing' each
+// other cache ways, such that the overall number of misses is improved").
+//
+// The paper contrasts its *static, guaranteed* allocation with this
+// best-effort scheme; we implement the dynamic scheme on top of the same
+// set-partitioned cache so the two can be compared head to head
+// (bench/ablation_dynamic). Every epoch, the client with the highest miss
+// pressure per set steals sets from the client with the lowest, within
+// configured floors/ceilings. Moving sets keeps compositional *mechanics*
+// (partitions stay disjoint) but gives up the paper's guarantee: a
+// client's performance now depends on its co-runners' behaviour again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/hierarchy.hpp"
+#include "opt/planner.hpp"
+
+namespace cms::opt {
+
+struct DynamicConfig {
+  std::uint32_t min_sets = 1;      // floor per client
+  std::uint32_t move_step = 1;     // sets transferred per epoch
+  double hysteresis = 1.5;         // donor pressure must be this much lower
+};
+
+/// Epoch-driven set-stealing controller. Construct from an initial plan;
+/// install `hook()` as the engine's epoch hook.
+class DynamicPartitioner {
+ public:
+  DynamicPartitioner(const PartitionPlan& initial, DynamicConfig cfg = {});
+
+  /// Inspect per-client misses since the previous epoch and move sets
+  /// from the lowest-pressure to the highest-pressure client, then
+  /// re-install the (still disjoint) layout into the cache.
+  void epoch(Cycle now, mem::MemoryHierarchy& hierarchy);
+
+  std::uint64_t moves() const { return moves_; }
+  std::uint32_t sets_of(const std::string& name) const;
+
+ private:
+  struct Client {
+    mem::ClientId id;
+    std::string name;
+    std::uint32_t sets;
+    std::uint64_t last_misses = 0;
+  };
+
+  void install(mem::PartitionedCache& l2) const;
+
+  DynamicConfig cfg_;
+  std::vector<Client> clients_;
+  std::uint32_t total_sets_;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace cms::opt

@@ -1,0 +1,58 @@
+// Cache-allocation optimization (paper section 3.2).
+//
+// "The problem of minimization of the total number of cache misses is
+// formulated as a (Mixed) Integer Linear problem": every task picks
+// exactly one cache size z_j from a grid, minimizing the summed misses
+// subject to the capacity constraint — structurally a multiple-choice
+// knapsack (MCKP). Three solvers are provided:
+//   * exact dynamic program (the default; pseudo-polynomial, exact),
+//   * branch-and-bound with a fractional lower bound (the "ILP solver"
+//     interface of the paper),
+//   * greedy marginal-gain allocation (Stone-style baseline [8]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cms::opt {
+
+/// One (size, cost) option of a group. `size` is in cache sets; `cost`
+/// is the (average) miss count of the task at that size.
+struct MckpItem {
+  std::uint32_t size = 0;
+  double cost = 0.0;
+};
+
+/// One task's option list (any order; solvers do not require sortedness).
+struct MckpGroup {
+  std::string name;
+  std::vector<MckpItem> items;
+};
+
+struct MckpSolution {
+  bool feasible = false;
+  std::vector<int> choice;     // index into each group's items
+  double total_cost = 0.0;
+  std::uint32_t total_size = 0;
+};
+
+/// Exact pseudo-polynomial DP over capacity.
+MckpSolution solve_mckp_dp(const std::vector<MckpGroup>& groups,
+                           std::uint32_t capacity);
+
+/// Depth-first branch-and-bound with an optimistic completion bound.
+/// Exact; explores far fewer nodes than brute force.
+MckpSolution solve_mckp_branch_bound(const std::vector<MckpGroup>& groups,
+                                     std::uint32_t capacity);
+
+/// Greedy: start every group at its smallest size, repeatedly take the
+/// upgrade with the best miss-reduction per extra set. Not optimal.
+MckpSolution solve_mckp_greedy(const std::vector<MckpGroup>& groups,
+                               std::uint32_t capacity);
+
+/// Exhaustive enumeration, for cross-checking on small instances.
+MckpSolution solve_mckp_brute(const std::vector<MckpGroup>& groups,
+                              std::uint32_t capacity);
+
+}  // namespace cms::opt

@@ -1,0 +1,19 @@
+#include "opt/power.hpp"
+
+namespace cms::opt {
+
+PowerReport estimate_power(const sim::SimResults& results,
+                           const PowerConfig& cfg) {
+  PowerReport r;
+  const auto& t = results.traffic;
+  r.l1_mj = static_cast<double>(t.l1_accesses) * cfg.l1_access_nj * 1e-6;
+  r.l2_mj = static_cast<double>(t.l2_accesses) * cfg.l2_access_nj * 1e-6;
+  r.dram_mj = static_cast<double>(t.dram_accesses) * cfg.dram_access_nj * 1e-6;
+  r.seconds = static_cast<double>(results.makespan) / (cfg.clock_mhz * 1e6);
+  r.static_mj = cfg.static_mw * r.seconds;
+  r.total_mj = r.l1_mj + r.l2_mj + r.dram_mj + r.static_mj;
+  r.avg_watts = r.seconds > 0 ? r.total_mj * 1e-3 / r.seconds : 0.0;
+  return r;
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,36 @@
+// Energy/power model (paper section 3.1): "The consumed power depends by
+// the time and the memory traffic that the system needs to complete all
+// its tasks. Optimizing the overall execution time (respectively the
+// number of misses) gives the most power consumptions reduction."
+//
+// We use a standard event-energy model: fixed energy per L1 / L2 / DRAM
+// access plus static power over the makespan. Default per-event energies
+// are in the ballpark of a mid-2000s 130 nm embedded SoC.
+#pragma once
+
+#include "sim/results.hpp"
+
+namespace cms::opt {
+
+struct PowerConfig {
+  double l1_access_nj = 0.08;
+  double l2_access_nj = 0.45;
+  double dram_access_nj = 4.0;
+  double static_mw = 60.0;
+  double clock_mhz = 300.0;
+};
+
+struct PowerReport {
+  double l1_mj = 0.0;
+  double l2_mj = 0.0;
+  double dram_mj = 0.0;
+  double static_mj = 0.0;
+  double total_mj = 0.0;
+  double seconds = 0.0;
+  double avg_watts = 0.0;
+};
+
+PowerReport estimate_power(const sim::SimResults& results,
+                           const PowerConfig& cfg = {});
+
+}  // namespace cms::opt

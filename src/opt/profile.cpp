@@ -1,0 +1,60 @@
+#include "opt/profile.hpp"
+
+#include <sstream>
+
+namespace cms::opt {
+
+void MissProfile::add_sample(const std::string& task, std::uint32_t sets,
+                             double misses, double active_cycles,
+                             double instructions) {
+  ProfilePoint& p = tasks_[task][sets];
+  p.misses.add(misses);
+  p.active_cycles.add(active_cycles);
+  p.instructions.add(instructions);
+}
+
+const std::map<std::uint32_t, ProfilePoint>& MissProfile::curve(
+    const std::string& task) const {
+  static const std::map<std::uint32_t, ProfilePoint> kEmpty;
+  const auto it = tasks_.find(task);
+  return it != tasks_.end() ? it->second : kEmpty;
+}
+
+double MissProfile::misses(const std::string& task, std::uint32_t sets) const {
+  const auto& c = curve(task);
+  const auto it = c.find(sets);
+  return it != c.end() ? it->second.misses.mean() : 0.0;
+}
+
+double MissProfile::active_cycles(const std::string& task,
+                                  std::uint32_t sets) const {
+  const auto& c = curve(task);
+  const auto it = c.find(sets);
+  return it != c.end() ? it->second.active_cycles.mean() : 0.0;
+}
+
+std::vector<std::string> MissProfile::task_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (const auto& [name, curve] : tasks_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::uint32_t> MissProfile::sizes(const std::string& task) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [sets, point] : curve(task)) out.push_back(sets);
+  return out;
+}
+
+std::string MissProfile::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, curve] : tasks_) {
+    os << name << ":";
+    for (const auto& [sets, point] : curve)
+      os << " " << sets << "->" << static_cast<std::uint64_t>(point.misses.mean());
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,47 @@
+// Per-task miss profiles M_i(z_k) (paper section 3.2).
+//
+// "The number of misses of task i with z_k cache sets can be obtained by
+// simulation or program analysis. In our model we use an average over the
+// M_ik obtained out of different simulations of task i having z_k cache."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace cms::opt {
+
+/// Measurements of one task at one cache size.
+struct ProfilePoint {
+  RunningStats misses;         // L2 misses across runs
+  RunningStats active_cycles;  // task execution time t_i(z_k)
+  RunningStats instructions;
+};
+
+class MissProfile {
+ public:
+  void add_sample(const std::string& task, std::uint32_t sets, double misses,
+                  double active_cycles, double instructions);
+
+  bool has(const std::string& task) const { return tasks_.contains(task); }
+  const std::map<std::uint32_t, ProfilePoint>& curve(
+      const std::string& task) const;
+
+  /// Average miss count of `task` at `sets` (must be a measured size).
+  double misses(const std::string& task, std::uint32_t sets) const;
+  double active_cycles(const std::string& task, std::uint32_t sets) const;
+
+  std::vector<std::string> task_names() const;
+  std::vector<std::uint32_t> sizes(const std::string& task) const;
+
+  /// Render as "task, size->misses" rows (debugging / EXPERIMENTS.md).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::map<std::uint32_t, ProfilePoint>> tasks_;
+};
+
+}  // namespace cms::opt

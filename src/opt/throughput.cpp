@@ -1,0 +1,127 @@
+#include "opt/throughput.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace cms::opt {
+
+Assignment evaluate_assignment(const std::vector<TaskLoad>& tasks,
+                               const std::vector<ProcId>& task_to_proc,
+                               std::uint32_t num_procs) {
+  assert(tasks.size() == task_to_proc.size());
+  Assignment a;
+  a.task_to_proc = task_to_proc;
+  a.proc_load.assign(num_procs, 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    assert(task_to_proc[i] >= 0 &&
+           static_cast<std::uint32_t>(task_to_proc[i]) < num_procs);
+    a.proc_load[static_cast<std::size_t>(task_to_proc[i])] += tasks[i].cycles;
+  }
+  a.makespan = *std::max_element(a.proc_load.begin(), a.proc_load.end());
+  return a;
+}
+
+Assignment assign_lpt(const std::vector<TaskLoad>& tasks,
+                      std::uint32_t num_procs) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].cycles > tasks[b].cycles;
+  });
+  std::vector<double> load(num_procs, 0.0);
+  std::vector<ProcId> t2p(tasks.size(), 0);
+  for (const std::size_t i : order) {
+    const auto p = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    t2p[i] = static_cast<ProcId>(p);
+    load[p] += tasks[i].cycles;
+  }
+  return evaluate_assignment(tasks, t2p, num_procs);
+}
+
+Assignment assign_local_search(const std::vector<TaskLoad>& tasks,
+                               std::uint32_t num_procs) {
+  Assignment best = assign_lpt(tasks, num_procs);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Single moves.
+    for (std::size_t i = 0; i < tasks.size() && !improved; ++i) {
+      for (std::uint32_t p = 0; p < num_procs && !improved; ++p) {
+        if (best.task_to_proc[i] == static_cast<ProcId>(p)) continue;
+        auto cand = best.task_to_proc;
+        cand[i] = static_cast<ProcId>(p);
+        Assignment a = evaluate_assignment(tasks, cand, num_procs);
+        if (a.makespan + 1e-9 < best.makespan) {
+          best = std::move(a);
+          improved = true;
+        }
+      }
+    }
+    // Pairwise swaps.
+    for (std::size_t i = 0; i < tasks.size() && !improved; ++i) {
+      for (std::size_t j = i + 1; j < tasks.size() && !improved; ++j) {
+        if (best.task_to_proc[i] == best.task_to_proc[j]) continue;
+        auto cand = best.task_to_proc;
+        std::swap(cand[i], cand[j]);
+        Assignment a = evaluate_assignment(tasks, cand, num_procs);
+        if (a.makespan + 1e-9 < best.makespan) {
+          best = std::move(a);
+          improved = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+void exact_recurse(const std::vector<TaskLoad>& tasks, std::uint32_t num_procs,
+                   std::size_t i, std::vector<double>& load,
+                   std::vector<ProcId>& t2p, double& best_makespan,
+                   std::vector<ProcId>& best) {
+  if (i == tasks.size()) {
+    const double m = *std::max_element(load.begin(), load.end());
+    if (m < best_makespan) {
+      best_makespan = m;
+      best = t2p;
+    }
+    return;
+  }
+  const double current_max = *std::max_element(load.begin(), load.end());
+  if (current_max >= best_makespan) return;  // bound
+  // Symmetry breaking: only try one empty processor.
+  bool tried_empty = false;
+  for (std::uint32_t p = 0; p < num_procs; ++p) {
+    if (load[p] == 0.0) {
+      if (tried_empty) continue;
+      tried_empty = true;
+    }
+    load[p] += tasks[i].cycles;
+    t2p[i] = static_cast<ProcId>(p);
+    exact_recurse(tasks, num_procs, i + 1, load, t2p, best_makespan, best);
+    load[p] -= tasks[i].cycles;
+  }
+}
+}  // namespace
+
+Assignment assign_exact(const std::vector<TaskLoad>& tasks,
+                        std::uint32_t num_procs) {
+  std::vector<double> load(num_procs, 0.0);
+  std::vector<ProcId> t2p(tasks.size(), 0), best_t2p(tasks.size(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Seed the bound with the local-search solution.
+  Assignment seed = assign_local_search(tasks, num_procs);
+  best = seed.makespan + 1e-9;
+  best_t2p = seed.task_to_proc;
+  exact_recurse(tasks, num_procs, 0, load, t2p, best, best_t2p);
+  return evaluate_assignment(tasks, best_t2p, num_procs);
+}
+
+double throughput_per_second(double makespan_cycles, double clock_mhz) {
+  return makespan_cycles > 0 ? clock_mhz * 1e6 / makespan_cycles : 0.0;
+}
+
+}  // namespace cms::opt

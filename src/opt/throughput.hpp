@@ -1,0 +1,53 @@
+// Static task-to-processor assignment and the throughput model of paper
+// section 3.1.
+//
+// With static assignment, tasks on one processor execute sequentially, so
+// the processor's time per application period is
+//     T(p_k) = sum_{i in V_k} t_i(c(tau_i)) + t_switch + t_idle
+// and the throughput is 1 / max_k T(p_k). The optimizer below minimizes
+// max_k T(p_k) over assignments (LPT construction + pairwise-move local
+// search; exact DFS for small task counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cms::opt {
+
+struct TaskLoad {
+  TaskId id = kInvalidTask;
+  std::string name;
+  double cycles = 0.0;  // t_i at its allocated cache size
+};
+
+struct Assignment {
+  std::vector<ProcId> task_to_proc;  // indexed like the TaskLoad vector
+  double makespan = 0.0;             // max_k T(p_k)
+  std::vector<double> proc_load;
+};
+
+/// Evaluate a given assignment.
+Assignment evaluate_assignment(const std::vector<TaskLoad>& tasks,
+                               const std::vector<ProcId>& task_to_proc,
+                               std::uint32_t num_procs);
+
+/// Longest-processing-time-first construction.
+Assignment assign_lpt(const std::vector<TaskLoad>& tasks,
+                      std::uint32_t num_procs);
+
+/// LPT followed by single-move/swap local search.
+Assignment assign_local_search(const std::vector<TaskLoad>& tasks,
+                               std::uint32_t num_procs);
+
+/// Exact branch-and-bound (use for <= ~14 tasks).
+Assignment assign_exact(const std::vector<TaskLoad>& tasks,
+                        std::uint32_t num_procs);
+
+/// Throughput in applications per second given the bottleneck processor
+/// time in cycles.
+double throughput_per_second(double makespan_cycles, double clock_mhz);
+
+}  // namespace cms::opt

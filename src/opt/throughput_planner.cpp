@@ -1,0 +1,118 @@
+#include "opt/throughput_planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "common/log.hpp"
+
+namespace cms::opt {
+
+namespace {
+
+/// Rebuild loads from the profile at the plan's current task sizes.
+std::vector<TaskLoad> loads_at(const MissProfile& prof,
+                               const PartitionPlan& plan) {
+  std::vector<TaskLoad> loads;
+  for (const auto& e : plan.entries) {
+    if (!e.is_task) continue;
+    loads.push_back({e.client.id, e.name, prof.active_cycles(e.name, e.sets)});
+  }
+  return loads;
+}
+
+PlanEntry* find_task_entry(PartitionPlan& plan, const std::string& name) {
+  for (auto& e : plan.entries)
+    if (e.is_task && e.name == name) return &e;
+  return nullptr;
+}
+
+/// Re-pack partition bases after size changes.
+void relayout(PartitionPlan& plan) {
+  std::uint32_t base = 0;
+  for (auto& e : plan.entries) {
+    e.partition = {base, e.sets};
+    base += e.sets;
+  }
+  plan.used_sets = base;
+  plan.spare = {base, plan.total_sets > base ? plan.total_sets - base : 0};
+  if (plan.spare.num_sets == 0) plan.spare = {0, plan.total_sets};
+}
+
+}  // namespace
+
+ThroughputPlan plan_for_throughput(
+    const MissProfile& prof,
+    const std::vector<std::pair<TaskId, std::string>>& tasks,
+    const std::vector<kpn::SharedBufferInfo>& buffers,
+    const mem::CacheConfig& l2, const ThroughputPlannerConfig& cfg) {
+  ThroughputPlan out;
+  // Seed with the miss-optimal plan (the paper's practical approximation;
+  // minimizing misses is already a good throughput proxy).
+  out.partition = plan_partitions(prof, tasks, buffers, l2, cfg.base);
+  if (!out.partition.feasible) return out;
+
+  auto evaluate = [&](const PartitionPlan& plan) {
+    const auto loads = loads_at(prof, plan);
+    return std::pair{assign_local_search(loads, cfg.num_procs), loads};
+  };
+
+  auto [assignment, loads] = evaluate(out.partition);
+  double best = assignment.makespan;
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    // Bottleneck processor and its tasks.
+    const auto bottleneck = static_cast<ProcId>(
+        std::max_element(assignment.proc_load.begin(),
+                         assignment.proc_load.end()) -
+        assignment.proc_load.begin());
+
+    // Candidate moves: upgrade a bottleneck task to its next measured
+    // size (using spare capacity, or capacity freed by downgrading a task
+    // on the least-loaded processor by one step).
+    double best_new = best;
+    PartitionPlan best_plan;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (assignment.task_to_proc[i] != bottleneck) continue;
+      const std::string& name = loads[i].name;
+      PlanEntry* entry = find_task_entry(out.partition, name);
+      assert(entry != nullptr);
+      const auto sizes = prof.sizes(name);
+      const auto it = std::find(sizes.begin(), sizes.end(), entry->sets);
+      if (it == sizes.end() || it + 1 == sizes.end()) continue;
+      const std::uint32_t next_size = *(it + 1);
+      const std::uint32_t extra = next_size - entry->sets;
+      if (out.partition.used_sets + extra > out.partition.total_sets) continue;
+
+      PartitionPlan cand = out.partition;
+      PlanEntry* ce = find_task_entry(cand, name);
+      ce->sets = next_size;
+      ce->expected_misses = prof.misses(name, next_size);
+      relayout(cand);
+      const auto [a2, unused_loads] = evaluate(cand);
+      (void)unused_loads;
+      if (a2.makespan + 1e-9 < best_new) {
+        best_new = a2.makespan;
+        best_plan = cand;
+      }
+    }
+    if (best_new + 1e-9 >= best) break;
+    out.partition = std::move(best_plan);
+    std::tie(assignment, loads) = evaluate(out.partition);
+    best = assignment.makespan;
+  }
+
+  out.assignment = std::move(assignment);
+  out.loads = std::move(loads);
+  out.model_makespan = best;
+  out.feasible = true;
+  // Recompute the aggregate expectation after upgrades (tasks plus the
+  // MCKP-planned frame buffers, matching plan_partitions' accounting).
+  out.partition.expected_task_misses = 0;
+  for (const auto& e : out.partition.entries)
+    out.partition.expected_task_misses += e.expected_misses;
+  return out;
+}
+
+}  // namespace cms::opt

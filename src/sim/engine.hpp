@@ -1,0 +1,88 @@
+// Timing engine — phase two of the two-phase execution model.
+//
+// Each processor holds a queue of recorded accesses from its current task
+// firing and a local clock. The engine always advances the processor with
+// the smallest clock, so accesses from different processors interleave at
+// the shared L2 in global time order, and each access's measured latency
+// feeds back into the issuing processor's clock (and hence into the
+// production/consumption rates of the KPN — the mechanism behind the
+// paper's predictability discussion in section 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+#include "sim/results.hpp"
+#include "sim/task.hpp"
+
+namespace cms::sim {
+
+class TimingEngine {
+ public:
+  /// `finished` — optional application-level termination predicate (e.g.
+  /// "the sink consumed all frames"); when absent the engine runs until
+  /// every task reports done() or no task can fire.
+  TimingEngine(Platform& platform, Os& os, std::vector<Task*> tasks,
+               std::function<bool()> finished = nullptr);
+
+  /// Human-readable names for buffer ids (used in the result records).
+  void set_buffer_names(std::map<BufferId, std::string> names) {
+    buffer_names_ = std::move(names);
+  }
+
+  /// Periodic hook, called whenever simulated time crosses a multiple of
+  /// `length` cycles (used by dynamic cache-repartitioning policies in
+  /// the spirit of Suh et al. [10]).
+  using EpochHook = std::function<void(Cycle now, mem::MemoryHierarchy&)>;
+  void set_epoch_hook(Cycle length, EpochHook hook) {
+    epoch_length_ = length;
+    epoch_hook_ = std::move(hook);
+  }
+
+  /// Run to completion and collect results. Statistics of the hierarchy
+  /// are reset at the start of the run.
+  SimResults run();
+
+ private:
+  struct ProcState {
+    Cycle clock = 0;
+    int current = -1;  // index into tasks_, -1 = none
+    std::uint32_t quantum_left = 0;
+    std::deque<MemAccess> pending;
+    ProcRunStats stats;
+  };
+
+  struct TaskState {
+    bool dispatched = false;  // a firing of this task is in flight
+    TaskRunStats stats;
+  };
+
+  /// Dispatch one firing of tasks_[idx] on proc `p` (functional phase).
+  void dispatch(ProcState& ps, std::size_t p, int idx);
+  /// Replay the next pending access of proc `p` (timing phase).
+  void step_access(ProcState& ps, std::size_t p);
+  bool all_done() const;
+  SimResults collect(bool deadlocked, bool hit_limit);
+
+  Platform& platform_;
+  Os& os_;
+  std::vector<Task*> tasks_;
+  std::function<bool()> finished_;
+  std::map<BufferId, std::string> buffer_names_;
+
+  std::vector<ProcState> procs_;
+  std::vector<TaskState> task_states_;
+  std::uint64_t dispatches_ = 0;
+  Cycle epoch_length_ = 0;
+  EpochHook epoch_hook_;
+  Cycle next_epoch_ = 0;
+};
+
+}  // namespace cms::sim

@@ -1,0 +1,29 @@
+#include "sim/os.hpp"
+
+namespace cms::sim {
+
+int Os::pick(ProcId proc, const std::vector<Task*>& tasks,
+             const std::vector<bool>& busy) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return -1;
+  if (!cursors_seeded_) {
+    for (std::size_t p = 0; p < cursors_.size(); ++p)
+      cursors_[p] = (jitter_ * 2654435761ull + p * 40503ull) % n;
+    cursors_seeded_ = true;
+  }
+  std::size_t& cursor = cursors_[static_cast<std::size_t>(proc)];
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (cursor + k) % n;
+    Task* t = tasks[i];
+    if (busy[i] || t->done() || !t->can_fire()) continue;
+    if (policy_ == SchedPolicy::kStatic) {
+      const auto it = assignment_.find(t->id());
+      if (it == assignment_.end() || it->second != proc) continue;
+    }
+    cursor = (i + 1) % n;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cms::sim

@@ -1,0 +1,13 @@
+#include "sim/platform.hpp"
+
+namespace cms::sim {
+
+PlatformConfig cake_platform() {
+  PlatformConfig cfg;
+  cfg.hier.num_procs = 4;
+  cfg.hier.l1 = mem::cake_l1_config();
+  cfg.hier.l2 = mem::cake_l2_config();
+  return cfg;
+}
+
+}  // namespace cms::sim

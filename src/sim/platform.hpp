@@ -1,0 +1,56 @@
+// Platform = one CAKE-like tile: processors + memory hierarchy + the
+// system-level costs the timing engine charges (task switching, runtime
+// data touched by the scheduler).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/hierarchy.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::sim {
+
+struct PlatformConfig {
+  mem::HierarchyConfig hier;
+
+  /// Cycles charged on a context switch (scheduler + register state).
+  Cycle task_switch_cost = 150;
+
+  /// Consecutive firings of the same task before the round-robin scheduler
+  /// considers switching (lowers the switch rate, as is typical for
+  /// multimedia workloads — paper section 3).
+  std::uint32_t quantum_firings = 4;
+
+  /// Runtime (OS) static data/bss regions; when set, every context switch
+  /// records a small burst of accesses there, which is what gives the
+  /// paper's "rt data"/"rt bss" cache partitions something to do.
+  Region rt_data;
+  Region rt_bss;
+  std::uint32_t switch_touch_bytes = 256;
+
+  /// Safety valve for runaway simulations.
+  std::uint64_t max_dispatches = 200'000'000ull;
+};
+
+/// The default experimental platform of the paper: 4 processors, 16 KB
+/// private L1s, shared 512 KB 4-way L2.
+PlatformConfig cake_platform();
+
+class Platform {
+ public:
+  explicit Platform(const PlatformConfig& cfg)
+      : cfg_(cfg), hier_(std::make_unique<mem::MemoryHierarchy>(cfg.hier)) {}
+
+  const PlatformConfig& config() const { return cfg_; }
+  PlatformConfig& mutable_config() { return cfg_; }
+  mem::MemoryHierarchy& hierarchy() { return *hier_; }
+  const mem::MemoryHierarchy& hierarchy() const { return *hier_; }
+  std::uint32_t num_procs() const { return cfg_.hier.num_procs; }
+
+ private:
+  PlatformConfig cfg_;
+  std::unique_ptr<mem::MemoryHierarchy> hier_;
+};
+
+}  // namespace cms::sim

@@ -1,0 +1,14 @@
+#include "sim/regions.hpp"
+
+namespace cms::sim {
+
+Region AddressSpace::allocate(std::uint64_t size, const std::string& name) {
+  if (size == 0) size = 1;
+  const std::uint64_t aligned = (size + alignment_ - 1) / alignment_ * alignment_;
+  Region r{next_, aligned, name};
+  next_ += aligned;
+  allocated_.push_back(r);
+  return r;
+}
+
+}  // namespace cms::sim

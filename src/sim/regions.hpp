@@ -1,0 +1,55 @@
+// Address-space layout management for the simulated linear address space.
+//
+// Every task owns private regions (code, stack, heap); shared entities
+// (FIFOs, frame buffers, the application's and the runtime's static
+// data/bss segments) own shared regions that the OS registers in the L2
+// interval table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cms::sim {
+
+/// One contiguous region of the simulated address space.
+struct Region {
+  Addr base = 0;
+  std::uint64_t size = 0;
+  std::string name;
+
+  Addr end() const { return base + size; }
+  bool contains(Addr a) const { return a >= base && a < end(); }
+};
+
+/// Private memory map of one task.
+struct TaskRegions {
+  Region code;
+  Region stack;
+  Region heap;
+};
+
+/// Bump allocator over the linear address space. Regions are aligned to
+/// `alignment` (default: a typical page) and never reused; the simulation
+/// mirrors the paper's assumption that "memory allocation is done during
+/// the initialization period and the overall allocation order is always
+/// the same" (section 4.1).
+class AddressSpace {
+ public:
+  explicit AddressSpace(Addr base = 0x1000'0000, std::uint64_t alignment = 4096)
+      : next_(base), alignment_(alignment) {}
+
+  Region allocate(std::uint64_t size, const std::string& name);
+
+  Addr watermark() const { return next_; }
+  const std::vector<Region>& regions() const { return allocated_; }
+
+ private:
+  Addr next_;
+  std::uint64_t alignment_;
+  std::vector<Region> allocated_;
+};
+
+}  // namespace cms::sim

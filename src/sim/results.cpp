@@ -1,0 +1,41 @@
+#include "sim/results.hpp"
+
+namespace cms::sim {
+
+double SimResults::mean_cpi() const {
+  if (procs.empty()) return 0.0;
+  double acc = 0.0;
+  int n = 0;
+  for (const auto& p : procs) {
+    if (p.instructions == 0) continue;
+    acc += p.cpi();
+    ++n;
+  }
+  return n ? acc / n : 0.0;
+}
+
+const TaskRunStats* SimResults::find_task(const std::string& name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const BufferRunStats* SimResults::find_buffer(const std::string& name) const {
+  for (const auto& b : buffers)
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+std::uint64_t SimResults::task_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tasks) n += t.l2.misses;
+  return n;
+}
+
+std::uint64_t SimResults::buffer_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buffers) n += b.l2.misses;
+  return n;
+}
+
+}  // namespace cms::sim

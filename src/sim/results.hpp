@@ -1,0 +1,78 @@
+// Result records produced by one simulation run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace cms::sim {
+
+struct TaskRunStats {
+  TaskId id = kInvalidTask;
+  std::string name;
+  std::uint64_t firings = 0;
+  std::uint64_t instructions = 0;   // compute cycles + one per access
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t mem_cycles = 0;     // cycles spent waiting on memory
+  Cycle active_cycles = 0;          // compute + memory (the task's t_i)
+  mem::CacheStats l2;               // this task's share of L2 behaviour
+};
+
+struct BufferRunStats {
+  BufferId id = kInvalidBuffer;
+  std::string name;
+  mem::CacheStats l2;
+};
+
+struct ProcRunStats {
+  ProcId id = 0;
+  Cycle cycles = 0;         // final local clock
+  Cycle busy_cycles = 0;    // executing task firings
+  Cycle idle_cycles = 0;
+  Cycle switch_cycles = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t instructions = 0;
+
+  /// Cycles-per-instruction over the cycles the processor actually worked
+  /// (busy + switching); idle waiting is reported separately.
+  double cpi() const {
+    return instructions ? static_cast<double>(busy_cycles + switch_cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+};
+
+struct SimResults {
+  std::vector<TaskRunStats> tasks;
+  std::vector<BufferRunStats> buffers;
+  std::vector<ProcRunStats> procs;
+
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  mem::TrafficStats traffic;
+  Cycle makespan = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t dispatches = 0;
+  bool deadlocked = false;
+  bool hit_dispatch_limit = false;
+
+  double l2_miss_rate() const {
+    return l2_accesses ? static_cast<double>(l2_misses) /
+                             static_cast<double>(l2_accesses)
+                       : 0.0;
+  }
+  double mean_cpi() const;
+
+  const TaskRunStats* find_task(const std::string& name) const;
+  const BufferRunStats* find_buffer(const std::string& name) const;
+
+  /// Total L2 misses attributed to tasks only / to buffers only.
+  std::uint64_t task_misses() const;
+  std::uint64_t buffer_misses() const;
+};
+
+}  // namespace cms::sim

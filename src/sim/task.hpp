@@ -1,0 +1,72 @@
+// Task abstraction executed by the timing engine.
+//
+// A task fires repeatedly; each firing runs functionally while recording
+// its memory behaviour. KPN processes (src/kpn) implement this interface;
+// synthetic tasks used in tests implement it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/recorder.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::sim {
+
+/// Execution context handed to a firing: the recorder plus the task's
+/// private memory map.
+class TaskContext {
+ public:
+  TaskContext(MemoryRecorder* rec, const TaskRegions* regions)
+      : rec_(rec), regions_(regions) {}
+
+  MemoryRecorder& mem() { return *rec_; }
+  const TaskRegions& regions() const { return *regions_; }
+
+  /// Convenience: record instruction-fetch traffic over this task's code
+  /// region proportional to the work of this firing.
+  void fetch_code(std::uint64_t bytes) { rec_->touch_code(regions_->code, bytes); }
+
+ private:
+  MemoryRecorder* rec_;
+  const TaskRegions* regions_;
+};
+
+class Task {
+ public:
+  Task(TaskId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Task() = default;
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  TaskId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  TaskRegions& regions() { return regions_; }
+  const TaskRegions& regions() const { return regions_; }
+
+  /// May this task fire now? (For KPN processes: are enough input tokens
+  /// and enough output space available?)
+  virtual bool can_fire() const = 0;
+
+  /// Execute one firing functionally, recording memory behaviour.
+  virtual void fire(TaskContext& ctx) = 0;
+
+  /// Has the task completed all its work for this run?
+  virtual bool done() const = 0;
+
+  /// The task-owned recorder. Long-lived tracked state (sim::TrackedArray
+  /// members of the task) binds to this instance; the engine drains it
+  /// after each firing.
+  MemoryRecorder& recorder() { return recorder_; }
+
+ private:
+  TaskId id_;
+  std::string name_;
+  TaskRegions regions_;
+  MemoryRecorder recorder_;
+};
+
+}  // namespace cms::sim

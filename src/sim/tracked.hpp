@@ -1,0 +1,127 @@
+// Instrumented containers: real C++ data whose element accesses are
+// mirrored into the MemoryRecorder at simulated addresses.
+//
+// This is how the workloads produce *real* address traces: a task's
+// arrays live in its (or a shared buffer's) region of the simulated
+// address space, and every get/set both performs the actual computation
+// on host data and records a simulated load/store.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/recorder.hpp"
+#include "sim/regions.hpp"
+
+namespace cms::sim {
+
+/// Fixed-size array of T bound to a region of the simulated address
+/// space. Element i is recorded at `base + i * sizeof(T)`.
+template <typename T>
+class TrackedArray {
+ public:
+  TrackedArray() = default;
+  TrackedArray(MemoryRecorder* rec, Region region, std::size_t count)
+      : rec_(rec), region_(region), data_(count) {
+    assert(count * sizeof(T) <= region.size);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  const Region& region() const { return region_; }
+
+  T get(std::size_t i) const {
+    assert(i < data_.size());
+    rec_->read(addr_of(i), sizeof(T));
+    return data_[i];
+  }
+
+  void set(std::size_t i, T v) {
+    assert(i < data_.size());
+    rec_->write(addr_of(i), sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Read-modify-write helper (one load + one store).
+  template <typename F>
+  void update(std::size_t i, F&& f) {
+    set(i, f(get(i)));
+  }
+
+  /// Untracked view of the host data for result verification only — does
+  /// not emit simulated accesses, so never use it inside a task's fire().
+  const std::vector<T>& host_data() const { return data_; }
+  std::vector<T>& host_data() { return data_; }
+
+  Addr addr_of(std::size_t i) const {
+    return region_.base + static_cast<Addr>(i) * sizeof(T);
+  }
+
+ private:
+  MemoryRecorder* rec_ = nullptr;
+  Region region_;
+  std::vector<T> data_;
+};
+
+/// Array in *shared* memory accessed by several tasks (e.g. the constant
+/// tables in the application's data segment). Unlike TrackedArray it is
+/// not bound to one recorder: the acting task passes its recorder per
+/// call, so accesses are attributed to whoever performs them — while the
+/// address (and hence the cache client, via the interval table) stays the
+/// shared segment's.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(Region region, std::vector<T> data)
+      : region_(region), data_(std::move(data)) {
+    assert(data_.size() * sizeof(T) <= region.size);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  const Region& region() const { return region_; }
+
+  T get(MemoryRecorder& rec, std::size_t i) const {
+    assert(i < data_.size());
+    rec.read(region_.base + i * sizeof(T), sizeof(T));
+    return data_[i];
+  }
+
+  void set(MemoryRecorder& rec, std::size_t i, T v) {
+    assert(i < data_.size());
+    rec.write(region_.base + i * sizeof(T), sizeof(T));
+    data_[i] = v;
+  }
+
+  const std::vector<T>& host_data() const { return data_; }
+
+ private:
+  Region region_;
+  std::vector<T> data_;
+};
+
+/// A single tracked scalar (e.g. a state variable kept in the task's
+/// stack frame).
+template <typename T>
+class TrackedScalar {
+ public:
+  TrackedScalar() = default;
+  TrackedScalar(MemoryRecorder* rec, Addr addr, T init = T{})
+      : rec_(rec), addr_(addr), value_(init) {}
+
+  T get() const {
+    rec_->read(addr_, sizeof(T));
+    return value_;
+  }
+  void set(T v) {
+    rec_->write(addr_, sizeof(T));
+    value_ = v;
+  }
+
+ private:
+  MemoryRecorder* rec_ = nullptr;
+  Addr addr_ = 0;
+  T value_{};
+};
+
+}  // namespace cms::sim

@@ -1,0 +1,98 @@
+// Tests for the MSB-first bit reader/writer.
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace cms {
+namespace {
+
+TEST(BitWriter, PacksMsbFirst) {
+  BitWriter bw;
+  bw.put(0b101, 3);
+  bw.put(0b00001, 5);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100001);
+}
+
+TEST(BitWriter, AlignPadsWithOnes) {
+  BitWriter bw;
+  bw.put(0b0, 1);
+  bw.align();
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b01111111);
+}
+
+TEST(BitWriter, ThirtyTwoBitValues) {
+  BitWriter bw;
+  bw.put(0xDEADBEEF, 32);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xDE);
+  EXPECT_EQ(bytes[3], 0xEF);
+}
+
+TEST(BitReader, ReadsBack) {
+  const std::uint8_t data[] = {0xA5, 0x3C};
+  BitReader br(data, 2);
+  EXPECT_EQ(br.get(4), 0xAu);
+  EXPECT_EQ(br.get(4), 0x5u);
+  EXPECT_EQ(br.get(8), 0x3Cu);
+  EXPECT_FALSE(br.exhausted());
+}
+
+TEST(BitReader, PeekDoesNotAdvance) {
+  const std::uint8_t data[] = {0xF0};
+  BitReader br(data, 1);
+  EXPECT_EQ(br.peek(4), 0xFu);
+  EXPECT_EQ(br.peek(4), 0xFu);
+  EXPECT_EQ(br.bit_pos(), 0u);
+  br.skip(4);
+  EXPECT_EQ(br.peek(4), 0x0u);
+}
+
+TEST(BitReader, ExhaustionOnOverrun) {
+  const std::uint8_t data[] = {0xFF};
+  BitReader br(data, 1);
+  br.get(8);
+  EXPECT_FALSE(br.exhausted());
+  br.get(1);
+  EXPECT_TRUE(br.exhausted());
+  EXPECT_EQ(br.bits_left(), 0u);
+}
+
+TEST(BitReader, AlignSkipsToByteBoundary) {
+  const std::uint8_t data[] = {0xFF, 0x81};
+  BitReader br(data, 2);
+  br.get(3);
+  br.align();
+  EXPECT_EQ(br.bit_pos(), 8u);
+  EXPECT_EQ(br.get(8), 0x81u);
+}
+
+class BitstreamRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitstreamRoundtrip, RandomFieldSequences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter bw;
+  for (int i = 0; i < 1000; ++i) {
+    const int width = 1 + static_cast<int>(rng.below(24));
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(rng.next_u64()) &
+        ((width == 32) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+    fields.emplace_back(value, width);
+    bw.put(value, width);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  for (const auto& [value, width] : fields)
+    EXPECT_EQ(br.get(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamRoundtrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cms

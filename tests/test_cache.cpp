@@ -1,0 +1,200 @@
+// Unit tests for the set-associative cache model.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+
+namespace cms::mem {
+namespace {
+
+CacheConfig small_cache(std::uint32_t sets = 4, std::uint32_t ways = 2,
+                        std::uint32_t line = 64) {
+  CacheConfig cfg;
+  cfg.line_bytes = line;
+  cfg.ways = ways;
+  cfg.size_bytes = sets * ways * line;
+  return cfg;
+}
+
+TEST(CacheConfig, GeometryAndValidity) {
+  CacheConfig cfg = cake_l2_config();
+  EXPECT_TRUE(cfg.valid());
+  EXPECT_EQ(cfg.num_sets(), 2048u);  // 512KB / (64B * 4)
+  cfg.line_bytes = 48;               // not a power of two
+  EXPECT_FALSE(cfg.valid());
+}
+
+TEST(Cache, FirstAccessIsColdMiss) {
+  SetAssocCache cache(small_cache());
+  const auto r = cache.access(0x1000, AccessType::kRead, ClientId::task(1));
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.cold);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().cold_misses, 1u);
+}
+
+TEST(Cache, SecondAccessHits) {
+  SetAssocCache cache(small_cache());
+  cache.access(0x1000, AccessType::kRead, ClientId::task(1));
+  const auto r = cache.access(0x1004, AccessType::kRead, ClientId::task(1));
+  EXPECT_TRUE(r.hit);  // same line
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, ConflictMissAfterEviction) {
+  // 4 sets, 2 ways: three lines mapping to the same set evict the LRU one.
+  SetAssocCache cache(small_cache(4, 2));
+  const Addr stride = 4 * 64;  // same set
+  cache.access(0 * stride, AccessType::kRead, ClientId::task(1));
+  cache.access(1 * stride, AccessType::kRead, ClientId::task(1));
+  cache.access(2 * stride, AccessType::kRead, ClientId::task(1));  // evicts line 0
+  const auto r = cache.access(0, AccessType::kRead, ClientId::task(1));
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.cold);  // seen before: conflict, not cold
+}
+
+TEST(Cache, LruKeepsRecentlyUsed) {
+  SetAssocCache cache(small_cache(1, 2));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(1 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));  // touch 0 again
+  cache.access(2 * 64, AccessType::kRead, ClientId::task(1));  // evicts 1
+  EXPECT_TRUE(cache.access(0 * 64, AccessType::kRead, ClientId::task(1)).hit);
+  EXPECT_FALSE(cache.access(1 * 64, AccessType::kRead, ClientId::task(1)).hit);
+}
+
+TEST(Cache, FifoEvictsInsertionOrder) {
+  CacheConfig cfg = small_cache(1, 2);
+  cfg.replacement = Replacement::kFifo;
+  SetAssocCache cache(cfg);
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(1 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));  // no effect on FIFO
+  cache.access(2 * 64, AccessType::kRead, ClientId::task(1));  // evicts 0
+  EXPECT_FALSE(cache.access(0 * 64, AccessType::kRead, ClientId::task(1)).hit);
+}
+
+TEST(Cache, WriteBackMarksDirtyAndWritesBack) {
+  SetAssocCache cache(small_cache(1, 1));
+  cache.access(0 * 64, AccessType::kWrite, ClientId::task(1));
+  const auto r = cache.access(1 * 64, AccessType::kRead, ClientId::task(1));
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_line, 0u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  SetAssocCache cache(small_cache(1, 1));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));
+  const auto r = cache.access(1 * 64, AccessType::kRead, ClientId::task(1));
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteThroughNoAllocateBypassesOnMiss) {
+  CacheConfig cfg = small_cache();
+  cfg.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  SetAssocCache cache(cfg);
+  cache.access(0x0, AccessType::kWrite, ClientId::task(1));
+  EXPECT_EQ(cache.occupancy(), 0u);  // no allocation on write miss
+  // Read allocates; a subsequent write hit keeps the line clean.
+  cache.access(0x0, AccessType::kRead, ClientId::task(1));
+  cache.access(0x0, AccessType::kWrite, ClientId::task(1));
+  const std::uint64_t dirty = cache.flush();
+  EXPECT_EQ(dirty, 0u);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  SetAssocCache cache(small_cache());
+  cache.access(0x0, AccessType::kWrite, ClientId::task(1));
+  cache.access(0x1000, AccessType::kRead, ClientId::task(1));
+  EXPECT_EQ(cache.occupancy(), 2u);
+  const std::uint64_t dirty = cache.flush();
+  EXPECT_EQ(dirty, 1u);
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_FALSE(cache.access(0x0, AccessType::kRead, ClientId::task(1)).hit);
+}
+
+TEST(Cache, FlushClientOnlyRemovesThatClient) {
+  SetAssocCache cache(small_cache(8, 2));
+  cache.access(0x0, AccessType::kRead, ClientId::task(1));
+  cache.access(0x40, AccessType::kRead, ClientId::task(2));
+  cache.flush_client(ClientId::task(1));
+  EXPECT_FALSE(cache.access(0x0, AccessType::kRead, ClientId::task(1)).hit);
+  EXPECT_TRUE(cache.access(0x40, AccessType::kRead, ClientId::task(2)).hit);
+}
+
+TEST(Cache, EvictionByOtherClientCounted) {
+  SetAssocCache cache(small_cache(1, 1));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(1 * 64, AccessType::kRead, ClientId::task(2));  // evicts task 1's line
+  EXPECT_EQ(cache.stats().evictions_by_other, 1u);
+}
+
+TEST(Cache, OccupancyPerClient) {
+  SetAssocCache cache(small_cache(8, 2));
+  cache.access(0x0, AccessType::kRead, ClientId::task(1));
+  cache.access(0x40, AccessType::kRead, ClientId::task(1));
+  cache.access(0x80, AccessType::kRead, ClientId::task(2));
+  EXPECT_EQ(cache.occupancy_of(ClientId::task(1)), 2u);
+  EXPECT_EQ(cache.occupancy_of(ClientId::task(2)), 1u);
+}
+
+TEST(Cache, AccessAtRespectsExplicitIndex) {
+  SetAssocCache cache(small_cache(4, 1));
+  // Install the same line address at two different set indices; both can
+  // coexist (this is exactly what partitioned index translation exploits).
+  cache.access_at(0, 0x1000, AccessType::kRead, ClientId::task(1));
+  cache.access_at(1, 0x1000, AccessType::kRead, ClientId::task(2));
+  EXPECT_TRUE(cache.contains(0, 0x1000));
+  EXPECT_TRUE(cache.contains(1, 0x1000));
+  EXPECT_EQ(cache.occupancy(), 2u);
+}
+
+// ---- Property: LRU inclusion (stack property). A larger-associativity
+// cache with the same sets hits whenever the smaller one hits. ----
+
+class LruStackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LruStackProperty, BiggerAssociativityIsNeverWorse) {
+  const int seed = GetParam();
+  CacheConfig small = small_cache(4, 2);
+  CacheConfig big = small_cache(4, 4);
+  SetAssocCache c_small(small), c_big(big);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (int i = 0; i < 4000; ++i) {
+    // Restrict to a fixed set so both caches see identical indices.
+    const std::uint32_t set = static_cast<std::uint32_t>(rng.below(4));
+    const Addr tag = rng.below(16);
+    const Addr addr = (tag * 4 + set) * 64;
+    const auto rs = c_small.access_at(set, addr, AccessType::kRead, ClientId::task(1));
+    const auto rb = c_big.access_at(set, addr, AccessType::kRead, ClientId::task(1));
+    if (rs.hit) {
+      EXPECT_TRUE(rb.hit) << "inclusion violated at access " << i;
+    }
+  }
+  EXPECT_GE(c_big.stats().hits, c_small.stats().hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruStackProperty, ::testing::Range(0, 8));
+
+// ---- Property: miss count is deterministic for a given seed. ----
+
+TEST(Cache, DeterministicForFixedSeed) {
+  for (const Replacement repl :
+       {Replacement::kLru, Replacement::kFifo, Replacement::kRandom}) {
+    CacheConfig cfg = small_cache(16, 4);
+    cfg.replacement = repl;
+    SetAssocCache a(cfg, 7), b(cfg, 7);
+    Rng rng(42);
+    std::uint64_t misses_a = 0, misses_b = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const Addr addr = rng.below(1 << 16) & ~63ull;
+      misses_a += a.access(addr, AccessType::kRead, ClientId::task(0)).hit ? 0 : 1;
+      misses_b += b.access(addr, AccessType::kRead, ClientId::task(0)).hit ? 0 : 1;
+    }
+    EXPECT_EQ(misses_a, misses_b);
+  }
+}
+
+}  // namespace
+}  // namespace cms::mem

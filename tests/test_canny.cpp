@@ -1,0 +1,104 @@
+// Tests for the Canny pipeline and its reference oracle.
+#include <gtest/gtest.h>
+
+#include "apps/canny/canny_kpn.hpp"
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+
+namespace cms::apps {
+namespace {
+
+sim::SimResults run_net(kpn::Network& net, std::uint32_t procs = 2) {
+  sim::PlatformConfig pc;
+  pc.hier.num_procs = procs;
+  pc.hier.l2.size_bytes = 64 * 1024;
+  sim::Platform platform(pc);
+  for (const auto& b : net.buffers())
+    platform.hierarchy().l2().interval_table().add(b.base, b.footprint, b.id);
+  sim::Os os(sim::SchedPolicy::kMigrating, procs);
+  sim::TimingEngine engine(platform, os, net.tasks());
+  return engine.run();
+}
+
+TEST(CannyReference, OutputIsBinary) {
+  const Image out = canny_reference(testimg::blocks(64, 48, 1));
+  for (const auto p : out.pixels()) EXPECT_TRUE(p == 0 || p == 255);
+}
+
+TEST(CannyReference, FlatImageHasNoEdges) {
+  const Image flat(64, 48, 128);
+  const Image out = canny_reference(flat);
+  for (const auto p : out.pixels()) EXPECT_EQ(p, 0);
+}
+
+TEST(CannyReference, StepEdgeDetected) {
+  Image img(64, 48, 20);
+  for (int y = 0; y < 48; ++y)
+    for (int x = 32; x < 64; ++x) img.set(x, y, 220);
+  const Image out = canny_reference(img);
+  // A vertical edge near x=32 must be marked on interior rows.
+  bool found = false;
+  for (int x = 28; x < 36; ++x) found |= out.at(x, 24) == 255;
+  EXPECT_TRUE(found);
+}
+
+TEST(CannyKpn, PipelineMatchesReferenceExactly) {
+  const std::vector<Image> frames = {testimg::blocks(48, 32, 91)};
+  kpn::Network net;
+  const CannyPipeline pipe = add_canny(net, frames);
+  const sim::SimResults res = run_net(net);
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_TRUE(net.all_tasks_done());
+
+  const Image want = canny_reference(frames[0]);
+  EXPECT_EQ(pipe.output->host_data(), want.pixels());
+}
+
+TEST(CannyKpn, MultiFrameLeavesLastResult) {
+  const std::vector<Image> frames = {testimg::blocks(48, 32, 92),
+                                     testimg::blocks(48, 32, 93),
+                                     testimg::gradient(48, 32, 94)};
+  kpn::Network net;
+  const CannyPipeline pipe = add_canny(net, frames);
+  const sim::SimResults res = run_net(net);
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_EQ(pipe.output->host_data(), canny_reference(frames.back()).pixels());
+}
+
+TEST(CannyKpn, SevenTasksWithPaperNames) {
+  kpn::Network net;
+  add_canny(net, {testimg::blocks(16, 16, 1)});
+  for (const char* name : {"FrCanny", "LowPass", "HorizSobel", "VertSobel",
+                           "HorizNMS", "VertNMS", "MaxTreshold"})
+    EXPECT_NE(net.find_process(name), nullptr) << name;
+  EXPECT_EQ(net.processes().size(), 7u);
+}
+
+TEST(CannyKpn, ResultIndependentOfProcessorCount) {
+  const std::vector<Image> frames = {testimg::blocks(48, 32, 95)};
+  std::vector<std::uint8_t> out1, out4;
+  {
+    kpn::Network net;
+    const CannyPipeline pipe = add_canny(net, frames);
+    run_net(net, 1);
+    out1 = pipe.output->host_data();
+  }
+  {
+    kpn::Network net;
+    const CannyPipeline pipe = add_canny(net, frames);
+    run_net(net, 4);
+    out4 = pipe.output->host_data();
+  }
+  EXPECT_EQ(out1, out4);  // Kahn determinism
+}
+
+TEST(CannyKpn, AllStagesFire) {
+  kpn::Network net;
+  add_canny(net, {testimg::blocks(32, 24, 96)});
+  const sim::SimResults res = run_net(net);
+  for (const auto& t : res.tasks) EXPECT_GT(t.firings, 0u) << t.name;
+}
+
+}  // namespace
+}  // namespace cms::apps

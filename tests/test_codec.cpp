@@ -1,0 +1,225 @@
+// Tests for the codec substrate: DCT, tables, exp-Golomb VLC and the JPEG
+// Huffman coder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/codec/dct.hpp"
+#include "apps/codec/huffman.hpp"
+#include "apps/codec/tables.hpp"
+#include "apps/codec/vlc.hpp"
+#include "common/rng.hpp"
+
+namespace cms::apps {
+namespace {
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  std::uint8_t pix[kBlockSize];
+  std::fill(pix, pix + kBlockSize, 200);
+  std::int16_t coef[kBlockSize];
+  forward_dct(pix, coef);
+  EXPECT_NE(coef[0], 0);
+  for (int i = 1; i < kBlockSize; ++i) EXPECT_EQ(coef[i], 0) << "AC " << i;
+}
+
+TEST(Dct, RoundtripIsNearLossless) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint8_t pix[kBlockSize], rec[kBlockSize];
+    for (auto& p : pix) p = static_cast<std::uint8_t>(rng.below(256));
+    std::int16_t coef[kBlockSize];
+    forward_dct(pix, coef);
+    inverse_dct(coef, rec);
+    for (int i = 0; i < kBlockSize; ++i)
+      EXPECT_NEAR(static_cast<int>(pix[i]), static_cast<int>(rec[i]), 1);
+  }
+}
+
+TEST(Dct, ResidualRoundtrip) {
+  Rng rng(12);
+  std::int16_t res[kBlockSize], rec[kBlockSize], coef[kBlockSize];
+  for (auto& r : res) r = static_cast<std::int16_t>(rng.range(-200, 200));
+  forward_dct_residual(res, coef);
+  inverse_dct_residual(coef, rec);
+  for (int i = 0; i < kBlockSize; ++i)
+    EXPECT_NEAR(res[i], rec[i], 1);
+}
+
+TEST(Dct, LinearityOfForwardTransform) {
+  // DCT(a+b) == DCT(a) + DCT(b) for residual input (up to rounding).
+  Rng rng(13);
+  std::int16_t a[kBlockSize], b[kBlockSize], sum[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) {
+    a[i] = static_cast<std::int16_t>(rng.range(-50, 50));
+    b[i] = static_cast<std::int16_t>(rng.range(-50, 50));
+    sum[i] = static_cast<std::int16_t>(a[i] + b[i]);
+  }
+  std::int16_t ca[kBlockSize], cb[kBlockSize], cs[kBlockSize];
+  forward_dct_residual(a, ca);
+  forward_dct_residual(b, cb);
+  forward_dct_residual(sum, cs);
+  for (int i = 0; i < kBlockSize; ++i)
+    EXPECT_NEAR(cs[i], ca[i] + cb[i], 2);
+}
+
+TEST(Tables, ZigzagIsAPermutation) {
+  const auto& zig = zigzag_order();
+  std::array<bool, kBlockSize> seen{};
+  for (int k = 0; k < kBlockSize; ++k) {
+    EXPECT_LT(zig[k], kBlockSize);
+    EXPECT_FALSE(seen[zig[k]]);
+    seen[zig[k]] = true;
+  }
+}
+
+TEST(Tables, ZigzagInverseIsConsistent) {
+  const auto& zig = zigzag_order();
+  const auto& inv = zigzag_inverse();
+  for (int k = 0; k < kBlockSize; ++k) EXPECT_EQ(inv[zig[k]], k);
+}
+
+TEST(Tables, ZigzagStartsAtDcAndWalksAntiDiagonals) {
+  const auto& zig = zigzag_order();
+  EXPECT_EQ(zig[0], 0);
+  EXPECT_EQ(zig[1], 1);      // (1,0)
+  EXPECT_EQ(zig[2], 8);      // (0,1)
+  EXPECT_EQ(zig[63], 63);
+}
+
+TEST(Tables, QuantScalingMonotonicInQuality) {
+  const auto q10 = scaled_quant(10);
+  const auto q50 = scaled_quant(50);
+  const auto q90 = scaled_quant(90);
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_GE(q10[i], q50[i]);
+    EXPECT_GE(q50[i], q90[i]);
+    EXPECT_GE(q90[i], 1);
+  }
+}
+
+TEST(Tables, Quality50IsBaseTable) {
+  const auto q = scaled_quant(50);
+  for (int i = 0; i < kBlockSize; ++i) EXPECT_EQ(q[i], jpeg_luma_quant()[i]);
+}
+
+// ---- exp-Golomb ----
+
+class UeRoundtrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(UeRoundtrip, EncodeDecode) {
+  BitWriter bw;
+  put_ue(bw, GetParam());
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  EXPECT_EQ(get_ue(br), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, UeRoundtrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 63u, 64u,
+                                           255u, 1023u, 65535u));
+
+TEST(Vlc, SeRoundtripRange) {
+  for (int v = -300; v <= 300; ++v) {
+    BitWriter bw;
+    put_se(bw, v);
+    const auto bytes = bw.take();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(get_se(br), v);
+  }
+}
+
+TEST(Vlc, UeBitsMatchesActualLength) {
+  for (std::uint32_t v : {0u, 1u, 5u, 64u, 1000u}) {
+    BitWriter bw;
+    put_ue(bw, v);
+    const int bits = ue_bits(v);
+    EXPECT_EQ((bits + 7) / 8, static_cast<int>(bw.take().size()));
+  }
+}
+
+TEST(Vlc, StreamOfMixedSymbols) {
+  Rng rng(5);
+  std::vector<std::int32_t> values;
+  BitWriter bw;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int32_t>(rng.range(-128, 128));
+    values.push_back(v);
+    put_se(bw, v);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  for (const auto v : values) EXPECT_EQ(get_se(br), v);
+}
+
+// ---- Huffman ----
+
+TEST(Huffman, AllDcSymbolsRoundtrip) {
+  const HuffmanTable& t = jpeg_dc_luma();
+  for (std::uint8_t s = 0; s <= 11; ++s) {
+    BitWriter bw;
+    t.encode(bw, s);
+    const auto bytes = bw.take();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(t.decode(br), s);
+  }
+}
+
+TEST(Huffman, AllAcSymbolsRoundtrip) {
+  const HuffmanTable& t = jpeg_ac_luma();
+  EXPECT_EQ(t.num_symbols(), 162u);  // standard table size
+  for (std::uint8_t run = 0; run <= 15; ++run) {
+    for (std::uint8_t cat = 1; cat <= 10; ++cat) {
+      const auto sym = static_cast<std::uint8_t>((run << 4) | cat);
+      if (t.code_length(sym) == 0) continue;  // not in table
+      BitWriter bw;
+      t.encode(bw, sym);
+      const auto bytes = bw.take();
+      BitReader br(bytes.data(), bytes.size());
+      EXPECT_EQ(t.decode(br), sym);
+    }
+  }
+}
+
+TEST(Huffman, CodesArePrefixFree) {
+  // Decoding a concatenation of symbols recovers the same sequence.
+  const HuffmanTable& t = jpeg_ac_luma();
+  Rng rng(17);
+  std::vector<std::uint8_t> symbols;
+  BitWriter bw;
+  const std::vector<std::uint8_t> valid = {0x00, 0x01, 0x11, 0x22, 0xF0,
+                                           0x05, 0x31, 0x63, 0xA1};
+  for (int i = 0; i < 300; ++i) {
+    const std::uint8_t s = valid[rng.below(valid.size())];
+    symbols.push_back(s);
+    t.encode(bw, s);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  for (const auto s : symbols) EXPECT_EQ(t.decode(br), s);
+}
+
+TEST(Huffman, MagnitudeCategoryBoundaries) {
+  EXPECT_EQ(magnitude_category(0), 0);
+  EXPECT_EQ(magnitude_category(1), 1);
+  EXPECT_EQ(magnitude_category(-1), 1);
+  EXPECT_EQ(magnitude_category(2), 2);
+  EXPECT_EQ(magnitude_category(3), 2);
+  EXPECT_EQ(magnitude_category(4), 3);
+  EXPECT_EQ(magnitude_category(255), 8);
+  EXPECT_EQ(magnitude_category(256), 9);
+}
+
+TEST(Huffman, MagnitudeRoundtrip) {
+  for (int v = -1000; v <= 1000; v += 7) {
+    const int cat = magnitude_category(v);
+    BitWriter bw;
+    put_magnitude(bw, v, cat);
+    bw.put(0xF, 4);  // padding so take() doesn't alter the bits we read
+    const auto bytes = bw.take();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(get_magnitude(br, cat), v) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cms::apps

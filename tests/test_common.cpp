@@ -1,0 +1,153 @@
+// Tests for RNG, statistics, tables and images.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace cms {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const double xs[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 36.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.variance(), 6.0, 1e-12);  // sample variance of 1..8
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(10);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  h.add(-5);
+  h.add(200);
+  EXPECT_EQ(h.total(), 102u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.01);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("x").integer(42).done();
+  t.row().cell("longer-name").num(3.14159, 2).done();
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x           | 42    |"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+}
+
+TEST(Image, GeneratorsAreDeterministic) {
+  const Image a = testimg::blocks(64, 48, 5);
+  const Image b = testimg::blocks(64, 48, 5);
+  const Image c = testimg::blocks(64, 48, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Image, ClampedAccess) {
+  Image img(4, 4);
+  img.set(0, 0, 9);
+  img.set(3, 3, 7);
+  EXPECT_EQ(img.at_clamped(-5, -5), 9);
+  EXPECT_EQ(img.at_clamped(100, 100), 7);
+}
+
+TEST(Image, PsnrProperties) {
+  const Image a = testimg::gradient(32, 32, 1);
+  EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+  Image b = a;
+  b.set(0, 0, static_cast<std::uint8_t>(b.at(0, 0) ^ 0xFF));
+  EXPECT_LT(psnr(a, b), 99.0);
+  EXPECT_GT(psnr(a, b), 20.0);  // single pixel change
+  EXPECT_GT(mean_abs_diff(a, b), 0.0);
+}
+
+TEST(Image, MovingBoxesChangeOverTime) {
+  const Image f0 = testimg::moving_boxes(64, 64, 0, 3);
+  const Image f1 = testimg::moving_boxes(64, 64, 1, 3);
+  EXPECT_NE(f0, f1);
+  EXPECT_LT(mean_abs_diff(f0, f1), 60.0);  // but mostly similar
+}
+
+}  // namespace
+}  // namespace cms

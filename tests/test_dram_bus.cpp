@@ -1,0 +1,90 @@
+// Tests for the banked DRAM and shared bus timing models.
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+#include "mem/dram.hpp"
+
+namespace cms::mem {
+namespace {
+
+TEST(Dram, SameBankSerializes) {
+  DramConfig cfg;
+  cfg.num_banks = 4;
+  cfg.access_latency = 60;
+  cfg.bank_occupancy = 12;
+  Dram dram(cfg);
+  const Cycle t1 = dram.access(0x0, 100);   // bank 0
+  const Cycle t2 = dram.access(0x100, 100); // 0x100/64 % 4 = bank 0
+  EXPECT_EQ(t1, 160u);
+  EXPECT_EQ(t2, 100 + 12 + 60u);  // waits for occupancy
+  EXPECT_EQ(dram.total_wait(), 12u);
+}
+
+TEST(Dram, DifferentBanksProceedInParallel) {
+  Dram dram(DramConfig{});
+  const Cycle t1 = dram.access(0x00, 100);  // bank 0
+  const Cycle t2 = dram.access(0x40, 100);  // bank 1
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(dram.total_wait(), 0u);
+}
+
+TEST(Dram, BankMapping) {
+  DramConfig cfg;
+  cfg.num_banks = 4;
+  cfg.interleave_bytes = 64;
+  Dram dram(cfg);
+  EXPECT_EQ(dram.bank_of(0x00), 0u);
+  EXPECT_EQ(dram.bank_of(0x40), 1u);
+  EXPECT_EQ(dram.bank_of(0x80), 2u);
+  EXPECT_EQ(dram.bank_of(0xC0), 3u);
+  EXPECT_EQ(dram.bank_of(0x100), 0u);
+}
+
+TEST(Dram, IdleBankIncursNoWait) {
+  Dram dram(DramConfig{});
+  dram.access(0x0, 100);
+  // Long after the occupancy window, no wait.
+  const Cycle t = dram.access(0x100, 1000);
+  EXPECT_EQ(t, 1000 + DramConfig{}.access_latency);
+}
+
+TEST(Bus, GrantsImmediatelyWhenFree) {
+  Bus bus(BusConfig{});
+  EXPECT_EQ(bus.request(100), 100 + BusConfig{}.arbitration_latency);
+  EXPECT_EQ(bus.total_wait(), 0u);
+}
+
+TEST(Bus, QueuesOverlappingRequests) {
+  BusConfig cfg;
+  cfg.cycles_per_transaction = 4;
+  cfg.arbitration_latency = 1;
+  Bus bus(cfg);
+  const Cycle g1 = bus.request(100);  // granted 101, busy until 105
+  const Cycle g2 = bus.request(100);  // must wait
+  EXPECT_EQ(g1, 101u);
+  EXPECT_EQ(g2, 105u);
+  EXPECT_EQ(bus.total_wait(), 4u);
+  EXPECT_EQ(bus.transactions(), 2u);
+}
+
+TEST(Bus, NoContentionWhenSpacedOut) {
+  BusConfig cfg;
+  cfg.cycles_per_transaction = 2;
+  Bus bus(cfg);
+  bus.request(100);
+  const Cycle g = bus.request(200);
+  EXPECT_EQ(g, 201u);
+  EXPECT_EQ(bus.total_wait(), 0u);
+}
+
+TEST(Bus, StatsReset) {
+  Bus bus(BusConfig{});
+  bus.request(0);
+  bus.request(0);
+  bus.reset_stats();
+  EXPECT_EQ(bus.transactions(), 0u);
+  EXPECT_EQ(bus.total_wait(), 0u);
+}
+
+}  // namespace
+}  // namespace cms::mem

@@ -1,0 +1,259 @@
+// Tests for the timing engine, the OS scheduler and their interplay,
+// using small synthetic tasks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+#include "sim/task.hpp"
+
+namespace cms::sim {
+namespace {
+
+PlatformConfig tiny_platform(std::uint32_t procs = 2) {
+  PlatformConfig cfg;
+  cfg.hier.num_procs = procs;
+  cfg.hier.l1 = mem::CacheConfig{.size_bytes = 1024, .line_bytes = 64, .ways = 2};
+  cfg.hier.l2 = mem::CacheConfig{.size_bytes = 16 * 1024, .line_bytes = 64, .ways = 4};
+  cfg.task_switch_cost = 10;
+  cfg.quantum_firings = 2;
+  return cfg;
+}
+
+/// Fires `firings` times; each firing does `reads` sequential reads from a
+/// private range and `compute` cycles.
+class WorkTask final : public Task {
+ public:
+  WorkTask(TaskId id, std::string name, int firings, int reads, int compute)
+      : Task(id, std::move(name)), firings_(firings), reads_(reads),
+        compute_(compute) {}
+
+  bool can_fire() const override { return fired_ < firings_; }
+  bool done() const override { return fired_ >= firings_; }
+
+  void fire(TaskContext& ctx) override {
+    for (int i = 0; i < reads_; ++i) {
+      ctx.mem().compute(static_cast<std::uint32_t>(compute_));
+      ctx.mem().read(static_cast<Addr>(id()) * 0x100000 +
+                         static_cast<Addr>(cursor_++) * 64,
+                     4);
+    }
+    ++fired_;
+  }
+
+  int fired() const { return fired_; }
+
+ private:
+  int firings_, reads_, compute_;
+  int fired_ = 0;
+  std::uint64_t cursor_ = 0;
+};
+
+/// A task that is never ready (for deadlock detection).
+class StuckTask final : public Task {
+ public:
+  StuckTask(TaskId id) : Task(id, "stuck") {}
+  bool can_fire() const override { return false; }
+  bool done() const override { return false; }
+  void fire(TaskContext&) override {}
+};
+
+TEST(Engine, RunsAllFirings) {
+  Platform platform(tiny_platform());
+  Os os(SchedPolicy::kMigrating, 2);
+  WorkTask a(0, "a", 5, 10, 3), b(1, "b", 7, 4, 2);
+  TimingEngine engine(platform, os, {&a, &b});
+  const SimResults res = engine.run();
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_EQ(a.fired(), 5);
+  EXPECT_EQ(b.fired(), 7);
+  ASSERT_EQ(res.tasks.size(), 2u);
+  EXPECT_EQ(res.tasks[0].firings, 5u);
+  EXPECT_EQ(res.tasks[1].firings, 7u);
+  EXPECT_GT(res.makespan, 0u);
+}
+
+TEST(Engine, InstructionAccounting) {
+  Platform platform(tiny_platform(1));
+  Os os(SchedPolicy::kMigrating, 1);
+  WorkTask a(0, "a", 2, 10, 3);
+  TimingEngine engine(platform, os, {&a});
+  const SimResults res = engine.run();
+  // Each firing: 10 reads + 30 compute cycles = 40 "instructions".
+  EXPECT_EQ(res.tasks[0].instructions, 80u);
+  EXPECT_EQ(res.total_instructions, 80u);
+}
+
+TEST(Engine, DetectsDeadlock) {
+  Platform platform(tiny_platform());
+  Os os(SchedPolicy::kMigrating, 2);
+  StuckTask s(0);
+  TimingEngine engine(platform, os, {&s});
+  const SimResults res = engine.run();
+  EXPECT_TRUE(res.deadlocked);
+}
+
+TEST(Engine, FinishedPredicateStopsEarly) {
+  Platform platform(tiny_platform());
+  Os os(SchedPolicy::kMigrating, 2);
+  WorkTask a(0, "a", 1000000, 2, 1);
+  int count = 0;
+  TimingEngine engine(platform, os, {&a}, [&count] { return ++count > 50; });
+  const SimResults res = engine.run();
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_LT(a.fired(), 1000000);
+}
+
+TEST(Engine, StaticAssignmentPinsTasks) {
+  Platform platform(tiny_platform(2));
+  Os os(SchedPolicy::kStatic, 2);
+  WorkTask a(0, "a", 6, 4, 2), b(1, "b", 6, 4, 2);
+  os.assign(0, 0);
+  os.assign(1, 1);
+  TimingEngine engine(platform, os, {&a, &b});
+  const SimResults res = engine.run();
+  EXPECT_FALSE(res.deadlocked);
+  // Both processors did work (one task each).
+  EXPECT_GT(res.procs[0].instructions, 0u);
+  EXPECT_GT(res.procs[1].instructions, 0u);
+}
+
+TEST(Engine, StaticAssignmentToOneProcLeavesOtherIdle) {
+  Platform platform(tiny_platform(2));
+  Os os(SchedPolicy::kStatic, 2);
+  WorkTask a(0, "a", 6, 4, 2), b(1, "b", 6, 4, 2);
+  os.assign(0, 0);
+  os.assign(1, 0);
+  TimingEngine engine(platform, os, {&a, &b});
+  const SimResults res = engine.run();
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_EQ(res.procs[1].instructions, 0u);
+  EXPECT_GT(res.procs[0].switches, 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Platform platform(tiny_platform());
+    Os os(SchedPolicy::kMigrating, 2, 3);
+    WorkTask a(0, "a", 20, 8, 2), b(1, "b", 15, 6, 3), c(2, "c", 10, 12, 1);
+    TimingEngine engine(platform, os, {&a, &b, &c});
+    return engine.run();
+  };
+  const SimResults r1 = run_once();
+  const SimResults r2 = run_once();
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.l2_misses, r2.l2_misses);
+  for (std::size_t i = 0; i < r1.tasks.size(); ++i) {
+    EXPECT_EQ(r1.tasks[i].l2.misses, r2.tasks[i].l2.misses);
+    EXPECT_EQ(r1.tasks[i].active_cycles, r2.tasks[i].active_cycles);
+  }
+}
+
+TEST(Engine, JitterChangesScheduleButNotWork) {
+  auto run_with = [](std::uint64_t jitter) {
+    Platform platform(tiny_platform());
+    Os os(SchedPolicy::kMigrating, 2, jitter);
+    WorkTask a(0, "a", 20, 8, 2), b(1, "b", 15, 6, 3), c(2, "c", 10, 12, 1);
+    TimingEngine engine(platform, os, {&a, &b, &c});
+    return engine.run();
+  };
+  const SimResults r1 = run_with(0);
+  const SimResults r2 = run_with(1);
+  // The same firings happen in both runs.
+  EXPECT_EQ(r1.tasks[0].firings, r2.tasks[0].firings);
+  EXPECT_EQ(r1.tasks[0].instructions, r2.tasks[0].instructions);
+}
+
+TEST(Engine, SwitchCostCharged) {
+  Platform platform(tiny_platform(1));
+  Os os(SchedPolicy::kMigrating, 1);
+  WorkTask a(0, "a", 4, 2, 1), b(1, "b", 4, 2, 1);
+  TimingEngine engine(platform, os, {&a, &b});
+  const SimResults res = engine.run();
+  EXPECT_GT(res.procs[0].switches, 1u);
+  EXPECT_GE(res.procs[0].switch_cycles,
+            res.procs[0].switches * tiny_platform().task_switch_cost);
+}
+
+TEST(Engine, QuantumKeepsTaskScheduled) {
+  // With quantum 4 and two tasks on one processor, switches are bounded
+  // by roughly total_firings / quantum (plus one).
+  PlatformConfig cfg = tiny_platform(1);
+  cfg.quantum_firings = 4;
+  Platform platform(cfg);
+  Os os(SchedPolicy::kMigrating, 1);
+  WorkTask a(0, "a", 16, 2, 1), b(1, "b", 16, 2, 1);
+  TimingEngine engine(platform, os, {&a, &b});
+  const SimResults res = engine.run();
+  EXPECT_LE(res.procs[0].switches, 10u);
+}
+
+TEST(Engine, CpiAtLeastOne) {
+  Platform platform(tiny_platform());
+  Os os(SchedPolicy::kMigrating, 2);
+  WorkTask a(0, "a", 10, 10, 2);
+  TimingEngine engine(platform, os, {&a});
+  const SimResults res = engine.run();
+  for (const auto& p : res.procs) {
+    if (p.instructions > 0) {
+      EXPECT_GE(p.cpi(), 1.0);
+    }
+  }
+}
+
+TEST(Engine, DispatchLimitStopsRunaway) {
+  PlatformConfig cfg = tiny_platform();
+  cfg.max_dispatches = 10;
+  Platform platform(cfg);
+  Os os(SchedPolicy::kMigrating, 2);
+  WorkTask a(0, "a", 1000000, 1, 1);
+  TimingEngine engine(platform, os, {&a});
+  const SimResults res = engine.run();
+  EXPECT_TRUE(res.hit_dispatch_limit);
+  EXPECT_EQ(res.dispatches, 10u);
+}
+
+TEST(Os, RoundRobinCyclesThroughReadyTasks) {
+  Os os(SchedPolicy::kMigrating, 1);
+  WorkTask a(0, "a", 5, 1, 1), b(1, "b", 5, 1, 1), c(2, "c", 5, 1, 1);
+  std::vector<Task*> tasks = {&a, &b, &c};
+  std::vector<bool> busy(3, false);
+  const int first = os.pick(0, tasks, busy);
+  const int second = os.pick(0, tasks, busy);
+  const int third = os.pick(0, tasks, busy);
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+}
+
+TEST(Os, SkipsBusyTasks) {
+  Os os(SchedPolicy::kMigrating, 1);
+  WorkTask a(0, "a", 5, 1, 1), b(1, "b", 5, 1, 1);
+  std::vector<Task*> tasks = {&a, &b};
+  std::vector<bool> busy = {true, false};
+  EXPECT_EQ(os.pick(0, tasks, busy), 1);
+}
+
+TEST(Os, StaticPolicyFiltersByAssignment) {
+  Os os(SchedPolicy::kStatic, 2);
+  WorkTask a(0, "a", 5, 1, 1), b(1, "b", 5, 1, 1);
+  os.assign(0, 0);
+  os.assign(1, 1);
+  std::vector<Task*> tasks = {&a, &b};
+  std::vector<bool> busy(2, false);
+  EXPECT_EQ(os.pick(0, tasks, busy), 0);
+  EXPECT_EQ(os.pick(1, tasks, busy), 1);
+}
+
+TEST(Os, UnassignedTaskNeverPickedUnderStatic) {
+  Os os(SchedPolicy::kStatic, 1);
+  WorkTask a(0, "a", 5, 1, 1);
+  std::vector<Task*> tasks = {&a};
+  std::vector<bool> busy = {false};
+  EXPECT_EQ(os.pick(0, tasks, busy), -1);
+}
+
+}  // namespace
+}  // namespace cms::sim

@@ -1,0 +1,130 @@
+// Tests for the KPN FIFO channel and frame buffer.
+#include <gtest/gtest.h>
+
+#include "kpn/fifo.hpp"
+#include "kpn/frame_buffer.hpp"
+
+namespace cms::kpn {
+namespace {
+
+sim::Region fifo_region(std::uint64_t bytes) {
+  return sim::Region{0x10000, bytes, "fifo"};
+}
+
+TEST(Fifo, FifoOrderPreserved) {
+  sim::MemoryRecorder rec;
+  Fifo<int> f(1, "f", fifo_region(4096), 8);
+  for (int i = 0; i < 8; ++i) f.write(rec, i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(f.read(rec), i);
+}
+
+TEST(Fifo, CapacityAndSpace) {
+  sim::MemoryRecorder rec;
+  Fifo<int> f(1, "f", fifo_region(4096), 4);
+  EXPECT_TRUE(f.can_write(4));
+  EXPECT_FALSE(f.can_write(5));
+  for (int i = 0; i < 4; ++i) f.write(rec, i);
+  EXPECT_FALSE(f.can_write());
+  EXPECT_EQ(f.space(), 0u);
+  f.read(rec);
+  EXPECT_TRUE(f.can_write());
+}
+
+TEST(Fifo, WrapAroundKeepsData) {
+  sim::MemoryRecorder rec;
+  Fifo<int> f(1, "f", fifo_region(4096), 4);
+  for (int round = 0; round < 10; ++round) {
+    f.write(rec, round * 2);
+    f.write(rec, round * 2 + 1);
+    EXPECT_EQ(f.read(rec), round * 2);
+    EXPECT_EQ(f.read(rec), round * 2 + 1);
+  }
+  EXPECT_EQ(f.total_written(), 20u);
+  EXPECT_EQ(f.total_read(), 20u);
+}
+
+TEST(Fifo, BulkReadWrite) {
+  sim::MemoryRecorder rec;
+  Fifo<std::uint16_t> f(1, "f", fifo_region(4096), 16);
+  const std::uint16_t data[5] = {1, 2, 3, 4, 5};
+  f.write_n(rec, data, 5);
+  std::uint16_t out[5] = {};
+  f.read_n(rec, out, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(Fifo, PeekDoesNotConsume) {
+  sim::MemoryRecorder rec;
+  Fifo<int> f(1, "f", fifo_region(4096), 4);
+  f.write(rec, 42);
+  f.write(rec, 43);
+  EXPECT_EQ(f.peek(rec, 0), 42);
+  EXPECT_EQ(f.peek(rec, 1), 43);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.read(rec), 42);
+}
+
+TEST(Fifo, EosAfterCloseAndDrain) {
+  sim::MemoryRecorder rec;
+  Fifo<int> f(1, "f", fifo_region(4096), 4);
+  f.write(rec, 1);
+  f.close();
+  EXPECT_TRUE(f.closed());
+  EXPECT_FALSE(f.eos());  // still one token
+  f.read(rec);
+  EXPECT_TRUE(f.eos());
+}
+
+TEST(Fifo, RecordedTrafficStaysInRegion) {
+  sim::MemoryRecorder rec;
+  const sim::Region region = fifo_region(4096);
+  Fifo<std::uint64_t> f(1, "f", region, 8);
+  for (int i = 0; i < 20; ++i) {
+    f.write(rec, static_cast<std::uint64_t>(i));
+    (void)f.read(rec);
+  }
+  const auto trace = rec.take();
+  EXPECT_GT(trace.events.size(), 40u);  // tokens + admin
+  for (const auto& e : trace.events) {
+    EXPECT_GE(e.addr, region.base);
+    EXPECT_LT(e.addr, region.base + f.footprint_bytes());
+  }
+}
+
+TEST(Fifo, FootprintCoversAdminAndData) {
+  Fifo<std::uint32_t> f(1, "f", fifo_region(4096), 10);
+  EXPECT_EQ(f.footprint_bytes(), FifoBase::kAdminBytes + 40u);
+}
+
+TEST(FrameBuffer, ReadWriteRoundtrip) {
+  sim::MemoryRecorder rec;
+  FrameBuffer fb(2, "fb", sim::Region{0x20000, 4096, "fb"}, 1024);
+  fb.write(rec, 100, 0xAB);
+  EXPECT_EQ(fb.read(rec, 100), 0xAB);
+}
+
+TEST(FrameBuffer, BlockTransferMatchesHostData) {
+  sim::MemoryRecorder rec;
+  FrameBuffer fb(2, "fb", sim::Region{0x20000, 4096, "fb"}, 1024);
+  std::uint8_t src[32];
+  for (int i = 0; i < 32; ++i) src[i] = static_cast<std::uint8_t>(i * 3);
+  fb.write_block(rec, 64, src, 32);
+  std::uint8_t dst[32] = {};
+  fb.read_block(rec, 64, dst, 32);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(FrameBuffer, BlockAccessChunking) {
+  sim::MemoryRecorder rec;
+  FrameBuffer fb(2, "fb", sim::Region{0x20000, 4096, "fb"}, 1024);
+  std::uint8_t buf[64] = {};
+  fb.write_block(rec, 0, buf, 64, 8);
+  const auto trace = rec.take();
+  std::size_t writes = 0;
+  for (const auto& e : trace.events)
+    if (e.type == cms::AccessType::kWrite) ++writes;
+  EXPECT_EQ(writes, 8u);  // 64 bytes in 8-byte chunks
+}
+
+}  // namespace
+}  // namespace cms::kpn

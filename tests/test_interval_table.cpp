@@ -1,0 +1,85 @@
+// Tests for the OS-loaded shared-memory interval table (the paper's third
+// buffer-identification alternative).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/interval_table.hpp"
+
+namespace cms::mem {
+namespace {
+
+TEST(IntervalTable, LookupInsideAndOutside) {
+  IntervalTable t;
+  ASSERT_TRUE(t.add(0x1000, 0x100, 7));
+  EXPECT_EQ(t.lookup(0x1000), std::optional<BufferId>(7));
+  EXPECT_EQ(t.lookup(0x10FF), std::optional<BufferId>(7));
+  EXPECT_EQ(t.lookup(0x1100), std::nullopt);
+  EXPECT_EQ(t.lookup(0x0FFF), std::nullopt);
+}
+
+TEST(IntervalTable, RejectsOverlap) {
+  IntervalTable t;
+  ASSERT_TRUE(t.add(0x1000, 0x100, 1));
+  EXPECT_FALSE(t.add(0x10FF, 0x10, 2));   // overlaps tail
+  EXPECT_FALSE(t.add(0x0FFF, 0x10, 3));   // overlaps head
+  EXPECT_FALSE(t.add(0x1040, 0x10, 4));   // fully inside
+  EXPECT_TRUE(t.add(0x1100, 0x10, 5));    // adjacent is fine
+  EXPECT_TRUE(t.add(0x0FF0, 0x10, 6));    // adjacent below is fine
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(IntervalTable, RejectsEmpty) {
+  IntervalTable t;
+  EXPECT_FALSE(t.add(0x1000, 0, 1));
+}
+
+TEST(IntervalTable, RemoveByBuffer) {
+  IntervalTable t;
+  t.add(0x1000, 0x100, 1);
+  t.add(0x2000, 0x100, 2);
+  t.remove(1);
+  EXPECT_EQ(t.lookup(0x1000), std::nullopt);
+  EXPECT_EQ(t.lookup(0x2000), std::optional<BufferId>(2));
+}
+
+TEST(IntervalTable, KeptSortedByBase) {
+  IntervalTable t;
+  t.add(0x3000, 0x10, 3);
+  t.add(0x1000, 0x10, 1);
+  t.add(0x2000, 0x10, 2);
+  const auto& ivs = t.intervals();
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_LT(ivs[0].base, ivs[1].base);
+  EXPECT_LT(ivs[1].base, ivs[2].base);
+}
+
+// Property: binary-search lookup agrees with a naive linear scan for many
+// random non-overlapping interval sets.
+class IntervalLookupProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalLookupProperty, MatchesNaiveScan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  IntervalTable t;
+  std::vector<MemInterval> naive;
+  Addr base = 0;
+  for (int i = 0; i < 40; ++i) {
+    base += 1 + rng.below(512);
+    const std::uint64_t size = 1 + rng.below(256);
+    if (t.add(base, size, static_cast<BufferId>(i))) {
+      naive.push_back({base, size, static_cast<BufferId>(i)});
+    }
+    base += size;
+  }
+  for (int q = 0; q < 2000; ++q) {
+    const Addr a = rng.below(base + 512);
+    std::optional<BufferId> expect;
+    for (const auto& iv : naive)
+      if (iv.contains(a)) expect = iv.buffer;
+    EXPECT_EQ(t.lookup(a), expect) << "addr " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalLookupProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace cms::mem

@@ -1,0 +1,145 @@
+// Tests for the JPEG codec and its KPN pipeline.
+#include <gtest/gtest.h>
+
+#include "apps/jpeg/jpeg_codec.hpp"
+#include "apps/jpeg/jpeg_kpn.hpp"
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+
+namespace cms::apps {
+namespace {
+
+TEST(JpegCodec, RoundtripQuality) {
+  const Image src = testimg::blocks(64, 48, 21);
+  const JpegStream s = jpeg_encode(src, 75);
+  EXPECT_GT(s.payload.size(), 100u);
+  EXPECT_LT(s.payload.size(), src.pixels().size());  // it compresses
+  const Image dec = jpeg_reference_decode(s);
+  EXPECT_GT(psnr(src, dec), 30.0);
+}
+
+TEST(JpegCodec, HigherQualityMeansBetterPsnrAndBiggerPayload) {
+  const Image src = testimg::blocks(64, 64, 22);
+  const JpegStream lo = jpeg_encode(src, 25);
+  const JpegStream hi = jpeg_encode(src, 90);
+  EXPECT_GT(hi.payload.size(), lo.payload.size());
+  EXPECT_GT(psnr(src, jpeg_reference_decode(hi)),
+            psnr(src, jpeg_reference_decode(lo)));
+}
+
+TEST(JpegCodec, Deterministic) {
+  const Image src = testimg::gradient(32, 32, 3);
+  EXPECT_EQ(jpeg_encode(src, 75).payload, jpeg_encode(src, 75).payload);
+}
+
+class JpegSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(JpegSizes, RoundtripAtVariousDimensions) {
+  const auto [w, h] = GetParam();
+  const Image src = testimg::blocks(w, h, 33);
+  const Image dec = jpeg_reference_decode(jpeg_encode(src, 80));
+  EXPECT_EQ(dec.width(), w);
+  EXPECT_EQ(dec.height(), h);
+  EXPECT_GT(psnr(src, dec), 28.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, JpegSizes,
+                         ::testing::Values(std::pair{8, 8}, std::pair{16, 8},
+                                           std::pair{64, 32}, std::pair{48, 48},
+                                           std::pair{128, 96}));
+
+TEST(JpegSequence, EncodesDistinctPictures) {
+  const JpegSequence seq = jpeg_encode_sequence(32, 32, 3, 75, 9);
+  ASSERT_EQ(seq.num_pictures(), 3);
+  EXPECT_NE(seq.pictures[0].payload, seq.pictures[1].payload);
+  EXPECT_EQ(seq.total_payload_bytes(),
+            seq.pictures[0].payload.size() + seq.pictures[1].payload.size() +
+                seq.pictures[2].payload.size());
+}
+
+/// Run one decoder pipeline to completion on a tiny platform.
+sim::SimResults run_jpeg_pipeline(kpn::Network& net) {
+  sim::PlatformConfig pc;
+  pc.hier.num_procs = 2;
+  pc.hier.l2.size_bytes = 64 * 1024;
+  sim::Platform platform(pc);
+  for (const auto& b : net.buffers())
+    platform.hierarchy().l2().interval_table().add(b.base, b.footprint, b.id);
+  sim::Os os(sim::SchedPolicy::kMigrating, 2);
+  sim::TimingEngine engine(platform, os, net.tasks());
+  return engine.run();
+}
+
+TEST(JpegKpn, PipelineMatchesReferenceDecoder) {
+  kpn::Network net;
+  const sim::Region seg = net.make_segment("appl_data", 4096);
+  const SharedCodecTables tables(seg, 75);
+  const JpegSequence seq = jpeg_encode_sequence(48, 32, 1, 75, 77);
+  const JpegPipeline pipe = add_jpeg_decoder(net, "1", seq, tables);
+
+  const sim::SimResults res = run_jpeg_pipeline(net);
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_TRUE(net.all_tasks_done());
+
+  const Image want = jpeg_reference_decode(seq.pictures[0]);
+  EXPECT_EQ(pipe.output->host_data(), want.pixels());
+}
+
+TEST(JpegKpn, SequenceLeavesLastPictureInOutput) {
+  kpn::Network net;
+  const sim::Region seg = net.make_segment("appl_data", 4096);
+  const SharedCodecTables tables(seg, 75);
+  const JpegSequence seq = jpeg_encode_sequence(32, 32, 3, 75, 78);
+  const JpegPipeline pipe = add_jpeg_decoder(net, "1", seq, tables);
+
+  const sim::SimResults res = run_jpeg_pipeline(net);
+  EXPECT_FALSE(res.deadlocked);
+  const Image want = jpeg_reference_decode(seq.pictures.back());
+  EXPECT_EQ(pipe.output->host_data(), want.pixels());
+}
+
+TEST(JpegKpn, TaskNamesFollowPaper) {
+  kpn::Network net;
+  const sim::Region seg = net.make_segment("appl_data", 4096);
+  const SharedCodecTables tables(seg, 75);
+  const JpegSequence seq = jpeg_encode_sequence(16, 16, 1, 75, 1);
+  add_jpeg_decoder(net, "1", seq, tables);
+  EXPECT_NE(net.find_process("FrontEnd1"), nullptr);
+  EXPECT_NE(net.find_process("IDCT1"), nullptr);
+  EXPECT_NE(net.find_process("Raster1"), nullptr);
+  EXPECT_NE(net.find_process("BackEnd1"), nullptr);
+}
+
+TEST(JpegKpn, AllTasksDoWork) {
+  kpn::Network net;
+  const sim::Region seg = net.make_segment("appl_data", 4096);
+  const SharedCodecTables tables(seg, 75);
+  const JpegSequence seq = jpeg_encode_sequence(32, 32, 2, 75, 5);
+  add_jpeg_decoder(net, "1", seq, tables);
+  const sim::SimResults res = run_jpeg_pipeline(net);
+  for (const auto& t : res.tasks) {
+    EXPECT_GT(t.firings, 0u) << t.name;
+    EXPECT_GT(t.instructions, 0u) << t.name;
+    EXPECT_GT(t.l2.accesses, 0u) << t.name;
+  }
+}
+
+TEST(JpegKpn, TwoInstancesCoexist) {
+  kpn::Network net;
+  const sim::Region seg = net.make_segment("appl_data", 4096);
+  const SharedCodecTables tables(seg, 75);
+  const JpegSequence seq1 = jpeg_encode_sequence(32, 32, 1, 75, 6);
+  const JpegSequence seq2 = jpeg_encode_sequence(48, 32, 1, 75, 7);
+  const JpegPipeline p1 = add_jpeg_decoder(net, "1", seq1, tables);
+  const JpegPipeline p2 = add_jpeg_decoder(net, "2", seq2, tables);
+  const sim::SimResults res = run_jpeg_pipeline(net);
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_EQ(p1.output->host_data(),
+            jpeg_reference_decode(seq1.pictures[0]).pixels());
+  EXPECT_EQ(p2.output->host_data(),
+            jpeg_reference_decode(seq2.pictures[0]).pixels());
+}
+
+}  // namespace
+}  // namespace cms::apps

@@ -1,0 +1,128 @@
+// Exact latency arithmetic of the hierarchy and cross-solver consistency
+// of the partition planner.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "mem/hierarchy.hpp"
+#include "opt/planner.hpp"
+
+namespace cms {
+namespace {
+
+TEST(LatencyMath, ColdMissEndToEnd) {
+  mem::HierarchyConfig cfg;
+  cfg.num_procs = 1;
+  cfg.l1_hit_latency = 1;
+  cfg.l2_hit_latency = 8;
+  cfg.bus.arbitration_latency = 1;
+  cfg.bus.cycles_per_transaction = 2;
+  cfg.dram.access_latency = 60;
+  cfg.dram.bank_occupancy = 12;
+  mem::MemoryHierarchy h(cfg);
+  // Cold read at t=100, no contention anywhere:
+  //   L1 lookup (+1) -> bus grant at 101+1=102? grant = max(now+arb, free)
+  //   -> L2 hit latency 8 -> DRAM 60 -> return transfer 2.
+  const auto out = h.access(0, 0, 0x1000, 4, AccessType::kRead, 100);
+  const Cycle grant = 100 + cfg.l1_hit_latency + cfg.bus.arbitration_latency;
+  const Cycle expect =
+      grant + cfg.l2_hit_latency + cfg.dram.access_latency +
+      cfg.bus.cycles_per_transaction;
+  EXPECT_EQ(out.finish, expect);
+}
+
+TEST(LatencyMath, L2HitEndToEnd) {
+  mem::HierarchyConfig cfg;
+  cfg.num_procs = 2;
+  mem::MemoryHierarchy h(cfg);
+  h.access(1, 0, 0x2000, 4, AccessType::kRead, 0);  // proc 1 warms the L2
+  const auto out = h.access(0, 0, 0x2000, 4, AccessType::kRead, 1000);
+  const Cycle grant = 1000 + cfg.l1_hit_latency + cfg.bus.arbitration_latency;
+  EXPECT_EQ(out.finish, grant + cfg.l2_hit_latency);
+  EXPECT_EQ(out.worst, mem::ServedBy::kL2);
+}
+
+TEST(LatencyMath, SameBankBackToBackSerializes) {
+  mem::HierarchyConfig cfg;
+  cfg.num_procs = 2;
+  mem::MemoryHierarchy h(cfg);
+  // Two cold misses to the same DRAM bank issued at the same time from
+  // different processors: the second finishes strictly later than the
+  // first by at least the bank occupancy.
+  const Addr a = 0x0;
+  const Addr b = a + cfg.dram.interleave_bytes * cfg.dram.num_banks;  // same bank
+  const auto r1 = h.access(0, 0, a, 4, AccessType::kRead, 0);
+  const auto r2 = h.access(1, 1, b, 4, AccessType::kRead, 0);
+  EXPECT_GE(r2.finish, r1.finish + cfg.dram.bank_occupancy);
+}
+
+// All three MCKP solvers plugged into the *planner* must agree on the
+// optimum cost for real measured profiles (greedy may differ, but DP and
+// B&B must match exactly).
+TEST(PlannerSolvers, DpAndBranchBoundAgreeOnRealProfiles) {
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.l2.size_bytes = 32 * 1024;
+  cfg.profile_grid = {1, 2, 4, 8, 16};
+  cfg.profile_runs = 1;
+  core::Experiment exp(
+      [] { return apps::make_m2v_app(apps::AppConfig::tiny(21)); }, cfg);
+  const opt::MissProfile prof = exp.profile();
+
+  opt::PlannerConfig dp_cfg;
+  dp_cfg.solver = opt::TaskSolver::kDp;
+  opt::PlannerConfig bb_cfg;
+  bb_cfg.solver = opt::TaskSolver::kBranchBound;
+  opt::PlannerConfig gr_cfg;
+  gr_cfg.solver = opt::TaskSolver::kGreedy;
+
+  const auto dp = opt::plan_partitions(prof, exp.tasks(), exp.buffers(),
+                                       cfg.platform.hier.l2, dp_cfg);
+  const auto bb = opt::plan_partitions(prof, exp.tasks(), exp.buffers(),
+                                       cfg.platform.hier.l2, bb_cfg);
+  const auto gr = opt::plan_partitions(prof, exp.tasks(), exp.buffers(),
+                                       cfg.platform.hier.l2, gr_cfg);
+  ASSERT_TRUE(dp.feasible);
+  ASSERT_TRUE(bb.feasible);
+  ASSERT_TRUE(gr.feasible);
+  EXPECT_NEAR(dp.expected_task_misses, bb.expected_task_misses, 1e-6);
+  EXPECT_GE(gr.expected_task_misses + 1e-6, dp.expected_task_misses);
+}
+
+TEST(PlannerSolvers, GreedyPlanStillRunsCorrectly) {
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.l2.size_bytes = 32 * 1024;
+  cfg.profile_grid = {1, 4, 16};
+  cfg.profile_runs = 1;
+  cfg.planner.solver = opt::TaskSolver::kGreedy;
+  core::Experiment exp(
+      [] { return apps::make_jpeg_canny_app(apps::AppConfig::tiny(22)); }, cfg);
+  const auto prof = exp.profile();
+  const auto plan = exp.plan(prof);
+  ASSERT_TRUE(plan.feasible);
+  const core::RunOutput out = exp.run_partitioned(plan);
+  EXPECT_TRUE(out.verified);
+  EXPECT_FALSE(out.results.deadlocked);
+}
+
+// Translation fuzz: for random partition tables, translated indices always
+// land inside the owning partition and are surjective onto it.
+TEST(PlannerSolvers, TranslationCoversPartitionExactly) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    mem::PartitionTable table(1024);
+    const auto base = static_cast<std::uint32_t>(rng.below(512));
+    const std::uint32_t size = 1u << rng.below(7);  // 1..64
+    ASSERT_TRUE(table.assign(mem::ClientId::task(0), {base, size}));
+    std::vector<bool> hit(size, false);
+    for (std::uint32_t idx = 0; idx < 2048; ++idx) {
+      const std::uint32_t t = table.translate(mem::ClientId::task(0), idx);
+      ASSERT_GE(t, base);
+      ASSERT_LT(t, base + size);
+      hit[t - base] = true;
+    }
+    for (std::uint32_t s = 0; s < size; ++s)
+      EXPECT_TRUE(hit[s]) << "set " << s << " unused";
+  }
+}
+
+}  // namespace
+}  // namespace cms

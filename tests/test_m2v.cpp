@@ -1,0 +1,182 @@
+// Tests for the MPEG2-like codec and its 13-task KPN decoder.
+#include <gtest/gtest.h>
+
+#include "apps/codec/vlc.hpp"
+#include "apps/m2v/m2v_codec.hpp"
+#include "apps/m2v/m2v_kpn.hpp"
+#include "sim/engine.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+
+namespace cms::apps {
+namespace {
+
+std::vector<Image> test_video(int w, int h, int frames, std::uint64_t seed) {
+  std::vector<Image> v;
+  for (int f = 0; f < frames; ++f)
+    v.push_back(testimg::moving_boxes(w, h, f, seed));
+  return v;
+}
+
+TEST(M2vCodec, RoundtripQuality) {
+  const auto video = test_video(48, 32, 4, 55);
+  const M2vStream s = m2v_encode(video, 6);
+  const auto dec = m2v_reference_decode(s);
+  ASSERT_EQ(dec.size(), video.size());
+  for (std::size_t f = 0; f < video.size(); ++f)
+    EXPECT_GT(psnr(video[f], dec[f]), 28.0) << "frame " << f;
+}
+
+TEST(M2vCodec, PFramesAreSmallerThanIFrames) {
+  // Static scene: each P frame (zero MVs, all-zero blocks, EOB codes only)
+  // must cost well under the I frame.
+  std::vector<Image> video(4, testimg::gradient(64, 48, 5));
+  const M2vStream s = m2v_encode(video, 8);
+  const M2vStream i_only = m2v_encode({video[0]}, 8);
+  const std::size_t i_payload = i_only.bytes.size() - kM2vSeqHeaderBytes;
+  const std::size_t p_total = s.bytes.size() - i_only.bytes.size();
+  EXPECT_LT(p_total / 3, i_payload / 2);
+}
+
+TEST(M2vCodec, SequenceHeaderParses) {
+  const auto video = test_video(48, 32, 2, 1);
+  const M2vStream s = m2v_encode(video, 8);
+  int w = 0, h = 0, n = 0, q = 0;
+  ASSERT_TRUE(m2v_parse_seq_header(s.bytes.data(), w, h, n, q));
+  EXPECT_EQ(w, 48);
+  EXPECT_EQ(h, 32);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(q, 8);
+}
+
+TEST(M2vCodec, BadMagicRejected) {
+  std::uint8_t bad[8] = {'X', 'X', 1, 1, 1, 0, 8, 0};
+  int w, h, n, q;
+  EXPECT_FALSE(m2v_parse_seq_header(bad, w, h, n, q));
+}
+
+TEST(M2vCodec, BlockLevelRoundtrip) {
+  BitWriter bw;
+  std::int16_t zz[64] = {};
+  zz[0] = 5;
+  zz[3] = -2;
+  zz[63] = 1;
+  // Encode using the same scheme as the encoder.
+  // (run, level) pairs: (0,5), (2,-2), (59,1), EOB.
+  put_ue(bw, 0); put_se(bw, 5);
+  put_ue(bw, 2); put_se(bw, -2);
+  put_ue(bw, 59); put_se(bw, 1);
+  put_ue(bw, 64);
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  std::int16_t out[64];
+  m2v_decode_block_levels(br, out);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(out[k], zz[k]) << k;
+}
+
+TEST(M2vCodec, MaxFramePayloadTracked) {
+  const auto video = test_video(48, 32, 3, 2);
+  const M2vStream s = m2v_encode(video, 8);
+  EXPECT_GT(s.max_frame_payload, 0u);
+  EXPECT_LT(s.max_frame_payload, s.bytes.size());
+}
+
+TEST(M2vCodec, DeterministicEncoding) {
+  const auto video = test_video(32, 32, 3, 3);
+  EXPECT_EQ(m2v_encode(video, 8).bytes, m2v_encode(video, 8).bytes);
+}
+
+// ---- KPN pipeline ----
+
+struct M2vFixture {
+  std::vector<Image> video;
+  M2vStream stream;
+  kpn::Network net;
+  SharedCodecTables tables;
+  M2vPipeline pipe;
+
+  explicit M2vFixture(int w = 48, int h = 32, int frames = 3,
+                      std::uint64_t seed = 71)
+      : video(test_video(w, h, frames, seed)),
+        stream(m2v_encode(video, 8)),
+        tables(net.make_segment("appl_data", 4096), 75) {
+    pipe = add_m2v_decoder(net, stream, tables);
+  }
+
+  sim::SimResults run(std::uint32_t procs = 4) {
+    sim::PlatformConfig pc;
+    pc.hier.num_procs = procs;
+    pc.hier.l2.size_bytes = 64 * 1024;
+    sim::Platform platform(pc);
+    for (const auto& b : net.buffers())
+      platform.hierarchy().l2().interval_table().add(b.base, b.footprint, b.id);
+    sim::Os os(sim::SchedPolicy::kMigrating, procs);
+    sim::TimingEngine engine(platform, os, net.tasks());
+    engine.set_buffer_names(net.buffer_names());
+    return engine.run();
+  }
+};
+
+TEST(M2vKpn, ThirteenTasksWithPaperNames) {
+  M2vFixture fx;
+  for (const char* name :
+       {"input", "vld", "hdr", "isiq", "memMan", "idct", "add", "decMV",
+        "predict", "predictRD", "writeMB", "store", "output"})
+    EXPECT_NE(fx.net.find_process(name), nullptr) << name;
+  EXPECT_EQ(fx.net.processes().size(), 13u);
+}
+
+TEST(M2vKpn, DecodesBitExactVsReference) {
+  M2vFixture fx;
+  const sim::SimResults res = fx.run();
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_TRUE(fx.net.all_tasks_done());
+
+  const auto want = m2v_reference_decode(fx.stream);
+  ASSERT_EQ(fx.pipe.output->frames().size(), want.size());
+  for (std::size_t f = 0; f < want.size(); ++f)
+    EXPECT_EQ(fx.pipe.output->frames()[f], want[f].pixels()) << "frame " << f;
+}
+
+TEST(M2vKpn, LongerSequenceRecyclesFrameSlots) {
+  M2vFixture fx(32, 32, 6, 72);
+  const sim::SimResults res = fx.run();
+  EXPECT_FALSE(res.deadlocked);
+  const auto want = m2v_reference_decode(fx.stream);
+  ASSERT_EQ(fx.pipe.output->frames().size(), 6u);
+  EXPECT_EQ(fx.pipe.output->frames().back(), want.back().pixels());
+}
+
+TEST(M2vKpn, ResultIndependentOfProcessorCount) {
+  std::uint64_t sum1, sum4;
+  {
+    M2vFixture fx(32, 32, 3, 73);
+    fx.run(1);
+    sum1 = fx.pipe.output->checksum();
+  }
+  {
+    M2vFixture fx(32, 32, 3, 73);
+    fx.run(4);
+    sum4 = fx.pipe.output->checksum();
+  }
+  EXPECT_EQ(sum1, sum4);  // Kahn determinism
+}
+
+TEST(M2vKpn, AllTasksFire) {
+  M2vFixture fx;
+  const sim::SimResults res = fx.run();
+  for (const auto& t : res.tasks) EXPECT_GT(t.firings, 0u) << t.name;
+}
+
+TEST(M2vKpn, FrameBuffersSeeTraffic) {
+  M2vFixture fx;
+  const sim::SimResults res = fx.run();
+  for (const char* name : {"m2vFrame0", "m2vFrame1", "m2vDisplay"}) {
+    const sim::BufferRunStats* b = res.find_buffer(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_GT(b->l2.accesses, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cms::apps

@@ -1,0 +1,128 @@
+// Tests for the MCKP solvers (the paper's ILP formulation).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "opt/mckp.hpp"
+
+namespace cms::opt {
+namespace {
+
+std::vector<MckpGroup> random_instance(std::uint64_t seed, int groups,
+                                       int options) {
+  Rng rng(seed);
+  std::vector<MckpGroup> out;
+  for (int g = 0; g < groups; ++g) {
+    MckpGroup grp;
+    grp.name = "g" + std::to_string(g);
+    double cost = 1000.0 + rng.next_double() * 1000.0;
+    std::uint32_t size = 1;
+    for (int i = 0; i < options; ++i) {
+      grp.items.push_back({size, cost});
+      size += 1 + static_cast<std::uint32_t>(rng.below(4));
+      cost *= 0.3 + rng.next_double() * 0.6;  // diminishing misses
+    }
+    out.push_back(std::move(grp));
+  }
+  return out;
+}
+
+TEST(Mckp, TrivialSingleGroup) {
+  std::vector<MckpGroup> groups = {{"t", {{1, 100.0}, {4, 10.0}, {8, 1.0}}}};
+  const MckpSolution s = solve_mckp_dp(groups, 8);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.choice[0], 2);
+  EXPECT_DOUBLE_EQ(s.total_cost, 1.0);
+}
+
+TEST(Mckp, CapacityForcesCompromise) {
+  std::vector<MckpGroup> groups = {{"a", {{1, 100.0}, {8, 0.0}}},
+                                   {"b", {{1, 50.0}, {8, 0.0}}}};
+  const MckpSolution s = solve_mckp_dp(groups, 9);
+  ASSERT_TRUE(s.feasible);
+  // Only one group can get 8 sets; it should be "a" (larger gain).
+  EXPECT_DOUBLE_EQ(s.total_cost, 50.0);
+  EXPECT_EQ(s.total_size, 9u);
+}
+
+TEST(Mckp, InfeasibleWhenMinimumsExceedCapacity) {
+  std::vector<MckpGroup> groups = {{"a", {{4, 1.0}}}, {"b", {{4, 1.0}}}};
+  EXPECT_FALSE(solve_mckp_dp(groups, 7).feasible);
+  EXPECT_FALSE(solve_mckp_branch_bound(groups, 7).feasible);
+  EXPECT_FALSE(solve_mckp_greedy(groups, 7).feasible);
+  EXPECT_FALSE(solve_mckp_brute(groups, 7).feasible);
+}
+
+TEST(Mckp, EmptyInstanceIsFeasible) {
+  const MckpSolution s = solve_mckp_dp({}, 10);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.total_cost, 0.0);
+  EXPECT_EQ(s.total_size, 0u);
+}
+
+TEST(Mckp, UnusedCapacityAllowed) {
+  std::vector<MckpGroup> groups = {{"a", {{1, 5.0}, {2, 5.0}}}};
+  const MckpSolution s = solve_mckp_dp(groups, 100);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.total_cost, 5.0);
+}
+
+// ---- Cross-validation properties over random instances ----
+
+class MckpCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpCrossCheck, DpMatchesBruteForce) {
+  const auto groups = random_instance(static_cast<std::uint64_t>(GetParam()), 5, 4);
+  for (const std::uint32_t cap : {8u, 16u, 32u, 64u}) {
+    const MckpSolution dp = solve_mckp_dp(groups, cap);
+    const MckpSolution brute = solve_mckp_brute(groups, cap);
+    ASSERT_EQ(dp.feasible, brute.feasible) << "cap " << cap;
+    if (dp.feasible) {
+      EXPECT_NEAR(dp.total_cost, brute.total_cost, 1e-9) << "cap " << cap;
+      EXPECT_LE(dp.total_size, cap);
+    }
+  }
+}
+
+TEST_P(MckpCrossCheck, BranchBoundMatchesDp) {
+  const auto groups = random_instance(static_cast<std::uint64_t>(GetParam()) + 100, 8, 5);
+  for (const std::uint32_t cap : {16u, 40u, 100u}) {
+    const MckpSolution dp = solve_mckp_dp(groups, cap);
+    const MckpSolution bb = solve_mckp_branch_bound(groups, cap);
+    ASSERT_EQ(dp.feasible, bb.feasible);
+    if (dp.feasible) {
+      EXPECT_NEAR(dp.total_cost, bb.total_cost, 1e-9);
+    }
+  }
+}
+
+TEST_P(MckpCrossCheck, GreedyIsFeasibleAndNotBetterThanOptimal) {
+  const auto groups = random_instance(static_cast<std::uint64_t>(GetParam()) + 200, 10, 5);
+  for (const std::uint32_t cap : {20u, 60u, 200u}) {
+    const MckpSolution dp = solve_mckp_dp(groups, cap);
+    const MckpSolution greedy = solve_mckp_greedy(groups, cap);
+    if (!dp.feasible) continue;
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_LE(greedy.total_size, cap);
+    EXPECT_GE(greedy.total_cost + 1e-9, dp.total_cost);
+  }
+}
+
+TEST_P(MckpCrossCheck, SolutionSizeAccountingConsistent) {
+  const auto groups = random_instance(static_cast<std::uint64_t>(GetParam()) + 300, 6, 4);
+  const MckpSolution s = solve_mckp_dp(groups, 50);
+  if (!s.feasible) return;
+  double cost = 0;
+  std::uint32_t size = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& it = groups[g].items[static_cast<std::size_t>(s.choice[g])];
+    cost += it.cost;
+    size += it.size;
+  }
+  EXPECT_NEAR(cost, s.total_cost, 1e-9);
+  EXPECT_EQ(size, s.total_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpCrossCheck, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace cms::opt

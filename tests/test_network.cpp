@@ -1,0 +1,106 @@
+// Tests for the KPN network container and the Kahn determinism property
+// of complete applications.
+#include <gtest/gtest.h>
+
+#include "apps/applications.hpp"
+#include "core/experiment.hpp"
+#include "kpn/network.hpp"
+
+namespace cms::kpn {
+namespace {
+
+class NopProcess final : public Process {
+ public:
+  NopProcess(TaskId id, std::string name) : Process(id, std::move(name)) {}
+  bool can_fire() const override { return false; }
+  bool done() const override { return true; }
+  void run(sim::TaskContext&) override {}
+};
+
+TEST(Network, AssignsSequentialIds) {
+  Network net;
+  auto* a = net.add_process<NopProcess>("a", ProcessSpec{});
+  auto* b = net.add_process<NopProcess>("b", ProcessSpec{});
+  EXPECT_EQ(a->id(), 0);
+  EXPECT_EQ(b->id(), 1);
+  auto* f = net.make_fifo<int>("f", 4);
+  auto* fb = net.make_frame_buffer("fb", 1024);
+  EXPECT_EQ(f->id(), 0);
+  EXPECT_EQ(fb->id(), 1);
+}
+
+TEST(Network, RegionsAreDisjoint) {
+  Network net;
+  net.add_process<NopProcess>("a", ProcessSpec{});
+  net.make_fifo<int>("f", 64);
+  net.make_frame_buffer("fb", 4096);
+  net.make_segment("seg", 4096);
+  const auto& regions = net.space().regions();
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const bool disjoint = regions[i].end() <= regions[j].base ||
+                            regions[j].end() <= regions[i].base;
+      EXPECT_TRUE(disjoint) << regions[i].name << " vs " << regions[j].name;
+    }
+}
+
+TEST(Network, LookupByName) {
+  Network net;
+  net.add_process<NopProcess>("proc", ProcessSpec{});
+  net.make_fifo<int>("fifo", 4);
+  net.make_frame_buffer("frame", 64);
+  EXPECT_NE(net.find_process("proc"), nullptr);
+  EXPECT_NE(net.find_fifo("fifo"), nullptr);
+  EXPECT_NE(net.find_frame("frame"), nullptr);
+  EXPECT_EQ(net.find_process("nope"), nullptr);
+  EXPECT_EQ(net.find_fifo("nope"), nullptr);
+  EXPECT_EQ(net.find_frame("nope"), nullptr);
+}
+
+TEST(Network, BufferInfoKindsAndNames) {
+  Network net;
+  net.make_fifo<int>("f", 4);
+  net.make_frame_buffer("fb", 64);
+  net.make_segment("seg", 128);
+  const auto& buffers = net.buffers();
+  ASSERT_EQ(buffers.size(), 3u);
+  EXPECT_EQ(buffers[0].kind, BufferKind::kFifo);
+  EXPECT_EQ(buffers[1].kind, BufferKind::kFrame);
+  EXPECT_EQ(buffers[2].kind, BufferKind::kSegment);
+  const auto names = net.buffer_names();
+  EXPECT_EQ(names.at(0), "f");
+  EXPECT_EQ(names.at(2), "seg");
+}
+
+TEST(Network, SegmentLookup) {
+  Network net;
+  const sim::Region r = net.make_segment("appl_data", 256);
+  EXPECT_EQ(net.segment("appl_data").base, r.base);
+  EXPECT_EQ(net.segment("missing").size, 0u);
+}
+
+// ---- Kahn determinism of the full applications: identical functional
+// output regardless of platform configuration and scheduling. ----
+
+class KahnDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(KahnDeterminism, OutputIndependentOfSchedulingAndPlatform) {
+  const auto jitter = static_cast<std::uint64_t>(GetParam());
+  // Vary processors, L2 size and scheduler jitter; outputs must verify
+  // every time (they are compared against the scheduling-independent
+  // reference decoders inside verify()).
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.num_procs = 1 + static_cast<std::uint32_t>(GetParam() % 4);
+  cfg.platform.hier.l2.size_bytes = (16u << (GetParam() % 3)) * 1024;
+  cfg.eval_jitter = jitter;
+  core::Experiment exp(
+      [] { return apps::make_jpeg_canny_app(apps::AppConfig::tiny(3)); }, cfg);
+  const core::RunOutput out = exp.run_shared();
+  EXPECT_TRUE(out.verified);
+  EXPECT_FALSE(out.results.deadlocked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, KahnDeterminism, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace cms::kpn

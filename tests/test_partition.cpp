@@ -1,0 +1,108 @@
+// Tests for Partition / PartitionTable and the index translation that
+// implements the paper's set-exclusive cache allocation.
+#include <gtest/gtest.h>
+
+#include "mem/partition.hpp"
+
+namespace cms::mem {
+namespace {
+
+TEST(Partition, OverlapDetection) {
+  const Partition a{0, 8}, b{8, 8}, c{4, 8};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(PartitionTable, AssignAndLookup) {
+  PartitionTable table(64);
+  EXPECT_TRUE(table.assign(ClientId::task(1), {0, 16}));
+  EXPECT_TRUE(table.assign(ClientId::buffer(2), {16, 8}));
+  EXPECT_EQ(table.lookup(ClientId::task(1)).base_set, 0u);
+  EXPECT_EQ(table.lookup(ClientId::buffer(2)).num_sets, 8u);
+  // Task id 2 and buffer id 2 are distinct clients.
+  EXPECT_EQ(table.lookup(ClientId::task(2)).num_sets, 64u);  // default
+}
+
+TEST(PartitionTable, RejectsOutOfRangeAndEmpty) {
+  PartitionTable table(64);
+  EXPECT_FALSE(table.assign(ClientId::task(1), {60, 8}));  // beyond end
+  EXPECT_FALSE(table.assign(ClientId::task(1), {0, 0}));   // empty
+  EXPECT_FALSE(table.has(ClientId::task(1)));
+}
+
+TEST(PartitionTable, DefaultPartitionCoversWholeCacheInitially) {
+  PartitionTable table(128);
+  EXPECT_EQ(table.lookup(ClientId::task(9)).base_set, 0u);
+  EXPECT_EQ(table.lookup(ClientId::task(9)).num_sets, 128u);
+  table.set_default_partition({120, 8});
+  EXPECT_EQ(table.lookup(ClientId::task(9)).base_set, 120u);
+}
+
+TEST(PartitionTable, DisjointnessCheck) {
+  PartitionTable table(64);
+  table.assign(ClientId::task(1), {0, 16});
+  table.assign(ClientId::task(2), {16, 16});
+  EXPECT_TRUE(table.disjoint());
+  table.assign(ClientId::task(3), {24, 16});  // overlaps task 2
+  EXPECT_FALSE(table.disjoint());
+}
+
+TEST(PartitionTable, AssignedSetsSum) {
+  PartitionTable table(64);
+  table.assign(ClientId::task(1), {0, 16});
+  table.assign(ClientId::buffer(1), {16, 4});
+  EXPECT_EQ(table.assigned_sets(), 20u);
+}
+
+TEST(PartitionTable, TranslateMapsIntoPartitionRange) {
+  PartitionTable table(64);
+  table.assign(ClientId::task(1), {32, 8});
+  for (std::uint32_t idx = 0; idx < 64; ++idx) {
+    const std::uint32_t t = table.translate(ClientId::task(1), idx);
+    EXPECT_GE(t, 32u);
+    EXPECT_LT(t, 40u);
+    EXPECT_EQ(t, 32 + idx % 8);  // power-of-two size: low index bits
+  }
+}
+
+TEST(PartitionTable, TranslatePreservesDistinctnessWithinPartition) {
+  // Two conventional indices that differ modulo the partition size map to
+  // different partition sets — the translation only re-bases the index.
+  PartitionTable table(64);
+  table.assign(ClientId::task(1), {8, 4});
+  EXPECT_NE(table.translate(ClientId::task(1), 0),
+            table.translate(ClientId::task(1), 1));
+  EXPECT_EQ(table.translate(ClientId::task(1), 0),
+            table.translate(ClientId::task(1), 4));
+}
+
+TEST(PartitionTable, UnassignRestoresDefault) {
+  PartitionTable table(64);
+  table.assign(ClientId::task(1), {0, 4});
+  table.unassign(ClientId::task(1));
+  EXPECT_EQ(table.lookup(ClientId::task(1)).num_sets, 64u);
+}
+
+TEST(PartitionTable, EntriesAreSorted) {
+  PartitionTable table(64);
+  table.assign(ClientId::buffer(3), {0, 4});
+  table.assign(ClientId::task(1), {4, 4});
+  table.assign(ClientId::task(0), {8, 4});
+  const auto entries = table.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_TRUE(entries[0].first < entries[1].first);
+  EXPECT_TRUE(entries[1].first < entries[2].first);
+}
+
+TEST(ClientId, OrderingAndEquality) {
+  EXPECT_EQ(ClientId::task(1), ClientId::task(1));
+  EXPECT_NE(ClientId::task(1), ClientId::buffer(1));
+  EXPECT_LT(ClientId::task(1), ClientId::task(2));
+  EXPECT_EQ(ClientId::task(3).to_string(), "task:3");
+  EXPECT_EQ(ClientId::buffer(4).to_string(), "buf:4");
+}
+
+}  // namespace
+}  // namespace cms::mem

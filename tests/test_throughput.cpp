@@ -1,0 +1,94 @@
+// Tests for the static-assignment throughput optimizer (paper section 3.1).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "opt/throughput.hpp"
+
+namespace cms::opt {
+namespace {
+
+std::vector<TaskLoad> loads(std::initializer_list<double> cycles) {
+  std::vector<TaskLoad> out;
+  TaskId id = 0;
+  for (const double c : cycles)
+    out.push_back({id++, "t" + std::to_string(id), c});
+  return out;
+}
+
+TEST(Throughput, EvaluateSumsPerProcessor) {
+  const auto tasks = loads({10, 20, 30});
+  const Assignment a = evaluate_assignment(tasks, {0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(a.proc_load[0], 30.0);
+  EXPECT_DOUBLE_EQ(a.proc_load[1], 30.0);
+  EXPECT_DOUBLE_EQ(a.makespan, 30.0);
+}
+
+TEST(Throughput, LptBalances) {
+  const auto tasks = loads({7, 5, 4, 4, 3, 3});
+  const Assignment a = assign_lpt(tasks, 2);
+  EXPECT_DOUBLE_EQ(a.makespan, 14.0);  // LPT's result here
+  // The exact solver finds the perfect split of 26.
+  EXPECT_DOUBLE_EQ(assign_exact(tasks, 2).makespan, 13.0);
+}
+
+TEST(Throughput, ExactFindsOptimum) {
+  // LPT is suboptimal here: {8,7,6,5,4} on 2 procs. LPT: 8+6+4=18 vs 7+5=12
+  // (makespan 18); optimum is 15.
+  const auto tasks = loads({8, 7, 6, 5, 4});
+  const Assignment exact = assign_exact(tasks, 2);
+  EXPECT_DOUBLE_EQ(exact.makespan, 15.0);
+}
+
+TEST(Throughput, LocalSearchNeverWorseThanLpt) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TaskLoad> tasks;
+    const int n = 5 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < n; ++i)
+      tasks.push_back({i, "t", 1.0 + rng.next_double() * 100.0});
+    const Assignment lpt = assign_lpt(tasks, 4);
+    const Assignment ls = assign_local_search(tasks, 4);
+    EXPECT_LE(ls.makespan, lpt.makespan + 1e-9);
+  }
+}
+
+TEST(Throughput, ExactNeverWorseThanLocalSearch) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<TaskLoad> tasks;
+    for (int i = 0; i < 9; ++i)
+      tasks.push_back({i, "t", 1.0 + rng.next_double() * 50.0});
+    const Assignment ls = assign_local_search(tasks, 3);
+    const Assignment exact = assign_exact(tasks, 3);
+    EXPECT_LE(exact.makespan, ls.makespan + 1e-9);
+    // Lower bound: total / procs.
+    double total = 0;
+    for (const auto& t : tasks) total += t.cycles;
+    EXPECT_GE(exact.makespan + 1e-9, total / 3.0);
+  }
+}
+
+TEST(Throughput, SingleProcessorIsSum) {
+  const auto tasks = loads({10, 20, 30});
+  const Assignment a = assign_exact(tasks, 1);
+  EXPECT_DOUBLE_EQ(a.makespan, 60.0);
+}
+
+TEST(Throughput, MoreProcessorsNeverHurt) {
+  const auto tasks = loads({9, 8, 7, 6, 5, 4, 3});
+  double prev = 1e18;
+  for (std::uint32_t p = 1; p <= 4; ++p) {
+    const Assignment a = assign_exact(tasks, p);
+    EXPECT_LE(a.makespan, prev + 1e-9);
+    prev = a.makespan;
+  }
+}
+
+TEST(Throughput, PerSecondConversion) {
+  EXPECT_DOUBLE_EQ(throughput_per_second(300e6, 300.0), 1.0);
+  EXPECT_DOUBLE_EQ(throughput_per_second(150e6, 300.0), 2.0);
+  EXPECT_DOUBLE_EQ(throughput_per_second(0, 300.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cms::opt
