@@ -56,10 +56,11 @@ void sweep(const char* title, const core::AppFactory& factory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   sweep("Ablation A1: L2 size sweep — 2 jpegs & canny", bench::app1_factory(),
-        bench::app1_experiment());
+        bench::app1_experiment(jobs));
   sweep("Ablation A2: L2 size sweep — mpeg2", bench::app2_factory(),
-        bench::app2_experiment());
+        bench::app2_experiment(jobs));
   return 0;
 }

@@ -14,9 +14,16 @@
 
 #include <cstdio>
 
+#include "core/cli.hpp"
 #include "core/experiment.hpp"
 
 namespace cms::bench {
+
+// Campaign flags shared with the examples; results are bit-identical for
+// any --jobs value, so benches default to 1 (serial) for undisturbed
+// timing.
+using core::has_flag;
+using core::parse_jobs;
 
 inline apps::AppConfig app1_content() {
   apps::AppConfig cfg;  // QCIF defaults: 176x144 + 128x96 + 176x144
@@ -41,17 +48,20 @@ inline core::AppFactory app2_factory() {
   return [] { return apps::make_m2v_app(app2_content()); };
 }
 
-inline core::ExperimentConfig app1_experiment() {
+/// `jobs` = campaign workers used by Experiment::profile (see parse_jobs).
+inline core::ExperimentConfig app1_experiment(unsigned jobs = 1) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 96 * 1024;
   cfg.profile_runs = 2;
+  cfg.jobs = jobs;
   return cfg;
 }
 
-inline core::ExperimentConfig app2_experiment() {
+inline core::ExperimentConfig app2_experiment(unsigned jobs = 1) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 64 * 1024;
   cfg.profile_runs = 2;
+  cfg.jobs = jobs;
   return cfg;
 }
 

@@ -84,12 +84,13 @@ void run_app(const char* title, const core::AppFactory& factory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   run_app("Figure 2a: 2 jpegs & canny — shared vs best partitioned cache",
-          bench::app1_factory(), bench::app1_experiment(),
+          bench::app1_factory(), bench::app1_experiment(jobs),
           "5x fewer misses, 9.46% -> 2.21%, CPI 1.4 -> 1.1 (-20%)");
   run_app("Figure 2b: mpeg2 — shared vs best partitioned cache",
-          bench::app2_factory(), bench::app2_experiment(),
+          bench::app2_factory(), bench::app2_experiment(jobs),
           "6.5x fewer misses, 5.1% -> 0.8%, CPI 1.7-1.8 -> 1.6-1.7 (-4%)");
   return 0;
 }

@@ -53,10 +53,11 @@ void run_app(const char* title, const core::AppFactory& factory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   run_app("Figure 3a: expected vs simulated misses — 2 jpegs & canny",
-          bench::app1_factory(), bench::app1_experiment());
+          bench::app1_factory(), bench::app1_experiment(jobs));
   run_app("Figure 3b: expected vs simulated misses — mpeg2",
-          bench::app2_factory(), bench::app2_experiment());
+          bench::app2_factory(), bench::app2_experiment(jobs));
   return 0;
 }

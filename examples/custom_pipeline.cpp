@@ -8,7 +8,8 @@
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "core/cli.hpp"
+#include "core/scenario.hpp"
 
 using namespace cms;
 
@@ -147,12 +148,22 @@ apps::Application make_sensor_app() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = core::parse_jobs(argc, argv);
+
   core::ExperimentConfig cfg;
   cfg.platform.hier.num_procs = 2;
   cfg.platform.hier.l2.size_bytes = 32 * 1024;
   cfg.profile_grid = {1, 2, 4, 8, 16, 32, 64};
   cfg.profile_runs = 2;
+  cfg.jobs = jobs;
+
+  // Registering the custom workload makes it addressable by name for any
+  // campaign tooling (and guards against accidental re-registration).
+  if (!core::scenarios().has("sensor-pipeline"))
+    core::scenarios().add({"sensor-pipeline",
+                           "3-stage sample->filter->log sensor pipeline",
+                           make_sensor_app, cfg});
 
   core::Experiment exp(make_sensor_app, cfg);
   const opt::MissProfile prof = exp.profile();

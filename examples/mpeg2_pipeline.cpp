@@ -1,30 +1,34 @@
 // End-to-end walkthrough of the paper's method on the MPEG2 decoder:
 // profile -> plan -> apply -> run -> report, using the high-level
-// Experiment facade. This is the flow a system integrator would run to
-// dimension the L2 partitions of a new task set.
+// Experiment facade over a registered scenario. This is the flow a system
+// integrator would run to dimension the L2 partitions of a new task set.
+//
+// Pass `--jobs N` to fan the profiling sweep out over N worker threads
+// (the miss profile is bit-identical for any worker count).
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "core/cli.hpp"
+#include "core/scenario.hpp"
 #include "opt/power.hpp"
 
 using namespace cms;
 
-int main() {
-  // A small MPEG2-class workload: 128x96, 10 frames (frame 0 is intra,
-  // the rest motion-compensated).
-  apps::AppConfig content;
-  content.m2v_width = 128;
-  content.m2v_height = 96;
-  content.m2v_frames = 10;
+int main(int argc, char** argv) {
+  const unsigned jobs = core::parse_jobs(argc, argv);
 
-  core::ExperimentConfig cfg;
-  cfg.platform.hier.l2.size_bytes = 64 * 1024;  // conflict-heavy regime
-  cfg.profile_runs = 1;
+  // The registry ships the paper's evaluation scenarios by name; "mpeg2"
+  // is the small MPEG2-class workload (128x96, 10 frames, 64 KB L2 —
+  // the conflict-heavy regime).
+  core::ScenarioSpec spec = core::scenarios().get("mpeg2");
+  spec.experiment.profile_runs = 1;
+  spec.experiment.jobs = jobs;
+  core::Experiment exp(spec.factory, spec.experiment);
 
-  core::Experiment exp([content] { return apps::make_m2v_app(content); }, cfg);
-
-  std::printf("1) profiling per-task miss curves in isolation...\n");
+  std::printf("scenario: %s — %s\n", spec.name.c_str(),
+              spec.description.c_str());
+  std::printf("1) profiling per-task miss curves in isolation (%u worker%s)...\n",
+              jobs, jobs == 1 ? "" : "s");
   const opt::MissProfile prof = exp.profile();
 
   std::printf("2) planning the partition ratio (buffers first, MCKP for "

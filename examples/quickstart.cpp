@@ -1,10 +1,19 @@
 // Quickstart: build a tiny two-task producer/consumer KPN, run it on the
 // CAKE-like platform twice — shared L2 vs partitioned L2 — and print the
 // per-client miss counts. Demonstrates the whole public API surface in
-// ~100 lines.
+// ~100 lines: the workload is wrapped as an apps::Application, both modes
+// are submitted as SimJobs to one core::Campaign (so with --jobs 2 they
+// simulate concurrently), and --quick additionally runs a reduced-grid
+// Experiment::profile() sweep through the same runner.
+//
+// Flags: --jobs N (campaign workers, default 1), --quick (small content +
+// profiling smoke; what CI runs under TSan).
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "core/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/runner.hpp"
 #include "kpn/network.hpp"
 #include "mem/partitioned_cache.hpp"
 #include "sim/engine.hpp"
@@ -15,7 +24,7 @@ using namespace cms;
 
 namespace {
 
-constexpr int kItems = 4000;
+int g_items = 4000;
 constexpr std::size_t kStreamBytes = 256 * 1024;  // producer streams, no reuse
 constexpr std::size_t kTableBytes = 32 * 1024;    // consumer reuses this table
                                                   // (bigger than the 16 KB L1)
@@ -34,8 +43,8 @@ class Producer final : public kpn::Process {
     for (std::size_t i = 0; i < stream_.size(); ++i)
       stream_.host_data()[i] = static_cast<std::uint32_t>(i * 2654435761u);
   }
-  bool can_fire() const override { return produced_ < kItems && out_->can_write(); }
-  bool done() const override { return produced_ >= kItems; }
+  bool can_fire() const override { return produced_ < g_items && out_->can_write(); }
+  bool done() const override { return produced_ >= g_items; }
 
   void run(sim::TaskContext& ctx) override {
     ctx.fetch_code(64);
@@ -69,8 +78,8 @@ class Consumer final : public kpn::Process {
     for (std::size_t i = 0; i < table_.size(); ++i)
       table_.host_data()[i] = static_cast<std::uint32_t>(i * 40503u + 7u);
   }
-  bool can_fire() const override { return consumed_ < kItems && in_->can_read(); }
-  bool done() const override { return consumed_ >= kItems; }
+  bool can_fire() const override { return consumed_ < g_items && in_->can_read(); }
+  bool done() const override { return consumed_ >= g_items; }
 
   void run(sim::TaskContext& ctx) override {
     ctx.fetch_code(64);
@@ -93,54 +102,90 @@ class Consumer final : public kpn::Process {
   int consumed_ = 0;
 };
 
-sim::SimResults run_once(bool partitioned) {
-  kpn::Network net;
+/// Wrap the producer/consumer network as an apps::Application so the
+/// campaign runner (and the whole Experiment tooling) can drive it.
+apps::Application make_quickstart_app() {
+  apps::Application app;
+  app.name = "quickstart";
+  app.net = std::make_unique<kpn::Network>();
+  kpn::Network& net = *app.net;
+
   auto* fifo = net.make_fifo<std::uint32_t>("tokens", 64);
   kpn::ProcessSpec prod_spec;
   prod_spec.heap_bytes = kStreamBytes + 4096;
   kpn::ProcessSpec cons_spec;
   cons_spec.heap_bytes = kTableBytes + 4096;
-  auto* prod = net.add_process<Producer>("producer", prod_spec, fifo);
+  net.add_process<Producer>("producer", prod_spec, fifo);
   auto* cons = net.add_process<Consumer>("consumer", cons_spec, fifo);
+  app.verify = [cons] { return cons->checksum() != 0; };
+  return app;
+}
 
-  // 2 processors, 64 KB 4-way shared L2 (256 sets): big enough for the
-  // consumer's 48 KB table — unless the producer's stream evicts it.
+/// 2 processors, 64 KB 4-way shared L2 (256 sets): big enough for the
+/// consumer's 48 KB table — unless the producer's stream evicts it.
+sim::PlatformConfig quickstart_platform() {
   sim::PlatformConfig pc;
   pc.hier.num_procs = 2;
   pc.hier.l2.size_bytes = 64 * 1024;
-  sim::Platform platform(pc);
+  return pc;
+}
 
-  mem::PartitionedCache& l2 = platform.hierarchy().l2();
-  for (const auto& b : net.buffers())
-    l2.interval_table().add(b.base, b.footprint, b.id);
+/// Hand-built partition plan for `app`'s client ids (per-network counters,
+/// so they match every Application the factory produces). The streaming
+/// producer gets almost nothing (streams don't cache); the consumer gets
+/// enough sets to hold its whole table plus its hot code lines; the FIFO
+/// gets its own small range.
+opt::PartitionPlan quickstart_plan(const apps::Application& app) {
+  const auto& procs = app.net->processes();
+  const auto buffers = app.net->buffers();
 
-  if (partitioned) {
-    // The streaming producer gets almost nothing (streams don't cache);
-    // the consumer gets enough sets to hold its whole table plus its hot
-    // code lines; the FIFO gets its own small range.
-    l2.partition_table().assign(mem::ClientId::task(prod->id()), {0, 8});
-    l2.partition_table().assign(mem::ClientId::task(cons->id()), {8, 224});
-    l2.partition_table().assign(mem::ClientId::buffer(fifo->id()), {232, 4});
-    l2.partition_table().set_default_partition({236, 20});
-    l2.set_partitioning_enabled(true);
-  }
-
-  sim::Os os(sim::SchedPolicy::kMigrating, pc.hier.num_procs);
-  sim::TimingEngine engine(platform, os, net.tasks());
-  engine.set_buffer_names(net.buffer_names());
-  return engine.run();
+  opt::PartitionPlan plan;
+  plan.total_sets = 256;
+  plan.entries.push_back({mem::ClientId::task(procs[0]->id()), "producer",
+                          kpn::BufferKind::kSegment, true, 8, {0, 8}, 0.0});
+  plan.entries.push_back({mem::ClientId::task(procs[1]->id()), "consumer",
+                          kpn::BufferKind::kSegment, true, 224, {8, 224}, 0.0});
+  plan.entries.push_back({mem::ClientId::buffer(buffers[0].id), "tokens",
+                          kpn::BufferKind::kFifo, false, 4, {232, 4}, 0.0});
+  plan.spare = {236, 20};
+  plan.used_sets = 236;
+  plan.feasible = true;
+  return plan;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("CMS quickstart: producer/consumer, shared vs partitioned L2 (table %zu KB)\n", kTableBytes / 1024);
+int main(int argc, char** argv) {
+  const unsigned jobs = core::parse_jobs(argc, argv);
+  const bool quick = core::has_flag(argc, argv, "--quick");
+  if (quick) g_items = 500;
+
+  const unsigned workers = core::Campaign::resolve_jobs(jobs);
+  std::printf("CMS quickstart: producer/consumer, shared vs partitioned L2 "
+              "(table %zu KB, %u campaign worker%s)\n",
+              kTableBytes / 1024, workers, workers == 1 ? "" : "s");
+
+  // Both modes are independent simulations — submit them to one campaign;
+  // with --jobs 2 they run concurrently and still report deterministically.
+  core::Campaign campaign(jobs);
+  core::SimJob shared_job;
+  shared_job.factory = make_quickstart_app;
+  shared_job.platform = quickstart_platform();
+  shared_job.label = "shared";
+  core::SimJob part_job = shared_job;
+  part_job.plan =
+      std::make_shared<const opt::PartitionPlan>(quickstart_plan(make_quickstart_app()));
+  part_job.label = "partitioned";
+  campaign.add(shared_job);
+  campaign.add(part_job);
+  const std::vector<core::JobResult> outcomes = campaign.run_all();
 
   Table table({"mode", "client", "L2 accesses", "L2 misses", "miss rate %"});
   std::uint64_t protected_misses[2] = {0, 0};
-  for (const bool partitioned : {false, true}) {
-    const sim::SimResults res = run_once(partitioned);
-    const char* mode = partitioned ? "partitioned" : "shared";
+  for (const core::JobResult& jr : outcomes) {
+    const sim::SimResults& res = jr.output.results;
+    const bool partitioned = jr.output.partitioned;
+    const char* mode = jr.label.c_str();
     const auto* cons_stats = res.find_task("consumer");
     const auto* fifo_stats = res.find_buffer("tokens");
     protected_misses[partitioned ? 1 : 0] =
@@ -162,9 +207,10 @@ int main() {
           .integer(static_cast<std::int64_t>(b.l2.misses))
           .num(100.0 * b.l2.miss_rate())
           .done();
-    std::printf("%s: makespan=%llu cycles, L2 miss rate %.2f%%, CPI %.3f%s\n",
+    std::printf("%s: makespan=%llu cycles, L2 miss rate %.2f%%, CPI %.3f%s%s\n",
                 mode, static_cast<unsigned long long>(res.makespan),
                 100.0 * res.l2_miss_rate(), res.mean_cpi(),
+                jr.output.verified ? "" : " [VERIFY FAILED]",
                 res.deadlocked ? " [DEADLOCK]" : "");
   }
   table.print();
@@ -174,5 +220,20 @@ int main() {
       "partitioning, and are now guaranteed not to depend on the co-runner.\n",
       static_cast<unsigned long long>(protected_misses[0]),
       static_cast<unsigned long long>(protected_misses[1]));
+
+  if (quick) {
+    // Reduced-grid profiling sweep through the same runner — the CI TSan
+    // smoke exercises concurrent engines end to end with this path.
+    core::ExperimentConfig cfg;
+    cfg.platform = quickstart_platform();
+    cfg.profile_grid = {1, 8};
+    cfg.profile_runs = 1;
+    cfg.jobs = jobs;
+    core::Experiment exp(make_quickstart_app, cfg);
+    const opt::MissProfile prof = exp.profile();
+    std::printf("\n--quick profile sweep (%zu sims, %u workers):\n%s",
+                cfg.profile_grid.size() * cfg.profile_runs, workers,
+                prof.to_string().c_str());
+  }
   return 0;
 }

@@ -19,6 +19,8 @@ struct Basis {
   }
 };
 const Basis& basis() {
+  // Immutable after construction; the magic-static guard makes the first
+  // concurrent use race-free (thread-safety contract in ARCHITECTURE.md).
   static const Basis b;
   return b;
 }

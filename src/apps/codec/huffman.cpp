@@ -65,13 +65,16 @@ std::uint8_t HuffmanTable::decode(BitReader& br) const {
 }
 
 namespace {
-const std::array<std::uint8_t, 16> kDcBits = {0, 1, 5, 1, 1, 1, 1, 1,
-                                              1, 0, 0, 0, 0, 0, 0, 0};
-const std::vector<std::uint8_t> kDcVals = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+// Constant-initialized symbol tables (no dynamic initializers, so their
+// values are available before any thread starts).
+constexpr std::array<std::uint8_t, 16> kDcBits = {0, 1, 5, 1, 1, 1, 1, 1,
+                                                  1, 0, 0, 0, 0, 0, 0, 0};
+constexpr std::array<std::uint8_t, 12> kDcVals = {0, 1, 2, 3, 4,  5,
+                                                  6, 7, 8, 9, 10, 11};
 
-const std::array<std::uint8_t, 16> kAcBits = {0, 2, 1, 3, 3, 2, 4, 3,
-                                              5, 5, 4, 4, 0, 0, 1, 0x7D};
-const std::vector<std::uint8_t> kAcVals = {
+constexpr std::array<std::uint8_t, 16> kAcBits = {0, 2, 1, 3, 3, 2, 4, 3,
+                                                  5, 5, 4, 4, 0, 0, 1, 0x7D};
+constexpr std::array<std::uint8_t, 162> kAcVals = {
     0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
     0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
     0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72,
@@ -88,13 +91,19 @@ const std::vector<std::uint8_t> kAcVals = {
     0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA};
 }  // namespace
 
+// The derived decode/encode tables need dynamic construction; the
+// magic-static guard gives race-free one-time initialization even with
+// many campaign worker threads decoding concurrently, and the tables are
+// immutable afterwards (thread-safety contract in ARCHITECTURE.md).
 const HuffmanTable& jpeg_dc_luma() {
-  static const HuffmanTable t(kDcBits, kDcVals);
+  static const HuffmanTable t(
+      kDcBits, std::vector<std::uint8_t>(kDcVals.begin(), kDcVals.end()));
   return t;
 }
 
 const HuffmanTable& jpeg_ac_luma() {
-  static const HuffmanTable t(kAcBits, kAcVals);
+  static const HuffmanTable t(
+      kAcBits, std::vector<std::uint8_t>(kAcVals.begin(), kAcVals.end()));
   return t;
 }
 

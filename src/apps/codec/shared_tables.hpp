@@ -6,6 +6,12 @@
 // improvement in performance is obtained". To reproduce that, the quant /
 // zigzag / Huffman tables all tasks consult live at addresses inside the
 // appl-data segment, and every lookup is recorded by the acting task.
+//
+// Thread-safety: a SharedCodecTables instance belongs to one Application
+// (one simulation, one thread). The process-wide constant tables it
+// consults are const-init (tables.cpp) or built once behind magic-static
+// guards (huffman.cpp) and immutable afterwards, so concurrent
+// simulations never race on them.
 #pragma once
 
 #include <array>

@@ -4,48 +4,64 @@
 
 namespace cms::apps {
 
-const std::array<std::uint8_t, kBlockSize>& zigzag_order() {
-  static const std::array<std::uint8_t, kBlockSize> kOrder = [] {
-    std::array<std::uint8_t, kBlockSize> o{};
-    int x = 0, y = 0;
-    for (int k = 0; k < kBlockSize; ++k) {
-      o[k] = static_cast<std::uint8_t>(y * kBlockDim + x);
-      if ((x + y) % 2 == 0) {  // moving up-right
-        if (x == kBlockDim - 1) ++y;
-        else if (y == 0) ++x;
-        else { ++x; --y; }
-      } else {  // moving down-left
-        if (y == kBlockDim - 1) ++x;
-        else if (x == 0) ++y;
-        else { --x; ++y; }
-      }
+// All tables here are constant-initialized (constexpr), so their values
+// exist before main() and concurrent simulation workers can read them
+// without any synchronization — part of the thread-safety contract in
+// ARCHITECTURE.md.
+namespace {
+
+constexpr std::array<std::uint8_t, kBlockSize> make_zigzag_order() {
+  std::array<std::uint8_t, kBlockSize> o{};
+  int x = 0, y = 0;
+  for (int k = 0; k < kBlockSize; ++k) {
+    o[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(y * kBlockDim + x);
+    if ((x + y) % 2 == 0) {  // moving up-right
+      if (x == kBlockDim - 1) ++y;
+      else if (y == 0) ++x;
+      else { ++x; --y; }
+    } else {  // moving down-left
+      if (y == kBlockDim - 1) ++x;
+      else if (x == 0) ++y;
+      else { --x; ++y; }
     }
-    return o;
-  }();
-  return kOrder;
+  }
+  return o;
+}
+
+constexpr std::array<std::uint8_t, kBlockSize> kZigzagOrder = make_zigzag_order();
+
+constexpr std::array<std::uint8_t, kBlockSize> make_zigzag_inverse() {
+  std::array<std::uint8_t, kBlockSize> inv{};
+  for (int k = 0; k < kBlockSize; ++k)
+    inv[kZigzagOrder[static_cast<std::size_t>(k)]] = static_cast<std::uint8_t>(k);
+  return inv;
+}
+
+constexpr std::array<std::uint8_t, kBlockSize> kZigzagInverse =
+    make_zigzag_inverse();
+
+constexpr std::array<std::uint8_t, kBlockSize> kJpegLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+}  // namespace
+
+const std::array<std::uint8_t, kBlockSize>& zigzag_order() {
+  return kZigzagOrder;
 }
 
 const std::array<std::uint8_t, kBlockSize>& zigzag_inverse() {
-  static const std::array<std::uint8_t, kBlockSize> kInv = [] {
-    std::array<std::uint8_t, kBlockSize> inv{};
-    const auto& o = zigzag_order();
-    for (int k = 0; k < kBlockSize; ++k) inv[o[k]] = static_cast<std::uint8_t>(k);
-    return inv;
-  }();
-  return kInv;
+  return kZigzagInverse;
 }
 
 const std::array<std::uint8_t, kBlockSize>& jpeg_luma_quant() {
-  static const std::array<std::uint8_t, kBlockSize> kQ = {
-      16, 11, 10, 16, 24,  40,  51,  61,
-      12, 12, 14, 19, 26,  58,  60,  55,
-      14, 13, 16, 24, 40,  57,  69,  56,
-      14, 17, 22, 29, 51,  87,  80,  62,
-      18, 22, 37, 56, 68,  109, 103, 77,
-      24, 35, 55, 64, 81,  104, 113, 92,
-      49, 64, 78, 87, 103, 121, 120, 101,
-      72, 92, 95, 98, 112, 100, 103, 99};
-  return kQ;
+  return kJpegLumaQuant;
 }
 
 std::array<std::uint16_t, kBlockSize> scaled_quant(int quality) {

@@ -1,11 +1,12 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace cms {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -17,12 +18,16 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  // One fprintf per line: stdio locks the stream, so concurrent campaign
+  // workers never interleave within a message.
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

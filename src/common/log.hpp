@@ -1,5 +1,9 @@
 // Minimal leveled logger. Off by default above kWarn so that benchmark
 // output stays clean; tests and examples can raise verbosity.
+//
+// Thread-safety: the level is atomic and each message is emitted with a
+// single locked stdio call, so logging from concurrent simulation workers
+// (core::Campaign) is race-free and never interleaves within a line.
 #pragma once
 
 #include <sstream>

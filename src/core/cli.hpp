@@ -1,0 +1,51 @@
+// Tiny shared command-line helpers for benches and examples — one
+// definition of the campaign flags so `--jobs` behaves identically in
+// every binary.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cms::core {
+
+/// Hard ceiling on explicit worker counts: far above any real machine,
+/// low enough that a mistyped value can't build an absurd pool.
+inline constexpr unsigned kMaxJobs = 1024;
+
+/// Parse `--jobs N` / `--jobs=N`: campaign worker threads (0 = hardware
+/// concurrency). Returns `def` when the flag is absent; a malformed or
+/// out-of-range value (non-numeric, negative, > kMaxJobs — e.g. the typo
+/// `--jobs --quick` or `--jobs -1`) warns and keeps `def` rather than
+/// silently fanning out to every core.
+inline unsigned parse_jobs(int argc, char** argv, unsigned def = 1) {
+  const auto parse_value = [def](const char* v) -> unsigned {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(v, &end, 10);
+    if (end == v || *end != '\0' || v[0] == '-' || n > kMaxJobs) {
+      std::fprintf(stderr, "warning: ignoring bad --jobs value '%s' (0..%u)\n",
+                   v, kMaxJobs);
+      return def;
+    }
+    return static_cast<unsigned>(n);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr, "warning: --jobs needs a value (0..%u)\n", kMaxJobs);
+      return def;
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      return parse_value(argv[i] + 7);
+  }
+  return def;
+}
+
+/// True when `flag` (e.g. "--quick") is present.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace cms::core

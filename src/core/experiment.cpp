@@ -1,7 +1,8 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <memory>
+#include <utility>
 
 #include "common/log.hpp"
 
@@ -19,70 +20,51 @@ std::vector<kpn::SharedBufferInfo> Experiment::buffers() const {
   return app.net->buffers();
 }
 
-RunOutput Experiment::run_impl(apps::Application& app,
-                               const sim::PlatformConfig& pc,
-                               const opt::PartitionPlan* plan,
-                               std::uint64_t jitter) const {
-  sim::PlatformConfig cfg = pc;
-  cfg.rt_data = app.rt_data;
-  cfg.rt_bss = app.rt_bss;
-  sim::Platform platform(cfg);
+SimJob Experiment::make_job(const sim::PlatformConfig& pc,
+                            std::shared_ptr<const opt::PartitionPlan> plan,
+                            std::uint64_t jitter, std::string label) const {
+  SimJob job;
+  job.factory = factory_;
+  job.platform = pc;
+  job.policy = cfg_.policy;
+  job.plan = std::move(plan);
+  job.jitter = jitter;
+  job.label = std::move(label);
+  return job;
+}
 
-  // The OS registers every shared buffer in the interval table in both
-  // modes: attribution (per-buffer stats) is mode-independent; only the
-  // index translation differs.
-  mem::PartitionedCache& l2 = platform.hierarchy().l2();
-  for (const auto& b : app.net->buffers()) {
-    const bool ok = l2.interval_table().add(b.base, b.footprint, b.id);
-    assert(ok && "overlapping shared buffers");
-    (void)ok;
-  }
+SimJob Experiment::shared_job(std::uint64_t jitter) const {
+  return make_job(cfg_.platform, nullptr, jitter, "shared");
+}
 
-  if (plan != nullptr) {
-    plan->apply(l2);
-  } else {
-    l2.set_partitioning_enabled(false);
-  }
-
-  sim::Os os(cfg_.policy, cfg.hier.num_procs, jitter);
-  if (cfg_.policy == sim::SchedPolicy::kStatic) {
-    // Default static mapping: round-robin by task id. Callers wanting an
-    // optimized mapping use opt::assign_* and a custom Os.
-    ProcId p = 0;
-    for (const auto& t : app.net->processes()) {
-      os.assign(t->id(), p);
-      p = static_cast<ProcId>((p + 1) % static_cast<ProcId>(cfg.hier.num_procs));
-    }
-  }
-  sim::TimingEngine engine(platform, os, app.net->tasks());
-  engine.set_buffer_names(app.net->buffer_names());
-
-  RunOutput out;
-  out.results = engine.run();
-  out.partitioned = plan != nullptr;
-  out.verified = app.verify ? app.verify() : true;
-  if (out.results.deadlocked)
-    log_warn() << "simulation deadlocked (" << app.name << ")";
-  return out;
+SimJob Experiment::partitioned_job(const opt::PartitionPlan& plan,
+                                   std::uint64_t jitter) const {
+  return make_job(cfg_.platform,
+                  std::make_shared<const opt::PartitionPlan>(plan), jitter,
+                  "partitioned");
 }
 
 RunOutput Experiment::run(const opt::PartitionPlan* plan,
                           std::uint64_t jitter) const {
-  apps::Application app = factory_();
-  return run_impl(app, cfg_.platform, plan, jitter);
+  std::shared_ptr<const opt::PartitionPlan> shared_plan;
+  if (plan != nullptr)
+    shared_plan = std::make_shared<const opt::PartitionPlan>(*plan);
+  return execute_job(make_job(cfg_.platform, std::move(shared_plan), jitter,
+                              plan != nullptr ? "partitioned" : "shared"));
 }
 
 RunOutput Experiment::run_shared_with_l2(std::uint32_t l2_size_bytes) const {
-  apps::Application app = factory_();
   sim::PlatformConfig pc = cfg_.platform;
   pc.hier.l2.size_bytes = l2_size_bytes;
-  return run_impl(app, pc, nullptr, cfg_.eval_jitter);
+  return execute_job(make_job(pc, nullptr, cfg_.eval_jitter, "shared-l2"));
 }
 
-opt::MissProfile Experiment::profile() const {
-  opt::MissProfile prof;
+std::vector<Experiment::ProfileJob> Experiment::profile_jobs() const {
+  std::vector<ProfileJob> out;
   const auto task_list = tasks();
   const auto buffer_list = buffers();
+  const std::uint32_t runs = std::max(1u, cfg_.profile_runs);
+  out.reserve(cfg_.profile_grid.size() * runs);
 
   for (const std::uint32_t sets : cfg_.profile_grid) {
     // Uniform plan: every task `sets`, buffers per policy; enlarge the L2
@@ -98,23 +80,45 @@ opt::MissProfile Experiment::profile() const {
     pc.hier.l2.size_bytes = need_sets * line * ways;
     uplan.total_sets = need_sets;
 
-    for (std::uint32_t r = 0; r < std::max(1u, cfg_.profile_runs); ++r) {
-      apps::Application app = factory_();
-      const RunOutput out = run_impl(app, pc, &uplan, r);
-      if (out.results.deadlocked || !out.verified)
-        log_warn() << "profiling run unusable at " << sets << " sets";
-      for (const auto& t : out.results.tasks) {
-        prof.add_sample(t.name, sets, static_cast<double>(t.l2.misses),
-                        static_cast<double>(t.active_cycles),
-                        static_cast<double>(t.instructions));
-      }
-      for (const auto& b : out.results.buffers) {
-        prof.add_sample(b.name, sets, static_cast<double>(b.l2.misses), 0.0,
-                        0.0);
-      }
+    const auto plan = std::make_shared<const opt::PartitionPlan>(std::move(uplan));
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      ProfileJob pj;
+      pj.sets = sets;
+      pj.run = r;
+      pj.job = make_job(pc, plan, r,
+                        "profile/s=" + std::to_string(sets) +
+                            "/r=" + std::to_string(r));
+      out.push_back(std::move(pj));
     }
   }
-  return prof;
+  return out;
+}
+
+opt::MissProfile Experiment::profile() const {
+  std::vector<ProfileJob> sweep = profile_jobs();
+
+  Campaign campaign(cfg_.jobs);
+  for (const ProfileJob& pj : sweep) campaign.add(pj.job);
+  const std::vector<JobResult> results = campaign.run_all();
+
+  std::vector<opt::ProfileFragment> fragments;
+  fragments.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunOutput& out = results[i].output;
+    const std::uint32_t sets = sweep[i].sets;
+    if (out.results.deadlocked || !out.verified)
+      log_warn() << "profiling run unusable at " << sets << " sets";
+    opt::ProfileFragment frag;
+    frag.order = i;
+    for (const auto& t : out.results.tasks)
+      frag.add(t.name, sets, static_cast<double>(t.l2.misses),
+               static_cast<double>(t.active_cycles),
+               static_cast<double>(t.instructions));
+    for (const auto& b : out.results.buffers)
+      frag.add(b.name, sets, static_cast<double>(b.l2.misses), 0.0, 0.0);
+    fragments.push_back(std::move(frag));
+  }
+  return opt::fold_fragments(std::move(fragments));
 }
 
 opt::PartitionPlan Experiment::plan(const opt::MissProfile& prof) const {

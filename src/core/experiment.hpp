@@ -12,6 +12,11 @@
 //   auto part = exp.run_partitioned(plan);
 //   auto comp = opt::compare_expected_vs_simulated(profile, plan,
 //                                                  part.results);
+//
+// Profiling is a declarative sweep over `profile_grid` x `profile_runs`
+// executed by a core::Campaign: every grid point is an independent SimJob,
+// so setting `ExperimentConfig::jobs > 1` fans the sweep out over worker
+// threads with bit-identical results (see runner.hpp for the contract).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "apps/applications.hpp"
+#include "core/runner.hpp"
 #include "opt/compositionality.hpp"
 #include "opt/planner.hpp"
 #include "opt/profile.hpp"
@@ -29,8 +35,6 @@
 #include "sim/results.hpp"
 
 namespace cms::core {
-
-using AppFactory = std::function<apps::Application()>;
 
 struct ExperimentConfig {
   sim::PlatformConfig platform = sim::cake_platform();
@@ -43,12 +47,11 @@ struct ExperimentConfig {
   std::uint32_t profile_runs = 2;
   /// Scheduler jitter of the evaluation runs.
   std::uint64_t eval_jitter = 0;
-};
 
-struct RunOutput {
-  sim::SimResults results;
-  bool verified = false;     // functional correctness of the decoded output
-  bool partitioned = false;  // mode of this run
+  /// Worker threads of the profiling campaign: 1 = serial (default),
+  /// 0 = hardware concurrency, N = exactly N workers. Results are
+  /// bit-identical for every value.
+  unsigned jobs = 1;
 };
 
 class Experiment {
@@ -57,15 +60,29 @@ class Experiment {
       : factory_(std::move(factory)), cfg_(std::move(cfg)) {}
 
   const ExperimentConfig& config() const { return cfg_; }
+  const AppFactory& factory() const { return factory_; }
 
   /// Task inventory of the application (id, name), in creation order.
   std::vector<std::pair<TaskId, std::string>> tasks() const;
   /// Shared buffer inventory.
   std::vector<kpn::SharedBufferInfo> buffers() const;
 
-  /// Isolation sweeps: every task gets the same partition size s (clients
-  /// are mutually isolated, so M_i depends only on s); the L2 is virtually
-  /// enlarged so every sweep point fits. One run per (size, jitter).
+  /// One isolation-sweep simulation: grid position + the uniform partition
+  /// size it measures.
+  struct ProfileJob {
+    SimJob job;
+    std::uint32_t sets = 0;  // uniform per-task partition size
+    std::uint32_t run = 0;   // jitter index within this grid point
+  };
+
+  /// The declarative profiling sweep: one job per (size, jitter) in
+  /// canonical serial order. Every task gets the same partition size s
+  /// (clients are mutually isolated, so M_i depends only on s); the L2 is
+  /// virtually enlarged so every sweep point fits.
+  std::vector<ProfileJob> profile_jobs() const;
+
+  /// Execute the sweep on a Campaign with `config().jobs` workers and fold
+  /// the per-job results; bit-identical output for any worker count.
   opt::MissProfile profile() const;
 
   /// Buffers-first + MCKP plan on the real L2 (paper section 3.2).
@@ -82,13 +99,20 @@ class Experiment {
   /// One run with explicit jitter (used by the profiler and tests).
   RunOutput run(const opt::PartitionPlan* plan, std::uint64_t jitter) const;
 
+  /// Evaluation runs as campaign jobs, for callers batching several
+  /// experiments onto one Campaign.
+  SimJob shared_job(std::uint64_t jitter = 0) const;
+  SimJob partitioned_job(const opt::PartitionPlan& plan,
+                         std::uint64_t jitter = 0) const;
+
   /// Run with an L2 sized to `l2_size_bytes` (shared mode) — the paper's
   /// "1 MB shared L2" data point and the L2-size ablation.
   RunOutput run_shared_with_l2(std::uint32_t l2_size_bytes) const;
 
  private:
-  RunOutput run_impl(apps::Application& app, const sim::PlatformConfig& pc,
-                     const opt::PartitionPlan* plan, std::uint64_t jitter) const;
+  SimJob make_job(const sim::PlatformConfig& pc,
+                  std::shared_ptr<const opt::PartitionPlan> plan,
+                  std::uint64_t jitter, std::string label) const;
 
   AppFactory factory_;
   ExperimentConfig cfg_;

@@ -1,0 +1,107 @@
+// Campaign runner — the orchestration seam between experiment-level sweeps
+// and individual simulations.
+//
+// A `SimJob` is one fully self-contained simulation: an application factory
+// (every run builds its OWN Application, network, content and address
+// space), a platform configuration, an optional partition plan, and a
+// deterministic scheduler-jitter seed. Because a job shares no mutable
+// state with any other job, independent jobs can execute on any thread in
+// any order; `Campaign` fans them out over a worker pool and returns the
+// results in SUBMISSION order, so downstream aggregation is bit-identical
+// to a serial execution regardless of completion order.
+//
+// Thread-safety contract (see ARCHITECTURE.md):
+//  * sim::Platform, sim::Os, sim::TimingEngine and everything they own are
+//    thread-confined: one simulation, one thread, no sharing.
+//  * The only process-wide state the simulator touches is immutable after
+//    first use (codec constant tables: const-init or magic-static-guarded)
+//    or atomic (the log level), so concurrent engines are race-free.
+//  * All randomness flows through per-run cms::Rng seeds carried in the
+//    job; no global RNG exists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "opt/planner.hpp"
+#include "sim/os.hpp"
+#include "sim/platform.hpp"
+#include "sim/results.hpp"
+
+namespace cms::core {
+
+using AppFactory = std::function<apps::Application()>;
+
+/// Outcome of one simulation run.
+struct RunOutput {
+  sim::SimResults results;
+  bool verified = false;     // functional correctness of the decoded output
+  bool partitioned = false;  // mode of this run
+};
+
+/// One independent simulation: everything needed to execute it on any
+/// worker thread with a deterministic result.
+struct SimJob {
+  AppFactory factory;
+  sim::PlatformConfig platform;
+  sim::SchedPolicy policy = sim::SchedPolicy::kMigrating;
+  /// Partition plan to install; null runs the conventional shared L2.
+  /// Shared (not owned) because sweep jobs at the same grid point reuse
+  /// one immutable plan.
+  std::shared_ptr<const opt::PartitionPlan> plan;
+  /// Deterministic scheduler-jitter seed (the paper averages miss counts
+  /// over several jitter values).
+  std::uint64_t jitter = 0;
+  std::string label;
+};
+
+/// Result of one job, tagged with its submission index.
+struct JobResult {
+  std::size_t index = 0;
+  std::string label;
+  RunOutput output;
+  double wall_ms = 0.0;  // wall-clock of this job on its worker
+};
+
+/// Execute one job synchronously on the calling thread.
+RunOutput execute_job(const SimJob& job);
+
+/// Thread-pool job runner for independent simulations.
+///
+/// Usage:
+///   Campaign camp(4);                       // 4 workers (0 = hardware)
+///   camp.add(job_a); camp.add(job_b);
+///   auto results = camp.run_all();          // results[i] <-> i-th add()
+///
+/// `run_all` blocks until every queued job finished. Worker exceptions are
+/// captured and the first one is rethrown on the calling thread after all
+/// workers joined.
+class Campaign {
+ public:
+  /// `jobs` = number of worker threads; 0 resolves to the hardware
+  /// concurrency (at least 1). 1 executes inline on the calling thread.
+  explicit Campaign(unsigned jobs = 1) : jobs_(jobs) {}
+
+  unsigned jobs() const { return jobs_; }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Queue a job; returns its submission index.
+  std::size_t add(SimJob job);
+
+  /// Run every queued job and clear the queue. Results are indexed by
+  /// submission order, independent of which worker finished first.
+  std::vector<JobResult> run_all();
+
+  /// 0 -> hardware concurrency (>= 1), otherwise `requested`.
+  static unsigned resolve_jobs(unsigned requested);
+
+ private:
+  unsigned jobs_;
+  std::vector<SimJob> queue_;
+};
+
+}  // namespace cms::core

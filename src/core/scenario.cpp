@@ -1,0 +1,129 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cms::core {
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("scenario spec has no name");
+  if (!spec.factory)
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "' has no application factory");
+  // Copy the key: emplace may consume `spec` even when insertion fails.
+  std::string name = spec.name;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!specs_.emplace(name, std::move(spec)).second)
+    throw std::invalid_argument("scenario '" + name + "' is already registered");
+}
+
+bool ScenarioRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return specs_.contains(name);
+}
+
+ScenarioSpec ScenarioRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    std::string known;
+    for (const auto& [n, spec] : specs_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("unknown scenario '" + name + "' (registered: " +
+                            known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+Experiment ScenarioRegistry::make_experiment(
+    const std::string& name, std::optional<unsigned> jobs) const {
+  ScenarioSpec spec = get(name);
+  if (jobs) spec.experiment.jobs = *jobs;
+  return Experiment(std::move(spec.factory), std::move(spec.experiment));
+}
+
+namespace {
+
+ScenarioSpec jpeg_canny_scenario() {
+  ScenarioSpec s;
+  s.name = "jpeg-canny";
+  s.description = "2x JPEG (QCIF + SQCIF) + Canny co-run, 96 KB 4-way L2";
+  apps::AppConfig content;  // QCIF defaults
+  content.jpeg_pictures = 4;
+  content.canny_frames = 4;
+  s.factory = [content] { return apps::make_jpeg_canny_app(content); };
+  s.experiment.platform.hier.l2.size_bytes = 96 * 1024;
+  return s;
+}
+
+ScenarioSpec mpeg2_scenario() {
+  ScenarioSpec s;
+  s.name = "mpeg2";
+  s.description = "MPEG2 decoder, 128x96 x 10 frames, 64 KB 4-way L2";
+  apps::AppConfig content;
+  content.m2v_width = 128;
+  content.m2v_height = 96;
+  content.m2v_frames = 10;
+  s.factory = [content] { return apps::make_m2v_app(content); };
+  s.experiment.platform.hier.l2.size_bytes = 64 * 1024;
+  return s;
+}
+
+ScenarioSpec jpeg_canny_tiny_scenario() {
+  ScenarioSpec s;
+  s.name = "jpeg-canny-tiny";
+  s.description = "jpeg-canny mix on tiny content (tests, CI smokes)";
+  s.factory = [] { return apps::make_jpeg_canny_app(apps::AppConfig::tiny()); };
+  s.experiment.platform.hier.l2.size_bytes = 32 * 1024;
+  s.experiment.profile_grid = {1, 2, 4, 8, 16};
+  s.experiment.profile_runs = 1;
+  return s;
+}
+
+ScenarioSpec mpeg2_tiny_scenario() {
+  ScenarioSpec s;
+  s.name = "mpeg2-tiny";
+  s.description = "MPEG2 decoder on tiny content (tests, CI smokes)";
+  s.factory = [] { return apps::make_m2v_app(apps::AppConfig::tiny()); };
+  s.experiment.platform.hier.l2.size_bytes = 32 * 1024;
+  s.experiment.profile_grid = {1, 2, 4, 8, 16};
+  s.experiment.profile_runs = 1;
+  return s;
+}
+
+ScenarioSpec jpeg_canny_fine_scenario() {
+  ScenarioSpec s = jpeg_canny_scenario();
+  s.name = "jpeg-canny-fine";
+  s.description = "jpeg-canny with a 2x denser profiling sweep grid";
+  s.experiment.profile_grid = {1,  2,  3,  4,  6,  8,   12,  16, 24,
+                               32, 48, 64, 96, 128, 192, 256};
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry& scenarios() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    r->add(jpeg_canny_scenario());
+    r->add(mpeg2_scenario());
+    r->add(jpeg_canny_tiny_scenario());
+    r->add(mpeg2_tiny_scenario());
+    r->add(jpeg_canny_fine_scenario());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace cms::core

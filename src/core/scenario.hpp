@@ -1,0 +1,69 @@
+// Scenario registry — named workload mixes for campaign runs.
+//
+// A ScenarioSpec bundles what a campaign needs to reproduce a workload by
+// name: the application factory (single app or multi-app co-run) and the
+// experiment configuration (platform, planner, profiling sweep grid). The
+// process-wide registry ships with the paper's evaluation scenarios
+// pre-registered and accepts user scenarios at runtime; every accessor is
+// thread-safe, so campaign workers may resolve scenarios concurrently.
+//
+//   const auto& spec = core::scenarios().get("mpeg2-tiny");
+//   core::Experiment exp(spec.factory, spec.experiment);
+//
+// Bad specs (empty name, missing factory, duplicate registration) throw
+// std::invalid_argument; unknown lookups throw std::out_of_range.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace cms::core {
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  AppFactory factory;
+  ExperimentConfig experiment;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Register `spec`. Throws std::invalid_argument when the spec has no
+  /// name, no factory, or the name is already taken.
+  void add(ScenarioSpec spec);
+
+  bool has(const std::string& name) const;
+
+  /// Throws std::out_of_range for unknown names (message lists the
+  /// registered ones).
+  ScenarioSpec get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Convenience: build the Experiment for a registered scenario. `jobs`
+  /// overrides the spec's campaign worker count; omitted, the spec's own
+  /// setting stands.
+  Experiment make_experiment(const std::string& name,
+                             std::optional<unsigned> jobs = std::nullopt) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ScenarioSpec> specs_;
+};
+
+/// The process-wide registry, with the built-in scenarios registered on
+/// first use:
+///   jpeg-canny       2x JPEG + Canny co-run, evaluation content, 96 KB L2
+///   mpeg2            MPEG2 decoder, evaluation content, 64 KB L2
+///   jpeg-canny-tiny  same mix on tiny content (unit tests, smokes)
+///   mpeg2-tiny       MPEG2 on tiny content
+///   jpeg-canny-fine  jpeg-canny with a 2x denser profiling sweep grid
+ScenarioRegistry& scenarios();
+
+}  // namespace cms::core

@@ -1,5 +1,6 @@
 #include "opt/profile.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cms::opt {
@@ -11,6 +12,60 @@ void MissProfile::add_sample(const std::string& task, std::uint32_t sets,
   p.misses.add(misses);
   p.active_cycles.add(active_cycles);
   p.instructions.add(instructions);
+}
+
+void MissProfile::add_fragment(const ProfileFragment& frag) {
+  for (const ProfileSample& s : frag.samples)
+    add_sample(s.task, s.sets, s.misses, s.active_cycles, s.instructions);
+}
+
+void MissProfile::merge(const MissProfile& other) {
+  for (const auto& [name, curve] : other.tasks_) {
+    auto& mine = tasks_[name];
+    for (const auto& [sets, point] : curve) {
+      ProfilePoint& p = mine[sets];
+      p.misses.merge(point.misses);
+      p.active_cycles.merge(point.active_cycles);
+      p.instructions.merge(point.instructions);
+    }
+  }
+}
+
+namespace {
+bool stats_identical(const RunningStats& a, const RunningStats& b) {
+  return a.count() == b.count() && a.sum() == b.sum() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() && a.max() == b.max();
+}
+}  // namespace
+
+bool MissProfile::identical(const MissProfile& other) const {
+  if (tasks_.size() != other.tasks_.size()) return false;
+  for (auto it = tasks_.begin(), jt = other.tasks_.begin(); it != tasks_.end();
+       ++it, ++jt) {
+    if (it->first != jt->first || it->second.size() != jt->second.size())
+      return false;
+    for (auto ip = it->second.begin(), jp = jt->second.begin();
+         ip != it->second.end(); ++ip, ++jp) {
+      if (ip->first != jp->first) return false;
+      const ProfilePoint& a = ip->second;
+      const ProfilePoint& b = jp->second;
+      if (!stats_identical(a.misses, b.misses) ||
+          !stats_identical(a.active_cycles, b.active_cycles) ||
+          !stats_identical(a.instructions, b.instructions))
+        return false;
+    }
+  }
+  return true;
+}
+
+MissProfile fold_fragments(std::vector<ProfileFragment> fragments) {
+  std::sort(fragments.begin(), fragments.end(),
+            [](const ProfileFragment& a, const ProfileFragment& b) {
+              return a.order < b.order;
+            });
+  MissProfile prof;
+  for (const ProfileFragment& frag : fragments) prof.add_fragment(frag);
+  return prof;
 }
 
 const std::map<std::uint32_t, ProfilePoint>& MissProfile::curve(

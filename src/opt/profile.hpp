@@ -21,10 +21,47 @@ struct ProfilePoint {
   RunningStats instructions;
 };
 
+/// One raw profiling observation (task or buffer at one grid point).
+struct ProfileSample {
+  std::string task;
+  std::uint32_t sets = 0;
+  double misses = 0.0;
+  double active_cycles = 0.0;
+  double instructions = 0.0;
+};
+
+/// The samples produced by ONE profiling job, tagged with the job's
+/// position in the canonical serial schedule. Parallel campaign workers
+/// each fill a fragment; `fold_fragments` reassembles them into the exact
+/// sample stream the serial profiler would have produced.
+struct ProfileFragment {
+  std::uint64_t order = 0;  // position in the canonical (serial) schedule
+  std::vector<ProfileSample> samples;
+
+  void add(std::string task, std::uint32_t sets, double misses,
+           double active_cycles, double instructions) {
+    samples.push_back(ProfileSample{std::move(task), sets, misses,
+                                    active_cycles, instructions});
+  }
+};
+
 class MissProfile {
  public:
   void add_sample(const std::string& task, std::uint32_t sets, double misses,
                   double active_cycles, double instructions);
+
+  /// Replay every sample of `frag` in its recorded order.
+  void add_fragment(const ProfileFragment& frag);
+
+  /// Pool another profile into this one (Welford merge of each point).
+  /// Statistically exact; NOT guaranteed bit-identical to replaying the
+  /// raw samples — use `fold_fragments` when bit-reproducibility against
+  /// the serial path matters.
+  void merge(const MissProfile& other);
+
+  /// True iff both profiles hold bitwise-identical statistics for every
+  /// (task, size) point.
+  bool identical(const MissProfile& other) const;
 
   bool has(const std::string& task) const { return tasks_.contains(task); }
   const std::map<std::uint32_t, ProfilePoint>& curve(
@@ -43,5 +80,12 @@ class MissProfile {
  private:
   std::map<std::string, std::map<std::uint32_t, ProfilePoint>> tasks_;
 };
+
+/// Fold per-job fragments — arriving in ANY completion order — into one
+/// profile that is bit-identical to the serial profiler's output: the
+/// fragments are ordered by their canonical schedule position and their
+/// samples replayed, so every (task, size) point sees the exact same
+/// floating-point accumulation sequence as a serial sweep.
+MissProfile fold_fragments(std::vector<ProfileFragment> fragments);
 
 }  // namespace cms::opt

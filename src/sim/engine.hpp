@@ -7,6 +7,13 @@
 // feeds back into the issuing processor's clock (and hence into the
 // production/consumption rates of the KPN — the mechanism behind the
 // paper's predictability discussion in section 3).
+//
+// Thread-safety: a TimingEngine (and the Platform, Os and tasks it drives)
+// is thread-confined — it owns all of its mutable state and touches no
+// globals beyond immutable constant tables and the atomic log level, so
+// any number of engines may run concurrently on different threads as long
+// as each engine's object graph stays on its own thread (the contract
+// core::Campaign relies on; see ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>

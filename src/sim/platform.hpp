@@ -1,6 +1,10 @@
 // Platform = one CAKE-like tile: processors + memory hierarchy + the
 // system-level costs the timing engine charges (task switching, runtime
 // data touched by the scheduler).
+//
+// Thread-safety: a Platform owns its MemoryHierarchy outright and shares
+// nothing with other Platform instances; one platform per simulation, one
+// simulation per thread (see core/runner.hpp).
 #pragma once
 
 #include <cstdint>

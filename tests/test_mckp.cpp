@@ -4,6 +4,12 @@
 #include "common/rng.hpp"
 #include "opt/mckp.hpp"
 
+// GCC 12 emits a bogus -Wrestrict on inlined std::string concatenation in
+// random_instance under -O2 (gcc PR105329); CI builds with -Werror.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace cms::opt {
 namespace {
 

@@ -1,0 +1,87 @@
+// Scenario registry tests: built-in lookup, registration, bad-spec and
+// unknown-name errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/scenario.hpp"
+
+namespace cms::core {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinsRegistered) {
+  for (const char* name : {"jpeg-canny", "mpeg2", "jpeg-canny-tiny",
+                           "mpeg2-tiny", "jpeg-canny-fine"})
+    EXPECT_TRUE(scenarios().has(name)) << name;
+
+  const auto names = scenarios().names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistry, GetReturnsUsableSpec) {
+  const ScenarioSpec spec = scenarios().get("mpeg2-tiny");
+  EXPECT_EQ(spec.name, "mpeg2-tiny");
+  EXPECT_FALSE(spec.description.empty());
+  ASSERT_TRUE(spec.factory);
+  const apps::Application app = spec.factory();
+  EXPECT_EQ(app.net->processes().size(), 13u);  // MPEG2 task count
+}
+
+TEST(ScenarioRegistry, MakeExperimentWiresJobs) {
+  const Experiment exp = scenarios().make_experiment("mpeg2-tiny", 2);
+  EXPECT_EQ(exp.config().jobs, 2u);
+  EXPECT_EQ(exp.tasks().size(), 13u);
+}
+
+TEST(ScenarioRegistry, MakeExperimentKeepsSpecJobsWhenOmitted) {
+  ScenarioRegistry reg;
+  ScenarioSpec spec;
+  spec.name = "parallel-by-default";
+  spec.factory = [] { return apps::make_m2v_app(apps::AppConfig::tiny()); };
+  spec.experiment.jobs = 4;
+  reg.add(spec);
+  EXPECT_EQ(reg.make_experiment("parallel-by-default").config().jobs, 4u);
+  EXPECT_EQ(reg.make_experiment("parallel-by-default", 2).config().jobs, 2u);
+}
+
+TEST(ScenarioRegistry, FineGridIsDenser) {
+  const ScenarioSpec base = scenarios().get("jpeg-canny");
+  const ScenarioSpec fine = scenarios().get("jpeg-canny-fine");
+  EXPECT_GT(fine.experiment.profile_grid.size(),
+            base.experiment.profile_grid.size());
+}
+
+TEST(ScenarioRegistry, UnknownNameThrows) {
+  EXPECT_FALSE(scenarios().has("no-such-scenario"));
+  EXPECT_THROW(scenarios().get("no-such-scenario"), std::out_of_range);
+  EXPECT_THROW(scenarios().make_experiment("no-such-scenario"),
+               std::out_of_range);
+}
+
+TEST(ScenarioRegistry, BadSpecsRejected) {
+  ScenarioRegistry reg;
+  ScenarioSpec nameless;
+  nameless.factory = [] { return apps::Application{}; };
+  EXPECT_THROW(reg.add(nameless), std::invalid_argument);
+
+  ScenarioSpec factoryless;
+  factoryless.name = "broken";
+  EXPECT_THROW(reg.add(factoryless), std::invalid_argument);
+
+  EXPECT_TRUE(reg.names().empty());  // nothing half-registered
+}
+
+TEST(ScenarioRegistry, DuplicateRegistrationRejected) {
+  ScenarioRegistry reg;
+  ScenarioSpec spec;
+  spec.name = "dup";
+  spec.factory = [] { return apps::Application{}; };
+  reg.add(spec);
+  EXPECT_THROW(reg.add(spec), std::invalid_argument);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cms::core
