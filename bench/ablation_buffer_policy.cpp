@@ -28,11 +28,12 @@ std::uint64_t fifo_misses(const sim::SimResults& res,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Ablation B: buffer allocation policy (mpeg2)");
 
   const auto factory = bench::app2_factory();
-  const auto base = bench::app2_experiment();
+  const auto base = bench::app2_experiment(bench::parse_jobs(argc, argv),
+                                           bench::parse_profiler(argc, argv));
   core::Experiment probe(factory, base);
   const auto buffers = probe.buffers();
   const opt::MissProfile prof = probe.profile();

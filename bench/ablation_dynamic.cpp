@@ -54,11 +54,12 @@ DynRun run_dynamic(const core::AppFactory& factory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Ablation G: static guaranteed vs dynamic set stealing (app 1)");
 
   const auto factory = bench::app1_factory();
-  const auto cfg = bench::app1_experiment();
+  const auto cfg = bench::app1_experiment(bench::parse_jobs(argc, argv),
+                                          bench::parse_profiler(argc, argv));
   core::Experiment exp(factory, cfg);
   const opt::MissProfile prof = exp.profile();
   const opt::PartitionPlan plan = exp.plan(prof);

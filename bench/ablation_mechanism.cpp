@@ -55,11 +55,12 @@ MechanismResult run_with(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Ablation F: set vs way partitioning vs shared pool (app 1)");
 
   const auto factory = bench::app1_factory();
-  const auto cfg = bench::app1_experiment();
+  const auto cfg = bench::app1_experiment(bench::parse_jobs(argc, argv),
+                                          bench::parse_profiler(argc, argv));
 
   // The full set-partitioned plan (paper's method) for reference & reuse.
   core::Experiment exp(factory, cfg);

@@ -20,10 +20,13 @@
 namespace cms::bench {
 
 // Campaign flags shared with the examples; results are bit-identical for
-// any --jobs value, so benches default to 1 (serial) for undisturbed
-// timing.
+// any --jobs value and either --profiler mode (trace replay reproduces
+// the full-simulation sweep exactly), so benches default to serial
+// full simulation for undisturbed timing and let the flags speed things
+// up on demand.
 using core::has_flag;
 using core::parse_jobs;
+using core::parse_profiler;
 
 inline apps::AppConfig app1_content() {
   apps::AppConfig cfg;  // QCIF defaults: 176x144 + 128x96 + 176x144
@@ -48,20 +51,27 @@ inline core::AppFactory app2_factory() {
   return [] { return apps::make_m2v_app(app2_content()); };
 }
 
-/// `jobs` = campaign workers used by Experiment::profile (see parse_jobs).
-inline core::ExperimentConfig app1_experiment(unsigned jobs = 1) {
+/// `jobs` = campaign workers used by Experiment::profile (see parse_jobs);
+/// `profiler` = full simulation vs trace replay (see parse_profiler).
+inline core::ExperimentConfig app1_experiment(
+    unsigned jobs = 1,
+    core::ProfilerMode profiler = core::ProfilerMode::kFullSim) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 96 * 1024;
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
+  cfg.profiler = profiler;
   return cfg;
 }
 
-inline core::ExperimentConfig app2_experiment(unsigned jobs = 1) {
+inline core::ExperimentConfig app2_experiment(
+    unsigned jobs = 1,
+    core::ProfilerMode profiler = core::ProfilerMode::kFullSim) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 64 * 1024;
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
+  cfg.profiler = profiler;
   return cfg;
 }
 

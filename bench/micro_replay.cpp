@@ -1,0 +1,116 @@
+// Replay-identity microbenchmark (acceptance check for the trace-capture
+// profiler): for every built-in scenario, profile with ProfilerMode::
+// kFullSim and kTraceReplay and verify the two MissProfiles are
+// bit-identical; report wall-clock, the engine-run reduction (replay
+// executes profile_runs simulations instead of grid x runs), and the
+// active-cycle reconstruction error against fully-timed isolation runs.
+// Exits nonzero on any profile mismatch.
+//
+//   ./micro_replay [--jobs N] [--quick]
+//   {"bench": "micro_replay", "scenarios": [{"scenario": "mpeg2-tiny",
+//    "identical": true, "engine_runs": {"fullsim": 5, "replay": 1},
+//    "ms": {"fullsim": ..., "replay": ...}, "speedup": ...,
+//    "t_recon_rel_err": {"mean": ..., "max": ...}}, ...], "identical": true}
+//
+// Flags: --jobs N   campaign workers (0 = hardware)
+//        --quick    tiny scenarios only (CI smoke on slow hosts)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/scenario.hpp"
+#include "opt/trace.hpp"
+
+using namespace cms;
+
+namespace {
+
+template <typename Fn>
+double wall_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Reconstruction error of the analytic t_i at one grid point: the same
+/// isolation job run under uniform L2 timing (what the profiler uses)
+/// and under full timing (DRAM banks, miss latencies); error is the
+/// relative gap between reconstructed and measured active cycles.
+void recon_error_at(const core::Experiment& exp,
+                    const core::Experiment::ProfileJob& pj, double& sum,
+                    double& worst, std::uint64_t& n) {
+  const Cycle surcharge = opt::miss_surcharge(exp.config().platform.hier);
+  const core::RunOutput uniform = core::execute_job(pj.job);
+  core::SimJob timed = pj.job;
+  timed.platform.hier.uniform_l2_timing = false;
+  const core::RunOutput real = core::execute_job(timed);
+  for (std::size_t i = 0; i < real.results.tasks.size(); ++i) {
+    const auto& u = uniform.results.tasks[i];
+    const auto& r = real.results.tasks[i];
+    if (r.active_cycles == 0) continue;
+    const auto recon = static_cast<double>(opt::reconstruct_active_cycles(
+        u.compute_cycles, u.mem_cycles, u.l2_demand_misses, surcharge));
+    const double err = std::abs(recon - static_cast<double>(r.active_cycles)) /
+                       static_cast<double>(r.active_cycles);
+    sum += err;
+    worst = std::max(worst, err);
+    ++n;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv, 1);
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+
+  std::vector<std::string> names;
+  if (quick)
+    names = {"jpeg-canny-tiny", "mpeg2-tiny"};
+  else
+    names = core::scenarios().names();
+
+  bool all_identical = true;
+  std::printf("{\"bench\": \"micro_replay\", \"scenarios\": [");
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    const core::Experiment exp =
+        core::scenarios().make_experiment(names[s], jobs);
+    const auto& cfg = exp.config();
+    const std::size_t runs = std::max(1u, cfg.profile_runs);
+    const std::size_t full_runs = cfg.profile_grid.size() * runs;
+
+    opt::MissProfile full, replay;
+    const double full_ms =
+        wall_ms([&] { full = exp.profile_with(core::ProfilerMode::kFullSim); });
+    const double replay_ms = wall_ms(
+        [&] { replay = exp.profile_with(core::ProfilerMode::kTraceReplay); });
+    const bool identical = full.identical(replay);
+    all_identical = all_identical && identical;
+
+    // t_i reconstruction error at the extreme grid points (run 0).
+    double err_sum = 0.0, err_max = 0.0;
+    std::uint64_t err_n = 0;
+    const auto sweep = exp.profile_jobs();
+    recon_error_at(exp, sweep.front(), err_sum, err_max, err_n);
+    if (cfg.profile_grid.size() > 1)
+      recon_error_at(exp, sweep[(cfg.profile_grid.size() - 1) * runs],
+                     err_sum, err_max, err_n);
+
+    std::printf(
+        "%s{\"scenario\": \"%s\", \"identical\": %s, "
+        "\"engine_runs\": {\"fullsim\": %zu, \"replay\": %zu}, "
+        "\"ms\": {\"fullsim\": %.1f, \"replay\": %.1f}, \"speedup\": %.2f, "
+        "\"t_recon_rel_err\": {\"mean\": %.4f, \"max\": %.4f}}",
+        s ? ", " : "", names[s].c_str(), identical ? "true" : "false",
+        full_runs, runs, full_ms, replay_ms,
+        replay_ms > 0.0 ? full_ms / replay_ms : 0.0,
+        err_n ? err_sum / static_cast<double>(err_n) : 0.0, err_max);
+  }
+  std::printf("], \"identical\": %s}\n", all_identical ? "true" : "false");
+  return all_identical ? 0 : 1;
+}

@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
   cfg.profile_grid = {1, 2, 4, 8, 16, 32, 64};
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
+  cfg.profiler = core::parse_profiler(argc, argv);
 
   // Registering the custom workload makes it addressable by name for any
   // campaign tooling (and guards against accidental re-registration).

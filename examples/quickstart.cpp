@@ -229,10 +229,14 @@ int main(int argc, char** argv) {
     cfg.profile_grid = {1, 8};
     cfg.profile_runs = 1;
     cfg.jobs = jobs;
+    cfg.profiler = core::parse_profiler(argc, argv);
     core::Experiment exp(make_quickstart_app, cfg);
     const opt::MissProfile prof = exp.profile();
-    std::printf("\n--quick profile sweep (%zu sims, %u workers):\n%s",
+    std::printf("\n--quick profile sweep (%zu sims, %u workers, %s):\n%s",
                 cfg.profile_grid.size() * cfg.profile_runs, workers,
+                cfg.profiler == core::ProfilerMode::kTraceReplay
+                    ? "trace-replay"
+                    : "full-sim",
                 prof.to_string().c_str());
   }
   return 0;

@@ -50,7 +50,14 @@ void Histogram::add(double x) {
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  // Ceiling target: the smallest rank that covers a q-fraction of the
+  // samples. Truncation would make the target 0 for small samples (e.g.
+  // q=0.5 of a 1-sample histogram) and report lo_ regardless of the data.
+  // The epsilon keeps exact-boundary products (0.56 * 100 evaluates to
+  // 56.000000000000007) from ceiling one rank too high.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_) - 1e-9));
+  if (target == 0) return lo_;
   std::uint64_t acc = underflow_;
   if (acc >= target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

@@ -1,11 +1,13 @@
 // Tiny shared command-line helpers for benches and examples — one
-// definition of the campaign flags so `--jobs` behaves identically in
-// every binary.
+// definition of the campaign flags so `--jobs` / `--profiler` behave
+// identically in every binary.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "core/profiler_mode.hpp"
 
 namespace cms::core {
 
@@ -15,14 +17,18 @@ inline constexpr unsigned kMaxJobs = 1024;
 
 /// Parse `--jobs N` / `--jobs=N`: campaign worker threads (0 = hardware
 /// concurrency). Returns `def` when the flag is absent; a malformed or
-/// out-of-range value (non-numeric, negative, > kMaxJobs — e.g. the typo
-/// `--jobs --quick` or `--jobs -1`) warns and keeps `def` rather than
-/// silently fanning out to every core.
+/// out-of-range value (non-numeric, signed, padded, > kMaxJobs — e.g. the
+/// typo `--jobs --quick`, `--jobs -1` or `--jobs=+5`) warns and keeps
+/// `def` rather than silently fanning out to every core. The value must
+/// be plain decimal digits: strtoul's tolerance for leading whitespace
+/// and a '+'/'-' sign is exactly what this validation wants to reject.
 inline unsigned parse_jobs(int argc, char** argv, unsigned def = 1) {
   const auto parse_value = [def](const char* v) -> unsigned {
-    char* end = nullptr;
-    const unsigned long n = std::strtoul(v, &end, 10);
-    if (end == v || *end != '\0' || v[0] == '-' || n > kMaxJobs) {
+    bool digits_only = v[0] != '\0';
+    for (const char* p = v; *p != '\0'; ++p)
+      if (*p < '0' || *p > '9') digits_only = false;
+    const unsigned long n = digits_only ? std::strtoul(v, nullptr, 10) : 0;
+    if (!digits_only || n > kMaxJobs) {
       std::fprintf(stderr, "warning: ignoring bad --jobs value '%s' (0..%u)\n",
                    v, kMaxJobs);
       return def;
@@ -46,6 +52,33 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
+}
+
+/// Parse `--profiler MODE` / `--profiler=MODE` where MODE is `fullsim`
+/// (one simulation per grid point x run) or `replay` (trace capture +
+/// replay; bit-identical profile, grid-times fewer simulations). Returns
+/// `def` when absent; unknown modes warn and keep `def`.
+inline ProfilerMode parse_profiler(int argc, char** argv,
+                                   ProfilerMode def = ProfilerMode::kFullSim) {
+  const auto parse_value = [def](const char* v) -> ProfilerMode {
+    if (std::strcmp(v, "fullsim") == 0) return ProfilerMode::kFullSim;
+    if (std::strcmp(v, "replay") == 0) return ProfilerMode::kTraceReplay;
+    std::fprintf(stderr,
+                 "warning: ignoring bad --profiler value '%s' "
+                 "(fullsim|replay)\n",
+                 v);
+    return def;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profiler") == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr, "warning: --profiler needs a value (fullsim|replay)\n");
+      return def;
+    }
+    if (std::strncmp(argv[i], "--profiler=", 11) == 0)
+      return parse_value(argv[i] + 11);
+  }
+  return def;
 }
 
 }  // namespace cms::core

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <utility>
 
@@ -78,6 +79,12 @@ std::vector<Experiment::ProfileJob> Experiment::profile_jobs() const {
     const std::uint32_t ways = pc.hier.l2.ways;
     const std::uint32_t need_sets = std::max(uplan.used_sets, 1u);
     pc.hier.l2.size_bytes = need_sets * line * ways;
+    // Isolation runs use outcome-invariant L2 timing (mem/hierarchy.hpp):
+    // schedules — and hence every client's L2 access stream — are then
+    // identical at every grid size, which is what lets kTraceReplay
+    // reproduce this sweep exactly from profile_runs captures. Off-chip
+    // latency is reconstructed analytically in both profiler modes.
+    pc.hier.uniform_l2_timing = true;
     uplan.total_sets = need_sets;
 
     const auto plan = std::make_shared<const opt::PartitionPlan>(std::move(uplan));
@@ -94,13 +101,27 @@ std::vector<Experiment::ProfileJob> Experiment::profile_jobs() const {
   return out;
 }
 
-opt::MissProfile Experiment::profile() const {
-  std::vector<ProfileJob> sweep = profile_jobs();
+opt::MissProfile Experiment::profile() const { return profile_with(cfg_.profiler); }
 
+opt::MissProfile Experiment::profile_with(ProfilerMode mode) const {
+  const std::vector<ProfileJob> sweep = profile_jobs();
+  if (mode == ProfilerMode::kTraceReplay) {
+    if (cfg_.platform.hier.l2.replacement == mem::Replacement::kRandom)
+      log_warn() << "trace-replay profiling cannot reproduce kRandom "
+                    "replacement; falling back to full simulation";
+    else
+      return profile_replay(sweep);
+  }
+  return profile_fullsim(sweep);
+}
+
+opt::MissProfile Experiment::profile_fullsim(
+    const std::vector<ProfileJob>& sweep) const {
   Campaign campaign(cfg_.jobs);
   for (const ProfileJob& pj : sweep) campaign.add(pj.job);
   const std::vector<JobResult> results = campaign.run_all();
 
+  const Cycle surcharge = opt::miss_surcharge(cfg_.platform.hier);
   std::vector<opt::ProfileFragment> fragments;
   fragments.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -112,12 +133,104 @@ opt::MissProfile Experiment::profile() const {
     frag.order = i;
     for (const auto& t : out.results.tasks)
       frag.add(t.name, sets, static_cast<double>(t.l2.misses),
-               static_cast<double>(t.active_cycles),
+               static_cast<double>(opt::reconstruct_active_cycles(
+                   t.compute_cycles, t.mem_cycles, t.l2_demand_misses,
+                   surcharge)),
                static_cast<double>(t.instructions));
     for (const auto& b : out.results.buffers)
       frag.add(b.name, sets, static_cast<double>(b.l2.misses), 0.0, 0.0);
     fragments.push_back(std::move(frag));
   }
+  return opt::fold_fragments(std::move(fragments));
+}
+
+std::vector<opt::CaptureRun> Experiment::capture_runs() const {
+  return capture_runs_for(profile_jobs());
+}
+
+std::vector<opt::CaptureRun> Experiment::capture_runs_for(
+    const std::vector<ProfileJob>& sweep) const {
+  const std::uint32_t runs = std::max(1u, cfg_.profile_runs);
+  if (sweep.empty()) return {};
+  assert(sweep.size() >= runs && "sweep shorter than one grid point");
+
+  // The sweep is sizes-outer/runs-inner, so entries [0, runs) are the
+  // first grid point's jitter seeds — the capture runs. Which grid point
+  // hosts the capture is immaterial: under uniform L2 timing the streams
+  // are identical at every size (mem/hierarchy.hpp).
+  Campaign campaign(cfg_.jobs);
+  std::vector<std::shared_ptr<opt::TraceRecorder>> recorders;
+  recorders.reserve(runs);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const ProfileJob& pj = sweep[r];
+    assert(pj.run == r);
+    SimJob job = pj.job;
+    auto rec = std::make_shared<opt::TraceRecorder>(
+        cfg_.platform.hier.l2.line_bytes);
+    job.trace_sink = rec;
+    job.label += "/capture";
+    recorders.push_back(std::move(rec));
+    campaign.add(std::move(job));
+  }
+  const std::vector<JobResult> results = campaign.run_all();
+
+  std::vector<opt::CaptureRun> captures(runs);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const RunOutput& out = results[r].output;
+    if (out.results.deadlocked || !out.verified)
+      log_warn() << "capture run unusable at jitter " << r;
+    captures[r].trace = recorders[r]->take();
+    // The rt data/bss buffer clients of the simulated app: replay
+    // excludes their demand misses from per-task counts just as the
+    // engine excludes switch work from task active cycles.
+    captures[r].scheduler_clients = out.scheduler_clients;
+    captures[r].tasks.reserve(out.results.tasks.size());
+    for (const auto& t : out.results.tasks)
+      captures[r].tasks.push_back(opt::CaptureTaskStats{
+          t.id, t.name, t.instructions, t.compute_cycles, t.mem_cycles});
+  }
+  return captures;
+}
+
+std::vector<opt::ReplayJob> Experiment::replay_jobs(
+    const std::vector<opt::CaptureRun>& captures) const {
+  const std::vector<ProfileJob> sweep = profile_jobs();
+  std::vector<opt::ReplayJob> jobs;
+  jobs.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ProfileJob& pj = sweep[i];
+    assert(pj.run < captures.size());
+    jobs.push_back(opt::ReplayJob{&captures[pj.run], pj.job.plan, pj.sets,
+                                  static_cast<std::uint64_t>(i)});
+  }
+  return jobs;
+}
+
+opt::MissProfile Experiment::profile_replay(
+    const std::vector<ProfileJob>& sweep) const {
+  if (sweep.empty()) return {};
+  const std::vector<opt::CaptureRun> captures = capture_runs_for(sweep);
+
+  const Cycle surcharge = opt::miss_surcharge(cfg_.platform.hier);
+  const mem::CacheConfig& l2 = cfg_.platform.hier.l2;
+  std::vector<opt::ProfileFragment> fragments(sweep.size());
+  Campaign campaign(cfg_.jobs);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ProfileJob& pj = sweep[i];
+    const opt::CaptureRun* capture = &captures[pj.run];
+    campaign.add(
+        [&fragments, i, capture, plan = pj.job.plan, sets = pj.sets, &l2,
+         surcharge] {
+          fragments[i] = opt::replay_fragment(*capture, *plan, l2, sets,
+                                              static_cast<std::uint64_t>(i),
+                                              surcharge);
+          RunOutput out;
+          out.verified = true;
+          return out;
+        },
+        pj.job.label + "/replay");
+  }
+  campaign.run_all();
   return opt::fold_fragments(std::move(fragments));
 }
 

@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "apps/applications.hpp"
+#include "core/profiler_mode.hpp"
 #include "core/runner.hpp"
 #include "opt/compositionality.hpp"
 #include "opt/planner.hpp"
 #include "opt/profile.hpp"
+#include "opt/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/os.hpp"
 #include "sim/platform.hpp"
@@ -40,6 +42,7 @@ struct ExperimentConfig {
   sim::PlatformConfig platform = sim::cake_platform();
   sim::SchedPolicy policy = sim::SchedPolicy::kMigrating;
   opt::PlannerConfig planner;
+  ProfilerMode profiler = ProfilerMode::kFullSim;
 
   /// Task / frame-buffer cache sizes swept by the profiler (sets).
   std::vector<std::uint32_t> profile_grid = {1, 2, 4, 8, 16, 32, 64, 128, 256};
@@ -81,9 +84,26 @@ class Experiment {
   /// virtually enlarged so every sweep point fits.
   std::vector<ProfileJob> profile_jobs() const;
 
-  /// Execute the sweep on a Campaign with `config().jobs` workers and fold
-  /// the per-job results; bit-identical output for any worker count.
+  /// Execute the sweep with the configured profiler and fold the per-job
+  /// results; bit-identical output for any worker count AND both profiler
+  /// modes (kTraceReplay reproduces the kFullSim sweep exactly — see
+  /// opt/trace.hpp for the argument, bench/micro_replay for the check).
   opt::MissProfile profile() const;
+
+  /// profile() with an explicit mode (comparison benches, tests).
+  opt::MissProfile profile_with(ProfilerMode mode) const;
+
+  /// The capture half of trace-replay profiling: one instrumented
+  /// isolation run per jitter seed (at the first grid point — any grid
+  /// point records the same streams), executed on a Campaign with
+  /// `config().jobs` workers.
+  std::vector<opt::CaptureRun> capture_runs() const;
+
+  /// The replay half as declarative jobs in canonical sweep order; the
+  /// returned jobs point into `captures`, which must outlive them.
+  /// Feed to opt::replay_profile or fan out on a Campaign.
+  std::vector<opt::ReplayJob> replay_jobs(
+      const std::vector<opt::CaptureRun>& captures) const;
 
   /// Buffers-first + MCKP plan on the real L2 (paper section 3.2).
   opt::PartitionPlan plan(const opt::MissProfile& prof) const;
@@ -113,6 +133,11 @@ class Experiment {
   SimJob make_job(const sim::PlatformConfig& pc,
                   std::shared_ptr<const opt::PartitionPlan> plan,
                   std::uint64_t jitter, std::string label) const;
+
+  opt::MissProfile profile_fullsim(const std::vector<ProfileJob>& sweep) const;
+  opt::MissProfile profile_replay(const std::vector<ProfileJob>& sweep) const;
+  std::vector<opt::CaptureRun> capture_runs_for(
+      const std::vector<ProfileJob>& sweep) const;
 
   AppFactory factory_;
   ExperimentConfig cfg_;

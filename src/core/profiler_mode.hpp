@@ -1,0 +1,22 @@
+// ProfilerMode lives in its own header so the lightweight CLI helpers
+// (core/cli.hpp) can parse --profiler without dragging the whole
+// Experiment/sim stack into every bench and example TU.
+#pragma once
+
+#include <cstdint>
+
+namespace cms::core {
+
+/// How Experiment::profile() measures the miss curves.
+enum class ProfilerMode : std::uint8_t {
+  /// One full simulation per (grid size x jitter run) — the reference.
+  kFullSim,
+  /// One instrumented simulation per jitter run captures every client's
+  /// L2-bound stream; every grid point is then replayed through
+  /// standalone cache models (opt/trace.hpp). Bit-identical profiles at
+  /// ~grid-times fewer engine runs. Falls back to kFullSim (with a
+  /// warning) when the L2 uses kRandom replacement.
+  kTraceReplay,
+};
+
+}  // namespace cms::core

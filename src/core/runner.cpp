@@ -48,10 +48,18 @@ RunOutput execute_job(const SimJob& job) {
       p = static_cast<ProcId>((p + 1) % static_cast<ProcId>(cfg.hier.num_procs));
     }
   }
+  if (job.trace_sink != nullptr)
+    platform.hierarchy().set_trace_sink(job.trace_sink.get());
+
   sim::TimingEngine engine(platform, os, app.net->tasks());
   engine.set_buffer_names(app.net->buffer_names());
 
   RunOutput out;
+  for (const auto& b : app.net->buffers()) {
+    if ((app.rt_data.size != 0 && b.base == app.rt_data.base) ||
+        (app.rt_bss.size != 0 && b.base == app.rt_bss.base))
+      out.scheduler_clients.push_back(mem::ClientId::buffer(b.id));
+  }
   out.results = engine.run();
   out.partitioned = job.plan != nullptr;
   out.verified = app.verify ? app.verify() : true;
@@ -61,7 +69,15 @@ RunOutput execute_job(const SimJob& job) {
 }
 
 std::size_t Campaign::add(SimJob job) {
-  queue_.push_back(std::move(job));
+  std::string label = job.label;
+  queue_.push_back(Queued{
+      [job = std::move(job)] { return execute_job(job); }, std::move(label)});
+  return queue_.size() - 1;
+}
+
+std::size_t Campaign::add(std::function<RunOutput()> fn, std::string label) {
+  assert(fn && "Campaign job has no callable");
+  queue_.push_back(Queued{std::move(fn), std::move(label)});
   return queue_.size() - 1;
 }
 
@@ -72,7 +88,7 @@ unsigned Campaign::resolve_jobs(unsigned requested) {
 }
 
 std::vector<JobResult> Campaign::run_all() {
-  std::vector<SimJob> jobs;
+  std::vector<Queued> jobs;
   jobs.swap(queue_);
   std::vector<JobResult> results(jobs.size());
   if (jobs.empty()) return results;
@@ -96,7 +112,7 @@ std::vector<JobResult> Campaign::run_all() {
       r.label = jobs[i].label;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        r.output = execute_job(jobs[i]);
+        r.output = jobs[i].run();
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();

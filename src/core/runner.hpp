@@ -31,6 +31,7 @@
 #include "sim/os.hpp"
 #include "sim/platform.hpp"
 #include "sim/results.hpp"
+#include "sim/trace_hook.hpp"
 
 namespace cms::core {
 
@@ -41,6 +42,12 @@ struct RunOutput {
   sim::SimResults results;
   bool verified = false;     // functional correctness of the decoded output
   bool partitioned = false;  // mode of this run
+  /// Buffer clients covering the runtime's rt data/bss regions — the
+  /// scheduler's context-switch traffic. Consumers (the trace-replay
+  /// profiler's t_i reconstruction) need them to mirror the engine's
+  /// accounting, which charges switch work to the processor, not the
+  /// task.
+  std::vector<mem::ClientId> scheduler_clients;
 };
 
 /// One independent simulation: everything needed to execute it on any
@@ -57,6 +64,12 @@ struct SimJob {
   /// over several jitter values).
   std::uint64_t jitter = 0;
   std::string label;
+  /// Optional observer of the run's L2-bound access stream (the capture
+  /// half of the trace-and-replay profiler). Shared so the submitter can
+  /// keep a handle and harvest the recording after run_all(); each job
+  /// needs its OWN sink instance — the hierarchy notifies it from the
+  /// worker thread that executes the job.
+  std::shared_ptr<sim::AccessTraceSink> trace_sink;
 };
 
 /// Result of one job, tagged with its submission index.
@@ -70,11 +83,15 @@ struct JobResult {
 /// Execute one job synchronously on the calling thread.
 RunOutput execute_job(const SimJob& job);
 
-/// Thread-pool job runner for independent simulations.
+/// Thread-pool job runner for independent work items. Simulations
+/// (SimJob) are the common case; any self-contained callable — e.g. the
+/// trace-replay jobs of the profiler — rides the same pool, ordering and
+/// error handling.
 ///
 /// Usage:
 ///   Campaign camp(4);                       // 4 workers (0 = hardware)
 ///   camp.add(job_a); camp.add(job_b);
+///   camp.add([&] { frags[2] = replay(...); return RunOutput{}; }, "replay");
 ///   auto results = camp.run_all();          // results[i] <-> i-th add()
 ///
 /// `run_all` blocks until every queued job finished. Worker exceptions are
@@ -89,8 +106,14 @@ class Campaign {
   unsigned jobs() const { return jobs_; }
   std::size_t size() const { return queue_.size(); }
 
-  /// Queue a job; returns its submission index.
+  /// Queue a simulation job; returns its submission index.
   std::size_t add(SimJob job);
+
+  /// Queue an arbitrary work item. `fn` runs once, on any worker thread;
+  /// like a SimJob it must own its mutable state (it may write results
+  /// through captured pointers as long as no two queued items share a
+  /// destination). Returns the submission index.
+  std::size_t add(std::function<RunOutput()> fn, std::string label = {});
 
   /// Run every queued job and clear the queue. Results are indexed by
   /// submission order, independent of which worker finished first.
@@ -100,8 +123,12 @@ class Campaign {
   static unsigned resolve_jobs(unsigned requested);
 
  private:
+  struct Queued {
+    std::function<RunOutput()> run;
+    std::string label;
+  };
   unsigned jobs_;
-  std::vector<SimJob> queue_;
+  std::vector<Queued> queue_;
 };
 
 }  // namespace cms::core

@@ -47,9 +47,11 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 Experiment ScenarioRegistry::make_experiment(
-    const std::string& name, std::optional<unsigned> jobs) const {
+    const std::string& name, std::optional<unsigned> jobs,
+    std::optional<ProfilerMode> profiler) const {
   ScenarioSpec spec = get(name);
   if (jobs) spec.experiment.jobs = *jobs;
+  if (profiler) spec.experiment.profiler = *profiler;
   return Experiment(std::move(spec.factory), std::move(spec.experiment));
 }
 

@@ -47,10 +47,12 @@ class ScenarioRegistry {
   std::vector<std::string> names() const;
 
   /// Convenience: build the Experiment for a registered scenario. `jobs`
-  /// overrides the spec's campaign worker count; omitted, the spec's own
-  /// setting stands.
-  Experiment make_experiment(const std::string& name,
-                             std::optional<unsigned> jobs = std::nullopt) const;
+  /// overrides the spec's campaign worker count and `profiler` the spec's
+  /// profiling mode (kFullSim vs kTraceReplay); omitted, the spec's own
+  /// settings stand.
+  Experiment make_experiment(
+      const std::string& name, std::optional<unsigned> jobs = std::nullopt,
+      std::optional<ProfilerMode> profiler = std::nullopt) const;
 
  private:
   mutable std::mutex mu_;

@@ -65,7 +65,9 @@ AccessResult SetAssocCache::access_at(std::uint32_t set_index, Addr addr,
         line->dirty = true;
       // Write-through: the write is forwarded; line stays clean.
     }
-    line->owner = client;
+    // Ownership stays with the inserting client (see the class comment in
+    // cache.hpp): a cross-client hit must not re-home the line, or
+    // occupancy_of / evictions_by_other misattribute from then on.
     return res;
   }
 
@@ -128,6 +130,23 @@ std::uint64_t SetAssocCache::flush_client(ClientId client) {
       }
       line = Line{};
     }
+  }
+  return dirty;
+}
+
+std::uint64_t SetAssocCache::flush_sets(std::uint32_t first_set,
+                                        std::uint32_t count) {
+  assert(first_set + count <= num_sets());
+  std::uint64_t dirty = 0;
+  const std::size_t begin = static_cast<std::size_t>(first_set) * cfg_.ways;
+  const std::size_t end = begin + static_cast<std::size_t>(count) * cfg_.ways;
+  for (std::size_t i = begin; i < end; ++i) {
+    Line& line = lines_[i];
+    if (line.valid && line.dirty) {
+      ++dirty;
+      ++stats_.writebacks;
+    }
+    line = Line{};
   }
   return dirty;
 }

@@ -63,6 +63,14 @@ struct WayRange {
 /// policy. Set selection is delegated to the caller through an explicit
 /// set index so that the partitioned L2 can remap indices (paper's index
 /// translation); convenience entry points compute the conventional index.
+///
+/// Ownership semantics: a line belongs to the client that INSERTED it and
+/// keeps that owner until eviction or flush — a hit by another client
+/// (possible under way partitioning, where lookups search every way) does
+/// not re-home the line. Insertion is what consumed the owner's capacity,
+/// so `occupancy_of` and the `evictions_by_other` attribution follow the
+/// inserter; rewriting the owner on hits would let a borrower "inherit"
+/// the line and misattribute both from then on.
 class SetAssocCache {
  public:
   explicit SetAssocCache(const CacheConfig& cfg, std::uint64_t seed = 1);
@@ -96,6 +104,13 @@ class SetAssocCache {
 
   /// Invalidate all lines belonging to `client`; returns dirty count.
   std::uint64_t flush_client(ClientId client);
+
+  /// Invalidate every line in sets [first_set, first_set + count); dirty
+  /// lines count as writebacks. Returns the dirty count. Used when a set
+  /// range changes hands (dynamic repartitioning): the leaving client's
+  /// dirty data must drain and its stale lines must not pollute the new
+  /// owner's range.
+  std::uint64_t flush_sets(std::uint32_t first_set, std::uint32_t count);
 
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }

@@ -30,26 +30,34 @@ Cycle MemoryHierarchy::access_line(ProcId proc, TaskId task, Addr line_addr,
   // latency is off the critical path of this access).
   if (l1_res.writeback) {
     ++traffic_.l2_accesses;
-    l2_.access(task, l1_res.victim_line, AccessType::kWrite);
+    const PartitionedCache::Result wb =
+        l2_.access(task, l1_res.victim_line, AccessType::kWrite);
+    if (sink_ != nullptr)
+      sink_->on_l2_access({wb.client, task, l1_res.victim_line,
+                           AccessType::kWrite, /*l1_writeback=*/true});
   }
 
   const PartitionedCache::Result l2_res = l2_.access(task, line_addr, type);
+  if (sink_ != nullptr)
+    sink_->on_l2_access({l2_res.client, task, line_addr, type});
   Cycle done = grant + cfg_.l2_hit_latency;
   if (!l2_res.raw.hit) {
     outcome.worst = ServedBy::kMemory;
     ++outcome.l2_misses;
     ++traffic_.dram_accesses;
     traffic_.offchip_bytes += cfg_.l2.line_bytes;
-    done = dram_.access(line_addr, done);
-    // Return transfer over the bus.
-    done += bus_.config().cycles_per_transaction;
+    if (!cfg_.uniform_l2_timing) {
+      done = dram_.access(line_addr, done);
+      // Return transfer over the bus.
+      done += bus_.config().cycles_per_transaction;
+    }
   }
   if (l2_res.raw.writeback) {
     // Dirty L2 victim goes off-chip; bank occupancy is modeled, the
     // requesting processor does not wait for it.
     ++traffic_.dram_accesses;
     traffic_.offchip_bytes += cfg_.l2.line_bytes;
-    dram_.access(l2_res.raw.victim_line, done);
+    if (!cfg_.uniform_l2_timing) dram_.access(l2_res.raw.victim_line, done);
   }
   return done;
 }
@@ -75,6 +83,17 @@ void MemoryHierarchy::on_task_switch(ProcId proc) {
   // modeling each address (they were already resident in L2 or will be
   // refetched on next use).
   traffic_.l2_accesses += dirty;
+}
+
+std::uint64_t MemoryHierarchy::flush_l2_sets(std::uint32_t first_set,
+                                             std::uint32_t count) {
+  const std::uint64_t dirty = l2_.flush_sets(first_set, count);
+  // Each drained dirty line goes off-chip like any other L2 victim; the
+  // flush is a state update (bank occupancy is not modeled for it, as
+  // for other non-critical-path writebacks).
+  traffic_.dram_accesses += dirty;
+  traffic_.offchip_bytes += dirty * cfg_.l2.line_bytes;
+  return dirty;
 }
 
 void MemoryHierarchy::reset_stats() {

@@ -13,6 +13,7 @@
 #include "mem/cache_config.hpp"
 #include "mem/dram.hpp"
 #include "mem/partitioned_cache.hpp"
+#include "mem/trace_sink.hpp"
 
 namespace cms::mem {
 
@@ -25,6 +26,17 @@ struct HierarchyConfig {
   Cycle l1_hit_latency = 1;
   Cycle l2_hit_latency = 8;
   std::uint64_t seed = 42;
+
+  /// Outcome-invariant L2 timing: every L2-bound access is charged the
+  /// L2 hit latency regardless of hit/miss and the DRAM timing model is
+  /// bypassed (traffic is still counted). Hit/miss outcomes then have NO
+  /// timing feedback, so the simulated schedule — and with it every
+  /// client's L1-filtered L2 access stream — is identical for every L2
+  /// partition layout. The isolation-profiling sweep runs in this mode:
+  /// it is what makes one captured trace exactly replayable at every
+  /// grid size (opt/trace.hpp); off-chip latency is reconstructed
+  /// analytically from the miss counts afterwards.
+  bool uniform_l2_timing = false;
 };
 
 /// Which level served an access (innermost level that hit).
@@ -62,6 +74,12 @@ class MemoryHierarchy {
   /// we realize that by invalidation on switch).
   void on_task_switch(ProcId proc);
 
+  /// Flush an L2 set range that is changing hands (dynamic
+  /// repartitioning) and account the drained dirty lines as off-chip
+  /// traffic — unlike PartitionedCache::flush_sets, which only touches
+  /// cache state/stats. Returns the dirty count.
+  std::uint64_t flush_l2_sets(std::uint32_t first_set, std::uint32_t count);
+
   PartitionedCache& l2() { return l2_; }
   const PartitionedCache& l2() const { return l2_; }
   SetAssocCache& l1(ProcId proc) { return *l1s_[static_cast<std::size_t>(proc)]; }
@@ -74,6 +92,13 @@ class MemoryHierarchy {
   const TrafficStats& traffic() const { return traffic_; }
   void reset_stats();
 
+  /// Install an observer of the L2-bound access stream (nullptr detaches).
+  /// The sink is notified synchronously, in issue order, once per line
+  /// access presented to the L2 — demand fetches and L1 victim writebacks
+  /// alike. Not owned; must outlive the hierarchy or be detached first.
+  void set_trace_sink(AccessTraceSink* sink) { sink_ = sink; }
+  AccessTraceSink* trace_sink() const { return sink_; }
+
  private:
   Cycle access_line(ProcId proc, TaskId task, Addr line_addr, AccessType type,
                     Cycle now, AccessOutcome& outcome);
@@ -84,6 +109,7 @@ class MemoryHierarchy {
   PartitionedCache l2_;
   Dram dram_;
   TrafficStats traffic_;
+  AccessTraceSink* sink_ = nullptr;
 };
 
 }  // namespace cms::mem

@@ -88,6 +88,11 @@ class PartitionedCache {
   /// Flush the underlying storage (e.g. between experiment phases).
   void flush() { cache_.flush(); }
 
+  /// Flush a set range that is changing hands; returns the dirty count.
+  std::uint64_t flush_sets(std::uint32_t first_set, std::uint32_t count) {
+    return cache_.flush_sets(first_set, count);
+  }
+
   SetAssocCache& raw_cache() { return cache_; }
 
  private:

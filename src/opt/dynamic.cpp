@@ -18,12 +18,24 @@ std::uint32_t DynamicPartitioner::sets_of(const std::string& name) const {
   return 0;
 }
 
-void DynamicPartitioner::install(mem::PartitionedCache& l2) const {
-  l2.partition_table().clear();
+std::vector<mem::Partition> DynamicPartitioner::layout() const {
+  std::vector<mem::Partition> out;
+  out.reserve(clients_.size());
   std::uint32_t base = 0;
   for (const auto& c : clients_) {
-    l2.partition_table().assign(c.id, {base, c.sets});
+    out.push_back({base, c.sets});
     base += c.sets;
+  }
+  return out;
+}
+
+void DynamicPartitioner::install(mem::PartitionedCache& l2) const {
+  l2.partition_table().clear();
+  const std::vector<mem::Partition> parts = layout();
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    l2.partition_table().assign(clients_[i].id, parts[i]);
+    base = parts[i].base_set + parts[i].num_sets;
   }
   assert(base <= total_sets_);
   if (base < total_sets_)
@@ -40,7 +52,11 @@ void DynamicPartitioner::epoch(Cycle /*now*/, mem::MemoryHierarchy& hierarchy) {
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     Client& c = clients_[i];
     const std::uint64_t misses = l2.client_stats(c.id).misses;
-    const std::uint64_t delta = misses - c.last_misses;
+    // Stats may have been reset since the last epoch (counter below the
+    // remembered value); the unsigned subtraction would then wrap to a
+    // huge pressure. Treat the current count as this epoch's delta.
+    const std::uint64_t delta =
+        misses >= c.last_misses ? misses - c.last_misses : misses;
     c.last_misses = misses;
     const double pressure =
         static_cast<double>(delta) / static_cast<double>(c.sets);
@@ -62,8 +78,34 @@ void DynamicPartitioner::epoch(Cycle /*now*/, mem::MemoryHierarchy& hierarchy) {
   const std::uint32_t step =
       std::min(cfg_.move_step, clients_[donor].sets - cfg_.min_sets);
   if (step == 0) return;
+  const std::vector<mem::Partition> before = layout();
   clients_[donor].sets -= step;
   clients_[taker].sets += step;
+  const std::vector<mem::Partition> after = layout();
+
+  // Every set a client relinquishes must be flushed before the table is
+  // rewritten: its dirty lines would otherwise be dropped silently (the
+  // client never looks there again) and its stale lines would pollute the
+  // range's new owner. Shifted-but-kept sets need no flush — leftover
+  // lines there stay evictable by their own client.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const std::uint32_t ob = before[i].base_set;
+    const std::uint32_t oe = ob + before[i].num_sets;
+    const std::uint32_t nb = after[i].base_set;
+    const std::uint32_t ne = nb + after[i].num_sets;
+    // Old range minus new range: at most two contiguous pieces.
+    const std::uint32_t left_end = std::min(oe, std::max(ob, nb));
+    if (left_end > ob) {
+      flushed_sets_ += left_end - ob;
+      flush_writebacks_ += hierarchy.flush_l2_sets(ob, left_end - ob);
+    }
+    const std::uint32_t right_begin = std::max(ob, std::min(oe, ne));
+    if (oe > right_begin) {
+      flushed_sets_ += oe - right_begin;
+      flush_writebacks_ += hierarchy.flush_l2_sets(right_begin, oe - right_begin);
+    }
+  }
+
   ++moves_;
   install(l2);
 }

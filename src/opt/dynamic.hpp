@@ -41,6 +41,12 @@ class DynamicPartitioner {
   std::uint64_t moves() const { return moves_; }
   std::uint32_t sets_of(const std::string& name) const;
 
+  /// Cost of the moves so far: sets flushed because they changed hands,
+  /// and the dirty lines drained from them (each one a writeback the
+  /// repartitioning itself caused).
+  std::uint64_t flushed_sets() const { return flushed_sets_; }
+  std::uint64_t flush_writebacks() const { return flush_writebacks_; }
+
  private:
   struct Client {
     mem::ClientId id;
@@ -50,11 +56,16 @@ class DynamicPartitioner {
   };
 
   void install(mem::PartitionedCache& l2) const;
+  /// Contiguous layout the current `sets` values produce (what install()
+  /// writes into the partition table).
+  std::vector<mem::Partition> layout() const;
 
   DynamicConfig cfg_;
   std::vector<Client> clients_;
   std::uint32_t total_sets_;
   std::uint64_t moves_ = 0;
+  std::uint64_t flushed_sets_ = 0;
+  std::uint64_t flush_writebacks_ = 0;
 };
 
 }  // namespace cms::opt

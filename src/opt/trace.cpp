@@ -1,0 +1,216 @@
+#include "opt/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "mem/cache.hpp"
+
+namespace cms::opt {
+
+namespace {
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline std::uint64_t get_varint(const std::vector<std::uint8_t>& buf,
+                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    assert(pos < buf.size() && "truncated trace stream");
+    const std::uint8_t b = buf[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+constexpr std::uint64_t kWriteBit = 1;
+constexpr std::uint64_t kWritebackBit = 2;
+constexpr std::uint64_t kTaskChangedBit = 4;
+
+}  // namespace
+
+void ClientTrace::append(std::uint64_t line_index, AccessType type,
+                         bool l1_writeback, TaskId task) {
+  const std::int64_t delta = static_cast<std::int64_t>(line_index) - last_line_;
+  last_line_ = static_cast<std::int64_t>(line_index);
+  const bool task_changed = task != last_task_;
+  last_task_ = task;
+
+  std::uint64_t head = zigzag(delta) << 3;
+  if (task_changed) head |= kTaskChangedBit;
+  if (l1_writeback) head |= kWritebackBit;
+  if (type == AccessType::kWrite) head |= kWriteBit;
+  put_varint(buf_, head);
+  if (task_changed)
+    put_varint(buf_, static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(task)));
+  ++events_;
+}
+
+bool ClientTrace::Reader::next(TraceEvent& ev) {
+  if (!primed_) {
+    remaining_ = trace_->events_;
+    primed_ = true;
+  }
+  if (remaining_ == 0) return false;
+  --remaining_;
+  const std::uint64_t head = get_varint(trace_->buf_, pos_);
+  line_ += unzigzag(head >> 3);
+  if (head & kTaskChangedBit)
+    task_ = static_cast<TaskId>(
+        static_cast<std::int32_t>(get_varint(trace_->buf_, pos_)));
+  ev.line_index = static_cast<std::uint64_t>(line_);
+  ev.type = (head & kWriteBit) ? AccessType::kWrite : AccessType::kRead;
+  ev.l1_writeback = (head & kWritebackBit) != 0;
+  ev.task = task_;
+  return true;
+}
+
+const ClientTrace* AccessTrace::find(mem::ClientId client) const {
+  const auto it = std::lower_bound(
+      streams.begin(), streams.end(), client,
+      [](const ClientTrace& t, mem::ClientId c) { return t.client() < c; });
+  return it != streams.end() && it->client() == client ? &*it : nullptr;
+}
+
+std::uint64_t AccessTrace::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams) n += s.events();
+  return n;
+}
+
+std::size_t AccessTrace::encoded_bytes() const {
+  std::size_t n = 0;
+  for (const auto& s : streams) n += s.encoded_bytes();
+  return n;
+}
+
+void TraceRecorder::on_l2_access(const mem::L2AccessEvent& ev) {
+  const auto [it, inserted] = index_.try_emplace(ev.client, streams_.size());
+  if (inserted) streams_.emplace_back(ev.client);
+  streams_[it->second].append(ev.line / line_bytes_, ev.type,
+                              ev.l1_writeback, ev.task);
+}
+
+AccessTrace TraceRecorder::take() {
+  AccessTrace out;
+  out.line_bytes = line_bytes_;
+  out.streams = std::move(streams_);
+  streams_.clear();
+  index_.clear();
+  std::sort(out.streams.begin(), out.streams.end(),
+            [](const ClientTrace& a, const ClientTrace& b) {
+              return a.client() < b.client();
+            });
+  return out;
+}
+
+bool CaptureRun::is_scheduler_client(mem::ClientId c) const {
+  return std::find(scheduler_clients.begin(), scheduler_clients.end(), c) !=
+         scheduler_clients.end();
+}
+
+Cycle miss_surcharge(const mem::HierarchyConfig& hier) {
+  return hier.dram.access_latency + hier.bus.cycles_per_transaction;
+}
+
+ProfileFragment replay_fragment(const CaptureRun& capture,
+                                const PartitionPlan& plan,
+                                const mem::CacheConfig& l2, std::uint32_t sets,
+                                std::uint64_t order, Cycle surcharge) {
+  if (l2.replacement == mem::Replacement::kRandom)
+    throw std::invalid_argument(
+        "trace replay requires deterministic replacement (kRandom shares one "
+        "RNG across clients in the live L2)");
+
+  const std::uint32_t total = std::max(plan.total_sets, 1u);
+
+  std::unordered_map<mem::ClientId, const PlanEntry*, mem::ClientIdHash>
+      entry_of;
+  entry_of.reserve(plan.entries.size());
+  for (const PlanEntry& e : plan.entries) entry_of.emplace(e.client, &e);
+
+  std::unordered_map<mem::ClientId, std::uint64_t, mem::ClientIdHash>
+      misses_of;
+  std::unordered_map<TaskId, std::uint64_t> demand_misses_of;
+
+  for (const ClientTrace& stream : capture.trace.streams) {
+    const auto it = entry_of.find(stream.client());
+    if (it == entry_of.end())
+      throw std::invalid_argument("trace stream for unplanned client " +
+                                  stream.client().to_string());
+    const std::uint32_t client_sets =
+        std::max(it->second->partition.num_sets, 1u);
+
+    mem::CacheConfig cc = l2;
+    cc.size_bytes = client_sets * l2.line_bytes * l2.ways;
+    mem::SetAssocCache cache(cc, /*seed=*/1);
+
+    const bool count_issuers = !capture.is_scheduler_client(stream.client());
+    auto rd = stream.reader();
+    TraceEvent ev;
+    while (rd.next(ev)) {
+      // Same arithmetic as the live PartitionedCache: conventional index
+      // modulo the (virtually enlarged) total, folded into the client's
+      // exclusive range — whose base offset a standalone cache drops.
+      const auto idx = static_cast<std::uint32_t>(
+          (ev.line_index % total) % client_sets);
+      const Addr addr = ev.line_index * capture.trace.line_bytes;
+      const mem::AccessResult res =
+          cache.access_at(idx, addr, ev.type, stream.client());
+      if (!res.hit && !ev.l1_writeback && count_issuers)
+        ++demand_misses_of[ev.task];
+    }
+    misses_of[stream.client()] = cache.stats().misses;
+  }
+
+  ProfileFragment frag;
+  frag.order = order;
+  for (const CaptureTaskStats& t : capture.tasks) {
+    const auto mit = misses_of.find(mem::ClientId::task(t.id));
+    const std::uint64_t m = mit != misses_of.end() ? mit->second : 0;
+    const auto dit = demand_misses_of.find(t.id);
+    const std::uint64_t dm = dit != demand_misses_of.end() ? dit->second : 0;
+    frag.add(t.name, sets, static_cast<double>(m),
+             static_cast<double>(reconstruct_active_cycles(
+                 t.compute_cycles, t.mem_cycles, dm, surcharge)),
+             static_cast<double>(t.instructions));
+  }
+  for (const ClientTrace& stream : capture.trace.streams) {
+    if (!stream.client().is_buffer()) continue;
+    frag.add(entry_of.at(stream.client())->name, sets,
+             static_cast<double>(misses_of.at(stream.client())), 0.0, 0.0);
+  }
+  return frag;
+}
+
+MissProfile replay_profile(const std::vector<ReplayJob>& jobs,
+                           const mem::CacheConfig& l2, Cycle surcharge) {
+  std::vector<ProfileFragment> fragments;
+  fragments.reserve(jobs.size());
+  for (const ReplayJob& job : jobs) {
+    assert(job.capture != nullptr && job.plan != nullptr);
+    fragments.push_back(replay_fragment(*job.capture, *job.plan, l2, job.sets,
+                                        job.order, surcharge));
+  }
+  return fold_fragments(std::move(fragments));
+}
+
+}  // namespace cms::opt

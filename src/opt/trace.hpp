@@ -1,0 +1,196 @@
+// Trace-capture-and-replay profiling (paper section 3.2, made cheap).
+//
+// The paper's planner needs per-task miss curves M_i(z_k); measuring them
+// by full simulation costs one engine run per (grid size x jitter run).
+// KPN applications are determinate and the profiling sweep runs every
+// client in an exclusive L2 partition, so once the isolation run's timing
+// is made outcome-invariant (HierarchyConfig::uniform_l2_timing) each
+// client's L1-filtered L2-bound access stream is *identical at every grid
+// size*. That turns the sweep into:
+//
+//   capture:  ONE instrumented simulation per jitter seed records every
+//             client's L2-bound stream (TraceRecorder, attached through
+//             the mem::AccessTraceSink hook of the hierarchy);
+//   replay:   each recorded stream is pushed through a standalone
+//             mem::SetAssocCache sized for the grid point, reproducing
+//             the exact hit/miss sequence the live partitioned L2 would
+//             have produced — misses are bit-identical, at O(runs)
+//             simulations instead of O(sizes x runs).
+//
+// Exactness argument (why replay == live, bitwise):
+//  * isolated clients never share a set, so the only shared L2 state is
+//    the LRU/FIFO tick counter (relative order within a set is preserved
+//    — comparisons never cross partitions) and the cold-miss table
+//    (affects no hit/miss outcome);
+//  * the live index translation is base + (conventional % sets) with
+//    conventional = line_index % total_sets; replay applies the same
+//    arithmetic, minus the base offset, to a cache of `sets` sets;
+//  * kRandom replacement shares one RNG across clients and is therefore
+//    NOT replayable — replay_fragment refuses it.
+//
+// Active cycles t_i(z_k) cannot be replayed (bus grants and DRAM bank
+// occupancy are global), so BOTH profiler modes reconstruct them from the
+// platform latency model: t_i = compute + uniform-timing memory cycles +
+// demand_misses * miss_surcharge. The reconstruction is exact w.r.t. the
+// uniform-timing run (hence bit-identical between modes) but approximate
+// w.r.t. a fully timed run; bench/micro_replay reports that error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache_config.hpp"
+#include "mem/client.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/trace_sink.hpp"
+#include "opt/planner.hpp"
+#include "opt/profile.hpp"
+
+namespace cms::opt {
+
+/// One decoded L2-bound access.
+struct TraceEvent {
+  std::uint64_t line_index = 0;  // line address / line_bytes
+  AccessType type = AccessType::kRead;
+  bool l1_writeback = false;  // L1 victim drain (off the critical path)
+  TaskId task = kInvalidTask;  // issuing task
+};
+
+/// One client's L2-bound stream, delta-encoded: per event a varint head
+/// packs zigzag(line_index delta) with three flag bits (issuer-changed,
+/// l1-writeback, write), followed by a varint issuer id when it changed.
+/// Sequential sweeps encode to ~1 byte per access.
+class ClientTrace {
+ public:
+  explicit ClientTrace(mem::ClientId client) : client_(client) {}
+
+  mem::ClientId client() const { return client_; }
+  std::uint64_t events() const { return events_; }
+  std::size_t encoded_bytes() const { return buf_.size(); }
+
+  void append(std::uint64_t line_index, AccessType type, bool l1_writeback,
+              TaskId task);
+
+  /// Forward decoder over the stream.
+  class Reader {
+   public:
+    explicit Reader(const ClientTrace& t) : trace_(&t) {}
+    /// Decode the next event into `ev`; false at end of stream.
+    bool next(TraceEvent& ev);
+
+   private:
+    const ClientTrace* trace_;
+    std::size_t pos_ = 0;
+    std::uint64_t remaining_ = 0;
+    bool primed_ = false;
+    std::int64_t line_ = 0;
+    TaskId task_ = kInvalidTask;
+  };
+  Reader reader() const { return Reader(*this); }
+
+ private:
+  friend class Reader;
+  mem::ClientId client_;
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t events_ = 0;
+  std::int64_t last_line_ = 0;   // encoder state
+  TaskId last_task_ = kInvalidTask;
+};
+
+/// A full capture: every client's stream, in deterministic (ClientId)
+/// order. Line indices are at `line_bytes` granularity (the L2's).
+struct AccessTrace {
+  std::uint32_t line_bytes = 64;
+  std::vector<ClientTrace> streams;
+
+  const ClientTrace* find(mem::ClientId client) const;
+  std::uint64_t total_events() const;
+  std::size_t encoded_bytes() const;
+};
+
+/// The capture half: attach to a hierarchy (or through SimJob::trace_sink)
+/// for one isolation run, then take() the recording. Thread-confined like
+/// the hierarchy notifying it.
+class TraceRecorder final : public mem::AccessTraceSink {
+ public:
+  explicit TraceRecorder(std::uint32_t l2_line_bytes)
+      : line_bytes_(l2_line_bytes) {}
+
+  void on_l2_access(const mem::L2AccessEvent& ev) override;
+
+  /// The recording so far, streams sorted by client id. Leaves the
+  /// recorder empty.
+  AccessTrace take();
+
+ private:
+  std::uint32_t line_bytes_;
+  std::vector<ClientTrace> streams_;  // insertion order during recording
+  std::unordered_map<mem::ClientId, std::size_t, mem::ClientIdHash> index_;
+};
+
+/// Per-task capture-run measurements that are partition-size invariant
+/// under uniform L2 timing — the constants of the t_i reconstruction.
+struct CaptureTaskStats {
+  TaskId id = kInvalidTask;
+  std::string name;
+  std::uint64_t instructions = 0;
+  Cycle compute_cycles = 0;
+  Cycle mem_cycles = 0;  // bus waits + uniform L2 charges, invariant
+};
+
+/// Everything replay needs from one instrumented isolation run.
+struct CaptureRun {
+  AccessTrace trace;
+  std::vector<CaptureTaskStats> tasks;  // task creation order
+  /// Clients whose demand misses are scheduler work (the OS's rt data/bss
+  /// segments, touched on context switches) — excluded from the per-task
+  /// miss counts of the t_i reconstruction, mirroring the engine, which
+  /// charges switch traffic to the processor rather than the task.
+  std::vector<mem::ClientId> scheduler_clients;
+
+  bool is_scheduler_client(mem::ClientId c) const;
+};
+
+/// Off-chip cycles a demand L2 miss adds on top of the uniform (hit-path)
+/// charge: nominal DRAM access latency + the return bus transfer.
+Cycle miss_surcharge(const mem::HierarchyConfig& hier);
+
+/// Analytic t_i of the reconstruction model; used by BOTH profiler modes
+/// so their active-cycle curves agree bitwise.
+inline Cycle reconstruct_active_cycles(Cycle compute_cycles, Cycle mem_cycles,
+                                       std::uint64_t demand_misses,
+                                       Cycle surcharge) {
+  return compute_cycles + mem_cycles + demand_misses * surcharge;
+}
+
+/// Replay one capture at one grid point. `plan` is the uniform isolation
+/// plan of that grid point (client set sizes + virtual total), `l2` the
+/// L2 geometry template (line/ways/replacement/write policy; size is per
+/// client), `sets` the grid label of the emitted samples and `order` the
+/// job's canonical schedule position (ProfileFragment contract).
+/// Throws std::invalid_argument for kRandom replacement or when a stream's
+/// client has no plan entry.
+ProfileFragment replay_fragment(const CaptureRun& capture,
+                                const PartitionPlan& plan,
+                                const mem::CacheConfig& l2, std::uint32_t sets,
+                                std::uint64_t order, Cycle surcharge);
+
+/// One replay work item of a sweep (core::Experiment fans these out on a
+/// core::Campaign; replay_profile below is the serial driver).
+struct ReplayJob {
+  const CaptureRun* capture = nullptr;
+  std::shared_ptr<const PartitionPlan> plan;
+  std::uint32_t sets = 0;
+  std::uint64_t order = 0;
+};
+
+/// Replay every job in canonical order and fold the fragments — the
+/// profile a serial full-simulation sweep would have produced.
+MissProfile replay_profile(const std::vector<ReplayJob>& jobs,
+                           const mem::CacheConfig& l2, Cycle surcharge);
+
+}  // namespace cms::opt

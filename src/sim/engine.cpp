@@ -86,6 +86,7 @@ void TimingEngine::step_access(ProcState& ps, std::size_t p) {
     const Cycle latency = out.finish - ps.clock;
     tst.stats.mem_cycles += latency;
     tst.stats.active_cycles += latency;
+    tst.stats.l2_demand_misses += out.l2_misses;
     ps.stats.busy_cycles += latency;
     ps.clock = out.finish;
   }

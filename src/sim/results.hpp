@@ -19,6 +19,12 @@ struct TaskRunStats {
   std::uint64_t compute_cycles = 0;
   std::uint64_t mem_cycles = 0;     // cycles spent waiting on memory
   Cycle active_cycles = 0;          // compute + memory (the task's t_i)
+  /// L2 misses of demand accesses issued while this task was executing
+  /// (scheduler/context-switch traffic excluded). This is the count the
+  /// profiler's analytic t_i reconstruction multiplies by the off-chip
+  /// miss surcharge; `l2.misses` below differs — it is attribution-based
+  /// (the task's cache client) and includes L1-victim writeback misses.
+  std::uint64_t l2_demand_misses = 0;
   mem::CacheStats l2;               // this task's share of L2 behaviour
 };
 

@@ -1,0 +1,17 @@
+// sim-level names for the memory hierarchy's access-trace hook.
+//
+// The hook itself lives in mem/trace_sink.hpp (the hierarchy's layer);
+// simulation-side code — engine drivers, the campaign runner, the
+// trace-and-replay profiler — wires it through a Platform, so the natural
+// spelling there is sim::AccessTraceSink. Attach with
+// `platform.hierarchy().set_trace_sink(&sink)` before the engine runs.
+#pragma once
+
+#include "mem/trace_sink.hpp"
+
+namespace cms::sim {
+
+using AccessTraceSink = mem::AccessTraceSink;
+using L2AccessEvent = mem::L2AccessEvent;
+
+}  // namespace cms::sim

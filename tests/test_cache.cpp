@@ -130,6 +130,27 @@ TEST(Cache, EvictionByOtherClientCounted) {
   EXPECT_EQ(cache.stats().evictions_by_other, 1u);
 }
 
+TEST(Cache, CrossClientHitKeepsInsertionOwnership) {
+  // Regression: the hit path used to rewrite line->owner to the hitting
+  // client, so after a cross-client hit the line was charged to the
+  // borrower — occupancy_of moved and the original owner's later
+  // eviction was no longer counted as eviction-by-other.
+  SetAssocCache cache(small_cache(1, 2));  // one set, two ways
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(1));
+  cache.access(0 * 64, AccessType::kRead, ClientId::task(2));  // borrow hit
+  EXPECT_EQ(cache.occupancy_of(ClientId::task(1)), 1u);
+  EXPECT_EQ(cache.occupancy_of(ClientId::task(2)), 0u);
+
+  // Fill the second way and evict task 1's line with a third client: the
+  // eviction must count as by-other with task 1 as the victim owner.
+  cache.access(1 * 64, AccessType::kRead, ClientId::task(3));
+  const AccessResult res =
+      cache.access(2 * 64, AccessType::kRead, ClientId::task(3));
+  EXPECT_FALSE(res.hit);
+  EXPECT_EQ(res.victim_owner, ClientId::task(1));  // LRU victim = line 0
+  EXPECT_EQ(cache.stats().evictions_by_other, 1u);
+}
+
 TEST(Cache, OccupancyPerClient) {
   SetAssocCache cache(small_cache(8, 2));
   cache.access(0x0, AccessType::kRead, ClientId::task(1));

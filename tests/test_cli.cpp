@@ -1,0 +1,80 @@
+// Tests for the shared CLI helpers: accepted/rejected --jobs forms (the
+// validation must be stricter than strtoul) and the --profiler flag.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cli.hpp"
+
+namespace cms::core {
+namespace {
+
+unsigned jobs_of(std::vector<const char*> args, unsigned def = 1) {
+  args.insert(args.begin(), "prog");
+  return parse_jobs(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()), def);
+}
+
+ProfilerMode profiler_of(std::vector<const char*> args,
+                         ProfilerMode def = ProfilerMode::kFullSim) {
+  args.insert(args.begin(), "prog");
+  return parse_profiler(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()), def);
+}
+
+TEST(ParseJobs, AcceptsPlainDecimal) {
+  EXPECT_EQ(jobs_of({"--jobs", "4"}), 4u);
+  EXPECT_EQ(jobs_of({"--jobs=8"}), 8u);
+  EXPECT_EQ(jobs_of({"--jobs", "0"}), 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(jobs_of({"--jobs=1024"}), 1024u);
+}
+
+TEST(ParseJobs, AbsentFlagKeepsDefault) {
+  EXPECT_EQ(jobs_of({}), 1u);
+  EXPECT_EQ(jobs_of({"--quick"}, 7), 7u);
+}
+
+TEST(ParseJobs, RejectsStrtoulQuirks) {
+  // strtoul accepts all of these; the flag validation must not.
+  EXPECT_EQ(jobs_of({"--jobs=+5"}), 1u);
+  EXPECT_EQ(jobs_of({"--jobs", "+5"}), 1u);
+  EXPECT_EQ(jobs_of({"--jobs", " 5"}), 1u);
+  EXPECT_EQ(jobs_of({"--jobs=\t5"}), 1u);
+  EXPECT_EQ(jobs_of({"--jobs", "-1"}), 1u);
+  EXPECT_EQ(jobs_of({"--jobs=0x10"}), 1u);
+}
+
+TEST(ParseJobs, RejectsMalformedAndOutOfRange) {
+  EXPECT_EQ(jobs_of({"--jobs"}), 1u);              // missing value
+  EXPECT_EQ(jobs_of({"--jobs", "--quick"}), 1u);   // typo'd value
+  EXPECT_EQ(jobs_of({"--jobs="}), 1u);             // empty value
+  EXPECT_EQ(jobs_of({"--jobs", "4x"}), 1u);        // trailing junk
+  EXPECT_EQ(jobs_of({"--jobs=1025"}), 1u);         // above kMaxJobs
+  EXPECT_EQ(jobs_of({"--jobs=99999999999999999999"}), 1u);  // overflow
+}
+
+TEST(ParseProfiler, AcceptsBothModes) {
+  EXPECT_EQ(profiler_of({"--profiler", "fullsim"}), ProfilerMode::kFullSim);
+  EXPECT_EQ(profiler_of({"--profiler=replay"}), ProfilerMode::kTraceReplay);
+  EXPECT_EQ(profiler_of({"--profiler", "replay"}), ProfilerMode::kTraceReplay);
+}
+
+TEST(ParseProfiler, DefaultAndBadValues) {
+  EXPECT_EQ(profiler_of({}), ProfilerMode::kFullSim);
+  EXPECT_EQ(profiler_of({}, ProfilerMode::kTraceReplay),
+            ProfilerMode::kTraceReplay);
+  EXPECT_EQ(profiler_of({"--profiler=warp"}), ProfilerMode::kFullSim);
+  EXPECT_EQ(profiler_of({"--profiler"}), ProfilerMode::kFullSim);
+  EXPECT_EQ(profiler_of({"--profiler=REPLAY"}, ProfilerMode::kFullSim),
+            ProfilerMode::kFullSim);
+}
+
+TEST(HasFlag, ExactMatchOnly) {
+  std::vector<const char*> present{"p", "--quick"};
+  EXPECT_TRUE(has_flag(2, const_cast<char**>(present.data()), "--quick"));
+  std::vector<const char*> prefix{"p", "--quicker"};
+  EXPECT_FALSE(has_flag(2, const_cast<char**>(prefix.data()), "--quick"));
+}
+
+}  // namespace
+}  // namespace cms::core

@@ -97,7 +97,45 @@ TEST(Histogram, CountsAndQuantiles) {
   EXPECT_EQ(h.total(), 102u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
-  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.01);
+  // 102 samples, rank ceil(51) lands at the end of bucket [40, 50).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // rank 102 is the overflow
+}
+
+TEST(Histogram, QuantileOfSmallSamples) {
+  // A single sample must place every mid quantile in its bucket; the old
+  // truncated target (uint64(q * total) == 0) returned lo_ instead.
+  Histogram one(0, 100, 10);
+  one.add(75.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 80.0);  // bucket [70, 80)
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 80.0);
+
+  Histogram two(0, 100, 10);
+  two.add(15.0);
+  two.add(75.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.5), 20.0);   // rank 1: bucket [10, 20)
+  EXPECT_DOUBLE_EQ(two.quantile(0.75), 80.0);  // rank 2: bucket [70, 80)
+}
+
+TEST(Histogram, QuantileExactBoundaryRanks) {
+  // 0.56 * 100 evaluates to 56.000000000000007 in IEEE double; the
+  // ceiling target must still resolve to rank 56 (bucket [50, 60)),
+  // not 57.
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.56), 56.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.29), 29.0);  // 0.29*100 = 28.999999...
+}
+
+TEST(Histogram, QuantileWithUnderflowMass) {
+  Histogram h(0, 100, 10);
+  h.add(-1);
+  h.add(-2);
+  h.add(-3);
+  h.add(35.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // rank 2 sits in the underflow
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -60,6 +60,77 @@ TEST(DynamicPartitioner, MovesSetsTowardPressure) {
   EXPECT_TRUE(hier.l2().partition_table().disjoint());
 }
 
+TEST(DynamicPartitioner, RepartitionFlushesRelinquishedSets) {
+  // Regression: a move used to rewrite the partition table without
+  // flushing the sets the donor gave up — dirty lines there were dropped
+  // silently (their writebacks never accounted) and stale lines polluted
+  // the taker's range.
+  mem::HierarchyConfig hcfg;
+  hcfg.num_procs = 1;
+  hcfg.l2 = mem::CacheConfig{.size_bytes = 32 * 4 * 64, .line_bytes = 64, .ways = 4};
+  mem::MemoryHierarchy hier(hcfg);
+  const PartitionPlan plan = two_client_plan(16, 16, 32);
+  plan.apply(hier.l2());
+  DynamicPartitioner dyn(plan, {.min_sets = 2, .move_step = 2});
+
+  // Dirty the low sets of task 1's range [16, 32) — conventional index
+  // 0/1 folds to partition-local sets 0/1, exactly the sets a 2-set move
+  // to task 0 takes away.
+  for (int i = 0; i < 8; ++i)
+    hier.l2().access(1, 0x900000 + static_cast<Addr>(i) * 32 * 64,
+                     AccessType::kWrite);
+  const std::uint64_t wb_before = hier.l2().stats().writebacks;
+
+  // Task 0 streams; task 1 idles -> sets move 1 -> 0.
+  for (int epoch = 0; epoch < 4 && dyn.moves() == 0; ++epoch) {
+    for (int i = 0; i < 2000; ++i)
+      hier.l2().access(0, 0x100000 + static_cast<Addr>(epoch * 2000 + i) * 64,
+                       AccessType::kRead);
+    dyn.epoch(0, hier);
+  }
+  ASSERT_GT(dyn.moves(), 0u);
+  EXPECT_GT(dyn.flushed_sets(), 0u);
+  EXPECT_GT(dyn.flush_writebacks(), 0u);
+  // The drained dirty lines are visible as writebacks in the cache stats
+  // AND as off-chip traffic (they go to DRAM like any other L2 victim).
+  EXPECT_GE(hier.l2().stats().writebacks,
+            wb_before + dyn.flush_writebacks());
+  EXPECT_GE(hier.traffic().dram_accesses, dyn.flush_writebacks());
+  EXPECT_GE(hier.traffic().offchip_bytes,
+            dyn.flush_writebacks() * hier.config().l2.line_bytes);
+  // Task 1's lines all lived in the donated sets — none may survive the
+  // handover as stale occupants of task 0's new range.
+  EXPECT_EQ(hier.l2().raw_cache().occupancy_of(mem::ClientId::task(1)), 0u);
+}
+
+TEST(DynamicPartitioner, StatsResetBetweenEpochsDoesNotWrap) {
+  // Regression: `misses - last_misses` underflowed when the cache stats
+  // were reset between epochs, giving the idle client a near-2^64
+  // pressure and stealing sets for it.
+  mem::HierarchyConfig hcfg;
+  hcfg.num_procs = 1;
+  hcfg.l2 = mem::CacheConfig{.size_bytes = 32 * 4 * 64, .line_bytes = 64, .ways = 4};
+  mem::MemoryHierarchy hier(hcfg);
+  const PartitionPlan plan = two_client_plan(16, 16, 32);
+  plan.apply(hier.l2());
+  DynamicPartitioner dyn(plan, {.min_sets = 2, .move_step = 2});
+
+  // Epoch 1: task 1 misses a lot (sets last_misses high for task 1).
+  for (int i = 0; i < 2000; ++i)
+    hier.l2().access(1, 0x900000 + static_cast<Addr>(i) * 64, AccessType::kRead);
+  dyn.epoch(0, hier);
+
+  hier.l2().reset_stats();
+
+  // Epoch 2: only task 0 works. A wrapped delta would crown idle task 1
+  // the taker; the guard must instead move sets toward task 0 (or hold).
+  for (int i = 0; i < 2000; ++i)
+    hier.l2().access(0, 0x100000 + static_cast<Addr>(i) * 64, AccessType::kRead);
+  dyn.epoch(0, hier);
+  EXPECT_LE(dyn.sets_of("b"), 16u);
+  EXPECT_GE(dyn.sets_of("a"), 16u);
+}
+
 TEST(DynamicPartitioner, NoMovesWhenBalanced) {
   mem::HierarchyConfig hcfg;
   hcfg.l2 = mem::CacheConfig{.size_bytes = 32 * 4 * 64, .line_bytes = 64, .ways = 4};

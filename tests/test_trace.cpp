@@ -1,0 +1,170 @@
+// Tests for the trace-capture-and-replay profiler (opt/trace.hpp):
+// encode/decode round trips, the bit-identity of replay vs full
+// simulation, and campaign determinism of replay jobs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "opt/trace.hpp"
+
+namespace cms::opt {
+namespace {
+
+TEST(ClientTrace, RoundTripsEvents) {
+  ClientTrace t(mem::ClientId::task(3));
+  const std::vector<TraceEvent> events = {
+      {100, AccessType::kRead, false, 3},
+      {101, AccessType::kWrite, false, 3},
+      {90, AccessType::kRead, false, 3},      // negative delta
+      {90, AccessType::kWrite, true, 5},      // writeback, issuer change
+      {1u << 20, AccessType::kRead, false, 5},  // large forward jump
+      {0, AccessType::kRead, false, 7},       // large backward jump
+  };
+  for (const auto& e : events) t.append(e.line_index, e.type, e.l1_writeback, e.task);
+  EXPECT_EQ(t.events(), events.size());
+
+  auto rd = t.reader();
+  TraceEvent ev;
+  for (const auto& want : events) {
+    ASSERT_TRUE(rd.next(ev));
+    EXPECT_EQ(ev.line_index, want.line_index);
+    EXPECT_EQ(ev.type, want.type);
+    EXPECT_EQ(ev.l1_writeback, want.l1_writeback);
+    EXPECT_EQ(ev.task, want.task);
+  }
+  EXPECT_FALSE(rd.next(ev));
+
+  // Sequential access encodes compactly: ~1 byte per event.
+  ClientTrace seq(mem::ClientId::buffer(1));
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seq.append(500 + i, AccessType::kRead, false, 2);
+  EXPECT_LE(seq.encoded_bytes(), 1005u);
+}
+
+TEST(ClientTrace, ReaderIsRestartable) {
+  ClientTrace t(mem::ClientId::task(0));
+  t.append(42, AccessType::kWrite, false, 0);
+  for (int round = 0; round < 2; ++round) {
+    auto rd = t.reader();
+    TraceEvent ev;
+    ASSERT_TRUE(rd.next(ev));
+    EXPECT_EQ(ev.line_index, 42u);
+    EXPECT_EQ(ev.type, AccessType::kWrite);
+    EXPECT_FALSE(rd.next(ev));
+  }
+}
+
+TEST(TraceRecorder, GroupsByClientAndSorts) {
+  TraceRecorder rec(64);
+  rec.on_l2_access({mem::ClientId::buffer(2), 0, 0x100 * 64, AccessType::kRead, false});
+  rec.on_l2_access({mem::ClientId::task(1), 1, 0x200 * 64, AccessType::kWrite, false});
+  rec.on_l2_access({mem::ClientId::buffer(2), 0, 0x101 * 64, AccessType::kRead, false});
+  rec.on_l2_access({mem::ClientId::task(0), 0, 0x300 * 64, AccessType::kRead, true});
+
+  const AccessTrace trace = rec.take();
+  EXPECT_EQ(trace.streams.size(), 3u);
+  EXPECT_EQ(trace.total_events(), 4u);
+  // Sorted: tasks (kind 1) before buffers (kind 2), ids ascending.
+  EXPECT_EQ(trace.streams[0].client(), mem::ClientId::task(0));
+  EXPECT_EQ(trace.streams[1].client(), mem::ClientId::task(1));
+  EXPECT_EQ(trace.streams[2].client(), mem::ClientId::buffer(2));
+
+  const ClientTrace* buf = trace.find(mem::ClientId::buffer(2));
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->events(), 2u);
+  auto rd = buf->reader();
+  TraceEvent ev;
+  ASSERT_TRUE(rd.next(ev));
+  EXPECT_EQ(ev.line_index, 0x100u);
+  ASSERT_TRUE(rd.next(ev));
+  EXPECT_EQ(ev.line_index, 0x101u);
+  EXPECT_EQ(trace.find(mem::ClientId::buffer(9)), nullptr);
+
+  // take() leaves the recorder empty for reuse.
+  EXPECT_EQ(rec.take().streams.size(), 0u);
+}
+
+TEST(ReplayProfile, BitIdenticalToFullSimOnTinyScenarios) {
+  for (const char* name : {"mpeg2-tiny", "jpeg-canny-tiny"}) {
+    const auto exp = core::scenarios().make_experiment(name);
+    const MissProfile full = exp.profile_with(core::ProfilerMode::kFullSim);
+    const MissProfile replay =
+        exp.profile_with(core::ProfilerMode::kTraceReplay);
+    EXPECT_TRUE(full.identical(replay)) << name;
+    // Every grid size of every task is covered.
+    for (const auto& [id, task] : exp.tasks())
+      EXPECT_EQ(replay.sizes(task).size(),
+                exp.config().profile_grid.size())
+          << name << "/" << task;
+  }
+}
+
+TEST(ReplayProfile, BitIdenticalAcrossJitterRuns) {
+  // profile_runs > 1: one capture per jitter seed feeds the replays.
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.l2.size_bytes = 32 * 1024;
+  cfg.profile_grid = {1, 4, 16};
+  cfg.profile_runs = 3;
+  const core::Experiment exp(
+      [] { return apps::make_m2v_app(apps::AppConfig::tiny(11)); }, cfg);
+  const MissProfile full = exp.profile_with(core::ProfilerMode::kFullSim);
+  const MissProfile replay = exp.profile_with(core::ProfilerMode::kTraceReplay);
+  EXPECT_TRUE(full.identical(replay));
+  // Sanity: the statistics really pool several runs.
+  const auto tasks = exp.tasks();
+  ASSERT_FALSE(tasks.empty());
+  EXPECT_EQ(full.curve(tasks.front().second).at(4).misses.count(), 3u);
+}
+
+TEST(ReplayProfile, CampaignDeterministicAcrossWorkerCounts) {
+  const auto profile_at = [](unsigned workers) {
+    return core::scenarios()
+        .make_experiment("mpeg2-tiny", workers,
+                         core::ProfilerMode::kTraceReplay)
+        .profile();
+  };
+  const MissProfile serial = profile_at(1);
+  for (const unsigned workers : {2u, 8u})
+    EXPECT_TRUE(serial.identical(profile_at(workers)))
+        << workers << " workers";
+}
+
+TEST(ReplayProfile, SerialDriverMatchesExperimentOrchestration) {
+  const auto exp = core::scenarios().make_experiment("jpeg-canny-tiny");
+  const std::vector<CaptureRun> captures = exp.capture_runs();
+  ASSERT_EQ(captures.size(), 1u);  // tiny scenarios use one jitter run
+  EXPECT_GT(captures.front().trace.total_events(), 0u);
+  const MissProfile serial =
+      replay_profile(exp.replay_jobs(captures),
+                     exp.config().platform.hier.l2,
+                     miss_surcharge(exp.config().platform.hier));
+  EXPECT_TRUE(serial.identical(
+      exp.profile_with(core::ProfilerMode::kTraceReplay)));
+}
+
+TEST(ReplayProfile, RandomReplacementRefusedAndFallsBack) {
+  CaptureRun capture;
+  PartitionPlan plan;
+  mem::CacheConfig l2;
+  l2.replacement = mem::Replacement::kRandom;
+  EXPECT_THROW(replay_fragment(capture, plan, l2, 1, 0, 0),
+               std::invalid_argument);
+
+  // The Experiment facade falls back to full simulation instead.
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.l2.size_bytes = 32 * 1024;
+  cfg.platform.hier.l2.replacement = mem::Replacement::kRandom;
+  cfg.profile_grid = {1, 8};
+  cfg.profile_runs = 1;
+  cfg.profiler = core::ProfilerMode::kTraceReplay;
+  const core::Experiment exp(
+      [] { return apps::make_m2v_app(apps::AppConfig::tiny(3)); }, cfg);
+  const MissProfile prof = exp.profile();
+  EXPECT_TRUE(prof.identical(exp.profile_with(core::ProfilerMode::kFullSim)));
+}
+
+}  // namespace
+}  // namespace cms::opt
