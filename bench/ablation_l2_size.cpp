@@ -59,9 +59,10 @@ void sweep(const char* title, const core::AppFactory& factory,
 int main(int argc, char** argv) {
   const unsigned jobs = bench::parse_jobs(argc, argv);
   const core::ProfilerMode prof = bench::parse_profiler(argc, argv);
+  const auto store = bench::parse_trace_store(argc, argv);
   sweep("Ablation A1: L2 size sweep — 2 jpegs & canny", bench::app1_factory(),
-        bench::app1_experiment(jobs, prof));
+        bench::app1_experiment(jobs, prof, store));
   sweep("Ablation A2: L2 size sweep — mpeg2", bench::app2_factory(),
-        bench::app2_experiment(jobs, prof));
+        bench::app2_experiment(jobs, prof, store));
   return 0;
 }

@@ -13,20 +13,34 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "core/cli.hpp"
 #include "core/experiment.hpp"
+#include "opt/trace_store.hpp"
 
 namespace cms::bench {
 
 // Campaign flags shared with the examples; results are bit-identical for
-// any --jobs value and either --profiler mode (trace replay reproduces
-// the full-simulation sweep exactly), so benches default to serial
-// full simulation for undisturbed timing and let the flags speed things
-// up on demand.
+// any --jobs value, either --profiler mode (trace replay reproduces
+// the full-simulation sweep exactly) and with or without a --trace-dir
+// store (store hits load the same captures a live run would record), so
+// benches default to serial full simulation for undisturbed timing and
+// let the flags speed things up on demand.
 using core::has_flag;
 using core::parse_jobs;
 using core::parse_profiler;
+using core::parse_trace_dir;
+using core::parse_trace_mode;
+
+/// The persistent capture store selected by --trace-dir / --trace
+/// (null when absent or --trace=off).
+inline std::shared_ptr<opt::TraceStore> parse_trace_store(int argc,
+                                                          char** argv) {
+  return core::open_trace_store(parse_trace_dir(argc, argv),
+                                parse_trace_mode(argc, argv));
+}
 
 inline apps::AppConfig app1_content() {
   apps::AppConfig cfg;  // QCIF defaults: 176x144 + 128x96 + 176x144
@@ -52,26 +66,34 @@ inline core::AppFactory app2_factory() {
 }
 
 /// `jobs` = campaign workers used by Experiment::profile (see parse_jobs);
-/// `profiler` = full simulation vs trace replay (see parse_profiler).
+/// `profiler` = full simulation vs trace replay (see parse_profiler);
+/// `store` = persistent capture store (see parse_trace_store). The
+/// trace_key is always set, so attaching a store later also works.
 inline core::ExperimentConfig app1_experiment(
     unsigned jobs = 1,
-    core::ProfilerMode profiler = core::ProfilerMode::kFullSim) {
+    core::ProfilerMode profiler = core::ProfilerMode::kFullSim,
+    std::shared_ptr<opt::TraceStore> store = nullptr) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 96 * 1024;
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
   cfg.profiler = profiler;
+  cfg.trace_store = std::move(store);
+  cfg.trace_key = core::app_trace_key("bench-app1", app1_content());
   return cfg;
 }
 
 inline core::ExperimentConfig app2_experiment(
     unsigned jobs = 1,
-    core::ProfilerMode profiler = core::ProfilerMode::kFullSim) {
+    core::ProfilerMode profiler = core::ProfilerMode::kFullSim,
+    std::shared_ptr<opt::TraceStore> store = nullptr) {
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 64 * 1024;
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
   cfg.profiler = profiler;
+  cfg.trace_store = std::move(store);
+  cfg.trace_key = core::app_trace_key("bench-app2", app2_content());
   return cfg;
 }
 

@@ -56,9 +56,10 @@ void run_app(const char* title, const core::AppFactory& factory,
 int main(int argc, char** argv) {
   const unsigned jobs = bench::parse_jobs(argc, argv);
   const core::ProfilerMode prof = bench::parse_profiler(argc, argv);
+  const auto store = bench::parse_trace_store(argc, argv);
   run_app("Figure 3a: expected vs simulated misses — 2 jpegs & canny",
-          bench::app1_factory(), bench::app1_experiment(jobs, prof));
+          bench::app1_factory(), bench::app1_experiment(jobs, prof, store));
   run_app("Figure 3b: expected vs simulated misses — mpeg2",
-          bench::app2_factory(), bench::app2_experiment(jobs, prof));
+          bench::app2_factory(), bench::app2_experiment(jobs, prof, store));
   return 0;
 }

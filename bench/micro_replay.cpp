@@ -68,10 +68,11 @@ void recon_error_at(const core::Experiment& exp,
 int main(int argc, char** argv) {
   const unsigned jobs = bench::parse_jobs(argc, argv, 1);
   const bool quick = bench::has_flag(argc, argv, "--quick");
+  const auto store = bench::parse_trace_store(argc, argv);
 
   std::vector<std::string> names;
   if (quick)
-    names = {"jpeg-canny-tiny", "mpeg2-tiny"};
+    names = {"jpeg-canny-tiny", "mpeg2-tiny", "mpeg2-tiny-rand"};
   else
     names = core::scenarios().names();
 
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
   std::printf("{\"bench\": \"micro_replay\", \"scenarios\": [");
   for (std::size_t s = 0; s < names.size(); ++s) {
     const core::Experiment exp =
-        core::scenarios().make_experiment(names[s], jobs);
+        core::scenarios().make_experiment(names[s], jobs, std::nullopt, store);
     const auto& cfg = exp.config();
     const std::size_t runs = std::max(1u, cfg.profile_runs);
     const std::size_t full_runs = cfg.profile_grid.size() * runs;

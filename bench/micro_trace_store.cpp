@@ -1,0 +1,155 @@
+// Trace-store round-trip microbenchmark (acceptance check for the
+// persistent capture store): for every built-in scenario, profile with
+// trace replay three ways — in-memory captures, a COLD store pass
+// (capture + write-back), and a WARM pass through a fresh store instance
+// (every capture loaded from disk) — and verify all profiles are
+// bit-identical to each other and (non---quick) to ProfilerMode::kFullSim.
+// Reports wall-clock per pass, store hit/miss/write counts and on-disk
+// bytes per scenario. Exits nonzero on any profile mismatch, on a warm
+// pass that missed the store, or — with --expect-hits — on a cold pass
+// that missed (CI runs the bench twice against the same --trace-dir; the
+// second run must be served entirely from disk, and the TSan job replays
+// the same directory read-only from another process).
+//
+//   ./micro_trace_store [--jobs N] [--quick] [--trace-dir DIR]
+//                       [--trace off|ro|rw] [--expect-hits] [--full]
+//   {"bench": "micro_trace_store", "trace_dir": "...", "scenarios": [
+//    {"scenario": "mpeg2-tiny", "identical": true,
+//     "ms": {"fullsim": ..., "replay_mem": ..., "cold": ..., "warm": ...},
+//     "store": {"cold_hits": 0, "cold_misses": 1, "writes": 1,
+//               "warm_hits": 1, "warm_misses": 0}, "bytes": 123456}, ...],
+//    "identical": true, "all_hits": false}
+//
+// Flags: --jobs N       campaign workers (0 = hardware)
+//        --quick        tiny scenarios only, no fullsim arm (TSan/CI smoke)
+//        --trace-dir D  store directory (default micro_trace_store.traces)
+//        --trace MODE   off|ro|rw store mode (default rw)
+//        --expect-hits  fail unless the cold pass was all store hits
+//        --full         force the fullsim identity arm even with --quick
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/scenario.hpp"
+#include "opt/trace_store.hpp"
+
+using namespace cms;
+
+namespace {
+
+template <typename Fn>
+double wall_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uintmax_t dir_bytes(const std::string& dir) {
+  std::error_code ec;
+  std::uintmax_t total = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec))
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv, 1);
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const bool expect_hits = bench::has_flag(argc, argv, "--expect-hits");
+  const bool check_fullsim = !quick || bench::has_flag(argc, argv, "--full");
+  std::string dir = bench::parse_trace_dir(argc, argv);
+  if (dir.empty()) dir = "micro_trace_store.traces";
+  const core::TraceMode mode = bench::parse_trace_mode(argc, argv);
+  if (mode == core::TraceMode::kOff) {
+    std::fprintf(stderr, "micro_trace_store needs a store (--trace=off?)\n");
+    return 1;
+  }
+
+  std::vector<std::string> names;
+  if (quick)
+    names = {"jpeg-canny-tiny", "mpeg2-tiny", "mpeg2-tiny-rand"};
+  else
+    names = core::scenarios().names();
+
+  bool all_identical = true;
+  bool cold_all_hits = true;
+  bool warm_all_hits = true;
+  std::printf("{\"bench\": \"micro_trace_store\", \"trace_dir\": \"%s\", "
+              "\"scenarios\": [",
+              dir.c_str());
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    // Reference: trace replay with in-memory captures only.
+    opt::MissProfile reference;
+    const core::Experiment exp_mem = core::scenarios().make_experiment(
+        names[s], jobs, core::ProfilerMode::kTraceReplay);
+    const double mem_ms = wall_ms([&] { reference = exp_mem.profile(); });
+
+    double fullsim_ms = 0.0;
+    bool identical = true;
+    if (check_fullsim) {
+      opt::MissProfile full;
+      fullsim_ms = wall_ms(
+          [&] { full = exp_mem.profile_with(core::ProfilerMode::kFullSim); });
+      identical = reference.identical(full);
+    }
+
+    // Cold pass: consult the store (first run captures + writes back,
+    // repeat runs are served from disk).
+    const auto cold_store = core::open_trace_store(dir, mode);
+    const std::uintmax_t bytes_before = dir_bytes(dir);
+    opt::MissProfile cold;
+    const core::Experiment exp_cold = core::scenarios().make_experiment(
+        names[s], jobs, core::ProfilerMode::kTraceReplay, cold_store);
+    const double cold_ms = wall_ms([&] { cold = exp_cold.profile(); });
+    const opt::TraceStore::Stats cold_stats = cold_store->stats();
+    const std::uintmax_t bytes = dir_bytes(dir) - bytes_before;
+
+    // Warm pass: a FRESH store instance over the same directory — every
+    // capture must come off disk.
+    const auto warm_store = core::open_trace_store(dir, mode);
+    opt::MissProfile warm;
+    const core::Experiment exp_warm = core::scenarios().make_experiment(
+        names[s], jobs, core::ProfilerMode::kTraceReplay, warm_store);
+    const double warm_ms = wall_ms([&] { warm = exp_warm.profile(); });
+    const opt::TraceStore::Stats warm_stats = warm_store->stats();
+
+    identical = identical && reference.identical(cold) &&
+                reference.identical(warm);
+    all_identical = all_identical && identical;
+    cold_all_hits = cold_all_hits && cold_stats.misses == 0;
+    warm_all_hits = warm_all_hits && warm_stats.misses == 0;
+
+    std::printf(
+        "%s{\"scenario\": \"%s\", \"identical\": %s, "
+        "\"ms\": {\"fullsim\": %.1f, \"replay_mem\": %.1f, \"cold\": %.1f, "
+        "\"warm\": %.1f}, "
+        "\"store\": {\"cold_hits\": %llu, \"cold_misses\": %llu, "
+        "\"writes\": %llu, \"warm_hits\": %llu, \"warm_misses\": %llu}, "
+        "\"bytes\": %llu}",
+        s ? ", " : "", names[s].c_str(), identical ? "true" : "false",
+        fullsim_ms, mem_ms, cold_ms, warm_ms,
+        static_cast<unsigned long long>(cold_stats.hits),
+        static_cast<unsigned long long>(cold_stats.misses),
+        static_cast<unsigned long long>(cold_stats.writes),
+        static_cast<unsigned long long>(warm_stats.hits),
+        static_cast<unsigned long long>(warm_stats.misses),
+        static_cast<unsigned long long>(bytes));
+  }
+  std::printf("], \"identical\": %s, \"all_hits\": %s}\n",
+              all_identical ? "true" : "false",
+              cold_all_hits ? "true" : "false");
+
+  if (!all_identical) return 1;
+  if (!warm_all_hits) return 2;
+  if (expect_hits && !cold_all_hits) return 3;
+  return 0;
+}

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
 
   core::Experiment exp(bench::app1_factory(),
                        bench::app1_experiment(bench::parse_jobs(argc, argv),
-                                              bench::parse_profiler(argc, argv)));
+                                              bench::parse_profiler(argc, argv),
+                                          bench::parse_trace_store(argc, argv)));
   std::printf("profiling task miss curves (grid of %zu sizes, %u runs each)...\n",
               exp.config().profile_grid.size(), exp.config().profile_runs);
   const opt::MissProfile prof = exp.profile();

@@ -158,6 +158,11 @@ int main(int argc, char** argv) {
   cfg.profile_runs = 2;
   cfg.jobs = jobs;
   cfg.profiler = core::parse_profiler(argc, argv);
+  // Custom apps opt into the persistent trace store by naming their
+  // content: any change to the pipeline below must change this key.
+  cfg.trace_store = core::open_trace_store(core::parse_trace_dir(argc, argv),
+                                           core::parse_trace_mode(argc, argv));
+  cfg.trace_key = "sensor-pipeline/v1";
 
   // Registering the custom workload makes it addressable by name for any
   // campaign tooling (and guards against accidental re-registration).

@@ -25,8 +25,12 @@ int main(int argc, char** argv) {
   spec.experiment.jobs = jobs;
   // --profiler=replay profiles from one captured trace per jitter run
   // instead of one simulation per grid point — same numbers, ~grid x
-  // faster.
+  // faster. Add --trace-dir=DIR to persist the captures: the next run of
+  // this example (or any tool profiling the same scenario) loads them off
+  // disk and skips the instrumented simulations entirely.
   spec.experiment.profiler = core::parse_profiler(argc, argv);
+  spec.experiment.trace_store = core::open_trace_store(
+      core::parse_trace_dir(argc, argv), core::parse_trace_mode(argc, argv));
   core::Experiment exp(spec.factory, spec.experiment);
 
   std::printf("scenario: %s — %s\n", spec.name.c_str(),

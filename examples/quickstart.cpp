@@ -230,6 +230,12 @@ int main(int argc, char** argv) {
     cfg.profile_runs = 1;
     cfg.jobs = jobs;
     cfg.profiler = core::parse_profiler(argc, argv);
+    // --trace-dir persists the captures; the key names this app AND its
+    // content knob (g_items), so a --quick store entry can never serve a
+    // full-size run.
+    cfg.trace_store = core::open_trace_store(core::parse_trace_dir(argc, argv),
+                                             core::parse_trace_mode(argc, argv));
+    cfg.trace_key = "quickstart/items=" + std::to_string(g_items);
     core::Experiment exp(make_quickstart_app, cfg);
     const opt::MissProfile prof = exp.profile();
     std::printf("\n--quick profile sweep (%zu sims, %u workers, %s):\n%s",

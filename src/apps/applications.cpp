@@ -1,6 +1,7 @@
 #include "apps/applications.hpp"
 
 #include "common/log.hpp"
+#include "common/serialize.hpp"
 
 namespace cms::apps {
 
@@ -51,6 +52,17 @@ AppConfig AppConfig::tiny(std::uint64_t seed) {
   cfg.canny_frames = 2;
   cfg.seed = seed;
   return cfg;
+}
+
+std::uint64_t AppConfig::digest() const {
+  serialize::ByteWriter w;
+  for (const int v : {jpeg1_width, jpeg1_height, jpeg2_width, jpeg2_height,
+                      canny_width, canny_height, jpeg_quality, m2v_width,
+                      m2v_height, m2v_frames, m2v_qscale, jpeg_pictures,
+                      canny_frames})
+    w.svarint(v);
+  w.varint(seed);
+  return serialize::fnv1a64(w.bytes().data(), w.size());
 }
 
 Application make_jpeg_canny_app(const AppConfig& cfg) {

@@ -42,6 +42,11 @@ struct AppConfig {
 
   /// Uniformly scale the content down (for fast unit tests).
   static AppConfig tiny(std::uint64_t seed = 1);
+
+  /// Content fingerprint over every field — part of the trace-store
+  /// digest (core::app_trace_key), so any content tweak invalidates
+  /// persisted captures.
+  std::uint64_t digest() const;
 };
 
 /// One fully assembled workload. Owns its content streams, network and

@@ -9,6 +9,18 @@
 
 namespace cms {
 
+/// SplitMix64 finalizer: a stateless bijective mixer. Used for
+/// counter-based random streams — f(seed, key, n) yields the n-th draw of
+/// an independent stream per key with no carried state, so the draw
+/// depends only on the key's own history, never on interleaving with
+/// other keys (the property trace replay of kRandom replacement needs,
+/// see mem/cache.cpp).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
 /// seeded through splitmix64 so that any 64-bit seed yields a well-mixed
 /// state.

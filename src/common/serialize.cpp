@@ -1,0 +1,13 @@
+#include "common/serialize.hpp"
+
+#include <stdexcept>
+
+namespace cms::serialize {
+
+void ByteReader::fail(const std::string& what) const {
+  throw std::runtime_error(context_ + ": " + what + " at offset " +
+                           std::to_string(pos_) + " of " +
+                           std::to_string(size_) + " bytes");
+}
+
+}  // namespace cms::serialize

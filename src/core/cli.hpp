@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/profiler_mode.hpp"
 
@@ -77,6 +78,48 @@ inline ProfilerMode parse_profiler(int argc, char** argv,
     }
     if (std::strncmp(argv[i], "--profiler=", 11) == 0)
       return parse_value(argv[i] + 11);
+  }
+  return def;
+}
+
+/// Parse `--trace-dir DIR` / `--trace-dir=DIR`: directory of the
+/// persistent trace store. Empty (the default) means no store — captures
+/// stay in memory.
+inline std::string parse_trace_dir(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "warning: --trace-dir needs a directory\n");
+      return {};
+    }
+    if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) return argv[i] + 12;
+  }
+  return {};
+}
+
+/// Parse `--trace MODE` / `--trace=MODE` where MODE is `off` (ignore the
+/// store), `ro` (serve hits, never write) or `rw` (serve hits, write back
+/// misses). Returns `def` when absent — read-write, so `--trace-dir` alone
+/// gives the expected capture-once behavior; unknown modes warn and keep
+/// `def`.
+inline TraceMode parse_trace_mode(int argc, char** argv,
+                                  TraceMode def = TraceMode::kReadWrite) {
+  const auto parse_value = [def](const char* v) -> TraceMode {
+    if (std::strcmp(v, "off") == 0) return TraceMode::kOff;
+    if (std::strcmp(v, "ro") == 0) return TraceMode::kReadOnly;
+    if (std::strcmp(v, "rw") == 0) return TraceMode::kReadWrite;
+    std::fprintf(stderr,
+                 "warning: ignoring bad --trace value '%s' (off|ro|rw)\n", v);
+    return def;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr, "warning: --trace needs a value (off|ro|rw)\n");
+      return def;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      return parse_value(argv[i] + 8);
   }
   return def;
 }

@@ -2,12 +2,40 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/serialize.hpp"
+#include "opt/trace_store.hpp"
 
 namespace cms::core {
+
+namespace {
+
+void hash_cache_config(serialize::ByteWriter& w, const mem::CacheConfig& c) {
+  w.varint(c.size_bytes);
+  w.varint(c.line_bytes);
+  w.varint(c.ways);
+  w.u8(static_cast<std::uint8_t>(c.replacement));
+  w.u8(static_cast<std::uint8_t>(c.write_policy));
+}
+
+void hash_region(serialize::ByteWriter& w, const sim::Region& r) {
+  w.varint(r.base);
+  w.varint(r.size);
+}
+
+std::string hex128(std::uint64_t hi, std::uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+}  // namespace
 
 std::vector<std::pair<TaskId, std::string>> Experiment::tasks() const {
   const apps::Application app = factory_();
@@ -105,14 +133,8 @@ opt::MissProfile Experiment::profile() const { return profile_with(cfg_.profiler
 
 opt::MissProfile Experiment::profile_with(ProfilerMode mode) const {
   const std::vector<ProfileJob> sweep = profile_jobs();
-  if (mode == ProfilerMode::kTraceReplay) {
-    if (cfg_.platform.hier.l2.replacement == mem::Replacement::kRandom)
-      log_warn() << "trace-replay profiling cannot reproduce kRandom "
-                    "replacement; falling back to full simulation";
-    else
-      return profile_replay(sweep);
-  }
-  return profile_fullsim(sweep);
+  return mode == ProfilerMode::kTraceReplay ? profile_replay(sweep)
+                                            : profile_fullsim(sweep);
 }
 
 opt::MissProfile Experiment::profile_fullsim(
@@ -148,20 +170,75 @@ std::vector<opt::CaptureRun> Experiment::capture_runs() const {
   return capture_runs_for(profile_jobs());
 }
 
+std::string Experiment::trace_digest(std::uint64_t jitter) const {
+  serialize::ByteWriter w;
+  w.varint(opt::kTraceFormatVersion);
+  w.str(cfg_.trace_key);
+  w.u8(static_cast<std::uint8_t>(cfg_.policy));
+  const sim::PlatformConfig& pc = cfg_.platform;
+  w.varint(pc.task_switch_cost);
+  w.varint(pc.quantum_firings);
+  w.varint(pc.switch_touch_bytes);
+  w.varint(pc.max_dispatches);
+  hash_region(w, pc.rt_data);
+  hash_region(w, pc.rt_bss);
+  const mem::HierarchyConfig& h = pc.hier;
+  w.varint(h.num_procs);
+  hash_cache_config(w, h.l1);
+  hash_cache_config(w, h.l2);
+  w.varint(h.bus.cycles_per_transaction);
+  w.varint(h.bus.arbitration_latency);
+  w.varint(h.dram.num_banks);
+  w.varint(h.dram.access_latency);
+  w.varint(h.dram.bank_occupancy);
+  w.varint(h.dram.interleave_bytes);
+  w.varint(h.l1_hit_latency);
+  w.varint(h.l2_hit_latency);
+  w.varint(h.seed);
+  w.varint(jitter);
+  // 128-bit content address: two decorrelated FNV-1a streams.
+  const std::uint64_t lo = serialize::fnv1a64(w.bytes().data(), w.size());
+  const std::uint64_t hi =
+      serialize::fnv1a64(w.bytes().data(), w.size(), mix64(lo));
+  return hex128(hi, lo);
+}
+
 std::vector<opt::CaptureRun> Experiment::capture_runs_for(
     const std::vector<ProfileJob>& sweep) const {
   const std::uint32_t runs = std::max(1u, cfg_.profile_runs);
   if (sweep.empty()) return {};
   assert(sweep.size() >= runs && "sweep shorter than one grid point");
 
+  opt::TraceStore* store = cfg_.trace_store.get();
+  if (store != nullptr && cfg_.trace_key.empty()) {
+    log_warn() << "trace store ignored: ExperimentConfig::trace_key is "
+                  "empty (digests would not identify the application)";
+    store = nullptr;
+  }
+
+  // Consult the store first: hits need no simulation at all.
+  std::vector<opt::CaptureRun> captures(runs);
+  std::vector<std::string> digests(runs);
+  std::vector<bool> loaded(runs, false);
+  if (store != nullptr) {
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      digests[r] = trace_digest(sweep[r].job.jitter);
+      if (auto hit = store->load(digests[r])) {
+        captures[r] = std::move(*hit);
+        loaded[r] = true;
+      }
+    }
+  }
+
   // The sweep is sizes-outer/runs-inner, so entries [0, runs) are the
   // first grid point's jitter seeds — the capture runs. Which grid point
   // hosts the capture is immaterial: under uniform L2 timing the streams
   // are identical at every size (mem/hierarchy.hpp).
   Campaign campaign(cfg_.jobs);
+  std::vector<std::uint32_t> pending;
   std::vector<std::shared_ptr<opt::TraceRecorder>> recorders;
-  recorders.reserve(runs);
   for (std::uint32_t r = 0; r < runs; ++r) {
+    if (loaded[r]) continue;
     const ProfileJob& pj = sweep[r];
     assert(pj.run == r);
     SimJob job = pj.job;
@@ -170,16 +247,18 @@ std::vector<opt::CaptureRun> Experiment::capture_runs_for(
     job.trace_sink = rec;
     job.label += "/capture";
     recorders.push_back(std::move(rec));
+    pending.push_back(r);
     campaign.add(std::move(job));
   }
   const std::vector<JobResult> results = campaign.run_all();
 
-  std::vector<opt::CaptureRun> captures(runs);
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    const RunOutput& out = results[r].output;
-    if (out.results.deadlocked || !out.verified)
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::uint32_t r = pending[i];
+    const RunOutput& out = results[i].output;
+    const bool usable = !out.results.deadlocked && out.verified;
+    if (!usable)
       log_warn() << "capture run unusable at jitter " << r;
-    captures[r].trace = recorders[r]->take();
+    captures[r].trace = recorders[i]->take();
     // The rt data/bss buffer clients of the simulated app: replay
     // excludes their demand misses from per-task counts just as the
     // engine excludes switch work from task active cycles.
@@ -188,6 +267,9 @@ std::vector<opt::CaptureRun> Experiment::capture_runs_for(
     for (const auto& t : out.results.tasks)
       captures[r].tasks.push_back(opt::CaptureTaskStats{
           t.id, t.name, t.instructions, t.compute_cycles, t.mem_cycles});
+    // Only sound captures become durable: a deadlocked or unverified run
+    // written to the store would be served as a silent hit forever.
+    if (store != nullptr && usable) store->save(digests[r], captures[r]);
   }
   return captures;
 }
@@ -213,6 +295,7 @@ opt::MissProfile Experiment::profile_replay(
 
   const Cycle surcharge = opt::miss_surcharge(cfg_.platform.hier);
   const mem::CacheConfig& l2 = cfg_.platform.hier.l2;
+  const std::uint64_t l2_seed = cfg_.platform.hier.l2_seed();
   std::vector<opt::ProfileFragment> fragments(sweep.size());
   Campaign campaign(cfg_.jobs);
   for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -220,8 +303,9 @@ opt::MissProfile Experiment::profile_replay(
     const opt::CaptureRun* capture = &captures[pj.run];
     campaign.add(
         [&fragments, i, capture, plan = pj.job.plan, sets = pj.sets, &l2,
-         surcharge] {
-          fragments[i] = opt::replay_fragment(*capture, *plan, l2, sets,
+         l2_seed, surcharge] {
+          fragments[i] = opt::replay_fragment(*capture, *plan, l2, l2_seed,
+                                              sets,
                                               static_cast<std::uint64_t>(i),
                                               surcharge);
           RunOutput out;
@@ -237,6 +321,21 @@ opt::MissProfile Experiment::profile_replay(
 opt::PartitionPlan Experiment::plan(const opt::MissProfile& prof) const {
   return opt::plan_partitions(prof, tasks(), buffers(), cfg_.platform.hier.l2,
                               cfg_.planner);
+}
+
+std::shared_ptr<opt::TraceStore> open_trace_store(const std::string& dir,
+                                                  TraceMode mode) {
+  if (dir.empty() || mode == TraceMode::kOff) return nullptr;
+  return std::make_shared<opt::TraceStore>(dir,
+                                           mode == TraceMode::kReadOnly);
+}
+
+std::string app_trace_key(const std::string& label,
+                          const apps::AppConfig& content) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(content.digest()));
+  return label + "/" + buf;
 }
 
 }  // namespace cms::core

@@ -36,6 +36,10 @@
 #include "sim/platform.hpp"
 #include "sim/results.hpp"
 
+namespace cms::opt {
+class TraceStore;
+}
+
 namespace cms::core {
 
 struct ExperimentConfig {
@@ -43,6 +47,19 @@ struct ExperimentConfig {
   sim::SchedPolicy policy = sim::SchedPolicy::kMigrating;
   opt::PlannerConfig planner;
   ProfilerMode profiler = ProfilerMode::kFullSim;
+
+  /// Persistent capture store (opt/trace_store.hpp); null keeps captures
+  /// in memory. With a store, kTraceReplay profiling looks every jitter
+  /// run up by Experiment::trace_digest() first — hits skip the
+  /// instrumented simulation entirely, misses capture live and write
+  /// back (unless the store is read-only). Requires a non-empty
+  /// trace_key: the digest must identify the application content, and
+  /// the AppFactory itself is opaque.
+  std::shared_ptr<opt::TraceStore> trace_store;
+  /// Content fingerprint of the application/content this experiment
+  /// profiles (e.g. core::app_trace_key(name, app_config)). Folded into
+  /// the store digest; an empty key disables store use (with a warning).
+  std::string trace_key;
 
   /// Task / frame-buffer cache sizes swept by the profiler (sets).
   std::vector<std::uint32_t> profile_grid = {1, 2, 4, 8, 16, 32, 64, 128, 256};
@@ -96,8 +113,17 @@ class Experiment {
   /// The capture half of trace-replay profiling: one instrumented
   /// isolation run per jitter seed (at the first grid point — any grid
   /// point records the same streams), executed on a Campaign with
-  /// `config().jobs` workers.
+  /// `config().jobs` workers. When `config().trace_store` is set (and
+  /// trace_key non-empty), runs whose digest hits the store are loaded
+  /// instead of simulated, and live captures are written back.
   std::vector<opt::CaptureRun> capture_runs() const;
+
+  /// Content address of the capture for jitter seed `jitter`: a digest of
+  /// the trace schema version, trace_key, scheduler policy, the full
+  /// platform/hierarchy configuration and the jitter seed — everything
+  /// the captured stream depends on. Any config change changes the
+  /// digest, so a store can never serve a stale capture.
+  std::string trace_digest(std::uint64_t jitter) const;
 
   /// The replay half as declarative jobs in canonical sweep order; the
   /// returned jobs point into `captures`, which must outlive them.
@@ -142,5 +168,17 @@ class Experiment {
   AppFactory factory_;
   ExperimentConfig cfg_;
 };
+
+/// Open a directory-backed trace store per the CLI flags (core/cli.hpp):
+/// returns null — no persistence — when `dir` is empty or `mode` is kOff,
+/// otherwise a store rooted at `dir` (read-only for kReadOnly).
+std::shared_ptr<opt::TraceStore> open_trace_store(const std::string& dir,
+                                                  TraceMode mode);
+
+/// Standard ExperimentConfig::trace_key: a label (scenario name) plus a
+/// digest of the content configuration, so any app tweak — image sizes,
+/// frame counts, content seed — changes the key and misses the store.
+std::string app_trace_key(const std::string& label,
+                          const apps::AppConfig& content);
 
 }  // namespace cms::core

@@ -1,6 +1,6 @@
-// ProfilerMode lives in its own header so the lightweight CLI helpers
-// (core/cli.hpp) can parse --profiler without dragging the whole
-// Experiment/sim stack into every bench and example TU.
+// ProfilerMode / TraceMode live in their own header so the lightweight
+// CLI helpers (core/cli.hpp) can parse --profiler / --trace without
+// dragging the whole Experiment/sim stack into every bench and example TU.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +14,21 @@ enum class ProfilerMode : std::uint8_t {
   /// One instrumented simulation per jitter run captures every client's
   /// L2-bound stream; every grid point is then replayed through
   /// standalone cache models (opt/trace.hpp). Bit-identical profiles at
-  /// ~grid-times fewer engine runs. Falls back to kFullSim (with a
-  /// warning) when the L2 uses kRandom replacement.
+  /// ~grid-times fewer engine runs, for every replacement policy
+  /// (kRandom replacement is counter-based per client, so it replays
+  /// exactly too).
   kTraceReplay,
+};
+
+/// Persistence of profiling captures (--trace=off|ro|rw + --trace-dir).
+/// With a store attached, kTraceReplay consults it before capturing:
+/// hits skip the instrumented simulation entirely, misses capture live
+/// and (in kReadWrite) write back — capture once, replay across
+/// processes and runs (opt/trace_store.hpp).
+enum class TraceMode : std::uint8_t {
+  kOff,        // no persistence: captures live and die with the process
+  kReadOnly,   // serve store hits, never write (frozen CI stores)
+  kReadWrite,  // serve hits, write back misses (the default with a dir)
 };
 
 }  // namespace cms::core

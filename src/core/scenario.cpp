@@ -48,10 +48,12 @@ std::vector<std::string> ScenarioRegistry::names() const {
 
 Experiment ScenarioRegistry::make_experiment(
     const std::string& name, std::optional<unsigned> jobs,
-    std::optional<ProfilerMode> profiler) const {
+    std::optional<ProfilerMode> profiler,
+    std::shared_ptr<opt::TraceStore> store) const {
   ScenarioSpec spec = get(name);
   if (jobs) spec.experiment.jobs = *jobs;
   if (profiler) spec.experiment.profiler = *profiler;
+  if (store) spec.experiment.trace_store = std::move(store);
   return Experiment(std::move(spec.factory), std::move(spec.experiment));
 }
 
@@ -66,6 +68,7 @@ ScenarioSpec jpeg_canny_scenario() {
   content.canny_frames = 4;
   s.factory = [content] { return apps::make_jpeg_canny_app(content); };
   s.experiment.platform.hier.l2.size_bytes = 96 * 1024;
+  s.experiment.trace_key = app_trace_key(s.name, content);
   return s;
 }
 
@@ -79,6 +82,7 @@ ScenarioSpec mpeg2_scenario() {
   content.m2v_frames = 10;
   s.factory = [content] { return apps::make_m2v_app(content); };
   s.experiment.platform.hier.l2.size_bytes = 64 * 1024;
+  s.experiment.trace_key = app_trace_key(s.name, content);
   return s;
 }
 
@@ -86,10 +90,12 @@ ScenarioSpec jpeg_canny_tiny_scenario() {
   ScenarioSpec s;
   s.name = "jpeg-canny-tiny";
   s.description = "jpeg-canny mix on tiny content (tests, CI smokes)";
-  s.factory = [] { return apps::make_jpeg_canny_app(apps::AppConfig::tiny()); };
+  const apps::AppConfig content = apps::AppConfig::tiny();
+  s.factory = [content] { return apps::make_jpeg_canny_app(content); };
   s.experiment.platform.hier.l2.size_bytes = 32 * 1024;
   s.experiment.profile_grid = {1, 2, 4, 8, 16};
   s.experiment.profile_runs = 1;
+  s.experiment.trace_key = app_trace_key(s.name, content);
   return s;
 }
 
@@ -97,10 +103,12 @@ ScenarioSpec mpeg2_tiny_scenario() {
   ScenarioSpec s;
   s.name = "mpeg2-tiny";
   s.description = "MPEG2 decoder on tiny content (tests, CI smokes)";
-  s.factory = [] { return apps::make_m2v_app(apps::AppConfig::tiny()); };
+  const apps::AppConfig content = apps::AppConfig::tiny();
+  s.factory = [content] { return apps::make_m2v_app(content); };
   s.experiment.platform.hier.l2.size_bytes = 32 * 1024;
   s.experiment.profile_grid = {1, 2, 4, 8, 16};
   s.experiment.profile_runs = 1;
+  s.experiment.trace_key = app_trace_key(s.name, content);
   return s;
 }
 
@@ -110,6 +118,46 @@ ScenarioSpec jpeg_canny_fine_scenario() {
   s.description = "jpeg-canny with a 2x denser profiling sweep grid";
   s.experiment.profile_grid = {1,  2,  3,  4,  6,  8,   12,  16, 24,
                                32, 48, 64, 96, 128, 192, 256};
+  // Same content as jpeg-canny but its own key: the two sweeps differ in
+  // nothing the captured stream depends on, yet keeping keys per scenario
+  // makes store bookkeeping legible. (Identical platform + content + key
+  // WOULD share captures, which is also sound.)
+  s.experiment.trace_key = "jpeg-canny-fine/" +
+                           s.experiment.trace_key.substr(
+                               s.experiment.trace_key.find('/') + 1);
+  return s;
+}
+
+ScenarioSpec jpeg_canny_dense_scenario() {
+  ScenarioSpec s;
+  s.name = "jpeg-canny-dense";
+  s.description =
+      "jpeg-canny mix, tiny content, dense 64-point profiling grid "
+      "(replay + trace store make the sweep affordable)";
+  const apps::AppConfig content = apps::AppConfig::tiny();
+  s.factory = [content] { return apps::make_jpeg_canny_app(content); };
+  s.experiment.platform.hier.l2.size_bytes = 32 * 1024;
+  // Every integer size 1..64: one capture, 64 replays. The planner prunes
+  // dominated candidates and thins near-collinear runs before the MCKP.
+  s.experiment.profile_grid.clear();
+  for (std::uint32_t sets = 1; sets <= 64; ++sets)
+    s.experiment.profile_grid.push_back(sets);
+  s.experiment.profile_runs = 1;
+  s.experiment.profiler = ProfilerMode::kTraceReplay;
+  s.experiment.planner.curvature_eps = 0.005;
+  s.experiment.trace_key = app_trace_key(s.name, content);
+  return s;
+}
+
+ScenarioSpec mpeg2_tiny_rand_scenario() {
+  ScenarioSpec s = mpeg2_tiny_scenario();
+  s.name = "mpeg2-tiny-rand";
+  s.description =
+      "MPEG2 tiny with kRandom L2 replacement (counter-based per-client "
+      "RNG; replay reproduces it bit-exactly)";
+  s.experiment.platform.hier.l2.replacement = mem::Replacement::kRandom;
+  s.experiment.trace_key =
+      app_trace_key(s.name, apps::AppConfig::tiny());
   return s;
 }
 
@@ -123,6 +171,8 @@ ScenarioRegistry& scenarios() {
     r->add(jpeg_canny_tiny_scenario());
     r->add(mpeg2_tiny_scenario());
     r->add(jpeg_canny_fine_scenario());
+    r->add(jpeg_canny_dense_scenario());
+    r->add(mpeg2_tiny_rand_scenario());
     return r;
   }();
   return *registry;

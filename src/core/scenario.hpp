@@ -47,12 +47,16 @@ class ScenarioRegistry {
   std::vector<std::string> names() const;
 
   /// Convenience: build the Experiment for a registered scenario. `jobs`
-  /// overrides the spec's campaign worker count and `profiler` the spec's
-  /// profiling mode (kFullSim vs kTraceReplay); omitted, the spec's own
-  /// settings stand.
+  /// overrides the spec's campaign worker count, `profiler` the spec's
+  /// profiling mode (kFullSim vs kTraceReplay), and a non-null `store`
+  /// attaches a persistent trace store (captures are then looked up on
+  /// disk before simulating — see opt/trace_store.hpp); omitted, the
+  /// spec's own settings stand. Built-in scenarios carry a trace_key, so
+  /// the store works out of the box.
   Experiment make_experiment(
       const std::string& name, std::optional<unsigned> jobs = std::nullopt,
-      std::optional<ProfilerMode> profiler = std::nullopt) const;
+      std::optional<ProfilerMode> profiler = std::nullopt,
+      std::shared_ptr<opt::TraceStore> store = nullptr) const;
 
  private:
   mutable std::mutex mu_;
@@ -66,6 +70,10 @@ class ScenarioRegistry {
 ///   jpeg-canny-tiny  same mix on tiny content (unit tests, smokes)
 ///   mpeg2-tiny       MPEG2 on tiny content
 ///   jpeg-canny-fine  jpeg-canny with a 2x denser profiling sweep grid
+///   jpeg-canny-dense tiny content on a dense 64-point grid, trace-replay
+///                    by default (the sweep replay + the store make cheap)
+///   mpeg2-tiny-rand  MPEG2 tiny with kRandom L2 replacement (pins the
+///                    counter-based RNG replay path in benches/CI)
 ScenarioRegistry& scenarios();
 
 }  // namespace cms::core

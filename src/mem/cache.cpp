@@ -11,7 +11,7 @@ std::string CacheConfig::to_string() const {
 }
 
 SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::uint64_t seed)
-    : cfg_(cfg), rng_(seed) {
+    : cfg_(cfg), seed_(seed) {
   assert(cfg_.valid());
   lines_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
 }
@@ -25,7 +25,8 @@ SetAssocCache::Line* SetAssocCache::find(std::uint32_t set_index, Addr line_addr
 }
 
 SetAssocCache::Line& SetAssocCache::choose_victim(std::uint32_t set_index,
-                                                  WayRange ways) {
+                                                  WayRange ways,
+                                                  ClientId client) {
   Line* base = &lines_[static_cast<std::size_t>(set_index) * cfg_.ways];
   const std::uint32_t first = ways.unrestricted() ? 0 : ways.first_way;
   const std::uint32_t count = ways.unrestricted() ? cfg_.ways : ways.num_ways;
@@ -34,8 +35,19 @@ SetAssocCache::Line& SetAssocCache::choose_victim(std::uint32_t set_index,
   for (std::uint32_t w = first; w < first + count; ++w)
     if (!base[w].valid) return base[w];
   switch (cfg_.replacement) {
-    case Replacement::kRandom:
-      return base[first + rng_.below(count)];
+    case Replacement::kRandom: {
+      // Counter-based per-client stream: the n-th random replacement by
+      // `client` is a pure function of (seed, client, n). Other clients'
+      // interleaved traffic cannot perturb it, so trace replay — which
+      // pushes one client's stream through a standalone cache with the
+      // same seed — reproduces the exact victim sequence (opt/trace.hpp).
+      const std::uint64_t n = rand_seq_[client]++;
+      const std::uint64_t h = mix64(seed_ ^ mix64(client.key()) ^
+                                    (n * 0x9E3779B97F4A7C15ull));
+      const auto pick = static_cast<std::uint32_t>(
+          (static_cast<unsigned __int128>(h) * count) >> 64);
+      return base[first + pick];
+    }
     case Replacement::kLru:
     case Replacement::kFifo: {
       Line* victim = &base[first];
@@ -81,7 +93,7 @@ AccessResult SetAssocCache::access_at(std::uint32_t set_index, Addr addr,
     return res;
   }
 
-  Line& victim = choose_victim(set_index, ways);
+  Line& victim = choose_victim(set_index, ways, client);
   if (victim.valid) {
     if (victim.dirty) {
       res.writeback = true;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -71,6 +72,14 @@ struct WayRange {
 /// so `occupancy_of` and the `evictions_by_other` attribution follow the
 /// inserter; rewriting the owner on hits would let a borrower "inherit"
 /// the line and misattribute both from then on.
+///
+/// kRandom replacement uses counter-based per-CLIENT randomness: the n-th
+/// random victim chosen for a client is mix64(seed, client, n) — a pure
+/// function of the client's own replacement history, never of how its
+/// traffic interleaves with other clients'. That determinism is what makes
+/// kRandom exactly replayable from a per-client access trace
+/// (opt/trace.hpp): a standalone cache with the same seed reproduces the
+/// live victim sequence.
 class SetAssocCache {
  public:
   explicit SetAssocCache(const CacheConfig& cfg, std::uint64_t seed = 1);
@@ -130,13 +139,15 @@ class SetAssocCache {
   };
 
   Line* find(std::uint32_t set_index, Addr line_addr);
-  Line& choose_victim(std::uint32_t set_index, WayRange ways);
+  Line& choose_victim(std::uint32_t set_index, WayRange ways, ClientId client);
 
   CacheConfig cfg_;
   std::vector<Line> lines_;  // num_sets * ways, set-major
   std::uint64_t tick_ = 0;
   CacheStats stats_;
-  Rng rng_;
+  std::uint64_t seed_;
+  /// Per-client replacement counters of the counter-based kRandom stream.
+  std::unordered_map<ClientId, std::uint64_t, ClientIdHash> rand_seq_;
   std::unordered_set<Addr> touched_lines_;  // for cold-miss classification
 };
 

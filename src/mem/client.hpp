@@ -28,6 +28,12 @@ struct ClientId {
   bool is_task() const { return kind == ClientKind::kTask; }
   bool is_buffer() const { return kind == ClientKind::kBuffer; }
 
+  /// Stable 64-bit key: hashing and counter-based RNG stream selection.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(kind) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  }
+
   friend bool operator==(const ClientId&, const ClientId&) = default;
   friend auto operator<=>(const ClientId&, const ClientId&) = default;
 
@@ -43,9 +49,7 @@ struct ClientId {
 
 struct ClientIdHash {
   std::size_t operator()(const ClientId& c) const {
-    return std::hash<std::uint64_t>()(
-        (static_cast<std::uint64_t>(c.kind) << 32) ^
-        static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.id)));
+    return std::hash<std::uint64_t>()(c.key());
   }
 };
 

@@ -6,7 +6,7 @@
 namespace cms::mem {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& cfg)
-    : cfg_(cfg), bus_(cfg.bus), l2_(cfg.l2, cfg.seed ^ 0xC0FFEE), dram_(cfg.dram) {
+    : cfg_(cfg), bus_(cfg.bus), l2_(cfg.l2, cfg.l2_seed()), dram_(cfg.dram) {
   assert(cfg_.num_procs > 0);
   l1s_.reserve(cfg_.num_procs);
   for (std::uint32_t p = 0; p < cfg_.num_procs; ++p)

@@ -27,6 +27,11 @@ struct HierarchyConfig {
   Cycle l2_hit_latency = 8;
   std::uint64_t seed = 42;
 
+  /// RNG seed of the shared L2 cache instance. Trace replay constructs its
+  /// standalone per-client caches with the SAME seed so that counter-based
+  /// kRandom replacement reproduces the live victim sequence bit-exactly.
+  std::uint64_t l2_seed() const { return seed ^ 0xC0FFEE; }
+
   /// Outcome-invariant L2 timing: every L2-bound access is charged the
   /// L2 hit latency regardless of hit/miss and the DRAM timing model is
   /// bypassed (traffic is still counted). Hit/miss outcomes then have NO

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace cms::opt {
@@ -246,6 +247,67 @@ MckpSolution solve_mckp_brute(const std::vector<MckpGroup>& groups,
   std::vector<int> choice(groups.size(), -1);
   brute_recurse(groups, capacity, 0, 0, 0.0, choice, best);
   return best;
+}
+
+std::size_t prune_mckp_items(std::vector<MckpItem>& items,
+                             double collinear_eps) {
+  const std::size_t before = items.size();
+  if (items.size() < 2) return 0;
+  std::sort(items.begin(), items.end(),
+            [](const MckpItem& a, const MckpItem& b) {
+              return a.size != b.size ? a.size < b.size : a.cost < b.cost;
+            });
+
+  // Dominance: keep an item only when it is strictly cheaper than every
+  // smaller-or-equal alternative. The survivors form a strictly
+  // decreasing cost curve over increasing size; the smallest size always
+  // survives, so group feasibility is preserved.
+  std::vector<MckpItem> kept;
+  kept.reserve(items.size());
+  double best = kInf;
+  for (const MckpItem& it : items) {
+    if (it.cost < best) {
+      kept.push_back(it);
+      best = it.cost;
+    }
+  }
+
+  if (collinear_eps > 0.0 && kept.size() > 2) {
+    const double range = kept.front().cost - kept.back().cost;
+    const double tol = collinear_eps * range;
+    // Grow each chord from the last kept point (the anchor) as far as
+    // EVERY interior point stays within tol of it — checking against the
+    // final chord, not each point's immediate successor, is what makes
+    // the documented bound hold: a dropped point is always within tol of
+    // the segment between its two surviving neighbours (greedy
+    // next-point tests let error compound on smooth convex curves).
+    const auto chord_ok = [&](std::size_t anchor, std::size_t end) {
+      const MckpItem& a = kept[anchor];
+      const MckpItem& c = kept[end];
+      for (std::size_t j = anchor + 1; j < end; ++j) {
+        const double t = static_cast<double>(kept[j].size - a.size) /
+                         static_cast<double>(c.size - a.size);
+        const double interp = a.cost + t * (c.cost - a.cost);
+        if (std::abs(interp - kept[j].cost) > tol) return false;
+      }
+      return true;
+    };
+    std::vector<MckpItem> thin;
+    thin.reserve(kept.size());
+    thin.push_back(kept.front());
+    std::size_t anchor = 0;
+    for (std::size_t i = 2; i < kept.size(); ++i) {
+      if (!chord_ok(anchor, i)) {
+        anchor = i - 1;
+        thin.push_back(kept[anchor]);
+      }
+    }
+    thin.push_back(kept.back());
+    kept = std::move(thin);
+  }
+
+  items = std::move(kept);
+  return before - items.size();
 }
 
 }  // namespace cms::opt

@@ -55,4 +55,25 @@ MckpSolution solve_mckp_greedy(const std::vector<MckpGroup>& groups,
 MckpSolution solve_mckp_brute(const std::vector<MckpGroup>& groups,
                               std::uint32_t capacity);
 
+/// Shrink a group's option list before solving — the enabler for the
+/// dense (64+-point) candidate grids that trace replay makes affordable,
+/// where most of a measured miss curve is flat or near-linear.
+///
+/// Always applied: sort by size and delete every DOMINATED item — one
+/// with a smaller-or-equal-size alternative of no greater cost. Exact:
+/// swapping the dominating item into any solution frees capacity without
+/// adding misses, so the optimal cost is unchanged.
+///
+/// With `collinear_eps > 0`, additionally thin near-straight runs of the
+/// remaining curve: an interior point is dropped when linear
+/// interpolation between its kept neighbours reproduces its cost within
+/// collinear_eps x (max cost - min cost). This is curvature-aware lossy
+/// compression — knees (high curvature) survive, flat/linear stretches
+/// collapse — and bounds the cost error of any displaced choice by the
+/// same tolerance. 0 disables it.
+///
+/// Returns the number of items removed.
+std::size_t prune_mckp_items(std::vector<MckpItem>& items,
+                             double collinear_eps = 0.0);
+
 }  // namespace cms::opt

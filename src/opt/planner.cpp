@@ -137,7 +137,13 @@ PartitionPlan plan_partitions(
       if (!prof.curve(name).contains(sz)) continue;
       g.items.push_back({sz, prof.misses(name, sz)});
     }
-    if (g.items.empty()) g.items.push_back({1, 0.0});  // unprofiled client
+    if (g.items.empty()) {
+      g.items.push_back({1, 0.0});  // unprofiled client
+    } else if (cfg.prune_dominated) {
+      // Dense replay grids are mostly flat; dominance (exact) plus
+      // optional curvature thinning keeps the solvers fast at 64+ points.
+      prune_mckp_items(g.items, cfg.curvature_eps);
+    }
     return g;
   };
   for (const auto& [id, name] : tasks) groups.push_back(make_group(name));

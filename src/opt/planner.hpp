@@ -57,9 +57,17 @@ enum class TaskSolver { kDp, kBranchBound, kGreedy };
 struct PlannerConfig {
   std::uint32_t frame_buffer_sets = 16;
   std::uint32_t segment_sets = 4;
-  /// Candidate set counts per task; empty = powers of two present in the
-  /// profile.
+  /// Candidate set counts per task; empty = every size present in the
+  /// profile (dense replay-profiled grids plug in directly).
   std::vector<std::uint32_t> size_grid;
+  /// Delete dominated (size, cost) candidates before solving (exact —
+  /// never changes the optimal cost; see prune_mckp_items). Dense grids
+  /// are mostly flat, so this typically collapses 64+ candidates per task
+  /// to a handful.
+  bool prune_dominated = true;
+  /// > 0: additionally drop near-collinear interior grid points
+  /// (curvature-aware thinning, approximate within eps x cost range).
+  double curvature_eps = 0.0;
   TaskSolver solver = TaskSolver::kDp;
   /// Cap a single FIFO's allocation (pathologically large FIFOs would
   /// otherwise starve the tasks).

@@ -2,43 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "mem/cache.hpp"
 
 namespace cms::opt {
 
 namespace {
-
-inline std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-inline std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
-inline void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
-  while (v >= 0x80) {
-    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  buf.push_back(static_cast<std::uint8_t>(v));
-}
-
-inline std::uint64_t get_varint(const std::vector<std::uint8_t>& buf,
-                                std::size_t& pos) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    assert(pos < buf.size() && "truncated trace stream");
-    const std::uint8_t b = buf[pos++];
-    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) return v;
-    shift += 7;
-  }
-}
 
 constexpr std::uint64_t kWriteBit = 1;
 constexpr std::uint64_t kWritebackBit = 2;
@@ -53,16 +29,28 @@ void ClientTrace::append(std::uint64_t line_index, AccessType type,
   const bool task_changed = task != last_task_;
   last_task_ = task;
 
-  std::uint64_t head = zigzag(delta) << 3;
+  std::uint64_t head = serialize::zigzag(delta) << 3;
   if (task_changed) head |= kTaskChangedBit;
   if (l1_writeback) head |= kWritebackBit;
   if (type == AccessType::kWrite) head |= kWriteBit;
-  put_varint(buf_, head);
+  serialize::put_varint(buf_, head);
   if (task_changed)
-    put_varint(buf_, static_cast<std::uint64_t>(
-                         static_cast<std::uint32_t>(task)));
+    serialize::put_varint(
+        buf_, static_cast<std::uint64_t>(static_cast<std::uint32_t>(task)));
   ++events_;
 }
+
+ClientTrace ClientTrace::from_encoded(mem::ClientId client,
+                                      std::uint64_t events,
+                                      std::vector<std::uint8_t> buf) {
+  ClientTrace t(client);
+  t.events_ = events;
+  t.buf_ = std::move(buf);
+  return t;
+}
+
+ClientTrace::Reader::Reader(const ClientTrace& t)
+    : trace_(&t), rd_(t.buf_, "trace stream") {}
 
 bool ClientTrace::Reader::next(TraceEvent& ev) {
   if (!primed_) {
@@ -71,11 +59,10 @@ bool ClientTrace::Reader::next(TraceEvent& ev) {
   }
   if (remaining_ == 0) return false;
   --remaining_;
-  const std::uint64_t head = get_varint(trace_->buf_, pos_);
-  line_ += unzigzag(head >> 3);
+  const std::uint64_t head = rd_.varint();
+  line_ += serialize::unzigzag(head >> 3);
   if (head & kTaskChangedBit)
-    task_ = static_cast<TaskId>(
-        static_cast<std::int32_t>(get_varint(trace_->buf_, pos_)));
+    task_ = static_cast<TaskId>(static_cast<std::int32_t>(rd_.varint()));
   ev.line_index = static_cast<std::uint64_t>(line_);
   ev.type = (head & kWriteBit) ? AccessType::kWrite : AccessType::kRead;
   ev.l1_writeback = (head & kWritebackBit) != 0;
@@ -127,19 +114,160 @@ bool CaptureRun::is_scheduler_client(mem::ClientId c) const {
          scheduler_clients.end();
 }
 
+// ---- File format ----
+
+namespace {
+
+void put_client(serialize::ByteWriter& w, mem::ClientId c) {
+  w.u8(static_cast<std::uint8_t>(c.kind));
+  w.svarint(c.id);
+}
+
+mem::ClientId get_client(serialize::ByteReader& rd) {
+  mem::ClientId c;
+  c.kind = static_cast<mem::ClientKind>(rd.u8());
+  c.id = static_cast<std::int32_t>(rd.svarint());
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_capture(const CaptureRun& capture,
+                                         std::string_view digest) {
+  serialize::ByteWriter w;
+  w.raw(reinterpret_cast<const std::uint8_t*>(kTraceMagic),
+        sizeof(kTraceMagic));
+  w.fixed32(kTraceFormatVersion);
+  w.str(digest);
+  w.varint(capture.trace.line_bytes);
+  w.varint(capture.scheduler_clients.size());
+  for (const mem::ClientId c : capture.scheduler_clients) put_client(w, c);
+  w.varint(capture.tasks.size());
+  for (const CaptureTaskStats& t : capture.tasks) {
+    w.svarint(t.id);
+    w.str(t.name);
+    w.varint(t.instructions);
+    w.varint(t.compute_cycles);
+    w.varint(t.mem_cycles);
+  }
+  w.varint(capture.trace.streams.size());
+  for (const ClientTrace& s : capture.trace.streams) {
+    put_client(w, s.client());
+    w.varint(s.events());
+    w.varint(s.encoded().size());
+    w.raw(s.encoded().data(), s.encoded().size());
+  }
+  w.fixed64(serialize::fnv1a64(w.bytes().data(), w.size()));
+  return w.take();
+}
+
+CaptureRun decode_capture(const std::uint8_t* data, std::size_t size,
+                          const std::string& context, std::string* digest) {
+  constexpr std::size_t kHeader = sizeof(kTraceMagic) + 4;  // magic + version
+  constexpr std::size_t kTrailer = 8;                       // checksum
+  if (size < kHeader + kTrailer)
+    throw std::runtime_error(context + ": truncated trace file (" +
+                             std::to_string(size) + " bytes)");
+  if (std::memcmp(data, kTraceMagic, sizeof(kTraceMagic)) != 0)
+    throw std::runtime_error(context + ": bad magic (not a CMS trace file)");
+
+  serialize::ByteReader rd(data, size - kTrailer, context);
+  rd.raw(sizeof(kTraceMagic));
+  const std::uint32_t version = rd.fixed32();
+  // Version before checksum: a future format may checksum differently but
+  // must still be reported as a version problem, not corruption.
+  if (version > kTraceFormatVersion)
+    throw std::runtime_error(
+        context + ": trace schema version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(kTraceFormatVersion) + ")");
+
+  serialize::ByteReader trailer(data + size - kTrailer, kTrailer, context);
+  if (trailer.fixed64() != serialize::fnv1a64(data, size - kTrailer))
+    throw std::runtime_error(context + ": checksum mismatch (corrupt file)");
+
+  CaptureRun capture;
+  const std::string stored_digest = rd.str();
+  if (digest != nullptr) *digest = stored_digest;
+  capture.trace.line_bytes = static_cast<std::uint32_t>(rd.varint());
+  const std::uint64_t num_sched = rd.varint();
+  capture.scheduler_clients.reserve(num_sched);
+  for (std::uint64_t i = 0; i < num_sched; ++i)
+    capture.scheduler_clients.push_back(get_client(rd));
+  const std::uint64_t num_tasks = rd.varint();
+  capture.tasks.reserve(num_tasks);
+  for (std::uint64_t i = 0; i < num_tasks; ++i) {
+    CaptureTaskStats t;
+    t.id = static_cast<TaskId>(rd.svarint());
+    t.name = rd.str();
+    t.instructions = rd.varint();
+    t.compute_cycles = rd.varint();
+    t.mem_cycles = rd.varint();
+    capture.tasks.push_back(std::move(t));
+  }
+  const std::uint64_t num_streams = rd.varint();
+  capture.trace.streams.reserve(num_streams);
+  for (std::uint64_t i = 0; i < num_streams; ++i) {
+    const mem::ClientId client = get_client(rd);
+    const std::uint64_t events = rd.varint();
+    const std::uint64_t nbytes = rd.varint();
+    if (nbytes > rd.remaining())
+      rd.fail("truncated while reading stream bytes");
+    const std::uint8_t* p = rd.raw(static_cast<std::size_t>(nbytes));
+    capture.trace.streams.push_back(ClientTrace::from_encoded(
+        client, events,
+        std::vector<std::uint8_t>(p, p + static_cast<std::size_t>(nbytes))));
+  }
+  if (!rd.done())
+    throw std::runtime_error(context + ": trailing garbage after payload");
+  return capture;
+}
+
+void save_capture(const CaptureRun& capture, std::string_view digest,
+                  const std::string& path) {
+  const std::vector<std::uint8_t> bytes = encode_capture(capture, digest);
+  // Unique temp name: concurrent writers (other threads OR processes
+  // racing on the same digest) must never share a partially-written file;
+  // whoever renames last wins with identical content.
+  const std::uint64_t nonce =
+      mix64(reinterpret_cast<std::uintptr_t>(&capture) ^
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()));
+  const std::string tmp = path + ".tmp." + std::to_string(nonce);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error(tmp + ": cannot open trace file for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error(tmp + ": short write saving trace");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error(path + ": cannot move trace file into place");
+}
+
+CaptureRun load_capture(const std::string& path, std::string* digest) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error(path + ": cannot open trace file");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error(path + ": short read loading trace");
+  return decode_capture(bytes.data(), bytes.size(), path, digest);
+}
+
+// ---- Replay ----
+
 Cycle miss_surcharge(const mem::HierarchyConfig& hier) {
   return hier.dram.access_latency + hier.bus.cycles_per_transaction;
 }
 
 ProfileFragment replay_fragment(const CaptureRun& capture,
                                 const PartitionPlan& plan,
-                                const mem::CacheConfig& l2, std::uint32_t sets,
+                                const mem::CacheConfig& l2,
+                                std::uint64_t l2_seed, std::uint32_t sets,
                                 std::uint64_t order, Cycle surcharge) {
-  if (l2.replacement == mem::Replacement::kRandom)
-    throw std::invalid_argument(
-        "trace replay requires deterministic replacement (kRandom shares one "
-        "RNG across clients in the live L2)");
-
   const std::uint32_t total = std::max(plan.total_sets, 1u);
 
   std::unordered_map<mem::ClientId, const PlanEntry*, mem::ClientIdHash>
@@ -161,7 +289,9 @@ ProfileFragment replay_fragment(const CaptureRun& capture,
 
     mem::CacheConfig cc = l2;
     cc.size_bytes = client_sets * l2.line_bytes * l2.ways;
-    mem::SetAssocCache cache(cc, /*seed=*/1);
+    // Same seed as the live L2: the counter-based kRandom victim stream of
+    // this client is then identical to the capture run's.
+    mem::SetAssocCache cache(cc, l2_seed);
 
     const bool count_issuers = !capture.is_scheduler_client(stream.client());
     auto rd = stream.reader();
@@ -202,13 +332,14 @@ ProfileFragment replay_fragment(const CaptureRun& capture,
 }
 
 MissProfile replay_profile(const std::vector<ReplayJob>& jobs,
-                           const mem::CacheConfig& l2, Cycle surcharge) {
+                           const mem::CacheConfig& l2, std::uint64_t l2_seed,
+                           Cycle surcharge) {
   std::vector<ProfileFragment> fragments;
   fragments.reserve(jobs.size());
   for (const ReplayJob& job : jobs) {
     assert(job.capture != nullptr && job.plan != nullptr);
-    fragments.push_back(replay_fragment(*job.capture, *job.plan, l2, job.sets,
-                                        job.order, surcharge));
+    fragments.push_back(replay_fragment(*job.capture, *job.plan, l2, l2_seed,
+                                        job.sets, job.order, surcharge));
   }
   return fold_fragments(std::move(fragments));
 }

@@ -25,8 +25,18 @@
 //  * the live index translation is base + (conventional % sets) with
 //    conventional = line_index % total_sets; replay applies the same
 //    arithmetic, minus the base offset, to a cache of `sets` sets;
-//  * kRandom replacement shares one RNG across clients and is therefore
-//    NOT replayable — replay_fragment refuses it.
+//  * kRandom replacement is counter-based PER CLIENT (mem/cache.hpp): the
+//    n-th random victim of a client depends only on (cache seed, client,
+//    n), never on interleaving — replay constructs its standalone caches
+//    with the live L2's seed (HierarchyConfig::l2_seed) and reproduces
+//    the victims exactly.
+//
+// Captures are durable: a versioned binary file format (kTraceMagic /
+// kTraceFormatVersion, per-client stream table, FNV-1a trailer checksum)
+// round-trips a CaptureRun through encode_capture/decode_capture and
+// save_capture/load_capture, and opt/trace_store.hpp builds a
+// content-addressed directory store on top so captures recorded once are
+// replayed across processes and runs.
 //
 // Active cycles t_i(z_k) cannot be replayed (bus grants and DRAM bank
 // occupancy are global), so BOTH profiler modes reconstruct them from the
@@ -39,9 +49,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "mem/cache_config.hpp"
 #include "mem/client.hpp"
@@ -75,16 +87,27 @@ class ClientTrace {
   void append(std::uint64_t line_index, AccessType type, bool l1_writeback,
               TaskId task);
 
-  /// Forward decoder over the stream.
+  /// The raw delta-encoded bytes (file round-trip; see encode_capture).
+  const std::vector<std::uint8_t>& encoded() const { return buf_; }
+
+  /// Rebuild a stream from its stored encoding. The result is read-only in
+  /// spirit: the encoder state is not reconstructed, so append() must not
+  /// be called on it (readers are unaffected).
+  static ClientTrace from_encoded(mem::ClientId client, std::uint64_t events,
+                                  std::vector<std::uint8_t> buf);
+
+  /// Forward decoder over the stream. Throws std::runtime_error on a
+  /// corrupt encoding (defense in depth — file checksums catch disk rot
+  /// first).
   class Reader {
    public:
-    explicit Reader(const ClientTrace& t) : trace_(&t) {}
+    explicit Reader(const ClientTrace& t);
     /// Decode the next event into `ev`; false at end of stream.
     bool next(TraceEvent& ev);
 
    private:
     const ClientTrace* trace_;
-    std::size_t pos_ = 0;
+    serialize::ByteReader rd_;
     std::uint64_t remaining_ = 0;
     bool primed_ = false;
     std::int64_t line_ = 0;
@@ -155,6 +178,44 @@ struct CaptureRun {
   bool is_scheduler_client(mem::ClientId c) const;
 };
 
+// ---- Versioned binary file format (the durability boundary) ----
+//
+// Layout of a capture file:
+//   [0..7]   magic "CMSTRACE"
+//   [8..11]  fixed32 schema version (kTraceFormatVersion)
+//   payload  varint/str encoded (common/serialize.hpp):
+//              digest string (the content address the file was stored
+//              under — verified on load so a renamed/copied file can
+//              never serve the wrong trace),
+//              line_bytes, scheduler-client table, per-task capture
+//              stats, per-client stream table (kind, id, events, bytes),
+//   trailer  fixed64 FNV-1a checksum over every preceding byte.
+// Load failures — truncation, bad magic, a FUTURE schema version, or a
+// checksum mismatch — throw std::runtime_error naming the offending
+// path. Version is checked before the checksum so a future format with a
+// different trailer still reports itself correctly.
+
+inline constexpr char kTraceMagic[8] = {'C', 'M', 'S', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Serialize a capture (with the content digest it is addressed by).
+std::vector<std::uint8_t> encode_capture(const CaptureRun& capture,
+                                         std::string_view digest);
+
+/// Parse an encoded capture; `context` prefixes error messages (pass the
+/// file path). Throws std::runtime_error on any malformed input. The
+/// embedded digest is returned through `digest` when non-null.
+CaptureRun decode_capture(const std::uint8_t* data, std::size_t size,
+                          const std::string& context,
+                          std::string* digest = nullptr);
+
+/// File round-trip. save_capture writes atomically enough for a store
+/// (temp file + rename); both throw std::runtime_error with the path on
+/// I/O or format errors.
+void save_capture(const CaptureRun& capture, std::string_view digest,
+                  const std::string& path);
+CaptureRun load_capture(const std::string& path, std::string* digest = nullptr);
+
 /// Off-chip cycles a demand L2 miss adds on top of the uniform (hit-path)
 /// charge: nominal DRAM access latency + the return bus transfer.
 Cycle miss_surcharge(const mem::HierarchyConfig& hier);
@@ -170,13 +231,15 @@ inline Cycle reconstruct_active_cycles(Cycle compute_cycles, Cycle mem_cycles,
 /// Replay one capture at one grid point. `plan` is the uniform isolation
 /// plan of that grid point (client set sizes + virtual total), `l2` the
 /// L2 geometry template (line/ways/replacement/write policy; size is per
-/// client), `sets` the grid label of the emitted samples and `order` the
-/// job's canonical schedule position (ProfileFragment contract).
-/// Throws std::invalid_argument for kRandom replacement or when a stream's
-/// client has no plan entry.
+/// client), `l2_seed` the live L2's RNG seed (HierarchyConfig::l2_seed —
+/// kRandom victim streams are keyed by it), `sets` the grid label of the
+/// emitted samples and `order` the job's canonical schedule position
+/// (ProfileFragment contract). Throws std::invalid_argument when a
+/// stream's client has no plan entry.
 ProfileFragment replay_fragment(const CaptureRun& capture,
                                 const PartitionPlan& plan,
-                                const mem::CacheConfig& l2, std::uint32_t sets,
+                                const mem::CacheConfig& l2,
+                                std::uint64_t l2_seed, std::uint32_t sets,
                                 std::uint64_t order, Cycle surcharge);
 
 /// One replay work item of a sweep (core::Experiment fans these out on a
@@ -191,6 +254,7 @@ struct ReplayJob {
 /// Replay every job in canonical order and fold the fragments — the
 /// profile a serial full-simulation sweep would have produced.
 MissProfile replay_profile(const std::vector<ReplayJob>& jobs,
-                           const mem::CacheConfig& l2, Cycle surcharge);
+                           const mem::CacheConfig& l2, std::uint64_t l2_seed,
+                           Cycle surcharge);
 
 }  // namespace cms::opt

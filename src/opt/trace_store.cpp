@@ -1,0 +1,62 @@
+#include "opt/trace_store.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace cms::opt {
+
+namespace fs = std::filesystem;
+
+TraceStore::TraceStore(std::string dir, bool read_only)
+    : dir_(std::move(dir)), read_only_(read_only) {
+  if (dir_.empty())
+    throw std::runtime_error("trace store needs a directory path");
+  if (!read_only_) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+      throw std::runtime_error(dir_ + ": cannot create trace store dir (" +
+                               ec.message() + ")");
+  }
+}
+
+std::string TraceStore::path_of(const std::string& digest) const {
+  return (fs::path(dir_) / (digest + ".cmstrace")).string();
+}
+
+std::optional<CaptureRun> TraceStore::load(const std::string& digest) const {
+  const std::string path = path_of(digest);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::string stored_digest;
+  CaptureRun capture = load_capture(path, &stored_digest);
+  // The digest inside the file must match the name it was addressed by;
+  // a renamed or hand-copied entry must never masquerade as another key.
+  if (stored_digest != digest)
+    throw std::runtime_error(path + ": stored digest " + stored_digest +
+                             " does not match requested " + digest);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.hits;
+  return capture;
+}
+
+void TraceStore::save(const std::string& digest,
+                      const CaptureRun& capture) const {
+  if (read_only_) return;
+  save_capture(capture, digest, path_of(digest));
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.writes;
+}
+
+TraceStore::Stats TraceStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,73 @@
+// Persistent content-addressed store for profiling captures.
+//
+// PR 2 made the profiling sweep cheap inside one process (capture once per
+// jitter seed, replay per grid point); the store makes captures durable
+// across processes and runs. Entries are keyed by a DIGEST of everything
+// the captured stream depends on — application/content fingerprint,
+// platform + hierarchy configuration, scheduler policy, jitter seed, and
+// the trace schema version (core::Experiment::trace_digest composes it).
+// Content addressing is the safety property: any change to those inputs
+// produces a different digest, so a stale entry can never be served for a
+// changed experiment — it is simply never looked up. Each file also embeds
+// its digest and a checksum (opt/trace.hpp format), so a renamed, copied
+// or corrupted file is rejected at load with std::runtime_error.
+//
+// Usage (the Experiment facade does this when ExperimentConfig::trace_store
+// is set):
+//
+//   opt::TraceStore store("traces/");            // read-write
+//   if (auto hit = store.load(digest)) { ... }   // nullopt on miss
+//   else { capture = run_instrumented(); store.save(digest, capture); }
+//
+// Thread-safety: load/save are individually thread- and process-safe
+// (writes go through a temp file + atomic rename; concurrent writers of
+// the same digest produce identical content, so either rename winning is
+// correct). The stats counters are mutex-guarded.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "opt/trace.hpp"
+
+namespace cms::opt {
+
+class TraceStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    // load() found a valid entry
+    std::uint64_t misses = 0;  // load() found nothing
+    std::uint64_t writes = 0;  // save() persisted an entry
+  };
+
+  /// Open (and in read-write mode create) the store directory. Throws
+  /// std::runtime_error when a read-write store directory cannot be
+  /// created.
+  explicit TraceStore(std::string dir, bool read_only = false);
+
+  const std::string& dir() const { return dir_; }
+  bool read_only() const { return read_only_; }
+
+  /// Path an entry for `digest` would live at (bench reporting, tests).
+  std::string path_of(const std::string& digest) const;
+
+  /// Look up a capture by digest. Returns nullopt on a miss; throws
+  /// std::runtime_error (naming the file) on a corrupt or mislabeled
+  /// entry — corruption is surfaced, never silently re-simulated.
+  std::optional<CaptureRun> load(const std::string& digest) const;
+
+  /// Persist a capture under `digest`. No-op in read-only mode.
+  void save(const std::string& digest, const CaptureRun& capture) const;
+
+  Stats stats() const;
+
+ private:
+  std::string dir_;
+  bool read_only_;
+  mutable std::mutex mu_;  // guards stats_
+  mutable Stats stats_;
+};
+
+}  // namespace cms::opt

@@ -200,6 +200,47 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LruStackProperty, ::testing::Range(0, 8));
 
 // ---- Property: miss count is deterministic for a given seed. ----
 
+// ---- Property: kRandom victim streams are per-client, counter-based. ----
+//
+// The n-th random replacement of a client depends only on (seed, client,
+// n) — interleaved traffic from OTHER clients (in other sets) must not
+// perturb it. This is the property that makes kRandom trace-replayable
+// (opt/trace.hpp).
+
+TEST(Cache, RandomReplacementIndependentOfInterleavedClients) {
+  CacheConfig cfg = small_cache(2, 4);
+  cfg.replacement = Replacement::kRandom;
+
+  const auto a_addr = [&](int i) {
+    // Client A cycles 8 distinct lines through set 0 (8 lines > 4 ways).
+    return static_cast<Addr>((i % 8) * 2) * cfg.line_bytes;
+  };
+
+  // Alone: client A hammers set 0.
+  SetAssocCache alone(cfg, 7);
+  std::vector<bool> alone_hits;
+  for (int i = 0; i < 400; ++i)
+    alone_hits.push_back(
+        alone.access_at(0, a_addr(i), AccessType::kRead, ClientId::task(1))
+            .hit);
+
+  // Interleaved: client B thrashes set 1 between every A access. Under a
+  // shared RNG stream B's replacements would advance A's sequence; with
+  // counter-based per-client streams A's outcomes are bit-identical.
+  SetAssocCache mixed(cfg, 7);
+  std::vector<bool> mixed_hits;
+  for (int i = 0; i < 400; ++i) {
+    mixed_hits.push_back(
+        mixed.access_at(0, a_addr(i), AccessType::kRead, ClientId::task(1))
+            .hit);
+    for (int j = 0; j < 3; ++j)
+      mixed.access_at(1,
+                      static_cast<Addr>((i * 3 + j) * 2 + 1) * cfg.line_bytes,
+                      AccessType::kRead, ClientId::task(2));
+  }
+  EXPECT_EQ(alone_hits, mixed_hits);
+}
+
 TEST(Cache, DeterministicForFixedSeed) {
   for (const Replacement repl :
        {Replacement::kLru, Replacement::kFifo, Replacement::kRandom}) {

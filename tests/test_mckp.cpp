@@ -1,6 +1,8 @@
 // Tests for the MCKP solvers (the paper's ILP formulation).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "opt/mckp.hpp"
 
@@ -129,6 +131,113 @@ TEST_P(MckpCrossCheck, SolutionSizeAccountingConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MckpCrossCheck, ::testing::Range(0, 10));
+
+// ---- Dense-grid pruning (prune_mckp_items) ----
+
+TEST(MckpPrune, RemovesDominatedKeepsKnees) {
+  // Flat stretches and a non-monotone bump: only strict improvements
+  // survive, in size order.
+  std::vector<MckpItem> items = {{1, 100}, {2, 100}, {4, 50}, {8, 50},
+                                 {16, 60}, {32, 10}};
+  const std::size_t removed = prune_mckp_items(items);
+  EXPECT_EQ(removed, 3u);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].size, 1u);
+  EXPECT_EQ(items[1].size, 4u);
+  EXPECT_EQ(items[2].size, 32u);
+}
+
+TEST(MckpPrune, SmallestSizeAlwaysSurvives) {
+  std::vector<MckpItem> items = {{4, 5.0}, {1, 5.0}, {2, 5.0}};
+  prune_mckp_items(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].size, 1u);  // feasibility anchor
+}
+
+TEST(MckpPrune, PreservesDpOptimumOnRandomDenseInstances) {
+  // Dominance pruning is exact: the DP on the pruned instance must reach
+  // the same optimal cost as brute force on the original.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    std::vector<MckpGroup> original;
+    for (int g = 0; g < 4; ++g) {
+      MckpGroup grp;
+      grp.name = "g" + std::to_string(g);
+      double cost = 1000.0 + rng.next_double() * 1000.0;
+      for (std::uint32_t size = 1; size <= 24; ++size) {
+        grp.items.push_back({size, cost});
+        if (rng.chance(0.25)) cost *= 0.4 + rng.next_double() * 0.5;
+      }
+      original.push_back(std::move(grp));
+    }
+    std::vector<MckpGroup> pruned = original;
+    for (auto& grp : pruned) prune_mckp_items(grp.items);
+
+    for (const std::uint32_t cap : {8u, 30u, 96u}) {
+      const MckpSolution ref = solve_mckp_brute(original, cap);
+      const MckpSolution got = solve_mckp_dp(pruned, cap);
+      EXPECT_EQ(ref.feasible, got.feasible) << "seed " << seed;
+      if (ref.feasible) {
+        EXPECT_NEAR(ref.total_cost, got.total_cost, 1e-9)
+            << "seed " << seed << " cap " << cap;
+      }
+    }
+  }
+}
+
+TEST(MckpPrune, CollinearThinningDropsStraightRunsKeepsKnees) {
+  // A perfectly linear ramp collapses to its endpoints...
+  std::vector<MckpItem> line;
+  for (std::uint32_t s = 1; s <= 32; ++s)
+    line.push_back({s, 1000.0 - 10.0 * s});
+  prune_mckp_items(line, 0.01);
+  EXPECT_EQ(line.size(), 2u);
+
+  // ...while a sharp knee survives any reasonable tolerance.
+  std::vector<MckpItem> knee = {{1, 1000}, {2, 990}, {3, 980}, {4, 100},
+                                {5, 90},   {6, 80}};
+  prune_mckp_items(knee, 0.01);
+  bool kept_knee = false;
+  for (const auto& it : knee) kept_knee = kept_knee || it.size == 4;
+  EXPECT_TRUE(kept_knee);
+}
+
+TEST(MckpPrune, ThinningErrorBoundHoldsOnSmoothConvexCurves) {
+  // The documented contract: every dropped point lies within
+  // eps x (cost range) of the segment between its two KEPT neighbours.
+  // A smooth convex curve is the adversarial case — greedy
+  // next-point chord tests let the error compound well past the bound.
+  std::vector<MckpItem> items;
+  for (std::uint32_t s = 1; s <= 64; ++s) {
+    const double d = 64.0 - static_cast<double>(s);
+    items.push_back({s, d * d});
+  }
+  const std::vector<MckpItem> original = items;
+  const double eps = 0.01;
+  prune_mckp_items(items, eps);
+  const double tol = eps * (original.front().cost - original.back().cost);
+
+  for (const MckpItem& p : original) {
+    // Kept neighbours around p.
+    std::size_t hi = 0;
+    while (items[hi].size < p.size) ++hi;
+    if (items[hi].size == p.size) continue;  // p survived
+    const MckpItem& a = items[hi - 1];
+    const MckpItem& c = items[hi];
+    const double t = static_cast<double>(p.size - a.size) /
+                     static_cast<double>(c.size - a.size);
+    const double interp = a.cost + t * (c.cost - a.cost);
+    EXPECT_LE(std::abs(interp - p.cost), tol + 1e-9) << "size " << p.size;
+  }
+}
+
+TEST(MckpPrune, ZeroEpsIsLossless) {
+  std::vector<MckpItem> items;
+  for (std::uint32_t s = 1; s <= 16; ++s)
+    items.push_back({s, 100.0 - static_cast<double>(s)});
+  prune_mckp_items(items, 0.0);
+  EXPECT_EQ(items.size(), 16u);  // strictly decreasing: nothing dominated
+}
 
 }  // namespace
 }  // namespace cms::opt

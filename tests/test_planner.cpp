@@ -126,6 +126,38 @@ TEST(Planner, ApplyInstallsPartitionsAndEnables) {
   EXPECT_EQ(cache.partition_table().size(), plan.entries.size());
 }
 
+TEST(Planner, ConsumesDenseGridsAndPruningIsExact) {
+  // A 64-point profile per client, shaped like a replay sweep: long flat
+  // stretches with a knee. The planner must consume it directly, and
+  // dominance pruning must not change the MCKP optimum.
+  MissProfile prof;
+  for (const std::string task : {"t0", "t1"}) {
+    const std::uint32_t knee = task == "t0" ? 24 : 40;
+    for (std::uint32_t s = 1; s <= 64; ++s) {
+      const double misses = (task == "t0" ? 4000.0 : 2500.0) /
+                            (s >= knee ? 10.0 : 1.0);
+      prof.add_sample(task, s, misses, misses * 10, 1000);
+    }
+  }
+  PlannerConfig pruned_cfg;
+  ASSERT_TRUE(pruned_cfg.prune_dominated);
+  PlannerConfig unpruned_cfg;
+  unpruned_cfg.prune_dominated = false;
+
+  const auto tasks =
+      std::vector<std::pair<TaskId, std::string>>{{0, "t0"}, {1, "t1"}};
+  const auto pruned =
+      plan_partitions(prof, tasks, sample_buffers(), l2_256sets(), pruned_cfg);
+  const auto unpruned = plan_partitions(prof, tasks, sample_buffers(),
+                                        l2_256sets(), unpruned_cfg);
+  ASSERT_TRUE(pruned.feasible);
+  ASSERT_TRUE(unpruned.feasible);
+  EXPECT_DOUBLE_EQ(pruned.expected_task_misses, unpruned.expected_task_misses);
+  // Both knees are worth taking within 256 sets (24 + 40 + buffers fit).
+  EXPECT_EQ(pruned.find("t0")->sets, 24u);
+  EXPECT_EQ(pruned.find("t1")->sets, 40u);
+}
+
 TEST(Planner, UniformPlanGivesEveryTaskSameSets) {
   const auto plan =
       uniform_plan(16, {{0, "t0"}, {1, "t1"}}, sample_buffers(), l2_256sets(), {});

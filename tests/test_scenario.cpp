@@ -11,13 +11,42 @@ namespace cms::core {
 namespace {
 
 TEST(ScenarioRegistry, BuiltinsRegistered) {
-  for (const char* name : {"jpeg-canny", "mpeg2", "jpeg-canny-tiny",
-                           "mpeg2-tiny", "jpeg-canny-fine"})
+  for (const char* name :
+       {"jpeg-canny", "mpeg2", "jpeg-canny-tiny", "mpeg2-tiny",
+        "jpeg-canny-fine", "jpeg-canny-dense", "mpeg2-tiny-rand"})
     EXPECT_TRUE(scenarios().has(name)) << name;
 
   const auto names = scenarios().names();
-  EXPECT_GE(names.size(), 5u);
+  EXPECT_GE(names.size(), 7u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistry, BuiltinsCarryTraceKeys) {
+  // Every built-in must be store-ready: a non-empty trace_key that embeds
+  // the scenario's own identity.
+  for (const auto& name : scenarios().names()) {
+    const ScenarioSpec spec = scenarios().get(name);
+    EXPECT_FALSE(spec.experiment.trace_key.empty()) << name;
+  }
+  // Content-equal scenarios still get distinct keys (per-scenario
+  // bookkeeping), and content differences change the digest half.
+  EXPECT_NE(scenarios().get("jpeg-canny").experiment.trace_key,
+            scenarios().get("jpeg-canny-fine").experiment.trace_key);
+}
+
+TEST(ScenarioRegistry, DenseGridHas64Points) {
+  const ScenarioSpec dense = scenarios().get("jpeg-canny-dense");
+  EXPECT_GE(dense.experiment.profile_grid.size(), 64u);
+  // Dense sweeps default to trace replay — that is what makes them
+  // affordable.
+  EXPECT_EQ(dense.experiment.profiler, ProfilerMode::kTraceReplay);
+  EXPECT_GT(dense.experiment.planner.curvature_eps, 0.0);
+}
+
+TEST(ScenarioRegistry, RandScenarioUsesRandomReplacement) {
+  const ScenarioSpec rand = scenarios().get("mpeg2-tiny-rand");
+  EXPECT_EQ(rand.experiment.platform.hier.l2.replacement,
+            mem::Replacement::kRandom);
 }
 
 TEST(ScenarioRegistry, GetReturnsUsableSpec) {

@@ -1,0 +1,129 @@
+// Tests for the byte-stream serialization layer (common/serialize.hpp):
+// primitive round trips, bounds checking on malformed input, and the
+// FNV-1a hash used for content addressing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace cms::serialize {
+namespace {
+
+TEST(Serialize, VarintRoundTripsBoundaries) {
+  const std::vector<std::uint64_t> values = {
+      0,    1,    127,  128,        129,
+      0x3FFF, 0x4000, 1ull << 32, std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (const auto v : values) w.varint(v);
+  ByteReader rd(w.bytes());
+  for (const auto v : values) EXPECT_EQ(rd.varint(), v);
+  EXPECT_TRUE(rd.done());
+}
+
+TEST(Serialize, VarintEncodingIsMinimal) {
+  ByteWriter w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.varint(128);
+  EXPECT_EQ(w.size(), 3u);  // 127 took 1 byte, 128 takes 2
+}
+
+TEST(Serialize, SignedVarintRoundTripsViaZigzag) {
+  const std::vector<std::int64_t> values = {
+      0, -1, 1, -2, 63, -64, 1 << 20, -(1 << 20),
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  ByteWriter w;
+  for (const auto v : values) w.svarint(v);
+  ByteReader rd(w.bytes());
+  for (const auto v : values) EXPECT_EQ(rd.svarint(), v);
+  // Zigzag keeps small negatives small.
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+  EXPECT_EQ(unzigzag(zigzag(-12345)), -12345);
+}
+
+TEST(Serialize, FixedWidthAndStringsRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.fixed32(0xDEADBEEF);
+  w.fixed64(0x0123456789ABCDEFull);
+  w.str("hello");
+  w.str("");  // empty string is legal
+  ByteReader rd(w.bytes());
+  EXPECT_EQ(rd.u8(), 0xAB);
+  EXPECT_EQ(rd.fixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(rd.fixed64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(rd.str(), "hello");
+  EXPECT_EQ(rd.str(), "");
+  EXPECT_TRUE(rd.done());
+}
+
+TEST(Serialize, FixedWidthIsLittleEndianOnTheWire) {
+  ByteWriter w;
+  w.fixed32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(Serialize, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.fixed64(42);
+  ByteReader rd(w.bytes().data(), 3, "unit-test");
+  EXPECT_THROW(rd.fixed64(), std::runtime_error);
+
+  // A varint whose continuation bit promises more bytes than exist.
+  const std::vector<std::uint8_t> cut = {0x80};
+  ByteReader rd2(cut);
+  EXPECT_THROW(rd2.varint(), std::runtime_error);
+
+  // A string whose declared length exceeds the stream.
+  ByteWriter ws;
+  ws.varint(100);  // claims 100 bytes follow
+  ws.u8('x');
+  ByteReader rd3(ws.bytes());
+  EXPECT_THROW(rd3.str(), std::runtime_error);
+}
+
+TEST(Serialize, MalformedVarintThrows) {
+  // 11 continuation bytes can encode nothing valid in 64 bits.
+  const std::vector<std::uint8_t> evil(11, 0x80);
+  ByteReader rd(evil);
+  EXPECT_THROW(rd.varint(), std::runtime_error);
+}
+
+TEST(Serialize, ErrorsNameTheContext) {
+  const std::vector<std::uint8_t> empty;
+  ByteReader rd(empty.data(), 0, "traces/deadbeef.cmstrace");
+  try {
+    rd.u8();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("traces/deadbeef.cmstrace"),
+              std::string::npos);
+  }
+}
+
+TEST(Serialize, Fnv1a64MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(nullptr, 0), kFnvOffset);
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(fnv1a64(&a, 1), 0xaf63dc4c8601ec8cull);
+  const std::uint8_t foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+  EXPECT_EQ(fnv1a64(foobar, 6), 0x85944171f73967e8ull);
+}
+
+TEST(Serialize, WriterTakeMovesBufferOut) {
+  ByteWriter w;
+  w.str("payload");
+  const std::vector<std::uint8_t> bytes = w.take();
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cms::serialize

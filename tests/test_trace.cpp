@@ -140,30 +140,30 @@ TEST(ReplayProfile, SerialDriverMatchesExperimentOrchestration) {
   const MissProfile serial =
       replay_profile(exp.replay_jobs(captures),
                      exp.config().platform.hier.l2,
+                     exp.config().platform.hier.l2_seed(),
                      miss_surcharge(exp.config().platform.hier));
   EXPECT_TRUE(serial.identical(
       exp.profile_with(core::ProfilerMode::kTraceReplay)));
 }
 
-TEST(ReplayProfile, RandomReplacementRefusedAndFallsBack) {
-  CaptureRun capture;
-  PartitionPlan plan;
-  mem::CacheConfig l2;
-  l2.replacement = mem::Replacement::kRandom;
-  EXPECT_THROW(replay_fragment(capture, plan, l2, 1, 0, 0),
-               std::invalid_argument);
-
-  // The Experiment facade falls back to full simulation instead.
+TEST(ReplayProfile, RandomReplacementReplaysBitIdentically) {
+  // kRandom is replayable because SetAssocCache draws counter-based
+  // per-client randomness: the n-th victim of a client depends only on
+  // (seed, client, n), so the captured stream pushed through a standalone
+  // cache with the live L2's seed reproduces the exact victim sequence.
+  // This pins replay == fullsim bit-identity — the regression guard for
+  // the per-client RNG.
   core::ExperimentConfig cfg;
   cfg.platform.hier.l2.size_bytes = 32 * 1024;
   cfg.platform.hier.l2.replacement = mem::Replacement::kRandom;
-  cfg.profile_grid = {1, 8};
-  cfg.profile_runs = 1;
+  cfg.profile_grid = {1, 4, 16};
+  cfg.profile_runs = 2;
   cfg.profiler = core::ProfilerMode::kTraceReplay;
   const core::Experiment exp(
       [] { return apps::make_m2v_app(apps::AppConfig::tiny(3)); }, cfg);
-  const MissProfile prof = exp.profile();
-  EXPECT_TRUE(prof.identical(exp.profile_with(core::ProfilerMode::kFullSim)));
+  const MissProfile replay = exp.profile();
+  const MissProfile full = exp.profile_with(core::ProfilerMode::kFullSim);
+  EXPECT_TRUE(full.identical(replay));
 }
 
 }  // namespace

@@ -1,0 +1,367 @@
+// Tests for the trace file format (opt/trace.hpp encode/save/load) and
+// the content-addressed TraceStore (opt/trace_store.hpp): exact round
+// trips, every failure path of the on-disk format (truncation, bad magic,
+// future schema version, checksum mismatch — all std::runtime_error with
+// the offending path), digest keying, and warm-starting Experiment
+// profiling from the store.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "opt/trace.hpp"
+#include "opt/trace_store.hpp"
+
+namespace cms::opt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the system temp dir, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cms-trace-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+CaptureRun sample_capture() {
+  CaptureRun c;
+  c.trace.line_bytes = 64;
+  ClientTrace t0(mem::ClientId::task(0));
+  t0.append(100, AccessType::kRead, false, 0);
+  t0.append(101, AccessType::kWrite, false, 0);
+  t0.append(90, AccessType::kRead, true, 2);
+  ClientTrace b3(mem::ClientId::buffer(3));
+  for (std::uint64_t i = 0; i < 200; ++i)
+    b3.append(0x4000 + i, AccessType::kWrite, false, 1);
+  c.trace.streams.push_back(std::move(t0));
+  c.trace.streams.push_back(std::move(b3));
+  c.tasks.push_back({0, "producer", 1234, 5000, 700});
+  c.tasks.push_back({2, "consumer", 4321, 6000, 800});
+  c.scheduler_clients.push_back(mem::ClientId::buffer(9));
+  return c;
+}
+
+void expect_identical(const CaptureRun& a, const CaptureRun& b) {
+  EXPECT_EQ(a.trace.line_bytes, b.trace.line_bytes);
+  ASSERT_EQ(a.trace.streams.size(), b.trace.streams.size());
+  for (std::size_t i = 0; i < a.trace.streams.size(); ++i) {
+    const ClientTrace& sa = a.trace.streams[i];
+    const ClientTrace& sb = b.trace.streams[i];
+    EXPECT_EQ(sa.client(), sb.client());
+    EXPECT_EQ(sa.events(), sb.events());
+    EXPECT_EQ(sa.encoded(), sb.encoded());
+    // Decoded event streams agree too (not just the raw bytes).
+    auto ra = sa.reader(), rb = sb.reader();
+    TraceEvent ea, eb;
+    while (ra.next(ea)) {
+      ASSERT_TRUE(rb.next(eb));
+      EXPECT_EQ(ea.line_index, eb.line_index);
+      EXPECT_EQ(ea.type, eb.type);
+      EXPECT_EQ(ea.l1_writeback, eb.l1_writeback);
+      EXPECT_EQ(ea.task, eb.task);
+    }
+    EXPECT_FALSE(rb.next(eb));
+  }
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].id, b.tasks[i].id);
+    EXPECT_EQ(a.tasks[i].name, b.tasks[i].name);
+    EXPECT_EQ(a.tasks[i].instructions, b.tasks[i].instructions);
+    EXPECT_EQ(a.tasks[i].compute_cycles, b.tasks[i].compute_cycles);
+    EXPECT_EQ(a.tasks[i].mem_cycles, b.tasks[i].mem_cycles);
+  }
+  EXPECT_EQ(a.scheduler_clients, b.scheduler_clients);
+}
+
+/// EXPECT a runtime_error whose message mentions `needle`.
+template <typename Fn>
+void expect_error_mentioning(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected std::runtime_error mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(TraceFormat, EncodeDecodeRoundTripsExactly) {
+  const CaptureRun original = sample_capture();
+  const std::vector<std::uint8_t> bytes =
+      encode_capture(original, "digest-123");
+  std::string digest;
+  const CaptureRun decoded =
+      decode_capture(bytes.data(), bytes.size(), "<memory>", &digest);
+  EXPECT_EQ(digest, "digest-123");
+  expect_identical(original, decoded);
+}
+
+TEST(TraceFormat, FileRoundTripsExactly) {
+  TempDir tmp;
+  const std::string path = tmp.file("cap.cmstrace");
+  const CaptureRun original = sample_capture();
+  save_capture(original, "abc", path);
+  std::string digest;
+  const CaptureRun loaded = load_capture(path, &digest);
+  EXPECT_EQ(digest, "abc");
+  expect_identical(original, loaded);
+  // No temp files left behind.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(tmp.path)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(TraceFormat, TruncatedFileThrowsWithPath) {
+  TempDir tmp;
+  const std::string path = tmp.file("truncated.cmstrace");
+  save_capture(sample_capture(), "d", path);
+  const auto full_size = fs::file_size(path);
+  // Cut in the middle of the payload AND down to less than a header.
+  for (const std::uintmax_t keep : {full_size / 2, std::uintmax_t{5}}) {
+    fs::resize_file(path, keep);
+    expect_error_mentioning([&] { load_capture(path); }, path);
+  }
+}
+
+TEST(TraceFormat, BadMagicThrowsWithPath) {
+  TempDir tmp;
+  const std::string path = tmp.file("notatrace.cmstrace");
+  save_capture(sample_capture(), "d", path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.put('X');  // clobber the first magic byte
+  f.close();
+  expect_error_mentioning([&] { load_capture(path); }, path);
+  expect_error_mentioning([&] { load_capture(path); }, "magic");
+}
+
+TEST(TraceFormat, FutureSchemaVersionThrowsWithPath) {
+  TempDir tmp;
+  const std::string path = tmp.file("future.cmstrace");
+  save_capture(sample_capture(), "d", path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(8);   // version field sits right after the 8-byte magic
+  f.put(99);    // little-endian low byte -> version 99
+  f.close();
+  // Version is diagnosed BEFORE the checksum: a future format may
+  // checksum differently, and "please upgrade" beats "corrupt file".
+  expect_error_mentioning([&] { load_capture(path); }, path);
+  expect_error_mentioning([&] { load_capture(path); }, "version");
+}
+
+TEST(TraceFormat, ChecksumMismatchThrowsWithPath) {
+  TempDir tmp;
+  const std::string path = tmp.file("bitrot.cmstrace");
+  save_capture(sample_capture(), "d", path);
+  const auto size = fs::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  const int orig = f.get();
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.put(static_cast<char>(orig ^ 0x40));  // flip one payload bit
+  f.close();
+  expect_error_mentioning([&] { load_capture(path); }, path);
+  expect_error_mentioning([&] { load_capture(path); }, "checksum");
+}
+
+TEST(TraceStore, MissReturnsNulloptAndCounts) {
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  EXPECT_FALSE(store.load("nope").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST(TraceStore, SaveThenLoadRoundTrips) {
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  const CaptureRun original = sample_capture();
+  store.save("k1", original);
+  EXPECT_EQ(store.stats().writes, 1u);
+  const auto loaded = store.load("k1");
+  ASSERT_TRUE(loaded.has_value());
+  expect_identical(original, *loaded);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(TraceStore, DifferentDigestMissesInsteadOfServingStale) {
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  store.save("k1", sample_capture());
+  // Any digest change — different jitter seed, tweaked app config —
+  // produces a different key and must MISS, not replay the stale trace.
+  EXPECT_FALSE(store.load("k2").has_value());
+}
+
+TEST(TraceStore, RenamedEntryIsRejectedNotServed) {
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  store.save("k1", sample_capture());
+  fs::rename(store.path_of("k1"), store.path_of("k2"));
+  // The embedded digest disagrees with the requested key: hard error.
+  expect_error_mentioning([&] { store.load("k2"); }, "digest");
+}
+
+TEST(TraceStore, ReadOnlyStoreNeverWrites) {
+  TempDir tmp;
+  {
+    const TraceStore rw(tmp.file("store"));
+    rw.save("k1", sample_capture());
+  }
+  const TraceStore ro(tmp.file("store"), /*read_only=*/true);
+  ro.save("k2", sample_capture());  // silently skipped
+  EXPECT_EQ(ro.stats().writes, 0u);
+  EXPECT_FALSE(fs::exists(ro.path_of("k2")));
+  EXPECT_TRUE(ro.load("k1").has_value());  // reads still work
+}
+
+// ---- Experiment integration: capture once, replay across processes ----
+
+core::ExperimentConfig store_experiment(std::shared_ptr<TraceStore> store,
+                                        std::uint64_t app_seed = 5) {
+  core::ExperimentConfig cfg;
+  cfg.platform.hier.l2.size_bytes = 32 * 1024;
+  cfg.profile_grid = {1, 4, 16};
+  cfg.profile_runs = 2;
+  cfg.profiler = core::ProfilerMode::kTraceReplay;
+  cfg.trace_store = std::move(store);
+  cfg.trace_key =
+      core::app_trace_key("store-test", apps::AppConfig::tiny(app_seed));
+  return cfg;
+}
+
+core::AppFactory tiny_m2v(std::uint64_t app_seed = 5) {
+  return [app_seed] {
+    return apps::make_m2v_app(apps::AppConfig::tiny(app_seed));
+  };
+}
+
+TEST(TraceStore, ExperimentWarmStartsBitIdentically) {
+  TempDir tmp;
+  const auto cold_store = std::make_shared<TraceStore>(tmp.file("store"));
+  const core::Experiment cold(tiny_m2v(), store_experiment(cold_store));
+  const MissProfile reference = cold.profile();
+  EXPECT_EQ(cold_store->stats().misses, 2u);  // one per jitter run
+  EXPECT_EQ(cold_store->stats().writes, 2u);
+
+  // A fresh store instance over the same directory models a new process:
+  // every capture comes off disk, no simulation runs, profile identical.
+  const auto warm_store = std::make_shared<TraceStore>(tmp.file("store"));
+  const core::Experiment warm(tiny_m2v(), store_experiment(warm_store));
+  EXPECT_TRUE(warm.profile().identical(reference));
+  EXPECT_EQ(warm_store->stats().hits, 2u);
+  EXPECT_EQ(warm_store->stats().misses, 0u);
+
+  // And the store-free profile agrees too (the store changes where
+  // captures come from, never what they contain).
+  core::ExperimentConfig no_store = store_experiment(nullptr);
+  const core::Experiment mem(tiny_m2v(), no_store);
+  EXPECT_TRUE(mem.profile().identical(reference));
+}
+
+TEST(TraceStore, DigestChangesMissTheStore) {
+  TempDir tmp;
+  const auto store = std::make_shared<TraceStore>(tmp.file("store"));
+  const core::Experiment base(tiny_m2v(), store_experiment(store));
+  base.profile();
+  const auto after_base = store->stats();
+
+  // Different app content (tiny seed) -> different trace_key -> misses.
+  const core::Experiment other_app(tiny_m2v(7), store_experiment(store, 7));
+  other_app.profile();
+  EXPECT_EQ(store->stats().misses, after_base.misses + 2);
+
+  // Different platform (hierarchy seed) -> different digest -> misses.
+  core::ExperimentConfig tweaked = store_experiment(store);
+  tweaked.platform.hier.seed ^= 1;
+  const core::Experiment other_platform(tiny_m2v(), tweaked);
+  other_platform.profile();
+  EXPECT_EQ(store->stats().misses, after_base.misses + 4);
+
+  // Same everything -> all hits.
+  const core::Experiment again(tiny_m2v(), store_experiment(store));
+  const auto before = store->stats();
+  again.profile();
+  EXPECT_EQ(store->stats().misses, before.misses);
+  EXPECT_EQ(store->stats().hits, before.hits + 2);
+}
+
+TEST(TraceStore, DigestSeparatesJitterRuns) {
+  core::ExperimentConfig cfg = store_experiment(nullptr);
+  const core::Experiment exp(tiny_m2v(), cfg);
+  EXPECT_NE(exp.trace_digest(0), exp.trace_digest(1));
+  EXPECT_EQ(exp.trace_digest(0), exp.trace_digest(0));
+}
+
+TEST(TraceStore, EmptyTraceKeyDisablesStoreUse) {
+  TempDir tmp;
+  const auto store = std::make_shared<TraceStore>(tmp.file("store"));
+  core::ExperimentConfig cfg = store_experiment(store);
+  cfg.trace_key.clear();
+  const core::Experiment exp(tiny_m2v(), cfg);
+  exp.profile();  // must not touch the store (warns instead)
+  EXPECT_EQ(store->stats().hits + store->stats().misses +
+                store->stats().writes,
+            0u);
+}
+
+TEST(TraceStore, UnusableCapturesAreNeverPersisted) {
+  // A capture run that trips the dispatch safety valve (or deadlocks, or
+  // fails verification) must not be written: a bad entry would be served
+  // as a silent hit by every later process.
+  TempDir tmp;
+  const auto store = std::make_shared<TraceStore>(tmp.file("store"));
+  core::ExperimentConfig cfg = store_experiment(store);
+  cfg.platform.max_dispatches = 1;  // run is cut off -> verify fails
+  const core::Experiment exp(tiny_m2v(), cfg);
+  exp.profile();
+  EXPECT_EQ(store->stats().writes, 0u);
+}
+
+TEST(TraceStore, KRandomCapturesRoundTripThroughTheStore) {
+  // The acceptance bar: store-loaded replay == in-memory replay ==
+  // full simulation, including kRandom replacement.
+  TempDir tmp;
+  auto make_cfg = [&](std::shared_ptr<TraceStore> store) {
+    core::ExperimentConfig cfg = store_experiment(std::move(store));
+    cfg.platform.hier.l2.replacement = mem::Replacement::kRandom;
+    return cfg;
+  };
+  const core::Experiment mem(tiny_m2v(), make_cfg(nullptr));
+  const MissProfile fullsim = mem.profile_with(core::ProfilerMode::kFullSim);
+
+  const auto s1 = std::make_shared<TraceStore>(tmp.file("store"));
+  const core::Experiment cold(tiny_m2v(), make_cfg(s1));
+  EXPECT_TRUE(cold.profile().identical(fullsim));
+
+  const auto s2 = std::make_shared<TraceStore>(tmp.file("store"));
+  const core::Experiment warm(tiny_m2v(), make_cfg(s2));
+  EXPECT_TRUE(warm.profile().identical(fullsim));
+  EXPECT_EQ(s2->stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace cms::opt
