@@ -1,0 +1,235 @@
+// plan_server: the store-aware planning service behind a line-oriented
+// stdin/stdout protocol — one request per line, one JSON response per
+// line. The process is the unit of deployment: point it at a trace-store
+// directory (shared with CI jobs, benches or other servers) and every
+// scenario is captured at most once across all of them; repeat plans are
+// pure store-replay and return in milliseconds.
+//
+//   $ ./example_plan_server --trace-dir traces --service-budget-entries 64
+//   > scenarios
+//   {"ok": true, "scenarios": ["jpeg-canny", ...]}
+//   > plan mpeg2-tiny
+//   {"ok": true, "scenario": "mpeg2-tiny", "captured": 1, ...}
+//   > plan mpeg2-tiny grid=1,2,4,8 runs=2 l2=32768 eps=0.01
+//   > stats
+//   > gc
+//   > quit
+//
+// Protocol:
+//   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
+//   scenarios          list registered scenario names
+//   stats              service + store counters
+//   gc                 enforce the store capacity budget now
+//   quit | exit        leave (EOF works too)
+//
+// Flags: --trace-dir D             store directory (default plan_server.traces)
+//        --trace off|ro|rw         store mode (off is rejected; default rw)
+//        --jobs N                  campaign workers per request
+//        --service-budget-bytes N  store byte budget (0 = unlimited)
+//        --service-budget-entries N  store entry budget (0 = unlimited)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/scenario.hpp"
+#include "svc/planning_service.hpp"
+
+using namespace cms;
+
+namespace {
+
+/// Minimal JSON string escaping for error messages and names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void print_response(const svc::PlanResponse& resp) {
+  if (!resp.ok) {
+    std::printf("{\"ok\": false, \"scenario\": \"%s\", \"error\": \"%s\"}\n",
+                json_escape(resp.scenario).c_str(),
+                json_escape(resp.error).c_str());
+    return;
+  }
+  std::printf("{\"ok\": true, \"scenario\": \"%s\", \"feasible\": %s, "
+              "\"expected_task_misses\": %.1f, \"used_sets\": %u, "
+              "\"total_sets\": %u, \"captured\": %llu, \"store_hits\": %llu",
+              json_escape(resp.scenario).c_str(),
+              resp.assignment.feasible ? "true" : "false",
+              resp.assignment.expected_task_misses, resp.assignment.used_sets,
+              resp.assignment.total_sets,
+              static_cast<unsigned long long>(resp.captured()),
+              static_cast<unsigned long long>(resp.store_hits()));
+  std::printf(", \"tasks\": [");
+  for (std::size_t i = 0; i < resp.tasks.size(); ++i) {
+    const auto& t = resp.tasks[i];
+    std::printf("%s{\"name\": \"%s\", \"sets\": %u, \"misses\": %.1f, "
+                "\"t_i\": %.0f}",
+                i ? ", " : "", json_escape(t.name).c_str(), t.sets,
+                t.predicted_misses, t.predicted_cycles);
+  }
+  std::printf("], \"runs\": [");
+  for (std::size_t i = 0; i < resp.captures.size(); ++i) {
+    const auto& r = resp.captures[i];
+    std::printf("%s{\"jitter\": %llu, \"digest\": \"%s\", \"source\": \"%s\"}",
+                i ? ", " : "", static_cast<unsigned long long>(r.jitter),
+                r.digest.c_str(), svc::to_string(r.source));
+  }
+  std::printf("], \"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
+              "\"plan\": %.1f, \"total\": %.1f}}\n",
+              resp.capture_ms, resp.profile_ms, resp.plan_ms, resp.total_ms);
+}
+
+/// Strict decimal parse (same digits-only policy as core/cli.hpp):
+/// "64k", "abc" or "" are rejected instead of silently truncating to a
+/// number the planner would confidently mis-plan with.
+bool parse_u32(const std::string& v, std::uint32_t& out) {
+  if (v.empty() || v.size() > 10) return false;
+  std::uint64_t n = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (n > 0xFFFFFFFFull) return false;
+  out = static_cast<std::uint32_t>(n);
+  return true;
+}
+
+/// Parse "plan <scenario> [key=value ...]" operands into a request.
+/// Returns false (with a message on stdout) on malformed input.
+bool parse_plan_args(std::istringstream& in, svc::PlanRequest& req) {
+  if (!(in >> req.scenario)) {
+    std::printf("{\"ok\": false, \"error\": \"plan needs a scenario name\"}\n");
+    return false;
+  }
+  const auto reject = [](const std::string& key, const std::string& val) {
+    std::printf("{\"ok\": false, \"error\": \"bad %s value '%s' (plain "
+                "decimal expected)\"}\n",
+                key.c_str(), json_escape(val).c_str());
+    return false;
+  };
+  std::string kv;
+  while (in >> kv) {
+    const auto eq = kv.find('=');
+    const std::string key = kv.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : kv.substr(eq + 1);
+    std::uint32_t n = 0;
+    if (key == "grid") {
+      std::istringstream gs(val);
+      std::string item;
+      while (std::getline(gs, item, ',')) {
+        if (!parse_u32(item, n)) return reject("grid", item);
+        req.grid.push_back(n);
+      }
+      if (req.grid.empty()) return reject("grid", val);
+    } else if (key == "runs") {
+      if (!parse_u32(val, n)) return reject("runs", val);
+      req.runs = n;
+    } else if (key == "l2") {
+      if (!parse_u32(val, n)) return reject("l2", val);
+      req.l2_size_bytes = n;
+    } else if (key == "eps") {
+      char* end = nullptr;
+      const double eps = std::strtod(val.c_str(), &end);
+      if (val.empty() || end != val.c_str() + val.size())
+        return reject("eps", val);
+      req.curvature_eps = eps;
+    } else {
+      std::printf("{\"ok\": false, \"error\": \"unknown option '%s' "
+                  "(grid=|runs=|l2=|eps=)\"}\n",
+                  json_escape(key).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = core::parse_jobs(argc, argv, 1);
+  std::string dir = core::parse_trace_dir(argc, argv);
+  if (dir.empty()) dir = "plan_server.traces";
+  const core::TraceMode mode = core::parse_trace_mode(argc, argv);
+  if (mode == core::TraceMode::kOff) {
+    std::fprintf(stderr, "plan_server needs a store (--trace=off?)\n");
+    return 1;
+  }
+  const opt::TraceStore::Capacity capacity{
+      core::parse_service_budget_bytes(argc, argv),
+      core::parse_service_budget_entries(argc, argv)};
+
+  svc::PlanningService service(
+      {svc::open_service_store(dir, mode, capacity), jobs, nullptr});
+  std::fprintf(stderr,
+               "plan_server ready: store %s (budget %llu bytes / %llu "
+               "entries), %u worker%s per request\n",
+               dir.c_str(), static_cast<unsigned long long>(capacity.max_bytes),
+               static_cast<unsigned long long>(capacity.max_entries), jobs,
+               jobs == 1 ? "" : "s");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;  // blank line
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "scenarios") {
+      const std::vector<std::string> names = core::scenarios().names();
+      std::printf("{\"ok\": true, \"scenarios\": [");
+      for (std::size_t i = 0; i < names.size(); ++i)
+        std::printf("%s\"%s\"", i ? ", " : "", names[i].c_str());
+      std::printf("]}\n");
+    } else if (cmd == "stats") {
+      const svc::ServiceStats ss = service.service_stats();
+      const opt::TraceStore::Stats st = service.store_stats();
+      std::printf(
+          "{\"ok\": true, \"service\": {\"requests\": %llu, \"captured\": "
+          "%llu, \"store_hits\": %llu, \"coalesced\": %llu}, "
+          "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
+          "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
+          "\"pinned\": %llu}}\n",
+          static_cast<unsigned long long>(ss.requests),
+          static_cast<unsigned long long>(ss.captured),
+          static_cast<unsigned long long>(ss.store_hits),
+          static_cast<unsigned long long>(ss.coalesced),
+          static_cast<unsigned long long>(st.hits),
+          static_cast<unsigned long long>(st.misses),
+          static_cast<unsigned long long>(st.writes),
+          static_cast<unsigned long long>(st.evictions),
+          static_cast<unsigned long long>(st.entries),
+          static_cast<unsigned long long>(st.bytes),
+          static_cast<unsigned long long>(st.pinned));
+    } else if (cmd == "gc") {
+      const opt::TraceStore::GcResult gr = service.gc();
+      std::printf("{\"ok\": true, \"evicted_entries\": %llu, "
+                  "\"evicted_bytes\": %llu}\n",
+                  static_cast<unsigned long long>(gr.evicted_entries),
+                  static_cast<unsigned long long>(gr.evicted_bytes));
+    } else if (cmd == "plan") {
+      svc::PlanRequest req;
+      if (parse_plan_args(in, req)) print_response(service.plan(req));
+    } else {
+      std::printf("{\"ok\": false, \"error\": \"unknown command '%s' "
+                  "(plan|scenarios|stats|gc|quit)\"}\n",
+                  json_escape(cmd).c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -3,6 +3,9 @@
 // identically in every binary.
 #pragma once
 
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,6 +83,69 @@ inline ProfilerMode parse_profiler(int argc, char** argv,
       return parse_value(argv[i] + 11);
   }
   return def;
+}
+
+/// Parse `FLAG N` / `FLAG=N` as a plain-decimal unsigned 64-bit value.
+/// Returns `def` when the flag is absent; malformed values (non-numeric,
+/// signed, padded — same digits-only rule as parse_jobs) warn and keep
+/// `def`.
+inline std::uint64_t parse_u64_flag(int argc, char** argv, const char* flag,
+                                    std::uint64_t def = 0) {
+  const auto parse_value = [def, flag](const char* v) -> std::uint64_t {
+    bool digits_only = v[0] != '\0';
+    for (const char* p = v; *p != '\0'; ++p)
+      if (*p < '0' || *p > '9') digits_only = false;
+    errno = 0;
+    const unsigned long long n = digits_only ? std::strtoull(v, nullptr, 10) : 0;
+    // An overflowing all-digits value saturates silently in strtoull;
+    // treat it like any other malformed input instead.
+    if (!digits_only || errno == ERANGE) {
+      std::fprintf(stderr, "warning: ignoring bad %s value '%s'\n", flag, v);
+      return def;
+    }
+    return n;
+  };
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr, "warning: %s needs a value\n", flag);
+      return def;
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=')
+      return parse_value(argv[i] + flag_len + 1);
+  }
+  return def;
+}
+
+/// Planning-service store budget: `--service-budget-bytes N` caps the
+/// trace store's on-disk footprint (LRU eviction above it; 0 = unlimited).
+inline std::uint64_t parse_service_budget_bytes(int argc, char** argv,
+                                                std::uint64_t def = 0) {
+  return parse_u64_flag(argc, argv, "--service-budget-bytes", def);
+}
+
+/// Planning-service store budget: `--service-budget-entries N` caps the
+/// trace store's entry count (LRU eviction above it; 0 = unlimited).
+inline std::uint64_t parse_service_budget_entries(int argc, char** argv,
+                                                  std::uint64_t def = 0) {
+  return parse_u64_flag(argc, argv, "--service-budget-entries", def);
+}
+
+/// Planning-service bench/driver: `--service-clients N` concurrent client
+/// threads hammering the plan endpoint.
+inline unsigned parse_service_clients(int argc, char** argv,
+                                      unsigned def = 4) {
+  const std::uint64_t n =
+      parse_u64_flag(argc, argv, "--service-clients", def);
+  if (n == 0 || n > kMaxJobs) {
+    std::fprintf(stderr,
+                 "warning: ignoring bad --service-clients value (1..%u)\n",
+                 kMaxJobs);
+    return def;
+  }
+  return static_cast<unsigned>(n);
 }
 
 /// Parse `--trace-dir DIR` / `--trace-dir=DIR`: directory of the

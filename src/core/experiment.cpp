@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "common/log.hpp"
@@ -25,6 +26,22 @@ void hash_cache_config(serialize::ByteWriter& w, const mem::CacheConfig& c) {
 void hash_region(serialize::ByteWriter& w, const sim::Region& r) {
   w.varint(r.base);
   w.varint(r.size);
+}
+
+/// Fold one instrumented run's recording + results into a CaptureRun.
+opt::CaptureRun assemble_capture(opt::TraceRecorder& rec,
+                                 const core::RunOutput& out) {
+  opt::CaptureRun capture;
+  capture.trace = rec.take();
+  // The rt data/bss buffer clients of the simulated app: replay excludes
+  // their demand misses from per-task counts just as the engine excludes
+  // switch work from task active cycles.
+  capture.scheduler_clients = out.scheduler_clients;
+  capture.tasks.reserve(out.results.tasks.size());
+  for (const auto& t : out.results.tasks)
+    capture.tasks.push_back(opt::CaptureTaskStats{
+        t.id, t.name, t.instructions, t.compute_cycles, t.mem_cycles});
+  return capture;
 }
 
 std::string hex128(std::uint64_t hi, std::uint64_t lo) {
@@ -258,20 +275,36 @@ std::vector<opt::CaptureRun> Experiment::capture_runs_for(
     const bool usable = !out.results.deadlocked && out.verified;
     if (!usable)
       log_warn() << "capture run unusable at jitter " << r;
-    captures[r].trace = recorders[i]->take();
-    // The rt data/bss buffer clients of the simulated app: replay
-    // excludes their demand misses from per-task counts just as the
-    // engine excludes switch work from task active cycles.
-    captures[r].scheduler_clients = out.scheduler_clients;
-    captures[r].tasks.reserve(out.results.tasks.size());
-    for (const auto& t : out.results.tasks)
-      captures[r].tasks.push_back(opt::CaptureTaskStats{
-          t.id, t.name, t.instructions, t.compute_cycles, t.mem_cycles});
+    captures[r] = assemble_capture(*recorders[i], out);
     // Only sound captures become durable: a deadlocked or unverified run
     // written to the store would be served as a silent hit forever.
     if (store != nullptr && usable) store->save(digests[r], captures[r]);
   }
   return captures;
+}
+
+opt::CaptureRun Experiment::capture_single(std::uint32_t run,
+                                           bool* usable) const {
+  const std::uint32_t runs = std::max(1u, cfg_.profile_runs);
+  if (run >= runs)
+    throw std::invalid_argument("capture_single: run " + std::to_string(run) +
+                                " out of range (profile_runs " +
+                                std::to_string(runs) + ")");
+  const std::vector<ProfileJob> sweep = profile_jobs();
+  if (sweep.size() < runs)
+    throw std::invalid_argument(
+        "capture_single: empty profile grid (no capture job to run)");
+  assert(sweep[run].run == run);
+  SimJob job = sweep[run].job;
+  const auto rec =
+      std::make_shared<opt::TraceRecorder>(cfg_.platform.hier.l2.line_bytes);
+  job.trace_sink = rec;
+  job.label += "/capture";
+  const RunOutput out = execute_job(job);
+  const bool ok = !out.results.deadlocked && out.verified;
+  if (!ok) log_warn() << "capture run unusable at jitter " << run;
+  if (usable != nullptr) *usable = ok;
+  return assemble_capture(*rec, out);
 }
 
 std::vector<opt::ReplayJob> Experiment::replay_jobs(

@@ -118,6 +118,17 @@ class Experiment {
   /// instead of simulated, and live captures are written back.
   std::vector<opt::CaptureRun> capture_runs() const;
 
+  /// Capture exactly ONE jitter run on the calling thread, with no store
+  /// interaction — the building block for services that manage store
+  /// admission (and single-flight capture deduplication) themselves, e.g.
+  /// svc::PlanningService. `run` indexes the jitter seeds [0,
+  /// profile_runs). `usable` (when non-null) reports whether the run
+  /// completed soundly (no deadlock, output verified); unusable captures
+  /// must never be persisted. Throws std::invalid_argument on an
+  /// out-of-range run.
+  opt::CaptureRun capture_single(std::uint32_t run,
+                                 bool* usable = nullptr) const;
+
   /// Content address of the capture for jitter seed `jitter`: a digest of
   /// the trace schema version, trace_key, scheduler policy, the full
   /// platform/hierarchy configuration and the jitter seed — everything

@@ -47,6 +47,44 @@ const PlanEntry* PartitionPlan::find(const std::string& n) const {
   return nullptr;
 }
 
+bool PartitionPlan::identical(const PartitionPlan& other) const {
+  if (feasible != other.feasible || total_sets != other.total_sets ||
+      used_sets != other.used_sets || spare != other.spare ||
+      expected_task_misses != other.expected_task_misses ||
+      entries.size() != other.entries.size())
+    return false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PlanEntry& a = entries[i];
+    const PlanEntry& b = other.entries[i];
+    if (a.client != b.client || a.name != b.name || a.kind != b.kind ||
+        a.is_task != b.is_task || a.sets != b.sets ||
+        a.partition != b.partition || a.expected_misses != b.expected_misses)
+      return false;
+  }
+  return true;
+}
+
+double auto_curvature_eps(const MissProfile& prof) {
+  double eps = 0.0;
+  for (const std::string& name : prof.task_names()) {
+    const auto& curve = prof.curve(name);
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const auto& [sets, point] : curve) {
+      const double m = point.misses.mean();
+      lo = first ? m : std::min(lo, m);
+      hi = first ? m : std::max(hi, m);
+      first = false;
+    }
+    const double range = hi - lo;
+    if (range <= 0.0) continue;  // flat curve: any eps is lossless
+    for (const auto& [sets, point] : curve)
+      if (point.misses.count() >= 2)
+        eps = std::max(eps, point.misses.stddev() / range);
+  }
+  return std::min(eps, 0.05);
+}
+
 void PartitionPlan::apply(mem::PartitionedCache& cache) const {
   cache.partition_table().clear();
   for (const auto& e : entries) {
@@ -127,6 +165,11 @@ PartitionPlan plan_partitions(
   }
 
   const std::uint32_t task_capacity = plan.total_sets - fixed_total;
+  // kAutoCurvatureEps: resolve the thinning tolerance from the profile's
+  // measured jitter spread once, for every group.
+  const double curve_eps = cfg.curvature_eps < 0.0
+                               ? auto_curvature_eps(prof)
+                               : cfg.curvature_eps;
   std::vector<MckpGroup> groups;
   auto make_group = [&](const std::string& name) {
     MckpGroup g;
@@ -142,7 +185,7 @@ PartitionPlan plan_partitions(
     } else if (cfg.prune_dominated) {
       // Dense replay grids are mostly flat; dominance (exact) plus
       // optional curvature thinning keeps the solvers fast at 64+ points.
-      prune_mckp_items(g.items, cfg.curvature_eps);
+      prune_mckp_items(g.items, curve_eps);
     }
     return g;
   };

@@ -46,6 +46,12 @@ struct PartitionPlan {
 
   const PlanEntry* find(const std::string& name) const;
 
+  /// True iff both plans assign bitwise-identical partitions: same
+  /// entries (client, name, sets, range, expected misses), totals and
+  /// spare range. The planning service and its bench/tests use this to
+  /// assert that concurrent, store-served and direct plans agree exactly.
+  bool identical(const PartitionPlan& other) const;
+
   /// Install the partitions into the cache's partition table and set the
   /// spare range as default. Does not touch the interval table (buffer
   /// registration is the OS's job and is mode-independent).
@@ -65,14 +71,31 @@ struct PlannerConfig {
   /// are mostly flat, so this typically collapses 64+ candidates per task
   /// to a handful.
   bool prune_dominated = true;
+  /// curvature_eps sentinel: auto-tune the thinning tolerance from the
+  /// measured noise instead of hand-picking it.
+  static constexpr double kAutoCurvatureEps = -1.0;
   /// > 0: additionally drop near-collinear interior grid points
   /// (curvature-aware thinning, approximate within eps x cost range).
-  double curvature_eps = 0.0;
+  /// 0 disables thinning. The default, kAutoCurvatureEps (any negative
+  /// value), derives the tolerance from the profile's own jitter spread
+  /// at plan time (see auto_curvature_eps) — a profile without repeated
+  /// measurements resolves to 0, i.e. lossless pruning only.
+  double curvature_eps = kAutoCurvatureEps;
   TaskSolver solver = TaskSolver::kDp;
   /// Cap a single FIFO's allocation (pathologically large FIFOs would
   /// otherwise starve the tasks).
   std::uint32_t max_fifo_sets = 256;
 };
+
+/// The curvature-thinning tolerance PlannerConfig::kAutoCurvatureEps
+/// resolves to: the largest per-point relative jitter noise of the
+/// profile — stddev of the repeated miss measurements over the task's
+/// cost range — clamped to at most 0.05. A deviation from collinearity
+/// below the measurement noise cannot be a statistically significant
+/// knee, so thinning within that tolerance never drops one; a profile
+/// with no repeated measurements (profile_runs == 1) yields 0 and
+/// thinning stays lossless.
+double auto_curvature_eps(const MissProfile& prof);
 
 /// Sets needed so `bytes` of contiguous memory fully fit (all-hit policy).
 std::uint32_t sets_for_bytes(std::uint64_t bytes, const mem::CacheConfig& l2,

@@ -1,16 +1,36 @@
 #include "opt/trace_store.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 namespace cms::opt {
 
 namespace fs = std::filesystem;
 
+TraceStore::Pin& TraceStore::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    release();
+    store_ = other.store_;
+    digest_ = std::move(other.digest_);
+    other.store_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceStore::Pin::release() {
+  if (store_ != nullptr) store_->unpin(digest_);
+  store_ = nullptr;
+}
+
 TraceStore::TraceStore(std::string dir, bool read_only)
-    : dir_(std::move(dir)), read_only_(read_only) {
+    : TraceStore(std::move(dir), read_only, Capacity()) {}
+
+TraceStore::TraceStore(std::string dir, bool read_only, Capacity capacity)
+    : dir_(std::move(dir)), read_only_(read_only), capacity_(capacity) {
   if (dir_.empty())
     throw std::runtime_error("trace store needs a directory path");
   if (!read_only_) {
@@ -20,10 +40,90 @@ TraceStore::TraceStore(std::string dir, bool read_only)
       throw std::runtime_error(dir_ + ": cannot create trace store dir (" +
                                ec.message() + ")");
   }
+  // Index pre-existing entries; LRU order seeded from file mtimes so a
+  // reopened store evicts the stalest captures first. Sort before
+  // touching: directory iteration order is unspecified.
+  std::error_code ec;
+  std::vector<std::pair<fs::file_time_type, std::pair<std::string, std::uint64_t>>>
+      found;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    std::error_code file_ec;
+    if (!e.is_regular_file(file_ec) || file_ec) continue;
+    const fs::path& p = e.path();
+    if (p.extension() != ".cmstrace") continue;
+    // Each stat gets its own error check: a file another process evicts
+    // mid-scan must be skipped, not indexed with file_size's uintmax(-1)
+    // error value (which would poison the byte accounting).
+    std::error_code mtime_ec, size_ec;
+    const fs::file_time_type mtime = e.last_write_time(mtime_ec);
+    const std::uintmax_t bytes = e.file_size(size_ec);
+    if (mtime_ec || size_ec) continue;
+    found.emplace_back(mtime, std::make_pair(p.stem().string(),
+                                             static_cast<std::uint64_t>(bytes)));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [mtime, entry] : found)
+    touch_locked(entry.first, entry.second);
 }
 
 std::string TraceStore::path_of(const std::string& digest) const {
   return (fs::path(dir_) / (digest + ".cmstrace")).string();
+}
+
+void TraceStore::touch_locked(const std::string& digest,
+                              std::uint64_t bytes) const {
+  Entry& e = entries_[digest];
+  if (e.last_use == 0) {  // new entry
+    e.bytes = bytes;
+    bytes_total_ += bytes;
+  } else if (bytes != 0 && bytes != e.bytes) {  // rewritten (same content
+    bytes_total_ += bytes - e.bytes;            // normally; sizes only drift
+    e.bytes = bytes;                            // across schema versions)
+  }
+  e.last_use = ++clock_;
+}
+
+void TraceStore::erase_locked(const std::string& digest) const {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) return;
+  bytes_total_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+TraceStore::GcResult TraceStore::enforce_budget_locked() const {
+  GcResult out;
+  if (read_only_ || capacity_.unlimited()) return out;
+  const auto over = [&] {
+    return (capacity_.max_bytes != 0 && bytes_total_ > capacity_.max_bytes) ||
+           (capacity_.max_entries != 0 &&
+            entries_.size() > capacity_.max_entries);
+  };
+  while (over()) {
+    // Least-recently-used unpinned entry; pinned entries are invisible to
+    // eviction, so a store whose pins alone bust the budget stays over it.
+    const std::string* victim = nullptr;
+    std::uint64_t oldest = 0;
+    for (const auto& [digest, e] : entries_) {
+      if (pins_.contains(digest)) continue;
+      if (victim == nullptr || e.last_use < oldest) {
+        victim = &digest;
+        oldest = e.last_use;
+      }
+    }
+    if (victim == nullptr) break;
+    const auto it = entries_.find(*victim);
+    std::error_code ec;
+    fs::remove(path_of(*victim), ec);  // best effort; index is authoritative
+    bytes_total_ -= it->second.bytes;
+    out.evicted_entries += 1;
+    out.evicted_bytes += it->second.bytes;
+    entries_.erase(it);
+  }
+  evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
+  evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
+  return out;
 }
 
 std::optional<CaptureRun> TraceStore::load(const std::string& digest) const {
@@ -31,18 +131,46 @@ std::optional<CaptureRun> TraceStore::load(const std::string& digest) const {
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
     std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.misses;
+    erase_locked(digest);  // may have been evicted by another process
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   std::string stored_digest;
-  CaptureRun capture = load_capture(path, &stored_digest);
+  CaptureRun capture;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      capture = load_capture(path, &stored_digest);
+      break;
+    } catch (const std::runtime_error&) {
+      // The file vanished between the existence check and the read: a
+      // concurrent eviction (this process or another) — an ordinary
+      // miss. Still present means either genuine corruption or an
+      // evict-then-resave race (a peer wrote the entry back after the
+      // eviction that broke our read); ONE retry distinguishes them —
+      // entries are immutable per digest, so a successful reread is the
+      // same capture, and a second failure on a present file is real
+      // corruption to surface.
+      if (fs::exists(path, ec) && !ec) {
+        if (attempt == 0) continue;
+        throw;
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      erase_locked(digest);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
   // The digest inside the file must match the name it was addressed by;
   // a renamed or hand-copied entry must never masquerade as another key.
   if (stored_digest != digest)
     throw std::runtime_error(path + ": stored digest " + stored_digest +
                              " does not match requested " + digest);
-  std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.hits;
+  const std::uintmax_t sz = fs::file_size(path, ec);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    touch_locked(digest, ec ? 0 : static_cast<std::uint64_t>(sz));
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return capture;
 }
 
@@ -50,13 +178,60 @@ void TraceStore::save(const std::string& digest,
                       const CaptureRun& capture) const {
   if (read_only_) return;
   save_capture(capture, digest, path_of(digest));
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  const auto bytes =
+      static_cast<std::uint64_t>(fs::file_size(path_of(digest), ec));
   std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.writes;
+  touch_locked(digest, ec ? 0 : bytes);
+  enforce_budget_locked();
+}
+
+bool TraceStore::contains(const std::string& digest) const {
+  const std::string path = path_of(digest);
+  std::error_code ec;
+  const bool present = fs::exists(path, ec) && !ec;
+  const std::uintmax_t sz = present ? fs::file_size(path, ec) : 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (present)
+    touch_locked(digest, ec ? 0 : static_cast<std::uint64_t>(sz));
+  else
+    erase_locked(digest);
+  return present;
+}
+
+TraceStore::Pin TraceStore::pin(const std::string& digest) const {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pins_[digest];
+  }
+  return Pin(this, digest);
+}
+
+void TraceStore::unpin(const std::string& digest) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = pins_.find(digest);
+  if (it == pins_.end()) return;
+  if (--it->second == 0) pins_.erase(it);
+}
+
+TraceStore::GcResult TraceStore::gc() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return enforce_budget_locked();
 }
 
 TraceStore::Stats TraceStore::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  s.entries = entries_.size();
+  s.bytes = bytes_total_;
+  s.pinned = pins_.size();
+  return s;
 }
 
 }  // namespace cms::opt

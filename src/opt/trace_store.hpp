@@ -19,13 +19,34 @@
 //   if (auto hit = store.load(digest)) { ... }   // nullopt on miss
 //   else { capture = run_instrumented(); store.save(digest, capture); }
 //
-// Thread-safety: load/save are individually thread- and process-safe
-// (writes go through a temp file + atomic rename; concurrent writers of
-// the same digest produce identical content, so either rename winning is
-// correct). The stats counters are mutex-guarded.
+// Capacity management (the planning service's long-running stores): a
+// byte/entry budget with LRU eviction. The store keeps an in-memory index
+// of every entry's size and last use (seeded from the directory at
+// construction, ordered by file mtime); save() and gc() delete the
+// least-recently-used entries until the budget holds again. Entries PINNED
+// by in-flight requests (pin(), RAII Pin handle, refcounted) are never
+// evicted BY THIS INSTANCE — if only pinned entries remain, the store
+// stays over budget rather than corrupt a capture someone is using. A pin
+// names a digest, not a file: pinning before the entry exists is legal
+// and protects the entry from the moment it is saved. Pins are
+// per-instance state: another process (or another TraceStore over the
+// same directory) enforcing its own budget may still delete the file —
+// that degrades to a miss + re-capture on this side (see load() below),
+// never to corruption.
+//
+// Thread-safety: every member is thread- and process-safe. Writes go
+// through a temp file + atomic rename (concurrent writers of the same
+// digest produce identical content, so either rename winning is correct);
+// a load that finds the file vanished mid-read — another thread or
+// process evicted it — reports a MISS, never an error. The hit/miss/
+// write/eviction counters are atomic (lock-free, TSan-clean); the LRU
+// index and pin table share one mutex that is never held across file I/O
+// except during eviction deletes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -37,37 +58,125 @@ namespace cms::opt {
 class TraceStore {
  public:
   struct Stats {
-    std::uint64_t hits = 0;    // load() found a valid entry
-    std::uint64_t misses = 0;  // load() found nothing
-    std::uint64_t writes = 0;  // save() persisted an entry
+    std::uint64_t hits = 0;       // load() found a valid entry
+    std::uint64_t misses = 0;     // load() found nothing
+    std::uint64_t writes = 0;     // save() persisted an entry
+    std::uint64_t evictions = 0;  // entries deleted to satisfy the budget
+    std::uint64_t evicted_bytes = 0;
+    std::uint64_t entries = 0;  // resident entries right now
+    std::uint64_t bytes = 0;    // resident on-disk bytes right now
+    std::uint64_t pinned = 0;   // digests currently pinned
   };
 
-  /// Open (and in read-write mode create) the store directory. Throws
+  /// Byte/entry budget of a read-write store; 0 means unlimited. Enforced
+  /// after every save() and on demand by gc() — never below what the
+  /// pinned entries occupy.
+  struct Capacity {
+    std::uint64_t max_bytes = 0;
+    std::uint64_t max_entries = 0;
+
+    bool unlimited() const { return max_bytes == 0 && max_entries == 0; }
+  };
+
+  /// What one eviction pass (gc() or a post-save enforcement) removed.
+  struct GcResult {
+    std::uint64_t evicted_entries = 0;
+    std::uint64_t evicted_bytes = 0;
+  };
+
+  /// Keeps a digest's entry resident while alive (refcounted; move-only).
+  /// Destruction unpins; a default-constructed Pin holds nothing.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept
+        : store_(other.store_), digest_(std::move(other.digest_)) {
+      other.store_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    const std::string& digest() const { return digest_; }
+
+   private:
+    friend class TraceStore;
+    Pin(const TraceStore* store, std::string digest)
+        : store_(store), digest_(std::move(digest)) {}
+    void release();
+
+    const TraceStore* store_ = nullptr;
+    std::string digest_;
+  };
+
+  /// Open (and in read-write mode create) the store directory, indexing
+  /// any existing entries (LRU order seeded from file mtimes). Throws
   /// std::runtime_error when a read-write store directory cannot be
   /// created.
   explicit TraceStore(std::string dir, bool read_only = false);
+  TraceStore(std::string dir, bool read_only, Capacity capacity);
 
   const std::string& dir() const { return dir_; }
   bool read_only() const { return read_only_; }
+  const Capacity& capacity() const { return capacity_; }
 
   /// Path an entry for `digest` would live at (bench reporting, tests).
   std::string path_of(const std::string& digest) const;
 
-  /// Look up a capture by digest. Returns nullopt on a miss; throws
-  /// std::runtime_error (naming the file) on a corrupt or mislabeled
-  /// entry — corruption is surfaced, never silently re-simulated.
+  /// Look up a capture by digest. Returns nullopt on a miss — including
+  /// an entry that vanished mid-read because another thread or process
+  /// evicted it; throws std::runtime_error (naming the file) on a corrupt
+  /// or mislabeled entry — corruption is surfaced, never silently
+  /// re-simulated.
   std::optional<CaptureRun> load(const std::string& digest) const;
 
-  /// Persist a capture under `digest`. No-op in read-only mode.
+  /// Persist a capture under `digest`, then enforce the capacity budget
+  /// (evicting LRU unpinned entries, never the one just written unless it
+  /// alone exceeds the budget and is unpinned). No-op in read-only mode.
   void save(const std::string& digest, const CaptureRun& capture) const;
+
+  /// True when an entry for `digest` is resident (freshens its LRU slot).
+  /// A cheap existence probe — the file is not validated and neither the
+  /// hit nor the miss counter moves; use load() to consume the capture.
+  bool contains(const std::string& digest) const;
+
+  /// Pin `digest` against eviction until the returned handle dies. Legal
+  /// before the entry exists (protects it from the moment of save).
+  Pin pin(const std::string& digest) const;
+
+  /// Enforce the capacity budget now; returns what was evicted. No-op on
+  /// read-only or unlimited stores.
+  GcResult gc() const;
 
   Stats stats() const;
 
  private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;  // logical clock, larger = more recent
+  };
+
+  void touch_locked(const std::string& digest, std::uint64_t bytes) const;
+  void erase_locked(const std::string& digest) const;
+  GcResult enforce_budget_locked() const;
+  void unpin(const std::string& digest) const;
+
   std::string dir_;
   bool read_only_;
-  mutable std::mutex mu_;  // guards stats_
-  mutable Stats stats_;
+  Capacity capacity_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> writes_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> evicted_bytes_{0};
+
+  mutable std::mutex mu_;  // guards entries_, pins_, clock_, bytes_total_
+  mutable std::map<std::string, Entry> entries_;
+  mutable std::map<std::string, std::uint32_t> pins_;  // digest -> refcount
+  mutable std::uint64_t clock_ = 0;
+  mutable std::uint64_t bytes_total_ = 0;
 };
 
 }  // namespace cms::opt

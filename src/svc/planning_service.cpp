@@ -1,0 +1,248 @@
+#include "svc/planning_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace cms::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+const char* to_string(CaptureSource source) {
+  switch (source) {
+    case CaptureSource::kStoreHit: return "hit";
+    case CaptureSource::kCaptured: return "captured";
+    case CaptureSource::kCoalesced: return "coalesced";
+  }
+  return "?";
+}
+
+std::uint64_t PlanResponse::captured() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(captures.begin(), captures.end(), [](const auto& r) {
+        return r.source == CaptureSource::kCaptured;
+      }));
+}
+
+std::uint64_t PlanResponse::store_hits() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(captures.begin(), captures.end(), [](const auto& r) {
+        return r.source == CaptureSource::kStoreHit;
+      }));
+}
+
+PlanningService::PlanningService(PlanningServiceConfig cfg)
+    : cfg_(std::move(cfg)), store_(cfg_.store) {
+  if (store_ == nullptr)
+    throw std::invalid_argument(
+        "PlanningService needs a TraceStore: without one captures could "
+        "neither warm-start requests nor reach single-flight followers");
+}
+
+core::Experiment PlanningService::make_experiment(
+    const PlanRequest& req) const {
+  core::ScenarioSpec spec = core::scenarios().get(req.scenario);
+  core::ExperimentConfig cfg = spec.experiment;
+  if (cfg.trace_key.empty())
+    throw std::invalid_argument(
+        "scenario '" + req.scenario +
+        "' has no trace_key; the planning service needs content-addressed "
+        "captures");
+  if (!req.grid.empty()) {
+    for (const std::uint32_t sets : req.grid)
+      if (sets == 0)
+        throw std::invalid_argument("plan request grid contains size 0");
+    cfg.profile_grid = req.grid;
+  }
+  if (req.runs) cfg.profile_runs = std::max(1u, *req.runs);
+  if (req.l2_size_bytes) {
+    // An L2 override smaller than one set would crash the cache model
+    // (modulo by zero sets) — reject it as a request error instead.
+    const mem::CacheConfig& l2 = cfg.platform.hier.l2;
+    const std::uint32_t set_bytes = l2.line_bytes * l2.ways;
+    if (*req.l2_size_bytes < set_bytes)
+      throw std::invalid_argument(
+          "plan request l2_size_bytes " + std::to_string(*req.l2_size_bytes) +
+          " is smaller than one set (" + std::to_string(set_bytes) +
+          " bytes)");
+    cfg.platform.hier.l2.size_bytes = *req.l2_size_bytes;
+  }
+  if (req.curvature_eps) cfg.planner.curvature_eps = *req.curvature_eps;
+  // The service path: captures come from (or land in) the shared store,
+  // the sweep is replayed from them. Trace replay is bit-identical to
+  // full simulation (ARCHITECTURE.md), so responses match direct
+  // Experiment plans exactly.
+  cfg.trace_store = store_;
+  cfg.profiler = core::ProfilerMode::kTraceReplay;
+  cfg.jobs = cfg_.jobs;
+  return core::Experiment(std::move(spec.factory), std::move(cfg));
+}
+
+CaptureSource PlanningService::ensure_capture(const core::Experiment& exp,
+                                              std::uint32_t run,
+                                              const std::string& digest) {
+  // Fast path: resident already. The caller holds a pin, so the entry
+  // cannot be evicted between this probe and the replay that consumes it.
+  if (store_->contains(digest)) {
+    store_hits_.fetch_add(1, std::memory_order_relaxed);
+    return CaptureSource::kStoreHit;
+  }
+
+  // A read-only store cannot persist a leader's capture, so single-flight
+  // could never hand the result to followers (or to this request's own
+  // profile() pass) — capturing here would just run the simulation twice.
+  // Let Experiment::profile() capture in memory, batched on its Campaign.
+  if (store_->read_only()) {
+    captured_.fetch_add(1, std::memory_order_relaxed);
+    return CaptureSource::kCaptured;
+  }
+
+  std::promise<void> lead;
+  std::shared_future<void> follow;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = inflight_.find(digest);
+    if (it != inflight_.end())
+      follow = it->second;
+    else
+      inflight_.emplace(digest, lead.get_future().share());
+  }
+  if (follow.valid()) {
+    follow.get();  // rethrows the leader's failure as this request's
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return CaptureSource::kCoalesced;
+  }
+
+  // We are the leader; whatever happens, resolve the in-flight entry so
+  // followers never block forever.
+  try {
+    // Double-check under single-flight: a previous leader may have saved
+    // the entry between our contains() probe and our registration (it
+    // erases its in-flight slot only AFTER saving), so finding it now is
+    // a hit — re-capturing would break exactly-once.
+    if (store_->contains(digest)) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        inflight_.erase(digest);
+      }
+      lead.set_value();
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      return CaptureSource::kStoreHit;
+    }
+    if (cfg_.capture_started) cfg_.capture_started(digest);
+    bool usable = false;
+    const opt::CaptureRun capture = exp.capture_single(run, &usable);
+    if (!usable)
+      throw std::runtime_error("capture run " + std::to_string(run) +
+                               " of scenario unusable (deadlock or failed "
+                               "verification); refusing to plan from it");
+    store_->save(digest, capture);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      inflight_.erase(digest);
+    }
+    lead.set_value();
+    captured_.fetch_add(1, std::memory_order_relaxed);
+    return CaptureSource::kCaptured;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      inflight_.erase(digest);
+    }
+    lead.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+PlanResponse PlanningService::plan(const PlanRequest& req) {
+  PlanResponse resp;
+  resp.scenario = req.scenario;
+  const auto t0 = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const core::Experiment exp = make_experiment(req);
+    const std::uint32_t runs = std::max(1u, exp.config().profile_runs);
+
+    // Pin every digest this request will replay BEFORE ensuring captures:
+    // from here to the end of the request, capacity eviction cannot touch
+    // them (pins release when `pins` dies).
+    const auto tc = Clock::now();
+    std::vector<opt::TraceStore::Pin> pins;
+    pins.reserve(runs);
+    resp.captures.reserve(runs);
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      PlanResponse::RunProvenance prov;
+      prov.jitter = r;  // profile_jobs uses the run index as jitter seed
+      prov.digest = exp.trace_digest(r);
+      pins.push_back(store_->pin(prov.digest));
+      resp.captures.push_back(std::move(prov));
+    }
+    // Missing digests are ensured one at a time: with the default 1-2
+    // jitter runs a cold request pays at most two sequential simulations
+    // ONCE per store lifetime, and per-digest single-flight stays simple.
+    // (Batching pending captures onto a Campaign, as capture_runs_for
+    // does, is the upgrade path if workloads with many runs appear.)
+    for (auto& prov : resp.captures)
+      prov.source = ensure_capture(
+          exp, static_cast<std::uint32_t>(prov.jitter), prov.digest);
+    resp.capture_ms = ms_since(tc);
+
+    // Every capture is now resident and pinned: the profiling sweep is a
+    // pure store-hit replay.
+    const auto tp = Clock::now();
+    const opt::MissProfile prof = exp.profile();
+    resp.profile_ms = ms_since(tp);
+
+    const auto tl = Clock::now();
+    resp.assignment = exp.plan(prof);
+    resp.plan_ms = ms_since(tl);
+
+    for (const opt::PlanEntry& e : resp.assignment.entries) {
+      if (!e.is_task) continue;
+      PlanResponse::TaskPrediction t;
+      t.name = e.name;
+      t.sets = e.sets;
+      t.predicted_misses = e.expected_misses;
+      t.predicted_cycles = prof.active_cycles(e.name, e.sets);
+      resp.tasks.push_back(std::move(t));
+    }
+    resp.ok = true;
+  } catch (const std::exception& e) {
+    resp.error = e.what();
+    resp.ok = false;
+  }
+  resp.total_ms = ms_since(t0);
+  return resp;
+}
+
+ServiceStats PlanningService::service_stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.captured = captured_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::shared_ptr<opt::TraceStore> open_service_store(
+    const std::string& dir, core::TraceMode mode,
+    opt::TraceStore::Capacity capacity) {
+  // Mirrors core::open_trace_store (which stays capacity-free so
+  // experiment.hpp needs no TraceStore definition); keep the empty-dir /
+  // kOff semantics of the two in sync.
+  if (dir.empty() || mode == core::TraceMode::kOff) return nullptr;
+  return std::make_shared<opt::TraceStore>(
+      dir, mode == core::TraceMode::kReadOnly, capacity);
+}
+
+}  // namespace cms::svc

@@ -1,0 +1,195 @@
+// Store-aware planning service — the paper's compositional promise as a
+// long-running endpoint.
+//
+// The method's economics only pay off at scale if isolation captures are
+// shared and amortized: profile each task mix ONCE (one instrumented
+// simulation per jitter seed), persist the captures content-addressed
+// (opt/trace_store.hpp), then answer every subsequent "plan this scenario"
+// request by replaying the stored streams over the requested grid and
+// solving the MCKP — milliseconds instead of seconds. PlanningService is
+// that endpoint: concurrent clients submit PlanRequests and get back the
+// partition assignment, the predicted per-task t_i, per-jitter-run store
+// provenance (hit / captured / coalesced) and phase timings.
+//
+//   svc::PlanningService service({store, /*jobs=*/2});
+//   svc::PlanRequest req;
+//   req.scenario = "jpeg-canny-dense";
+//   svc::PlanResponse resp = service.plan(req);   // thread-safe
+//
+// Threading contract:
+//  * plan() may be called from any number of threads concurrently; each
+//    request builds its own Experiment/Campaign object graph, so requests
+//    share nothing but the TraceStore (itself thread-safe) and the
+//    single-flight table.
+//  * SINGLE-FLIGHT capture dedup: when two clients need the same capture
+//    digest at the same time, exactly ONE runs the instrumented
+//    simulation; the others block until the leader has saved the entry
+//    and then read it from the store (source kCoalesced). A leader
+//    failure propagates to its followers as the error response. Combined
+//    with the store double-check after leader election, the service
+//    performs exactly one capture per digest no matter how requests
+//    interleave.
+//  * EVICTION SAFETY: every digest a request depends on is pinned in the
+//    TraceStore for the request's whole lifetime (TraceStore::Pin), so
+//    capacity-triggered LRU eviction can drop cold entries but never a
+//    capture an in-flight request is about to replay.
+//
+// plan() never throws: failures (unknown scenario, missing trace_key,
+// unusable capture run, corrupt store entry) come back as ok == false
+// with the error message. The store's capacity controls are surfaced
+// through gc() and store_stats().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "opt/trace_store.hpp"
+
+namespace cms::svc {
+
+/// One planning request. Only `scenario` is required; everything else
+/// overrides the registered spec (and, being part of the capture digest,
+/// transparently separates store entries per override).
+struct PlanRequest {
+  std::string scenario;  // name in core::scenarios()
+  /// Profiling grid (candidate partition sizes, in sets); empty keeps the
+  /// scenario's grid. Entries must be >= 1.
+  std::vector<std::uint32_t> grid;
+  /// Number of jitter seeds to profile (seeds 0..runs-1); one capture per
+  /// seed.
+  std::optional<std::uint32_t> runs;
+  /// Platform override: L2 capacity in bytes.
+  std::optional<std::uint32_t> l2_size_bytes;
+  /// Planner override: curvature-thinning tolerance
+  /// (opt::PlannerConfig::curvature_eps; negative = auto-tune from the
+  /// profile's jitter spread).
+  std::optional<double> curvature_eps;
+};
+
+/// Where one jitter run's capture came from.
+enum class CaptureSource {
+  kStoreHit,   // already resident in the trace store
+  kCaptured,   // this request ran the instrumented simulation
+  kCoalesced,  // waited for a concurrent request's capture (single-flight)
+};
+const char* to_string(CaptureSource source);
+
+struct PlanResponse {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string scenario;
+
+  /// The L2 partition assignment (opt::PartitionPlan) — bit-identical to
+  /// what a direct Experiment::plan(profile()) would produce.
+  opt::PartitionPlan assignment;
+
+  /// Predicted per-task behavior at the assigned sizes, straight from the
+  /// isolation profile: expected misses and reconstructed t_i.
+  struct TaskPrediction {
+    std::string name;
+    std::uint32_t sets = 0;
+    double predicted_misses = 0.0;
+    double predicted_cycles = 0.0;  // t_i at the assigned size
+  };
+  std::vector<TaskPrediction> tasks;
+
+  /// Per-jitter-run capture provenance, in seed order.
+  struct RunProvenance {
+    std::uint64_t jitter = 0;
+    std::string digest;
+    CaptureSource source = CaptureSource::kStoreHit;
+  };
+  std::vector<RunProvenance> captures;
+
+  std::uint64_t captured() const;    // runs this request simulated
+  std::uint64_t store_hits() const;  // runs served straight from the store
+
+  double capture_ms = 0.0;  // digest + ensure-capture phase
+  double profile_ms = 0.0;  // store-served replay sweep
+  double plan_ms = 0.0;     // MCKP planning
+  double total_ms = 0.0;
+};
+
+struct PlanningServiceConfig {
+  /// The shared capture store (required): warm starts, single-flight
+  /// result hand-off and cross-process reuse all live here.
+  std::shared_ptr<opt::TraceStore> store;
+  /// Campaign workers per request (Experiment::profile fan-out); requests
+  /// are additionally concurrent with each other.
+  unsigned jobs = 1;
+  /// Observability hook: invoked by the single-flight LEADER right before
+  /// it runs an instrumented capture simulation (telemetry, tests).
+  /// Called concurrently from request threads; must be thread-safe. Only
+  /// fires for store-persisted captures — over a READ-ONLY store the
+  /// simulations run inside each request's profile() instead and the
+  /// hook stays silent.
+  std::function<void(const std::string& digest)> capture_started;
+};
+
+/// Aggregate service counters (monotonic, race-free).
+struct ServiceStats {
+  std::uint64_t requests = 0;   // plan() calls, failed ones included
+  /// Capture needs this service simulated itself (for a read-only store
+  /// counted at request time; the simulations then run inside the
+  /// request's profile() pass).
+  std::uint64_t captured = 0;
+  std::uint64_t store_hits = 0; // capture needs served by the store
+  std::uint64_t coalesced = 0;  // capture needs folded into a leader's run
+};
+
+class PlanningService {
+ public:
+  /// Throws std::invalid_argument when `cfg.store` is null — a planning
+  /// service without a store could neither amortize captures across
+  /// requests nor hand single-flight results to followers.
+  explicit PlanningService(PlanningServiceConfig cfg);
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Serve one request. Thread-safe; never throws (failures are returned
+  /// as ok == false responses).
+  PlanResponse plan(const PlanRequest& req);
+
+  const std::shared_ptr<opt::TraceStore>& store() const { return store_; }
+  opt::TraceStore::Stats store_stats() const { return store_->stats(); }
+  /// Enforce the store's capacity budget now (surfaced store GC).
+  opt::TraceStore::GcResult gc() { return store_->gc(); }
+  ServiceStats service_stats() const;
+
+ private:
+  core::Experiment make_experiment(const PlanRequest& req) const;
+  CaptureSource ensure_capture(const core::Experiment& exp,
+                               std::uint32_t run, const std::string& digest);
+
+  PlanningServiceConfig cfg_;
+  std::shared_ptr<opt::TraceStore> store_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+
+  std::mutex mu_;  // guards inflight_
+  std::unordered_map<std::string, std::shared_future<void>> inflight_;
+};
+
+/// Build the service's store per the shared CLI flags (`--trace-dir`,
+/// `--trace`, `--service-budget-bytes`, `--service-budget-entries` — see
+/// core/cli.hpp): null when `dir` is empty or `mode` is kOff, otherwise a
+/// store rooted at `dir` (read-only for kReadOnly) with the given
+/// capacity budget.
+std::shared_ptr<opt::TraceStore> open_service_store(
+    const std::string& dir, core::TraceMode mode,
+    opt::TraceStore::Capacity capacity = opt::TraceStore::Capacity());
+
+}  // namespace cms::svc

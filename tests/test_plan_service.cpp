@@ -1,0 +1,287 @@
+// Tests for svc::PlanningService (the store-aware planning endpoint):
+// concurrent clients get bit-identical assignments (and identical to a
+// direct Experiment plan), repeat requests are store hits that skip the
+// capture simulation, single-flight dedup performs exactly one capture
+// for simultaneous identical requests, capacity eviction never corrupts
+// an entry pinned by an in-flight request, and failures come back as
+// error responses instead of exceptions.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "svc/planning_service.hpp"
+
+namespace cms::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the system temp dir, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cms-svc-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string store_dir() const { return (path / "store").string(); }
+};
+
+std::shared_ptr<opt::TraceStore> make_store(
+    const TempDir& tmp,
+    opt::TraceStore::Capacity cap = opt::TraceStore::Capacity()) {
+  return std::make_shared<opt::TraceStore>(tmp.store_dir(),
+                                           /*read_only=*/false, cap);
+}
+
+TEST(PlanService, ConcurrentClientsMatchEachOtherAndDirectPlan) {
+  TempDir tmp;
+  PlanningService service({make_store(tmp), /*jobs=*/1, nullptr});
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+
+  constexpr int kClients = 4;
+  std::vector<PlanResponse> responses(kClients);
+  {
+    std::vector<std::thread> pool;
+    for (int c = 0; c < kClients; ++c)
+      pool.emplace_back([&, c] { responses[c] = service.plan(req); });
+    for (auto& t : pool) t.join();
+  }
+  for (const PlanResponse& r : responses) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.assignment.feasible);
+    EXPECT_TRUE(r.assignment.identical(responses[0].assignment));
+    ASSERT_EQ(r.captures.size(), 1u);  // mpeg2-tiny: profile_runs == 1
+  }
+
+  // Identical to the plan a direct Experiment produces from the spec's
+  // own (full-simulation) profiler — the service changes where captures
+  // come from, never what the plan contains.
+  const core::Experiment direct =
+      core::scenarios().make_experiment("mpeg2-tiny");
+  const opt::PartitionPlan reference = direct.plan(direct.profile());
+  EXPECT_TRUE(responses[0].assignment.identical(reference));
+
+  // Predictions come straight from the profile at the assigned sizes.
+  const PlanResponse& r0 = responses[0];
+  ASSERT_FALSE(r0.tasks.empty());
+  for (const auto& t : r0.tasks) {
+    const opt::PlanEntry* e = r0.assignment.find(t.name);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(t.sets, e->sets);
+    EXPECT_EQ(t.predicted_misses, e->expected_misses);
+    EXPECT_GT(t.predicted_cycles, 0.0);
+  }
+}
+
+TEST(PlanService, SecondRequestHitsTheStoreAndSkipsCapture) {
+  TempDir tmp;
+  std::atomic<int> captures{0};
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  cfg.capture_started = [&](const std::string&) { ++captures; };
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  const PlanResponse first = service.plan(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.captured(), 1u);
+  EXPECT_EQ(captures.load(), 1);
+
+  const PlanResponse second = service.plan(req);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.captured(), 0u);
+  EXPECT_EQ(second.store_hits(), 1u);
+  EXPECT_EQ(captures.load(), 1);  // no new instrumented simulation
+  EXPECT_TRUE(second.assignment.identical(first.assignment));
+
+  // A fresh service over the same directory models a new server process:
+  // still a pure store hit.
+  PlanningService other({make_store(tmp), 1, nullptr});
+  const PlanResponse warm = other.plan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.captured(), 0u);
+  EXPECT_TRUE(warm.assignment.identical(first.assignment));
+}
+
+TEST(PlanService, SingleFlightPerformsExactlyOneCapture) {
+  TempDir tmp;
+  std::atomic<int> captures{0};
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  // Hold the single-flight leader inside the capture section long enough
+  // that the other clients arrive while it is in flight; the assertion
+  // below does NOT depend on this window (exactly-one-capture holds for
+  // every interleaving), the delay just makes the coalesced path the
+  // overwhelmingly common one.
+  cfg.capture_started = [&](const std::string&) {
+    ++captures;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  constexpr int kClients = 4;
+  std::vector<PlanResponse> responses(kClients);
+  {
+    std::vector<std::thread> pool;
+    for (int c = 0; c < kClients; ++c)
+      pool.emplace_back([&, c] { responses[c] = service.plan(req); });
+    for (auto& t : pool) t.join();
+  }
+
+  EXPECT_EQ(captures.load(), 1);  // the single-flight guarantee
+  std::uint64_t captured_total = 0;
+  for (const PlanResponse& r : responses) {
+    ASSERT_TRUE(r.ok) << r.error;
+    captured_total += r.captured();
+    EXPECT_TRUE(r.assignment.identical(responses[0].assignment));
+  }
+  EXPECT_EQ(captured_total, 1u);
+  const ServiceStats stats = service.service_stats();
+  EXPECT_EQ(stats.captured, 1u);
+  EXPECT_EQ(stats.captured + stats.store_hits + stats.coalesced,
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(PlanService, EvictionUnderTightBudgetNeverCorruptsPinnedEntries) {
+  // A one-entry budget forces the two scenarios to evict each other's
+  // capture on every write; requests pin their digests, so the replay
+  // that follows each capture always finds its entry intact. Interleave
+  // concurrent requests and verify every response against unpressured
+  // references.
+  TempDir tmp;
+  opt::TraceStore::Capacity tight;
+  tight.max_entries = 1;
+  PlanningService service({make_store(tmp, tight), 1, nullptr});
+
+  const std::vector<std::string> names = {"mpeg2-tiny", "jpeg-canny-tiny"};
+  std::vector<opt::PartitionPlan> reference;
+  for (const auto& name : names) {
+    const core::Experiment direct = core::scenarios().make_experiment(name);
+    reference.push_back(direct.plan(direct.profile()));
+  }
+
+  constexpr int kRounds = 3;
+  std::vector<std::vector<PlanResponse>> responses(
+      names.size(), std::vector<PlanResponse>(kRounds));
+  {
+    std::vector<std::thread> pool;
+    for (std::size_t n = 0; n < names.size(); ++n)
+      pool.emplace_back([&, n] {
+        PlanRequest req;
+        req.scenario = names[n];
+        for (int r = 0; r < kRounds; ++r) responses[n][r] = service.plan(req);
+      });
+    for (auto& t : pool) t.join();
+  }
+  for (std::size_t n = 0; n < names.size(); ++n)
+    for (const PlanResponse& r : responses[n]) {
+      ASSERT_TRUE(r.ok) << names[n] << ": " << r.error;
+      EXPECT_TRUE(r.assignment.identical(reference[n])) << names[n];
+    }
+
+  // The budget did bite (both scenarios cannot stay resident at once):
+  // with every pin released, gc() settles the store within it, and at
+  // least one eviction must have happened along the way.
+  service.gc();
+  EXPECT_GT(service.store_stats().evictions, 0u);
+  EXPECT_LE(service.store_stats().entries, 1u);
+}
+
+TEST(PlanService, RequestOverridesSeparateStoreEntriesAndPlans) {
+  TempDir tmp;
+  PlanningService service({make_store(tmp), 1, nullptr});
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  const PlanResponse base = service.plan(req);
+  ASSERT_TRUE(base.ok) << base.error;
+
+  // A platform override changes the capture digest (the L2 config is part
+  // of the content address), so the store misses and a fresh capture runs.
+  PlanRequest bigger = req;
+  bigger.l2_size_bytes = 64 * 1024;
+  const PlanResponse big = service.plan(bigger);
+  ASSERT_TRUE(big.ok) << big.error;
+  EXPECT_EQ(big.captured(), 1u);
+  EXPECT_NE(big.captures[0].digest, base.captures[0].digest);
+  EXPECT_EQ(big.assignment.total_sets, base.assignment.total_sets * 2);
+
+  // A grid override replays the SAME capture (the digest does not depend
+  // on the sweep grid) at different candidate sizes.
+  PlanRequest coarse = req;
+  coarse.grid = {1, 8};
+  const PlanResponse small = service.plan(coarse);
+  ASSERT_TRUE(small.ok) << small.error;
+  EXPECT_EQ(small.captured(), 0u);
+  EXPECT_EQ(small.captures[0].digest, base.captures[0].digest);
+  for (const auto& t : small.tasks) EXPECT_TRUE(t.sets == 1 || t.sets == 8);
+}
+
+TEST(PlanService, FailuresComeBackAsErrorResponses) {
+  TempDir tmp;
+  PlanningService service({make_store(tmp), 1, nullptr});
+
+  PlanRequest unknown;
+  unknown.scenario = "no-such-scenario";
+  const PlanResponse r1 = service.plan(unknown);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("unknown scenario"), std::string::npos) << r1.error;
+
+  PlanRequest bad_grid;
+  bad_grid.scenario = "mpeg2-tiny";
+  bad_grid.grid = {4, 0, 8};
+  const PlanResponse r2 = service.plan(bad_grid);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("size 0"), std::string::npos) << r2.error;
+
+  // An L2 override below one set would divide by zero in the cache model.
+  PlanRequest tiny_l2;
+  tiny_l2.scenario = "mpeg2-tiny";
+  tiny_l2.l2_size_bytes = 64;  // < line_bytes * ways
+  const PlanResponse r4 = service.plan(tiny_l2);
+  EXPECT_FALSE(r4.ok);
+  EXPECT_NE(r4.error.find("smaller than one set"), std::string::npos)
+      << r4.error;
+
+  // A scenario without a trace_key cannot be content-addressed.
+  static bool registered = false;
+  if (!registered) {
+    core::ScenarioSpec spec;
+    spec.name = "svc-no-key";
+    spec.description = "planning-service error-path fixture";
+    spec.factory = [] { return apps::make_m2v_app(apps::AppConfig::tiny()); };
+    core::scenarios().add(std::move(spec));
+    registered = true;
+  }
+  PlanRequest keyless;
+  keyless.scenario = "svc-no-key";
+  const PlanResponse r3 = service.plan(keyless);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_NE(r3.error.find("trace_key"), std::string::npos) << r3.error;
+
+  EXPECT_THROW(PlanningService({nullptr, 1, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cms::svc

@@ -1,6 +1,9 @@
 // Tests for the partition planner and supporting opt pieces.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/scenario.hpp"
 #include "opt/compositionality.hpp"
 #include "opt/planner.hpp"
 #include "opt/power.hpp"
@@ -247,6 +250,101 @@ TEST(Compositionality, ReportMath) {
   EXPECT_NEAR(rep.max_rel_to_total, 10.0 / 160.0, 1e-12);
   EXPECT_TRUE(rep.within(0.10));
   EXPECT_FALSE(rep.within(0.01));
+}
+
+// ---- Curvature-eps auto-tune (PlannerConfig::kAutoCurvatureEps) ----
+
+TEST(AutoCurvatureEps, ZeroWithoutRepeatedMeasurements) {
+  // Single-sample points carry no spread information: auto-tune must stay
+  // lossless (eps 0) rather than guess a tolerance.
+  EXPECT_EQ(auto_curvature_eps(sample_profile()), 0.0);
+  EXPECT_EQ(auto_curvature_eps(MissProfile{}), 0.0);
+}
+
+TEST(AutoCurvatureEps, TracksRelativeJitterSpreadAndClamps) {
+  MissProfile prof;
+  for (const double m : {100.0, 100.0}) prof.add_sample("t", 1, m, 0, 0);
+  for (const double m : {58.0, 62.0}) prof.add_sample("t", 2, m, 0, 0);
+  for (const double m : {30.0, 30.0}) prof.add_sample("t", 3, m, 0, 0);
+  for (const double m : {10.0, 10.0}) prof.add_sample("t", 4, m, 0, 0);
+  // Range 90, noisiest point stddev sqrt(8) (Welford, n-1 denominator).
+  EXPECT_DOUBLE_EQ(auto_curvature_eps(prof), std::sqrt(8.0) / 90.0);
+
+  // A pathologically noisy point is clamped: thinning tolerance never
+  // exceeds 5% of the cost range.
+  for (const double m : {0.0, 90.0}) prof.add_sample("t", 5, m, 0, 0);
+  EXPECT_DOUBLE_EQ(auto_curvature_eps(prof), 0.05);
+}
+
+TEST(AutoCurvatureEps, IsTheDefaultAndLosslessOnNoiselessProfiles) {
+  PlannerConfig def;
+  EXPECT_EQ(def.curvature_eps, PlannerConfig::kAutoCurvatureEps);
+
+  PlannerConfig exact = def;
+  exact.curvature_eps = 0.0;
+  const auto auto_plan = plan_partitions(
+      sample_profile(), {{0, "t0"}, {1, "t1"}}, sample_buffers(),
+      l2_256sets(), def);
+  const auto exact_plan = plan_partitions(
+      sample_profile(), {{0, "t0"}, {1, "t1"}}, sample_buffers(),
+      l2_256sets(), exact);
+  // No repeated measurements -> auto eps 0 -> bit-identical plans.
+  EXPECT_TRUE(auto_plan.identical(exact_plan));
+}
+
+TEST(AutoCurvatureEps, KneesSurviveAcrossBuiltInScenarios) {
+  // Profile every (tiny-content) built-in with repeated jitter runs, then
+  // plan with auto-tuned thinning vs. lossless pruning: the auto plan's
+  // expected misses stay within the thinning error bound — eps x cost
+  // range per MCKP group — so no statistically significant knee was
+  // dropped. (The production-content scenarios share this exact code
+  // path; their content only scales the curves.)
+  for (const std::string name :
+       {"jpeg-canny-tiny", "mpeg2-tiny", "mpeg2-tiny-rand",
+        "jpeg-canny-dense"}) {
+    const core::ScenarioSpec spec = core::scenarios().get(name);
+    core::ExperimentConfig cfg = spec.experiment;
+    cfg.profile_runs = 2;  // jitter spread needs repeated measurements
+    cfg.profiler = core::ProfilerMode::kTraceReplay;
+    const core::Experiment exp(spec.factory, cfg);
+    const MissProfile prof = exp.profile();
+
+    const double eps = auto_curvature_eps(prof);
+    EXPECT_GE(eps, 0.0) << name;
+    EXPECT_LE(eps, 0.05) << name;
+
+    PlannerConfig auto_cfg = cfg.planner;
+    auto_cfg.curvature_eps = PlannerConfig::kAutoCurvatureEps;
+    PlannerConfig exact_cfg = cfg.planner;
+    exact_cfg.curvature_eps = 0.0;
+    const auto tasks = exp.tasks();
+    const auto buffers = exp.buffers();
+    const mem::CacheConfig& l2 = cfg.platform.hier.l2;
+    const auto auto_plan =
+        plan_partitions(prof, tasks, buffers, l2, auto_cfg);
+    const auto exact_plan =
+        plan_partitions(prof, tasks, buffers, l2, exact_cfg);
+    ASSERT_TRUE(auto_plan.feasible) << name;
+    ASSERT_TRUE(exact_plan.feasible) << name;
+
+    // Thinning error bound: eps x (cost range) per profiled group.
+    double bound = 1e-6;
+    for (const std::string& task : prof.task_names()) {
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (const std::uint32_t s : prof.sizes(task)) {
+        const double m = prof.misses(task, s);
+        lo = first ? m : std::min(lo, m);
+        hi = first ? m : std::max(hi, m);
+        first = false;
+      }
+      bound += eps * (hi - lo);
+    }
+    EXPECT_LE(std::abs(auto_plan.expected_task_misses -
+                       exact_plan.expected_task_misses),
+              bound)
+        << name << " (auto eps " << eps << ")";
+  }
 }
 
 }  // namespace
