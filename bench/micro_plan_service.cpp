@@ -2,24 +2,36 @@
 // for every built-in scenario, drive svc::PlanningService through a COLD
 // request (captures simulated + written back), a WARM request through a
 // FRESH service + store instance over the same directory (every capture
-// served from disk, zero simulations), and a CONCURRENT phase (N client
-// threads hammering the warm endpoint). Verifies that every response
-// succeeds, that all assignments are bit-identical to each other and to a
-// direct store-served Experiment plan (opt::PartitionPlan::identical),
-// and that the warm pass never captures. Reports cold/warm latency with
-// the per-phase breakdown and concurrent-client throughput as JSON; exits
-// nonzero on any failed response, assignment mismatch or warm capture.
+// served from disk, zero simulations), a CONCURRENT phase (N client
+// threads hammering the warm endpoint), and a PLAN-CACHED pass: one
+// service computes + memoizes the plan, then a fresh service + cache
+// instance over the same directory (a process restart, disk tier) must
+// answer from the cache alone — zero captures, zero store loads, zero
+// MCKP solves — with an assignment and predictions bit-identical to the
+// computed ones. Verifies that every response succeeds, that all
+// assignments are bit-identical to each other and to a direct
+// store-served Experiment plan (opt::PartitionPlan::identical), that the
+// warm pass never captures, and that the plan-cached service answers
+// every request from the cache (plan_cache_hits == requests). Reports
+// cold/warm/cached latency with the per-phase breakdown and
+// concurrent-client throughput as JSON; exits nonzero on any failed
+// response, assignment mismatch, warm capture or plan-cache miss.
 //
 //   ./micro_plan_service [--jobs N] [--quick] [--trace-dir DIR]
 //                        [--trace off|ro|rw] [--service-clients N]
 //                        [--service-budget-bytes N]
 //                        [--service-budget-entries N]
+//                        [--plan-cache off|mem|disk]
+//                        [--plan-cache-budget-bytes N]
+//                        [--plan-cache-budget-entries N]
 //   {"bench": "micro_plan_service", "trace_dir": "...", "scenarios": [
 //    {"scenario": "mpeg2-tiny", "ok": true, "identical": true,
 //     "cold_ms": {"capture": ..., "profile": ..., "plan": ..., "total": ...},
 //     "warm_ms": {...}, "warm_captured": 0,
 //     "concurrent": {"clients": 4, "requests": 12, "wall_ms": ...,
 //                    "req_per_s": ...},
+//     "plan_cache": {"source": "cache", "cached_total_ms": ...,
+//                    "hits": ..., "disk_hits": ...},
 //     "store": {"hits": ..., "writes": ..., "evictions": ...}}, ...],
 //    "ok": true}
 //
@@ -30,6 +42,8 @@
 //        --service-clients N       concurrent client threads (default 4)
 //        --service-budget-bytes N  store byte budget (0 = unlimited)
 //        --service-budget-entries N  store entry budget (0 = unlimited)
+//        --plan-cache MODE         off|mem|disk (default disk)
+//        --plan-cache-budget-*     per-tier cache budgets (0 = unlimited)
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -56,6 +70,10 @@ int main(int argc, char** argv) {
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
       core::parse_service_budget_entries(argc, argv)};
+  const core::PlanCacheMode cache_mode = core::parse_plan_cache(argc, argv);
+  const opt::TraceStore::Capacity cache_budget{
+      core::parse_plan_cache_budget_bytes(argc, argv),
+      core::parse_plan_cache_budget_entries(argc, argv)};
 
   std::vector<std::string> names;
   if (quick)
@@ -74,13 +92,15 @@ int main(int argc, char** argv) {
 
     // Cold: captures run (or, on a reused --trace-dir, hit a prior pass).
     svc::PlanningService cold_service(
-        {svc::open_service_store(dir, mode, capacity), jobs, nullptr});
+        {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
+         nullptr});
     const svc::PlanResponse cold = cold_service.plan(req);
 
     // Warm: a FRESH service + store instance over the same directory —
     // models a new server process; every capture must come off disk.
     svc::PlanningService warm_service(
-        {svc::open_service_store(dir, mode, capacity), jobs, nullptr});
+        {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
+         nullptr});
     const svc::PlanResponse warm = warm_service.plan(req);
 
     // Reference: a direct store-served Experiment plan, same spec.
@@ -107,12 +127,62 @@ int main(int argc, char** argv) {
                                std::chrono::steady_clock::now() - t0)
                                .count();
 
+    // Plan-cached pass: one service computes and memoizes, then a fresh
+    // service + cache over the same directory (a process restart when the
+    // disk tier is on) must answer from the cache alone. Over a
+    // read-only store the cache cannot persist either, so the memo is
+    // shared in-process instead of reopened.
+    svc::PlanResponse primed, cached;
+    opt::PlanCache::Stats cached_stats;
+    std::uint64_t cached_requests = 0, cached_hits = 0;
+    if (cache_mode != core::PlanCacheMode::kOff) {
+      const auto cache = svc::open_plan_cache(cache_mode, dir, mode,
+                                              cache_budget);
+      svc::PlanningService prime_service(
+          {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
+           cache});
+      primed = prime_service.plan(req);
+      const bool restart = cache_mode == core::PlanCacheMode::kDisk &&
+                           mode != core::TraceMode::kReadOnly;
+      svc::PlanningService cached_service(
+          {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
+           restart ? svc::open_plan_cache(cache_mode, dir, mode,
+                                          cache_budget)
+                   : cache});
+      cached = cached_service.plan(req);
+      cached_stats = cached_service.plan_cache_stats();
+      cached_requests = cached_service.service_stats().requests;
+      cached_hits = cached_service.service_stats().plan_cache_hits;
+    }
+
     bool ok = cold.ok && warm.ok;
     bool identical = warm.assignment.identical(cold.assignment) &&
                      warm.assignment.identical(direct_plan);
     for (const auto& r : conc) {
       ok = ok && r.ok;
       identical = identical && r.assignment.identical(cold.assignment);
+    }
+    if (cache_mode != core::PlanCacheMode::kOff) {
+      // The cached response must be a pure lookup (no capture, no store
+      // load, no solve) and bit-identical to the computed one —
+      // predictions included.
+      ok = ok && primed.ok && cached.ok &&
+           cached.plan_source == svc::PlanSource::kCache &&
+           cached.captured() == 0 && cached.store_hits() == 0 &&
+           cached.profile_ms == 0.0 && cached.plan_ms == 0.0 &&
+           cached_hits == cached_requests && cached_requests == 1;
+      identical = identical && cached.assignment.identical(cold.assignment) &&
+                  cached.assignment.identical(primed.assignment);
+      bool predictions_match = cached.tasks.size() == primed.tasks.size();
+      for (std::size_t i = 0; predictions_match && i < cached.tasks.size();
+           ++i) {
+        const auto& a = cached.tasks[i];
+        const auto& b = primed.tasks[i];
+        predictions_match = a.name == b.name && a.sets == b.sets &&
+                            a.predicted_misses == b.predicted_misses &&
+                            a.predicted_cycles == b.predicted_cycles;
+      }
+      ok = ok && predictions_match;
     }
     const std::uint64_t warm_captured = warm.captured();
     // A read-only store cannot persist the cold pass's captures, so the
@@ -137,6 +207,8 @@ int main(int argc, char** argv) {
         "\"total\": %.1f}, \"warm_captured\": %llu, "
         "\"concurrent\": {\"clients\": %u, \"requests\": %zu, "
         "\"wall_ms\": %.1f, \"req_per_s\": %.1f}, "
+        "\"plan_cache\": {\"source\": \"%s\", \"cached_total_ms\": %.2f, "
+        "\"lookup_ms\": %.2f, \"hits\": %llu, \"disk_hits\": %llu}, "
         "\"store\": {\"hits\": %llu, \"writes\": %llu, \"evictions\": %llu, "
         "\"entries\": %llu, \"bytes\": %llu}}",
         s ? ", " : "", names[s].c_str(), ok ? "true" : "false",
@@ -147,6 +219,12 @@ int main(int argc, char** argv) {
         conc_ms, conc_ms > 0 ? 1000.0 * static_cast<double>(conc.size()) /
                                    conc_ms
                              : 0.0,
+        cache_mode == core::PlanCacheMode::kOff
+            ? "off"
+            : svc::to_string(cached.plan_source),
+        cached.total_ms, cached.plan_cache_ms,
+        static_cast<unsigned long long>(cached_stats.hits),
+        static_cast<unsigned long long>(cached_stats.disk_hits),
         static_cast<unsigned long long>(st.hits),
         static_cast<unsigned long long>(st.writes),
         static_cast<unsigned long long>(st.evictions),

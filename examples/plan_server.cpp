@@ -17,9 +17,11 @@
 //
 // Protocol:
 //   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
+//                      (eps must be finite and >= 0; omit it for
+//                      auto-tune — see svc/plan_protocol.hpp)
 //   scenarios          list registered scenario names
-//   stats              service + store counters
-//   gc                 enforce the store capacity budget now
+//   stats              service + store + plan-cache counters
+//   gc                 enforce the store + plan-cache budgets now
 //   quit | exit        leave (EOF works too)
 //
 // Flags: --trace-dir D             store directory (default plan_server.traces)
@@ -27,8 +29,11 @@
 //        --jobs N                  campaign workers per request
 //        --service-budget-bytes N  store byte budget (0 = unlimited)
 //        --service-budget-entries N  store entry budget (0 = unlimited)
+//        --plan-cache off|mem|disk memoized plan cache (default disk:
+//                                  .cmsplan entries next to the captures)
+//        --plan-cache-budget-bytes N    per-tier cache byte budget
+//        --plan-cache-budget-entries N  per-tier cache entry budget
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -36,6 +41,7 @@
 
 #include "core/cli.hpp"
 #include "core/scenario.hpp"
+#include "svc/plan_protocol.hpp"
 #include "svc/planning_service.hpp"
 
 using namespace cms;
@@ -90,73 +96,12 @@ void print_response(const svc::PlanResponse& resp) {
                 i ? ", " : "", static_cast<unsigned long long>(r.jitter),
                 r.digest.c_str(), svc::to_string(r.source));
   }
-  std::printf("], \"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
-              "\"plan\": %.1f, \"total\": %.1f}}\n",
-              resp.capture_ms, resp.profile_ms, resp.plan_ms, resp.total_ms);
-}
-
-/// Strict decimal parse (same digits-only policy as core/cli.hpp):
-/// "64k", "abc" or "" are rejected instead of silently truncating to a
-/// number the planner would confidently mis-plan with.
-bool parse_u32(const std::string& v, std::uint32_t& out) {
-  if (v.empty() || v.size() > 10) return false;
-  std::uint64_t n = 0;
-  for (const char c : v) {
-    if (c < '0' || c > '9') return false;
-    n = n * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  if (n > 0xFFFFFFFFull) return false;
-  out = static_cast<std::uint32_t>(n);
-  return true;
-}
-
-/// Parse "plan <scenario> [key=value ...]" operands into a request.
-/// Returns false (with a message on stdout) on malformed input.
-bool parse_plan_args(std::istringstream& in, svc::PlanRequest& req) {
-  if (!(in >> req.scenario)) {
-    std::printf("{\"ok\": false, \"error\": \"plan needs a scenario name\"}\n");
-    return false;
-  }
-  const auto reject = [](const std::string& key, const std::string& val) {
-    std::printf("{\"ok\": false, \"error\": \"bad %s value '%s' (plain "
-                "decimal expected)\"}\n",
-                key.c_str(), json_escape(val).c_str());
-    return false;
-  };
-  std::string kv;
-  while (in >> kv) {
-    const auto eq = kv.find('=');
-    const std::string key = kv.substr(0, eq);
-    const std::string val = eq == std::string::npos ? "" : kv.substr(eq + 1);
-    std::uint32_t n = 0;
-    if (key == "grid") {
-      std::istringstream gs(val);
-      std::string item;
-      while (std::getline(gs, item, ',')) {
-        if (!parse_u32(item, n)) return reject("grid", item);
-        req.grid.push_back(n);
-      }
-      if (req.grid.empty()) return reject("grid", val);
-    } else if (key == "runs") {
-      if (!parse_u32(val, n)) return reject("runs", val);
-      req.runs = n;
-    } else if (key == "l2") {
-      if (!parse_u32(val, n)) return reject("l2", val);
-      req.l2_size_bytes = n;
-    } else if (key == "eps") {
-      char* end = nullptr;
-      const double eps = std::strtod(val.c_str(), &end);
-      if (val.empty() || end != val.c_str() + val.size())
-        return reject("eps", val);
-      req.curvature_eps = eps;
-    } else {
-      std::printf("{\"ok\": false, \"error\": \"unknown option '%s' "
-                  "(grid=|runs=|l2=|eps=)\"}\n",
-                  json_escape(key).c_str());
-      return false;
-    }
-  }
-  return true;
+  std::printf("], \"plan_source\": \"%s\", "
+              "\"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
+              "\"plan\": %.1f, \"plan_cache\": %.2f, \"total\": %.1f}}\n",
+              svc::to_string(resp.plan_source), resp.capture_ms,
+              resp.profile_ms, resp.plan_ms, resp.plan_cache_ms,
+              resp.total_ms);
 }
 
 }  // namespace
@@ -173,15 +118,23 @@ int main(int argc, char** argv) {
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
       core::parse_service_budget_entries(argc, argv)};
+  const core::PlanCacheMode cache_mode = core::parse_plan_cache(argc, argv);
+  const opt::TraceStore::Capacity cache_budget{
+      core::parse_plan_cache_budget_bytes(argc, argv),
+      core::parse_plan_cache_budget_entries(argc, argv)};
 
   svc::PlanningService service(
-      {svc::open_service_store(dir, mode, capacity), jobs, nullptr});
+      {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
+       svc::open_plan_cache(cache_mode, dir, mode, cache_budget)});
   std::fprintf(stderr,
                "plan_server ready: store %s (budget %llu bytes / %llu "
-               "entries), %u worker%s per request\n",
+               "entries), plan cache %s, %u worker%s per request\n",
                dir.c_str(), static_cast<unsigned long long>(capacity.max_bytes),
-               static_cast<unsigned long long>(capacity.max_entries), jobs,
-               jobs == 1 ? "" : "s");
+               static_cast<unsigned long long>(capacity.max_entries),
+               service.plan_cache() == nullptr
+                   ? "off"
+                   : service.plan_cache()->disk_tier() ? "mem+disk" : "mem",
+               jobs, jobs == 1 ? "" : "s");
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -198,23 +151,43 @@ int main(int argc, char** argv) {
     } else if (cmd == "stats") {
       const svc::ServiceStats ss = service.service_stats();
       const opt::TraceStore::Stats st = service.store_stats();
+      const opt::PlanCache::Stats pc = service.plan_cache_stats();
       std::printf(
           "{\"ok\": true, \"service\": {\"requests\": %llu, \"captured\": "
-          "%llu, \"store_hits\": %llu, \"coalesced\": %llu}, "
+          "%llu, \"deferred\": %llu, \"store_hits\": %llu, "
+          "\"coalesced\": %llu, \"plan_cache_hits\": %llu}, "
           "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
           "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
-          "\"pinned\": %llu}}\n",
+          "\"pinned\": %llu}, "
+          "\"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+          "\"inserts\": %llu, \"mem_hits\": %llu, \"disk_hits\": %llu, "
+          "\"disk_writes\": %llu, \"evictions\": %llu, \"entries\": %llu, "
+          "\"bytes\": %llu, \"disk_entries\": %llu, \"disk_bytes\": "
+          "%llu}}\n",
           static_cast<unsigned long long>(ss.requests),
           static_cast<unsigned long long>(ss.captured),
+          static_cast<unsigned long long>(ss.deferred),
           static_cast<unsigned long long>(ss.store_hits),
           static_cast<unsigned long long>(ss.coalesced),
+          static_cast<unsigned long long>(ss.plan_cache_hits),
           static_cast<unsigned long long>(st.hits),
           static_cast<unsigned long long>(st.misses),
           static_cast<unsigned long long>(st.writes),
           static_cast<unsigned long long>(st.evictions),
           static_cast<unsigned long long>(st.entries),
           static_cast<unsigned long long>(st.bytes),
-          static_cast<unsigned long long>(st.pinned));
+          static_cast<unsigned long long>(st.pinned),
+          static_cast<unsigned long long>(pc.hits),
+          static_cast<unsigned long long>(pc.misses),
+          static_cast<unsigned long long>(pc.inserts),
+          static_cast<unsigned long long>(pc.mem_hits),
+          static_cast<unsigned long long>(pc.disk_hits),
+          static_cast<unsigned long long>(pc.disk_writes),
+          static_cast<unsigned long long>(pc.evictions),
+          static_cast<unsigned long long>(pc.entries),
+          static_cast<unsigned long long>(pc.bytes),
+          static_cast<unsigned long long>(pc.disk_entries),
+          static_cast<unsigned long long>(pc.disk_bytes));
     } else if (cmd == "gc") {
       const opt::TraceStore::GcResult gr = service.gc();
       std::printf("{\"ok\": true, \"evicted_entries\": %llu, "
@@ -223,7 +196,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(gr.evicted_bytes));
     } else if (cmd == "plan") {
       svc::PlanRequest req;
-      if (parse_plan_args(in, req)) print_response(service.plan(req));
+      std::string operands, err;
+      std::getline(in, operands);  // everything after the command word
+      if (svc::parse_plan_request(operands, req, err))
+        print_response(service.plan(req));
+      else
+        std::printf("{\"ok\": false, \"error\": \"%s\"}\n",
+                    json_escape(err).c_str());
     } else {
       std::printf("{\"ok\": false, \"error\": \"unknown command '%s' "
                   "(plan|scenarios|stats|gc|quit)\"}\n",

@@ -1,6 +1,11 @@
 #include "common/serialize.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
+
+#include "common/rng.hpp"
 
 namespace cms::serialize {
 
@@ -8,6 +13,38 @@ void ByteReader::fail(const std::string& what) const {
   throw std::runtime_error(context_ + ": " + what + " at offset " +
                            std::to_string(pos_) + " of " +
                            std::to_string(size_) + " bytes");
+}
+
+std::string fnv1a128_hex(const std::uint8_t* data, std::size_t n) {
+  const std::uint64_t lo = fnv1a64(data, n);
+  const std::uint64_t hi = fnv1a64(data, n, mix64(lo));
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  // Unique temp name: the address + a clock reading mixed down, so two
+  // writers racing on one path (even within one process) get distinct
+  // temp files.
+  const std::uint64_t nonce =
+      mix64(reinterpret_cast<std::uintptr_t>(&bytes) ^
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()));
+  const std::string tmp = path + ".tmp." + std::to_string(nonce);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error(tmp + ": cannot open file for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error(tmp + ": short write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error(path + ": cannot move file into place");
 }
 
 }  // namespace cms::serialize

@@ -37,6 +37,13 @@ inline std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
   return h;
 }
 
+/// 128-bit content address as 32 lowercase hex chars: two decorrelated
+/// FNV-1a 64 streams, the second seeded by mixing the first. THE digest
+/// construction of every content-addressing scheme in the library
+/// (Experiment::trace_digest, opt::PlanKey) — change it here or the
+/// schemes diverge.
+std::string fnv1a128_hex(const std::uint8_t* data, std::size_t n);
+
 // ---- Zigzag mapping for signed varints ----
 
 inline std::uint64_t zigzag(std::int64_t v) {
@@ -57,6 +64,19 @@ inline void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
   }
   buf.push_back(static_cast<std::uint8_t>(v));
 }
+
+// ---- File output ----
+
+/// Write `bytes` to `path` atomically enough for a content-addressed
+/// store: a uniquely-named temp file in the same directory, then a
+/// rename. Concurrent writers of the same path (threads or processes)
+/// never share a partial file, and with identical content — the
+/// content-addressing invariant — either rename winning is correct.
+/// Used by both on-disk artifact types (.cmstrace captures, .cmsplan
+/// plan-cache entries). Throws std::runtime_error naming the path on
+/// any I/O failure.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
 
 // ---- Writer ----
 

@@ -148,6 +148,49 @@ inline unsigned parse_service_clients(int argc, char** argv,
   return static_cast<unsigned>(n);
 }
 
+/// Parse `--plan-cache MODE` / `--plan-cache=MODE` where MODE is `off`
+/// (recompute every plan), `mem` (in-process memo only) or `disk`
+/// (memo + persistent `.cmsplan` entries in the trace-store directory).
+/// Returns `def` when absent; unknown modes warn and keep `def`.
+inline PlanCacheMode parse_plan_cache(
+    int argc, char** argv, PlanCacheMode def = PlanCacheMode::kDisk) {
+  const auto parse_value = [def](const char* v) -> PlanCacheMode {
+    if (std::strcmp(v, "off") == 0) return PlanCacheMode::kOff;
+    if (std::strcmp(v, "mem") == 0) return PlanCacheMode::kMemory;
+    if (std::strcmp(v, "disk") == 0) return PlanCacheMode::kDisk;
+    std::fprintf(stderr,
+                 "warning: ignoring bad --plan-cache value '%s' "
+                 "(off|mem|disk)\n",
+                 v);
+    return def;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr,
+                   "warning: --plan-cache needs a value (off|mem|disk)\n");
+      return def;
+    }
+    if (std::strncmp(argv[i], "--plan-cache=", 13) == 0)
+      return parse_value(argv[i] + 13);
+  }
+  return def;
+}
+
+/// Plan-cache budget: `--plan-cache-budget-bytes N` caps each cache
+/// tier's footprint (LRU eviction above it; 0 = unlimited).
+inline std::uint64_t parse_plan_cache_budget_bytes(int argc, char** argv,
+                                                   std::uint64_t def = 0) {
+  return parse_u64_flag(argc, argv, "--plan-cache-budget-bytes", def);
+}
+
+/// Plan-cache budget: `--plan-cache-budget-entries N` caps each cache
+/// tier's entry count (LRU eviction above it; 0 = unlimited).
+inline std::uint64_t parse_plan_cache_budget_entries(int argc, char** argv,
+                                                     std::uint64_t def = 0) {
+  return parse_u64_flag(argc, argv, "--plan-cache-budget-entries", def);
+}
+
 /// Parse `--trace-dir DIR` / `--trace-dir=DIR`: directory of the
 /// persistent trace store. Empty (the default) means no store — captures
 /// stay in memory.

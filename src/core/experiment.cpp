@@ -44,14 +44,6 @@ opt::CaptureRun assemble_capture(opt::TraceRecorder& rec,
   return capture;
 }
 
-std::string hex128(std::uint64_t hi, std::uint64_t lo) {
-  char buf[33];
-  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(lo));
-  return buf;
-}
-
 }  // namespace
 
 std::vector<std::pair<TaskId, std::string>> Experiment::tasks() const {
@@ -213,11 +205,7 @@ std::string Experiment::trace_digest(std::uint64_t jitter) const {
   w.varint(h.l2_hit_latency);
   w.varint(h.seed);
   w.varint(jitter);
-  // 128-bit content address: two decorrelated FNV-1a streams.
-  const std::uint64_t lo = serialize::fnv1a64(w.bytes().data(), w.size());
-  const std::uint64_t hi =
-      serialize::fnv1a64(w.bytes().data(), w.size(), mix64(lo));
-  return hex128(hi, lo);
+  return serialize::fnv1a128_hex(w.bytes().data(), w.size());
 }
 
 std::vector<opt::CaptureRun> Experiment::capture_runs_for(

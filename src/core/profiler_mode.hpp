@@ -31,4 +31,16 @@ enum class TraceMode : std::uint8_t {
   kReadWrite,  // serve hits, write back misses (the default with a dir)
 };
 
+/// Memoized plan cache of the planning service (--plan-cache=off|mem|disk
+/// + --plan-cache-budget-bytes/-entries). A PlanResponse is a pure
+/// function of its capture digests, grid and planner config, so warm
+/// requests can skip pinning, capture, replay AND the MCKP solve
+/// entirely (opt/plan_cache.hpp).
+enum class PlanCacheMode : std::uint8_t {
+  kOff,     // recompute every request (the pre-cache behavior)
+  kMemory,  // tier 1 only: memoized within this process
+  kDisk,    // tiers 1+2: .cmsplan entries in the trace-store dir survive
+            // the process (read-only when the store is read-only)
+};
+
 }  // namespace cms::core

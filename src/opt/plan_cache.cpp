@@ -1,0 +1,515 @@
+#include "opt/plan_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace cms::opt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Doubles travel as their IEEE bit pattern: the cache's contract is a
+/// BIT-identical round trip (PartitionPlan::identical, MissProfile::
+/// identical), which decimal formatting cannot give.
+void put_double(serialize::ByteWriter& w, double v) {
+  w.fixed64(std::bit_cast<std::uint64_t>(v));
+}
+
+double get_double(serialize::ByteReader& rd) {
+  return std::bit_cast<double>(rd.fixed64());
+}
+
+void put_stats(serialize::ByteWriter& w, const RunningStats& s) {
+  const RunningStats::Raw r = s.raw();
+  w.varint(r.n);
+  put_double(w, r.mean);
+  put_double(w, r.m2);
+  put_double(w, r.sum);
+  put_double(w, r.min);
+  put_double(w, r.max);
+}
+
+RunningStats get_stats(serialize::ByteReader& rd) {
+  RunningStats::Raw r;
+  r.n = rd.varint();
+  r.mean = get_double(rd);
+  r.m2 = get_double(rd);
+  r.sum = get_double(rd);
+  r.min = get_double(rd);
+  r.max = get_double(rd);
+  return RunningStats::from_raw(r);
+}
+
+void put_client(serialize::ByteWriter& w, mem::ClientId c) {
+  w.u8(static_cast<std::uint8_t>(c.kind));
+  w.svarint(c.id);
+}
+
+mem::ClientId get_client(serialize::ByteReader& rd) {
+  mem::ClientId c;
+  c.kind = static_cast<mem::ClientKind>(rd.u8());
+  c.id = static_cast<std::int32_t>(rd.svarint());
+  return c;
+}
+
+void put_profile(serialize::ByteWriter& w, const MissProfile& prof) {
+  const std::vector<std::string> names = prof.task_names();
+  w.varint(names.size());
+  for (const std::string& name : names) {
+    w.str(name);
+    const auto& curve = prof.curve(name);
+    w.varint(curve.size());
+    for (const auto& [sets, point] : curve) {
+      w.varint(sets);
+      put_stats(w, point.misses);
+      put_stats(w, point.active_cycles);
+      put_stats(w, point.instructions);
+    }
+  }
+}
+
+MissProfile get_profile(serialize::ByteReader& rd) {
+  MissProfile prof;
+  const std::uint64_t num_tasks = rd.varint();
+  for (std::uint64_t t = 0; t < num_tasks; ++t) {
+    const std::string name = rd.str();
+    const std::uint64_t num_points = rd.varint();
+    for (std::uint64_t p = 0; p < num_points; ++p) {
+      const auto sets = static_cast<std::uint32_t>(rd.varint());
+      ProfilePoint point;
+      point.misses = get_stats(rd);
+      point.active_cycles = get_stats(rd);
+      point.instructions = get_stats(rd);
+      prof.set_point(name, sets, std::move(point));
+    }
+  }
+  return prof;
+}
+
+void put_plan(serialize::ByteWriter& w, const PartitionPlan& plan) {
+  w.varint(plan.entries.size());
+  for (const PlanEntry& e : plan.entries) {
+    put_client(w, e.client);
+    w.str(e.name);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u8(e.is_task ? 1 : 0);
+    w.varint(e.sets);
+    w.varint(e.partition.base_set);
+    w.varint(e.partition.num_sets);
+    put_double(w, e.expected_misses);
+  }
+  w.varint(plan.total_sets);
+  w.varint(plan.used_sets);
+  w.varint(plan.spare.base_set);
+  w.varint(plan.spare.num_sets);
+  put_double(w, plan.expected_task_misses);
+  w.u8(plan.feasible ? 1 : 0);
+}
+
+PartitionPlan get_plan(serialize::ByteReader& rd) {
+  PartitionPlan plan;
+  const std::uint64_t num_entries = rd.varint();
+  plan.entries.reserve(num_entries);
+  for (std::uint64_t i = 0; i < num_entries; ++i) {
+    PlanEntry e;
+    e.client = get_client(rd);
+    e.name = rd.str();
+    e.kind = static_cast<kpn::BufferKind>(rd.u8());
+    e.is_task = rd.u8() != 0;
+    e.sets = static_cast<std::uint32_t>(rd.varint());
+    e.partition.base_set = static_cast<std::uint32_t>(rd.varint());
+    e.partition.num_sets = static_cast<std::uint32_t>(rd.varint());
+    e.expected_misses = get_double(rd);
+    plan.entries.push_back(std::move(e));
+  }
+  plan.total_sets = static_cast<std::uint32_t>(rd.varint());
+  plan.used_sets = static_cast<std::uint32_t>(rd.varint());
+  plan.spare.base_set = static_cast<std::uint32_t>(rd.varint());
+  plan.spare.num_sets = static_cast<std::uint32_t>(rd.varint());
+  plan.expected_task_misses = get_double(rd);
+  plan.feasible = rd.u8() != 0;
+  return plan;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error(path + ": cannot open plan cache file");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error(path + ": short read loading plan entry");
+  return bytes;
+}
+
+}  // namespace
+
+std::string PlanKey::digest() const {
+  serialize::ByteWriter w;
+  w.varint(kPlanFormatVersion);
+  // Canonical capture order: the profile folds fragments by schedule
+  // position, not digest order, so two requests over the same capture SET
+  // produce the same plan — sort so they produce the same key too.
+  std::vector<std::string> sorted = capture_digests;
+  std::sort(sorted.begin(), sorted.end());
+  w.varint(sorted.size());
+  for (const std::string& d : sorted) w.str(d);
+  w.varint(grid.size());
+  for (const std::uint32_t sets : grid) w.varint(sets);
+  w.varint(runs);
+  w.varint(l2_size_bytes);
+  w.varint(planner.frame_buffer_sets);
+  w.varint(planner.segment_sets);
+  w.varint(planner.size_grid.size());
+  for (const std::uint32_t sets : planner.size_grid) w.varint(sets);
+  w.u8(planner.prune_dominated ? 1 : 0);
+  // Any negative eps means auto-tune; the tuned value is a pure function
+  // of the captures + grid hashed above, so all autos share one key.
+  put_double(w, planner.curvature_eps < 0.0
+                    ? PlannerConfig::kAutoCurvatureEps
+                    : planner.curvature_eps);
+  w.u8(static_cast<std::uint8_t>(planner.solver));
+  w.varint(planner.max_fifo_sets);
+  return serialize::fnv1a128_hex(w.bytes().data(), w.size());
+}
+
+std::vector<std::uint8_t> encode_plan_entry(const PlanCacheEntry& entry,
+                                            std::string_view digest) {
+  serialize::ByteWriter w;
+  w.raw(reinterpret_cast<const std::uint8_t*>(kPlanMagic), sizeof(kPlanMagic));
+  w.fixed32(kPlanFormatVersion);
+  w.str(digest);
+  put_double(w, entry.curvature_eps);
+  put_profile(w, entry.profile);
+  put_plan(w, entry.plan);
+  w.varint(entry.predictions.size());
+  for (const PlanPrediction& p : entry.predictions) {
+    w.str(p.name);
+    w.varint(p.sets);
+    put_double(w, p.misses);
+    put_double(w, p.cycles);
+  }
+  w.fixed64(serialize::fnv1a64(w.bytes().data(), w.size()));
+  return w.take();
+}
+
+PlanCacheEntry decode_plan_entry(const std::uint8_t* data, std::size_t size,
+                                 const std::string& context,
+                                 std::string* digest) {
+  constexpr std::size_t kHeader = sizeof(kPlanMagic) + 4;  // magic + version
+  constexpr std::size_t kTrailer = 8;                      // checksum
+  if (size < kHeader + kTrailer)
+    throw std::runtime_error(context + ": truncated plan cache file (" +
+                             std::to_string(size) + " bytes)");
+  if (std::memcmp(data, kPlanMagic, sizeof(kPlanMagic)) != 0)
+    throw std::runtime_error(context +
+                             ": bad magic (not a CMS plan cache file)");
+
+  serialize::ByteReader rd(data, size - kTrailer, context);
+  rd.raw(sizeof(kPlanMagic));
+  const std::uint32_t version = rd.fixed32();
+  // Version before checksum: a future format may checksum differently but
+  // must still be reported as a version problem, not corruption.
+  if (version > kPlanFormatVersion)
+    throw std::runtime_error(
+        context + ": plan cache schema version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(kPlanFormatVersion) + ")");
+
+  serialize::ByteReader trailer(data + size - kTrailer, kTrailer, context);
+  if (trailer.fixed64() != serialize::fnv1a64(data, size - kTrailer))
+    throw std::runtime_error(context + ": checksum mismatch (corrupt file)");
+
+  PlanCacheEntry entry;
+  const std::string stored_digest = rd.str();
+  if (digest != nullptr) *digest = stored_digest;
+  entry.curvature_eps = get_double(rd);
+  entry.profile = get_profile(rd);
+  entry.plan = get_plan(rd);
+  const std::uint64_t num_predictions = rd.varint();
+  entry.predictions.reserve(num_predictions);
+  for (std::uint64_t i = 0; i < num_predictions; ++i) {
+    PlanPrediction p;
+    p.name = rd.str();
+    p.sets = static_cast<std::uint32_t>(rd.varint());
+    p.misses = get_double(rd);
+    p.cycles = get_double(rd);
+    entry.predictions.push_back(std::move(p));
+  }
+  if (!rd.done())
+    throw std::runtime_error(context + ": trailing garbage after payload");
+  return entry;
+}
+
+void save_plan_entry(const PlanCacheEntry& entry, std::string_view digest,
+                     const std::string& path) {
+  // Concurrent writers of one key produce identical content (the
+  // content-addressing invariant), so either rename winning is correct.
+  serialize::write_file_atomic(path, encode_plan_entry(entry, digest));
+}
+
+PlanCacheEntry load_plan_entry(const std::string& path, std::string* digest) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  return decode_plan_entry(bytes.data(), bytes.size(), path, digest);
+}
+
+// ---- PlanCache ----
+
+PlanCache::PlanCache(Config cfg) : cfg_(std::move(cfg)) {
+  if (!disk_tier()) return;
+  if (!cfg_.read_only) {
+    std::error_code ec;
+    fs::create_directories(cfg_.dir, ec);
+    if (ec)
+      throw std::runtime_error(cfg_.dir + ": cannot create plan cache dir (" +
+                               ec.message() + ")");
+  }
+  // Index pre-existing .cmsplan entries, LRU order seeded from mtimes —
+  // the same reopen semantics as the trace store sharing this directory.
+  std::error_code ec;
+  std::vector<std::pair<fs::file_time_type, std::pair<std::string, std::uint64_t>>>
+      found;
+  for (const auto& e : fs::directory_iterator(cfg_.dir, ec)) {
+    std::error_code file_ec;
+    if (!e.is_regular_file(file_ec) || file_ec) continue;
+    const fs::path& p = e.path();
+    if (p.extension() != ".cmsplan") continue;
+    std::error_code mtime_ec, size_ec;
+    const fs::file_time_type mtime = e.last_write_time(mtime_ec);
+    const std::uintmax_t bytes = e.file_size(size_ec);
+    if (mtime_ec || size_ec) continue;
+    found.emplace_back(mtime, std::make_pair(p.stem().string(),
+                                             static_cast<std::uint64_t>(bytes)));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [mtime, entry] : found) {
+    disk_[entry.first] = DiskEntry{entry.second, ++clock_};
+    disk_bytes_total_ += entry.second;
+  }
+}
+
+std::string PlanCache::path_of(const std::string& digest) const {
+  return (fs::path(cfg_.dir) / (digest + ".cmsplan")).string();
+}
+
+std::shared_ptr<const PlanCacheEntry> PlanCache::get(
+    const std::string& digest) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = mem_.find(digest);
+    if (it != mem_.end()) {
+      it->second.last_use = ++clock_;
+      mem_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.entry;
+    }
+  }
+  if (!disk_tier()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  const std::string path = path_of(digest);
+  std::error_code ec;
+  const auto miss = [&]() -> std::shared_ptr<const PlanCacheEntry> {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = disk_.find(digest);
+    if (it != disk_.end()) {  // pruned by another process: resync
+      disk_bytes_total_ -= it->second.bytes;
+      disk_.erase(it);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  };
+  // Cheap-miss precheck (the trace store's rule): a cold key must not
+  // pay for an ifstream failure + exception on every computed plan.
+  if (!fs::exists(path, ec) || ec) return miss();
+
+  std::string stored_digest;
+  PlanCacheEntry loaded;
+  std::uint64_t bytes = 0;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const std::vector<std::uint8_t> blob = read_file(path);
+      loaded = decode_plan_entry(blob.data(), blob.size(), path,
+                                 &stored_digest);
+      bytes = blob.size();  // the exact size, no re-stat race
+      break;
+    } catch (const std::runtime_error&) {
+      // Vanished mid-read (another process pruned the directory): an
+      // ordinary miss. Still present: one retry distinguishes a
+      // prune-then-rewrite race from genuine corruption — entries are
+      // immutable per digest, so a successful reread is the same plan.
+      if (fs::exists(path, ec) && !ec) {
+        if (attempt == 0) continue;
+        throw;
+      }
+      return miss();
+    }
+  }
+  if (stored_digest != digest)
+    throw std::runtime_error(path + ": stored plan key " + stored_digest +
+                             " does not match requested " + digest);
+
+  auto entry = std::make_shared<const PlanCacheEntry>(std::move(loaded));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Promote into tier 1 so the next hit skips the file entirely.
+    insert_mem_locked(digest, entry, bytes);
+    enforce_mem_budget_locked();
+    auto& de = disk_[digest];
+    disk_bytes_total_ += bytes - de.bytes;
+    de.bytes = bytes;
+    de.last_use = ++clock_;
+  }
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void PlanCache::put(const std::string& digest, PlanCacheEntry entry) {
+  const std::vector<std::uint8_t> blob = encode_plan_entry(entry, digest);
+  auto shared = std::make_shared<const PlanCacheEntry>(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    insert_mem_locked(digest, std::move(shared), blob.size());
+    enforce_mem_budget_locked();
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!disk_tier() || cfg_.read_only) return;
+  try {
+    serialize::write_file_atomic(path_of(digest), blob);
+  } catch (const std::exception& e) {
+    // Tier 2 is an amortization, not a correctness boundary: the memory
+    // tier already serves the entry, so a failed persist only costs a
+    // future process a recompute.
+    log_warn() << "plan cache disk write failed: " << e.what();
+    return;
+  }
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& de = disk_[digest];
+  disk_bytes_total_ += blob.size() - de.bytes;
+  de.bytes = blob.size();
+  de.last_use = ++clock_;
+  enforce_disk_budget_locked();
+}
+
+void PlanCache::insert_mem_locked(
+    const std::string& digest, std::shared_ptr<const PlanCacheEntry> entry,
+    std::uint64_t bytes) {
+  MemEntry& me = mem_[digest];
+  mem_bytes_total_ += bytes - me.bytes;
+  me.bytes = bytes;
+  me.entry = std::move(entry);
+  me.last_use = ++clock_;
+}
+
+TraceStore::GcResult PlanCache::enforce_mem_budget_locked() {
+  TraceStore::GcResult out;
+  const TraceStore::Capacity& cap = cfg_.memory;
+  if (cap.unlimited()) return out;
+  const auto over = [&] {
+    return (cap.max_bytes != 0 && mem_bytes_total_ > cap.max_bytes) ||
+           (cap.max_entries != 0 && mem_.size() > cap.max_entries);
+  };
+  while (over() && !mem_.empty()) {
+    auto victim = mem_.begin();
+    for (auto it = mem_.begin(); it != mem_.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    mem_bytes_total_ -= victim->second.bytes;
+    out.evicted_entries += 1;
+    out.evicted_bytes += victim->second.bytes;
+    // Readers holding the shared_ptr keep their entry alive — eviction
+    // only drops the cache's reference (pin-during-read).
+    mem_.erase(victim);
+  }
+  evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
+  evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
+  return out;
+}
+
+TraceStore::GcResult PlanCache::enforce_disk_budget_locked() {
+  TraceStore::GcResult out;
+  const TraceStore::Capacity& cap = cfg_.disk;
+  if (!disk_tier() || cfg_.read_only || cap.unlimited()) return out;
+  const auto over = [&] {
+    return (cap.max_bytes != 0 && disk_bytes_total_ > cap.max_bytes) ||
+           (cap.max_entries != 0 && disk_.size() > cap.max_entries);
+  };
+  std::set<std::string> skipped;  // unlink failed this pass: not a victim
+  while (over()) {
+    const std::string* victim = nullptr;
+    std::uint64_t oldest = 0;
+    for (const auto& [digest, e] : disk_) {
+      if (skipped.contains(digest)) continue;
+      if (victim == nullptr || e.last_use < oldest) {
+        victim = &digest;
+        oldest = e.last_use;
+      }
+    }
+    if (victim == nullptr) break;
+    const auto it = disk_.find(*victim);
+    std::error_code ec;
+    const bool removed = fs::remove(path_of(*victim), ec);
+    if (ec) {
+      // Unlink failed with the file still on disk: dropping the index
+      // entry would orphan bytes nobody accounts for until reopen. Keep
+      // it (the budget stays busted) and move on.
+      skipped.insert(*victim);
+      continue;
+    }
+    disk_bytes_total_ -= it->second.bytes;
+    if (removed) {
+      out.evicted_entries += 1;
+      out.evicted_bytes += it->second.bytes;
+    }
+    // !removed: already vanished (another process pruned it) — resync the
+    // index without claiming an eviction.
+    disk_.erase(it);
+  }
+  evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
+  evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
+  return out;
+}
+
+TraceStore::GcResult PlanCache::gc() {
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceStore::GcResult out = enforce_mem_budget_locked();
+  const TraceStore::GcResult disk = enforce_disk_budget_locked();
+  out.evicted_entries += disk.evicted_entries;
+  out.evicted_bytes += disk.evicted_bytes;
+  return out;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.mem_hits = mem_hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.hits = s.mem_hits + s.disk_hits;
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  s.entries = mem_.size();
+  s.bytes = mem_bytes_total_;
+  s.disk_entries = disk_.size();
+  s.disk_bytes = disk_bytes_total_;
+  return s;
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,229 @@
+// Two-tier memoized plan cache — the compositionality result applied to
+// the WHOLE planning pipeline, not just its captures.
+//
+// The paper's decomposition makes every stage a pure function: a capture
+// is a pure function of its content digest, the folded MissProfile is a
+// pure function of the captures and the sweep grid, and the MCKP plan is
+// a pure function of the profile and the planner configuration. A plan
+// response is therefore fully content-addressable: hash everything the
+// answer depends on (PlanKey below) and identical requests can be served
+// without pinning a single capture, replaying a single stream or solving
+// a single knapsack.
+//
+//   Tier 1 (memory): PlanKey digest -> shared_ptr<const PlanCacheEntry>,
+//     LRU-evicted under its own entry/byte budget. Readers hold the
+//     shared_ptr, so eviction can drop the cache's reference but never a
+//     result a request is still copying from (pin-during-read).
+//   Tier 2 (disk):   <digest>.cmsplan files in the SAME directory as the
+//     trace store's .cmstrace entries — versioned magic + FNV-1a trailer
+//     (format below), written via temp file + atomic rename. Warm plans
+//     survive the process; a file another process pruned mid-read is a
+//     MISS, a corrupt or mislabeled file THROWS. Stale entries cannot be
+//     served at all: the PlanKey digest includes the schema version and
+//     every planning input, so any change addresses a different file
+//     (invalidation by addressing, exactly like the trace store).
+//
+// Thread-safety: get()/put()/gc()/stats() are safe from any number of
+// threads. Counters are lock-free atomics mirroring TraceStore::Stats;
+// one mutex guards the two LRU indexes and is never held across file
+// I/O except during disk-tier eviction unlinks (the trace store's rule).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "opt/planner.hpp"
+#include "opt/profile.hpp"
+#include "opt/trace_store.hpp"
+
+namespace cms::opt {
+
+/// Everything a plan response depends on, canonicalized. digest() is the
+/// cache key: FNV-1a 128 over the schema version, the SORTED capture
+/// digests (they already content-address the application, platform,
+/// policy and jitter seeds), the resolved sweep grid and run count, the
+/// resolved L2 size and the planner configuration. curvature_eps is
+/// canonicalized before hashing — every negative value means "auto-tune
+/// from the profile" (PlannerConfig::kAutoCurvatureEps), and the tuned
+/// value is itself a pure function of the captures + grid already in the
+/// key, so all spellings of auto collapse to one entry.
+struct PlanKey {
+  std::vector<std::string> capture_digests;  // sorted by digest()
+  std::vector<std::uint32_t> grid;
+  std::uint32_t runs = 0;
+  std::uint32_t l2_size_bytes = 0;
+  PlannerConfig planner;
+
+  std::string digest() const;
+};
+
+/// One task's prediction at its assigned size (mirrored into
+/// svc::PlanResponse::TaskPrediction; lives here so the cache layer does
+/// not depend on svc).
+struct PlanPrediction {
+  std::string name;
+  std::uint32_t sets = 0;
+  double misses = 0.0;
+  double cycles = 0.0;
+
+  friend bool operator==(const PlanPrediction&, const PlanPrediction&) =
+      default;
+};
+
+/// The memoized result: everything needed to answer a repeat request
+/// bit-identically without touching the trace store. The profile is
+/// carried even though a plan hit only reads `plan` + `predictions`
+/// today: it is the self-contained evidence of what the plan was
+/// computed from (debuggability of a cache whose inputs may since have
+/// been evicted), and the enabler for re-planning the SAME captures
+/// under a different planner config without a replay sweep — the
+/// ROADMAP's request-batching item.
+struct PlanCacheEntry {
+  MissProfile profile;
+  PartitionPlan plan;
+  std::vector<PlanPrediction> predictions;
+  /// The curvature-thinning tolerance the planner actually used (auto
+  /// sentinel resolved via auto_curvature_eps) — observability only, the
+  /// key never depends on it.
+  double curvature_eps = 0.0;
+};
+
+// ---- Versioned binary file format (tier 2) ----
+//
+// Layout mirrors the trace capture format (opt/trace.hpp):
+//   [0..7]   magic "CMSPLAN_"
+//   [8..11]  fixed32 schema version (kPlanFormatVersion)
+//   payload  varint/str encoded: embedded PlanKey digest (verified on
+//            load so a renamed/copied file never serves the wrong key),
+//            resolved curvature_eps, the MissProfile (raw Welford state,
+//            doubles as fixed64 bit patterns — bit-exact), the
+//            PartitionPlan and the prediction table,
+//   trailer  fixed64 FNV-1a checksum over every preceding byte.
+// Truncation, bad magic, a FUTURE schema version, checksum mismatch and
+// trailing garbage all throw std::runtime_error naming the context (the
+// file path); the version check precedes the checksum.
+
+inline constexpr char kPlanMagic[8] = {'C', 'M', 'S', 'P', 'L', 'A', 'N', '_'};
+inline constexpr std::uint32_t kPlanFormatVersion = 1;
+
+std::vector<std::uint8_t> encode_plan_entry(const PlanCacheEntry& entry,
+                                            std::string_view digest);
+PlanCacheEntry decode_plan_entry(const std::uint8_t* data, std::size_t size,
+                                 const std::string& context,
+                                 std::string* digest = nullptr);
+
+/// File round trip (temp file + atomic rename on save, like
+/// save_capture); both throw std::runtime_error with the path on I/O or
+/// format errors.
+void save_plan_entry(const PlanCacheEntry& entry, std::string_view digest,
+                     const std::string& path);
+PlanCacheEntry load_plan_entry(const std::string& path,
+                               std::string* digest = nullptr);
+
+class PlanCache {
+ public:
+  struct Config {
+    /// Disk-tier directory (typically the trace store's dir); empty
+    /// disables tier 2 — entries then live and die with this instance.
+    std::string dir;
+    /// A read-only disk tier serves warm hits but never writes (frozen
+    /// CI stores). Ignored without a dir.
+    bool read_only = false;
+    /// Tier-1 (in-memory) budget; 0 = unlimited. Bytes are the entries'
+    /// encoded sizes.
+    TraceStore::Capacity memory;
+    /// Tier-2 (on-disk) budget over the .cmsplan files; 0 = unlimited.
+    /// LRU order is seeded from file mtimes on open, like the store.
+    TraceStore::Capacity disk;
+  };
+
+  /// Counters mirror TraceStore::Stats: hits/misses/inserts are
+  /// lock-free atomics; hits = mem_hits + disk_hits.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;  // put() calls that stored a new result
+    std::uint64_t mem_hits = 0;
+    std::uint64_t disk_hits = 0;   // served from tier 2 (then promoted)
+    std::uint64_t disk_writes = 0; // .cmsplan files persisted
+    std::uint64_t evictions = 0;   // both tiers
+    std::uint64_t evicted_bytes = 0;
+    std::uint64_t entries = 0;      // tier-1 resident entries
+    std::uint64_t bytes = 0;        // tier-1 resident encoded bytes
+    std::uint64_t disk_entries = 0; // tier-2 indexed entries
+    std::uint64_t disk_bytes = 0;   // tier-2 indexed bytes
+  };
+
+  /// Open the cache (and in read-write disk mode create the directory,
+  /// indexing any existing .cmsplan entries oldest-first). Throws
+  /// std::runtime_error when a read-write directory cannot be created.
+  explicit PlanCache(Config cfg);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  bool disk_tier() const { return !cfg_.dir.empty(); }
+  const Config& config() const { return cfg_; }
+
+  /// Path the tier-2 entry for `digest` would live at.
+  std::string path_of(const std::string& digest) const;
+
+  /// Look up a memoized plan. Tier 1 first; on a memory miss the disk
+  /// tier is consulted and a hit is promoted back into memory. Returns
+  /// null on a miss — including a .cmsplan file that vanished mid-read
+  /// (another process pruned it); throws std::runtime_error on a corrupt
+  /// or mislabeled file — corruption is surfaced, never silently
+  /// replanned over.
+  std::shared_ptr<const PlanCacheEntry> get(const std::string& digest);
+
+  /// Memoize `entry` under `digest` in both tiers, then enforce the
+  /// budgets. The disk write is best-effort: an I/O failure is logged
+  /// and the memory tier still serves the entry (never throws).
+  void put(const std::string& digest, PlanCacheEntry entry);
+
+  /// Enforce both budgets now; returns what was evicted (both tiers).
+  TraceStore::GcResult gc();
+
+  Stats stats() const;
+
+ private:
+  struct MemEntry {
+    std::shared_ptr<const PlanCacheEntry> entry;
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+  struct DiskEntry {
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  void insert_mem_locked(const std::string& digest,
+                         std::shared_ptr<const PlanCacheEntry> entry,
+                         std::uint64_t bytes);
+  TraceStore::GcResult enforce_mem_budget_locked();
+  TraceStore::GcResult enforce_disk_budget_locked();
+
+  Config cfg_;
+
+  std::atomic<std::uint64_t> mem_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> disk_writes_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> evicted_bytes_{0};
+
+  mutable std::mutex mu_;  // guards mem_, disk_, clock_, *_bytes_total_
+  std::map<std::string, MemEntry> mem_;
+  std::map<std::string, DiskEntry> disk_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t mem_bytes_total_ = 0;
+  std::uint64_t disk_bytes_total_ = 0;
+};
+
+}  // namespace cms::opt

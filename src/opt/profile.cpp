@@ -19,6 +19,11 @@ void MissProfile::add_fragment(const ProfileFragment& frag) {
     add_sample(s.task, s.sets, s.misses, s.active_cycles, s.instructions);
 }
 
+void MissProfile::set_point(const std::string& task, std::uint32_t sets,
+                            ProfilePoint point) {
+  tasks_[task][sets] = std::move(point);
+}
+
 void MissProfile::merge(const MissProfile& other) {
   for (const auto& [name, curve] : other.tasks_) {
     auto& mine = tasks_[name];

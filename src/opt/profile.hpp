@@ -53,6 +53,13 @@ class MissProfile {
   /// Replay every sample of `frag` in its recorded order.
   void add_fragment(const ProfileFragment& frag);
 
+  /// Install a fully-formed point (overwriting any existing one) — the
+  /// deserialization hook of the plan-cache codec (opt/plan_cache.hpp),
+  /// which must reconstruct folded statistics bit-exactly and therefore
+  /// cannot go through add_sample's Welford accumulation.
+  void set_point(const std::string& task, std::uint32_t sets,
+                 ProfilePoint point);
+
   /// Pool another profile into this one (Welford merge of each point).
   /// Statistically exact; NOT guaranteed bit-identical to replaying the
   /// raw samples — use `fold_fragments` when bit-reproducibility against

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -225,25 +223,10 @@ CaptureRun decode_capture(const std::uint8_t* data, std::size_t size,
 
 void save_capture(const CaptureRun& capture, std::string_view digest,
                   const std::string& path) {
-  const std::vector<std::uint8_t> bytes = encode_capture(capture, digest);
-  // Unique temp name: concurrent writers (other threads OR processes
-  // racing on the same digest) must never share a partially-written file;
-  // whoever renames last wins with identical content.
-  const std::uint64_t nonce =
-      mix64(reinterpret_cast<std::uintptr_t>(&capture) ^
-            static_cast<std::uint64_t>(
-                std::chrono::steady_clock::now().time_since_epoch().count()));
-  const std::string tmp = path + ".tmp." + std::to_string(nonce);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw std::runtime_error(tmp + ": cannot open trace file for writing");
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw std::runtime_error(tmp + ": short write saving trace");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw std::runtime_error(path + ": cannot move trace file into place");
+  // Concurrent writers racing on the same digest produce identical
+  // content, so the temp-file + rename in write_file_atomic makes either
+  // winner correct.
+  serialize::write_file_atomic(path, encode_capture(capture, digest));
 }
 
 CaptureRun load_capture(const std::string& path, std::string* digest) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <set>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
@@ -78,9 +79,11 @@ void TraceStore::touch_locked(const std::string& digest,
   if (e.last_use == 0) {  // new entry
     e.bytes = bytes;
     bytes_total_ += bytes;
-  } else if (bytes != 0 && bytes != e.bytes) {  // rewritten (same content
-    bytes_total_ += bytes - e.bytes;            // normally; sizes only drift
-    e.bytes = bytes;                            // across schema versions)
+    if (bytes == 0) ++unknown_sizes_;  // stat failed: re-stat later
+  } else if (bytes != 0 && bytes != e.bytes) {  // rewritten, or a size that
+    if (e.bytes == 0) --unknown_sizes_;         // could finally be statted
+    bytes_total_ += bytes - e.bytes;
+    e.bytes = bytes;
   }
   e.last_use = ++clock_;
 }
@@ -88,25 +91,60 @@ void TraceStore::touch_locked(const std::string& digest,
 void TraceStore::erase_locked(const std::string& digest) const {
   const auto it = entries_.find(digest);
   if (it == entries_.end()) return;
+  if (it->second.bytes == 0) --unknown_sizes_;
   bytes_total_ -= it->second.bytes;
   entries_.erase(it);
 }
 
+void TraceStore::restat_unknown_locked() const {
+  // Entries indexed while their stat failed (a peer's eviction racing the
+  // save, a directory masquerading as an entry) carry bytes == 0, which
+  // silently undercounts bytes_total_ and lets the byte budget be busted.
+  // Fix them up before any accounting decision instead of freezing at 0.
+  if (unknown_sizes_ == 0) return;
+  for (auto it = entries_.begin();
+       it != entries_.end() && unknown_sizes_ > 0;) {
+    if (it->second.bytes != 0) {
+      ++it;
+      continue;
+    }
+    std::error_code ec;
+    const std::uintmax_t sz = fs::file_size(path_of(it->first), ec);
+    if (!ec && sz > 0) {
+      it->second.bytes = static_cast<std::uint64_t>(sz);
+      bytes_total_ += it->second.bytes;
+      --unknown_sizes_;
+      ++it;
+      continue;
+    }
+    std::error_code exist_ec;
+    if (!fs::exists(path_of(it->first), exist_ec) && !exist_ec) {
+      // Gone entirely (the racing eviction won): drop the stale entry.
+      --unknown_sizes_;
+      it = entries_.erase(it);
+    } else {
+      ++it;  // still unstat-able; the next pass tries again
+    }
+  }
+}
+
 TraceStore::GcResult TraceStore::enforce_budget_locked() const {
   GcResult out;
+  restat_unknown_locked();
   if (read_only_ || capacity_.unlimited()) return out;
   const auto over = [&] {
     return (capacity_.max_bytes != 0 && bytes_total_ > capacity_.max_bytes) ||
            (capacity_.max_entries != 0 &&
             entries_.size() > capacity_.max_entries);
   };
+  std::set<std::string> skipped;  // unlink failed this pass: not a victim
   while (over()) {
     // Least-recently-used unpinned entry; pinned entries are invisible to
     // eviction, so a store whose pins alone bust the budget stays over it.
     const std::string* victim = nullptr;
     std::uint64_t oldest = 0;
     for (const auto& [digest, e] : entries_) {
-      if (pins_.contains(digest)) continue;
+      if (pins_.contains(digest) || skipped.contains(digest)) continue;
       if (victim == nullptr || e.last_use < oldest) {
         victim = &digest;
         oldest = e.last_use;
@@ -115,10 +153,25 @@ TraceStore::GcResult TraceStore::enforce_budget_locked() const {
     if (victim == nullptr) break;
     const auto it = entries_.find(*victim);
     std::error_code ec;
-    fs::remove(path_of(*victim), ec);  // best effort; index is authoritative
+    const bool removed = fs::remove(path_of(*victim), ec);
+    if (ec) {
+      // Unlink FAILED with the file still on disk: dropping the index
+      // entry would orphan bytes nobody accounts for until reopen, and
+      // counting them as evicted would claim a reclamation that never
+      // happened. Keep the entry (the budget stays busted, like a pinned
+      // entry) and skip it for the rest of this pass so enforcement
+      // cannot spin on it.
+      skipped.insert(*victim);
+      continue;
+    }
+    if (it->second.bytes == 0) --unknown_sizes_;
     bytes_total_ -= it->second.bytes;
-    out.evicted_entries += 1;
-    out.evicted_bytes += it->second.bytes;
+    if (removed) {
+      out.evicted_entries += 1;
+      out.evicted_bytes += it->second.bytes;
+    }
+    // !removed: the file had already vanished (another process evicted
+    // it) — resync the index without claiming an eviction we never did.
     entries_.erase(it);
   }
   evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);

@@ -41,7 +41,8 @@
 // process evicted it — reports a MISS, never an error. The hit/miss/
 // write/eviction counters are atomic (lock-free, TSan-clean); the LRU
 // index and pin table share one mutex that is never held across file I/O
-// except during eviction deletes.
+// except during eviction deletes and the re-stat of entries whose size
+// could not be determined when they were indexed.
 #pragma once
 
 #include <atomic>
@@ -145,7 +146,9 @@ class TraceStore {
   /// before the entry exists (protects it from the moment of save).
   Pin pin(const std::string& digest) const;
 
-  /// Enforce the capacity budget now; returns what was evicted. No-op on
+  /// Enforce the capacity budget now; returns what was evicted. Also
+  /// re-stats any entry indexed while its size could not be determined,
+  /// so stats().bytes converges to the on-disk truth. Never evicts on
   /// read-only or unlimited stores.
   GcResult gc() const;
 
@@ -153,12 +156,18 @@ class TraceStore {
 
  private:
   struct Entry {
+    /// On-disk size; 0 means UNKNOWN (the stat at index time failed —
+    /// e.g. a concurrent eviction raced it). Unknown sizes are re-statted
+    /// by the next touch that stats successfully and, in bulk, by
+    /// restat_unknown_locked() before any budget decision, so the byte
+    /// accounting converges instead of freezing at an undercount.
     std::uint64_t bytes = 0;
     std::uint64_t last_use = 0;  // logical clock, larger = more recent
   };
 
   void touch_locked(const std::string& digest, std::uint64_t bytes) const;
   void erase_locked(const std::string& digest) const;
+  void restat_unknown_locked() const;
   GcResult enforce_budget_locked() const;
   void unpin(const std::string& digest) const;
 
@@ -177,6 +186,7 @@ class TraceStore {
   mutable std::map<std::string, std::uint32_t> pins_;  // digest -> refcount
   mutable std::uint64_t clock_ = 0;
   mutable std::uint64_t bytes_total_ = 0;
+  mutable std::uint64_t unknown_sizes_ = 0;  // entries with bytes == 0
 };
 
 }  // namespace cms::opt

@@ -1,0 +1,96 @@
+#include "svc/plan_protocol.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace cms::svc {
+
+namespace {
+
+/// Strict decimal parse (same digits-only policy as core/cli.hpp):
+/// "64k", "abc" or "" are rejected instead of silently truncating to a
+/// number the planner would confidently mis-plan with.
+bool parse_u32(const std::string& v, std::uint32_t& out) {
+  if (v.empty() || v.size() > 10) return false;
+  std::uint64_t n = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (n > 0xFFFFFFFFull) return false;
+  out = static_cast<std::uint32_t>(n);
+  return true;
+}
+
+std::string bad_value(const std::string& key, const std::string& val,
+                      const std::string& expect) {
+  return "bad " + key + " value '" + val + "' (" + expect + ")";
+}
+
+}  // namespace
+
+bool parse_plan_request(const std::string& operands, PlanRequest& req,
+                        std::string& error) {
+  std::istringstream in(operands);
+  if (!(in >> req.scenario)) {
+    error = "plan needs a scenario name";
+    return false;
+  }
+  std::string kv;
+  while (in >> kv) {
+    const auto eq = kv.find('=');
+    const std::string key = kv.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : kv.substr(eq + 1);
+    std::uint32_t n = 0;
+    if (key == "grid") {
+      std::istringstream gs(val);
+      std::string item;
+      while (std::getline(gs, item, ',')) {
+        if (!parse_u32(item, n)) {
+          error = bad_value("grid", item, "plain decimal expected");
+          return false;
+        }
+        req.grid.push_back(n);
+      }
+      if (req.grid.empty()) {
+        error = bad_value("grid", val, "plain decimal expected");
+        return false;
+      }
+    } else if (key == "runs") {
+      if (!parse_u32(val, n)) {
+        error = bad_value("runs", val, "plain decimal expected");
+        return false;
+      }
+      req.runs = n;
+    } else if (key == "l2") {
+      if (!parse_u32(val, n)) {
+        error = bad_value("l2", val, "plain decimal expected");
+        return false;
+      }
+      req.l2_size_bytes = n;
+    } else if (key == "eps") {
+      char* end = nullptr;
+      const double eps = std::strtod(val.c_str(), &end);
+      // strtod's leniency is exactly what must be rejected here: "nan"
+      // and "inf" parse but poison the planner, and any negative value
+      // aliases the auto-tune sentinel (kAutoCurvatureEps) — a client
+      // typing eps=-1 would silently get auto-tuning instead of an
+      // error. Auto-tune is requested by omitting eps.
+      if (val.empty() || end != val.c_str() + val.size() ||
+          !std::isfinite(eps) || eps < 0.0) {
+        error = bad_value("eps", val,
+                          "finite value >= 0 expected; omit eps for "
+                          "auto-tune");
+        return false;
+      }
+      req.curvature_eps = eps;
+    } else {
+      error = "unknown option '" + key + "' (grid=|runs=|l2=|eps=)";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cms::svc

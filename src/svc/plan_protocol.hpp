@@ -1,0 +1,29 @@
+// Request parsing for the plan_server line protocol, separated from the
+// example binary so the validation rules are unit-testable
+// (tests/test_plan_service.cpp) and reusable by future transports (the
+// ROADMAP's TCP/HTTP front end).
+//
+//   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
+//
+// Values are validated strictly: integers must be plain decimal (the
+// digits-only policy of core/cli.hpp — "64k" or "+5" are rejected, never
+// silently truncated) and eps must be a FINITE, NON-NEGATIVE double.
+// strtod would happily accept "nan", "inf" or "-1"; -1 aliases
+// PlannerConfig::kAutoCurvatureEps, so a client typo would silently turn
+// auto-tuning on instead of erroring — clients wanting auto-tune simply
+// omit eps.
+#pragma once
+
+#include <string>
+
+#include "svc/planning_service.hpp"
+
+namespace cms::svc {
+
+/// Parse the operand list of a `plan` command (everything after the
+/// command word) into `req`. Returns true on success; false with a
+/// human-readable message in `error` (no partial state is usable then).
+bool parse_plan_request(const std::string& operands, PlanRequest& req,
+                        std::string& error);
+
+}  // namespace cms::svc

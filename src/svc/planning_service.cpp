@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -23,6 +24,16 @@ const char* to_string(CaptureSource source) {
     case CaptureSource::kStoreHit: return "hit";
     case CaptureSource::kCaptured: return "captured";
     case CaptureSource::kCoalesced: return "coalesced";
+    case CaptureSource::kDeferred: return "deferred";
+    case CaptureSource::kPlanCached: return "plan-cache";
+  }
+  return "?";
+}
+
+const char* to_string(PlanSource source) {
+  switch (source) {
+    case PlanSource::kComputed: return "computed";
+    case PlanSource::kCache: return "cache";
   }
   return "?";
 }
@@ -38,6 +49,13 @@ std::uint64_t PlanResponse::store_hits() const {
   return static_cast<std::uint64_t>(
       std::count_if(captures.begin(), captures.end(), [](const auto& r) {
         return r.source == CaptureSource::kStoreHit;
+      }));
+}
+
+std::uint64_t PlanResponse::deferred() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(captures.begin(), captures.end(), [](const auto& r) {
+        return r.source == CaptureSource::kDeferred;
       }));
 }
 
@@ -77,7 +95,15 @@ core::Experiment PlanningService::make_experiment(
           " bytes)");
     cfg.platform.hier.l2.size_bytes = *req.l2_size_bytes;
   }
-  if (req.curvature_eps) cfg.planner.curvature_eps = *req.curvature_eps;
+  if (req.curvature_eps) {
+    // NaN/inf would poison the plan-cache key and compare unpredictably
+    // in the curvature thinning; negative values are the documented
+    // auto-tune sentinel and pass through.
+    if (!std::isfinite(*req.curvature_eps))
+      throw std::invalid_argument(
+          "plan request curvature_eps must be finite");
+    cfg.planner.curvature_eps = *req.curvature_eps;
+  }
   // The service path: captures come from (or land in) the shared store,
   // the sweep is replayed from them. Trace replay is bit-identical to
   // full simulation (ARCHITECTURE.md), so responses match direct
@@ -98,13 +124,17 @@ CaptureSource PlanningService::ensure_capture(const core::Experiment& exp,
     return CaptureSource::kStoreHit;
   }
 
-  // A read-only store cannot persist a leader's capture, so single-flight
-  // could never hand the result to followers (or to this request's own
-  // profile() pass) — capturing here would just run the simulation twice.
-  // Let Experiment::profile() capture in memory, batched on its Campaign.
+  // READ-ONLY STORE CONTRACT: an ro store cannot persist a leader's
+  // capture, so single-flight could never hand the result to followers
+  // (or to this request's own profile() pass) — capturing here would just
+  // run the simulation twice. Let Experiment::profile() capture in
+  // memory, batched on its Campaign, and say so honestly: the source is
+  // kDeferred (NOT kCaptured — nothing has been simulated yet), the cost
+  // lands in profile_ms rather than capture_ms, and the capture_started
+  // hook does not fire because no store-persisted capture ever starts.
   if (store_->read_only()) {
-    captured_.fetch_add(1, std::memory_order_relaxed);
-    return CaptureSource::kCaptured;
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    return CaptureSource::kDeferred;
   }
 
   std::promise<void> lead;
@@ -173,20 +203,55 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
     const core::Experiment exp = make_experiment(req);
     const std::uint32_t runs = std::max(1u, exp.config().profile_runs);
 
+    resp.captures.reserve(runs);
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      PlanResponse::RunProvenance prov;
+      prov.jitter = r;  // profile_jobs uses the run index as jitter seed
+      prov.digest = exp.trace_digest(r);
+      resp.captures.push_back(std::move(prov));
+    }
+
+    // Memoized plan lookup FIRST: the capture digests + resolved sweep +
+    // planner config address the whole response (opt::PlanKey), so a hit
+    // needs no pin, no capture, no replay and no MCKP solve.
+    std::string plan_key;
+    std::shared_ptr<const opt::PlanCacheEntry> memo;
+    if (cfg_.plan_cache != nullptr) {
+      const auto tk = Clock::now();
+      opt::PlanKey key;
+      key.capture_digests.reserve(runs);
+      for (const auto& prov : resp.captures)
+        key.capture_digests.push_back(prov.digest);
+      key.grid = exp.config().profile_grid;
+      key.runs = runs;
+      key.l2_size_bytes = exp.config().platform.hier.l2.size_bytes;
+      key.planner = exp.config().planner;
+      plan_key = key.digest();
+      memo = cfg_.plan_cache->get(plan_key);
+      resp.plan_cache_ms = ms_since(tk);
+    }
+    if (memo != nullptr) {
+      for (auto& prov : resp.captures)
+        prov.source = CaptureSource::kPlanCached;
+      resp.assignment = memo->plan;
+      resp.tasks.reserve(memo->predictions.size());
+      for (const opt::PlanPrediction& p : memo->predictions)
+        resp.tasks.push_back(PlanResponse::TaskPrediction{
+            p.name, p.sets, p.misses, p.cycles});
+      resp.plan_source = PlanSource::kCache;
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      resp.ok = true;
+      resp.total_ms = ms_since(t0);
+      return resp;
+    }
+
     // Pin every digest this request will replay BEFORE ensuring captures:
     // from here to the end of the request, capacity eviction cannot touch
     // them (pins release when `pins` dies).
     const auto tc = Clock::now();
     std::vector<opt::TraceStore::Pin> pins;
     pins.reserve(runs);
-    resp.captures.reserve(runs);
-    for (std::uint32_t r = 0; r < runs; ++r) {
-      PlanResponse::RunProvenance prov;
-      prov.jitter = r;  // profile_jobs uses the run index as jitter seed
-      prov.digest = exp.trace_digest(r);
-      pins.push_back(store_->pin(prov.digest));
-      resp.captures.push_back(std::move(prov));
-    }
+    for (const auto& prov : resp.captures) pins.push_back(store_->pin(prov.digest));
     // Missing digests are ensured one at a time: with the default 1-2
     // jitter runs a cold request pays at most two sequential simulations
     // ONCE per store lifetime, and per-digest single-flight stays simple.
@@ -198,7 +263,8 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
     resp.capture_ms = ms_since(tc);
 
     // Every capture is now resident and pinned: the profiling sweep is a
-    // pure store-hit replay.
+    // pure store-hit replay (over a read-only store it also runs any
+    // deferred captures — see ensure_capture).
     const auto tp = Clock::now();
     const opt::MissProfile prof = exp.profile();
     resp.profile_ms = ms_since(tp);
@@ -216,6 +282,19 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
       t.predicted_cycles = prof.active_cycles(e.name, e.sets);
       resp.tasks.push_back(std::move(t));
     }
+
+    if (cfg_.plan_cache != nullptr) {
+      opt::PlanCacheEntry entry;
+      entry.profile = prof;
+      entry.plan = resp.assignment;
+      entry.predictions.reserve(resp.tasks.size());
+      for (const auto& t : resp.tasks)
+        entry.predictions.push_back(opt::PlanPrediction{
+            t.name, t.sets, t.predicted_misses, t.predicted_cycles});
+      const double eps = exp.config().planner.curvature_eps;
+      entry.curvature_eps = eps < 0.0 ? opt::auto_curvature_eps(prof) : eps;
+      cfg_.plan_cache->put(plan_key, std::move(entry));
+    }
     resp.ok = true;
   } catch (const std::exception& e) {
     resp.error = e.what();
@@ -225,13 +304,30 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
   return resp;
 }
 
+opt::TraceStore::GcResult PlanningService::gc() {
+  opt::TraceStore::GcResult out = store_->gc();
+  if (cfg_.plan_cache != nullptr) {
+    const opt::TraceStore::GcResult pc = cfg_.plan_cache->gc();
+    out.evicted_entries += pc.evicted_entries;
+    out.evicted_bytes += pc.evicted_bytes;
+  }
+  return out;
+}
+
 ServiceStats PlanningService::service_stats() const {
   ServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
   s.captured = captured_.load(std::memory_order_relaxed);
+  s.deferred = deferred_.load(std::memory_order_relaxed);
   s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
   return s;
+}
+
+opt::PlanCache::Stats PlanningService::plan_cache_stats() const {
+  return cfg_.plan_cache != nullptr ? cfg_.plan_cache->stats()
+                                    : opt::PlanCache::Stats{};
 }
 
 std::shared_ptr<opt::TraceStore> open_service_store(
@@ -243,6 +339,23 @@ std::shared_ptr<opt::TraceStore> open_service_store(
   if (dir.empty() || mode == core::TraceMode::kOff) return nullptr;
   return std::make_shared<opt::TraceStore>(
       dir, mode == core::TraceMode::kReadOnly, capacity);
+}
+
+std::shared_ptr<opt::PlanCache> open_plan_cache(
+    core::PlanCacheMode mode, const std::string& store_dir,
+    core::TraceMode trace_mode, opt::TraceStore::Capacity budget) {
+  if (mode == core::PlanCacheMode::kOff) return nullptr;
+  opt::PlanCache::Config cfg;
+  // The disk tier shares the trace store's directory; without a usable
+  // store dir it degrades to the in-process memo.
+  if (mode == core::PlanCacheMode::kDisk && !store_dir.empty() &&
+      trace_mode != core::TraceMode::kOff) {
+    cfg.dir = store_dir;
+    cfg.read_only = trace_mode == core::TraceMode::kReadOnly;
+  }
+  cfg.memory = budget;
+  cfg.disk = budget;
+  return std::make_shared<opt::PlanCache>(std::move(cfg));
 }
 
 }  // namespace cms::svc

@@ -34,10 +34,20 @@
 //    capacity-triggered LRU eviction can drop cold entries but never a
 //    capture an in-flight request is about to replay.
 //
+//  * PLAN MEMOIZATION: with a PlanCache attached (opt/plan_cache.hpp),
+//    plan() first hashes everything the answer depends on — the sorted
+//    capture digests, resolved grid/runs/L2 size and the planner config
+//    (opt::PlanKey) — and a cache hit skips pinning, capture, replay and
+//    the MCKP solve entirely; the response is bit-identical to the
+//    computed one and reports plan_source == kCache + the lookup cost in
+//    plan_cache_ms. The disk tier shares the store directory, so warm
+//    plans survive the process.
+//
 // plan() never throws: failures (unknown scenario, missing trace_key,
-// unusable capture run, corrupt store entry) come back as ok == false
-// with the error message. The store's capacity controls are surfaced
-// through gc() and store_stats().
+// unusable capture run, corrupt store or plan-cache entry) come back as
+// ok == false with the error message. The store's capacity controls are
+// surfaced through gc() and store_stats(); the plan cache's through
+// plan_cache_stats().
 #pragma once
 
 #include <atomic>
@@ -52,6 +62,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "opt/plan_cache.hpp"
 #include "opt/trace_store.hpp"
 
 namespace cms::svc {
@@ -71,7 +82,9 @@ struct PlanRequest {
   std::optional<std::uint32_t> l2_size_bytes;
   /// Planner override: curvature-thinning tolerance
   /// (opt::PlannerConfig::curvature_eps; negative = auto-tune from the
-  /// profile's jitter spread).
+  /// profile's jitter spread). Must be finite — NaN/inf are rejected as a
+  /// request error (they would poison the plan-cache key and the
+  /// thinning comparisons alike).
   std::optional<double> curvature_eps;
 };
 
@@ -80,8 +93,23 @@ enum class CaptureSource {
   kStoreHit,   // already resident in the trace store
   kCaptured,   // this request ran the instrumented simulation
   kCoalesced,  // waited for a concurrent request's capture (single-flight)
+  /// READ-ONLY STORE: the capture need was recorded but the simulation
+  /// runs later, inside this request's profile() pass (an ro store could
+  /// never hand a leader's capture to followers, so single-flight is
+  /// skipped). Reported distinctly because capture_ms does NOT include
+  /// that simulation — profile_ms absorbs it — and the capture_started
+  /// hook never fires on this path.
+  kDeferred,
+  kPlanCached,  // plan-cache hit: no capture was needed at all
 };
 const char* to_string(CaptureSource source);
+
+/// How the response's assignment was produced.
+enum class PlanSource {
+  kComputed,  // replay + MCKP solve ran for this request
+  kCache,     // served from the memoized plan cache (either tier)
+};
+const char* to_string(PlanSource source);
 
 struct PlanResponse {
   bool ok = false;
@@ -112,10 +140,18 @@ struct PlanResponse {
 
   std::uint64_t captured() const;    // runs this request simulated
   std::uint64_t store_hits() const;  // runs served straight from the store
+  std::uint64_t deferred() const;    // ro-store runs simulated in profile()
 
-  double capture_ms = 0.0;  // digest + ensure-capture phase
-  double profile_ms = 0.0;  // store-served replay sweep
-  double plan_ms = 0.0;     // MCKP planning
+  PlanSource plan_source = PlanSource::kComputed;
+
+  /// Pin + store-probe + ensure-capture phase (see kDeferred for the ro
+  /// shift). Digest computation precedes every phase timer and shows up
+  /// only in total_ms.
+  double capture_ms = 0.0;
+  double profile_ms = 0.0;  // store-served replay sweep (plus, over a
+                            // read-only store, any deferred captures)
+  double plan_ms = 0.0;       // MCKP planning
+  double plan_cache_ms = 0.0; // plan-cache key + lookup (0 without a cache)
   double total_ms = 0.0;
 };
 
@@ -131,19 +167,27 @@ struct PlanningServiceConfig {
   /// Called concurrently from request threads; must be thread-safe. Only
   /// fires for store-persisted captures — over a READ-ONLY store the
   /// simulations run inside each request's profile() instead and the
-  /// hook stays silent.
+  /// hook stays silent (such runs report CaptureSource::kDeferred).
   std::function<void(const std::string& digest)> capture_started;
+  /// Optional memoized plan cache (opt/plan_cache.hpp); null recomputes
+  /// every plan. Share one instance across services for a process-wide
+  /// memo; with a disk tier, point it at the store's directory
+  /// (open_plan_cache below wires the CLI flags).
+  std::shared_ptr<opt::PlanCache> plan_cache;
 };
 
 /// Aggregate service counters (monotonic, race-free).
 struct ServiceStats {
-  std::uint64_t requests = 0;   // plan() calls, failed ones included
-  /// Capture needs this service simulated itself (for a read-only store
-  /// counted at request time; the simulations then run inside the
-  /// request's profile() pass).
+  std::uint64_t requests = 0;  // plan() calls, failed ones included
+  /// Captures this service ran as a single-flight leader (instrumented
+  /// simulation + store write).
   std::uint64_t captured = 0;
+  /// READ-ONLY store: capture needs that could not be persisted and were
+  /// deferred into the request's own profile() pass (kDeferred).
+  std::uint64_t deferred = 0;
   std::uint64_t store_hits = 0; // capture needs served by the store
   std::uint64_t coalesced = 0;  // capture needs folded into a leader's run
+  std::uint64_t plan_cache_hits = 0;  // requests answered from the cache
 };
 
 class PlanningService {
@@ -162,9 +206,16 @@ class PlanningService {
 
   const std::shared_ptr<opt::TraceStore>& store() const { return store_; }
   opt::TraceStore::Stats store_stats() const { return store_->stats(); }
-  /// Enforce the store's capacity budget now (surfaced store GC).
-  opt::TraceStore::GcResult gc() { return store_->gc(); }
+  /// Enforce the store's AND the plan cache's capacity budgets now.
+  opt::TraceStore::GcResult gc();
   ServiceStats service_stats() const;
+
+  /// The attached plan cache (null when memoization is off).
+  const std::shared_ptr<opt::PlanCache>& plan_cache() const {
+    return cfg_.plan_cache;
+  }
+  /// The cache's own counters; all-zero without a cache.
+  opt::PlanCache::Stats plan_cache_stats() const;
 
  private:
   core::Experiment make_experiment(const PlanRequest& req) const;
@@ -176,8 +227,10 @@ class PlanningService {
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> deferred_{0};
   std::atomic<std::uint64_t> store_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> plan_cache_hits_{0};
 
   std::mutex mu_;  // guards inflight_
   std::unordered_map<std::string, std::shared_future<void>> inflight_;
@@ -191,5 +244,16 @@ class PlanningService {
 std::shared_ptr<opt::TraceStore> open_service_store(
     const std::string& dir, core::TraceMode mode,
     opt::TraceStore::Capacity capacity = opt::TraceStore::Capacity());
+
+/// Build a plan cache per the shared CLI flags (`--plan-cache`,
+/// `--plan-cache-budget-bytes/-entries` — see core/cli.hpp): null for
+/// kOff; memory-only for kMemory; for kDisk the tier-2 entries live in
+/// `store_dir` (read-only when `trace_mode` is kReadOnly, memory-only
+/// when the dir is empty or the store is off). `budget` applies to each
+/// tier.
+std::shared_ptr<opt::PlanCache> open_plan_cache(
+    core::PlanCacheMode mode, const std::string& store_dir,
+    core::TraceMode trace_mode,
+    opt::TraceStore::Capacity budget = opt::TraceStore::Capacity());
 
 }  // namespace cms::svc

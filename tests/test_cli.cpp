@@ -76,5 +76,42 @@ TEST(HasFlag, ExactMatchOnly) {
   EXPECT_FALSE(has_flag(2, const_cast<char**>(prefix.data()), "--quick"));
 }
 
+PlanCacheMode plan_cache_of(std::vector<const char*> args,
+                            PlanCacheMode def = PlanCacheMode::kDisk) {
+  args.insert(args.begin(), "prog");
+  return parse_plan_cache(static_cast<int>(args.size()),
+                          const_cast<char**>(args.data()), def);
+}
+
+TEST(ParsePlanCache, AcceptsAllModes) {
+  EXPECT_EQ(plan_cache_of({"--plan-cache", "off"}), PlanCacheMode::kOff);
+  EXPECT_EQ(plan_cache_of({"--plan-cache=mem"}), PlanCacheMode::kMemory);
+  EXPECT_EQ(plan_cache_of({"--plan-cache", "disk"}, PlanCacheMode::kOff),
+            PlanCacheMode::kDisk);
+}
+
+TEST(ParsePlanCache, DefaultAndBadValues) {
+  EXPECT_EQ(plan_cache_of({}), PlanCacheMode::kDisk);
+  EXPECT_EQ(plan_cache_of({}, PlanCacheMode::kOff), PlanCacheMode::kOff);
+  EXPECT_EQ(plan_cache_of({"--plan-cache=ram"}), PlanCacheMode::kDisk);
+  EXPECT_EQ(plan_cache_of({"--plan-cache"}), PlanCacheMode::kDisk);
+  // The budget flags share the prefix; they must not be mistaken for the
+  // mode flag itself.
+  EXPECT_EQ(plan_cache_of({"--plan-cache-budget-bytes", "5"}),
+            PlanCacheMode::kDisk);
+}
+
+TEST(ParsePlanCacheBudgets, ParseAsPlainDecimalU64) {
+  std::vector<const char*> args{"p", "--plan-cache-budget-bytes=4096",
+                                "--plan-cache-budget-entries", "8"};
+  char** argv = const_cast<char**>(args.data());
+  EXPECT_EQ(parse_plan_cache_budget_bytes(4, argv), 4096u);
+  EXPECT_EQ(parse_plan_cache_budget_entries(4, argv), 8u);
+  std::vector<const char*> bad{"p", "--plan-cache-budget-bytes=64k"};
+  EXPECT_EQ(parse_plan_cache_budget_bytes(
+                2, const_cast<char**>(bad.data()), 7),
+            7u);
+}
+
 }  // namespace
 }  // namespace cms::core

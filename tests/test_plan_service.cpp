@@ -3,8 +3,11 @@
 // direct Experiment plan), repeat requests are store hits that skip the
 // capture simulation, single-flight dedup performs exactly one capture
 // for simultaneous identical requests, capacity eviction never corrupts
-// an entry pinned by an in-flight request, and failures come back as
-// error responses instead of exceptions.
+// an entry pinned by an in-flight request, failures come back as error
+// responses instead of exceptions, the read-only-store path reports its
+// deferred captures honestly, the memoized plan cache turns repeat
+// requests into pure lookups, and the plan_server protocol parser
+// rejects malformed values (non-finite/negative eps included).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -13,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "svc/plan_protocol.hpp"
 #include "svc/planning_service.hpp"
 
 namespace cms::svc {
@@ -53,7 +58,7 @@ std::shared_ptr<opt::TraceStore> make_store(
 
 TEST(PlanService, ConcurrentClientsMatchEachOtherAndDirectPlan) {
   TempDir tmp;
-  PlanningService service({make_store(tmp), /*jobs=*/1, nullptr});
+  PlanningService service({make_store(tmp), /*jobs=*/1, nullptr, nullptr});
   PlanRequest req;
   req.scenario = "mpeg2-tiny";
 
@@ -116,7 +121,7 @@ TEST(PlanService, SecondRequestHitsTheStoreAndSkipsCapture) {
 
   // A fresh service over the same directory models a new server process:
   // still a pure store hit.
-  PlanningService other({make_store(tmp), 1, nullptr});
+  PlanningService other({make_store(tmp), 1, nullptr, nullptr});
   const PlanResponse warm = other.plan(req);
   ASSERT_TRUE(warm.ok) << warm.error;
   EXPECT_EQ(warm.captured(), 0u);
@@ -173,7 +178,7 @@ TEST(PlanService, EvictionUnderTightBudgetNeverCorruptsPinnedEntries) {
   TempDir tmp;
   opt::TraceStore::Capacity tight;
   tight.max_entries = 1;
-  PlanningService service({make_store(tmp, tight), 1, nullptr});
+  PlanningService service({make_store(tmp, tight), 1, nullptr, nullptr});
 
   const std::vector<std::string> names = {"mpeg2-tiny", "jpeg-canny-tiny"};
   std::vector<opt::PartitionPlan> reference;
@@ -211,7 +216,7 @@ TEST(PlanService, EvictionUnderTightBudgetNeverCorruptsPinnedEntries) {
 
 TEST(PlanService, RequestOverridesSeparateStoreEntriesAndPlans) {
   TempDir tmp;
-  PlanningService service({make_store(tmp), 1, nullptr});
+  PlanningService service({make_store(tmp), 1, nullptr, nullptr});
   PlanRequest req;
   req.scenario = "mpeg2-tiny";
   const PlanResponse base = service.plan(req);
@@ -240,7 +245,7 @@ TEST(PlanService, RequestOverridesSeparateStoreEntriesAndPlans) {
 
 TEST(PlanService, FailuresComeBackAsErrorResponses) {
   TempDir tmp;
-  PlanningService service({make_store(tmp), 1, nullptr});
+  PlanningService service({make_store(tmp), 1, nullptr, nullptr});
 
   PlanRequest unknown;
   unknown.scenario = "no-such-scenario";
@@ -280,7 +285,225 @@ TEST(PlanService, FailuresComeBackAsErrorResponses) {
   EXPECT_FALSE(r3.ok);
   EXPECT_NE(r3.error.find("trace_key"), std::string::npos) << r3.error;
 
-  EXPECT_THROW(PlanningService({nullptr, 1, nullptr}), std::invalid_argument);
+  // Non-finite eps would poison the plan-cache key and the curvature
+  // comparisons; it must be a request error, not undefined behavior.
+  PlanRequest bad_eps;
+  bad_eps.scenario = "mpeg2-tiny";
+  bad_eps.curvature_eps = std::numeric_limits<double>::quiet_NaN();
+  const PlanResponse r5 = service.plan(bad_eps);
+  EXPECT_FALSE(r5.ok);
+  EXPECT_NE(r5.error.find("finite"), std::string::npos) << r5.error;
+
+  EXPECT_THROW(PlanningService({nullptr, 1, nullptr, nullptr}), std::invalid_argument);
+}
+
+TEST(PlanService, ReadOnlyStoreReportsDeferredCapturesHonestly) {
+  // BUGFIX regression (ro-store provenance): ensure_capture over a
+  // read-only store used to report kCaptured without having simulated
+  // anything — capture_ms read ~0 while profile_ms silently absorbed the
+  // capture cost and the capture_started hook never fired. The ro
+  // contract now: provenance kDeferred, service_stats().deferred counts
+  // it, captured stays 0 and the hook stays silent.
+  TempDir tmp;
+  fs::create_directories(tmp.store_dir());  // ro stores don't create dirs
+  std::atomic<int> hook_fired{0};
+  PlanningServiceConfig cfg;
+  cfg.store = std::make_shared<opt::TraceStore>(tmp.store_dir(),
+                                                /*read_only=*/true);
+  cfg.capture_started = [&](const std::string&) { ++hook_fired; };
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  const PlanResponse resp = service.plan(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_EQ(resp.captures.size(), 1u);
+  EXPECT_EQ(resp.captures[0].source, CaptureSource::kDeferred);
+  EXPECT_EQ(resp.deferred(), 1u);
+  EXPECT_EQ(resp.captured(), 0u);   // nothing was simulated at capture time
+  EXPECT_EQ(resp.store_hits(), 0u);
+  EXPECT_EQ(hook_fired.load(), 0);  // no store-persisted capture started
+  const ServiceStats stats = service.service_stats();
+  EXPECT_EQ(stats.deferred, 1u);
+  EXPECT_EQ(stats.captured, 0u);
+  // The simulation really ran — inside profile() — and produced the same
+  // plan a read-write service computes.
+  const core::Experiment direct =
+      core::scenarios().make_experiment("mpeg2-tiny");
+  EXPECT_TRUE(resp.assignment.identical(direct.plan(direct.profile())));
+
+  // Prewarmed ro store: the same request is then an honest store hit.
+  {
+    PlanningService warmer({std::make_shared<opt::TraceStore>(
+                                tmp.store_dir(), false),
+                            1, nullptr, nullptr});
+    ASSERT_TRUE(warmer.plan(req).ok);
+  }
+  const PlanResponse warm = service.plan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.captures[0].source, CaptureSource::kStoreHit);
+  EXPECT_EQ(warm.deferred(), 0u);
+}
+
+TEST(PlanService, PlanCacheServesRepeatRequestsWithoutStoreOrSolver) {
+  TempDir tmp;
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  cfg.plan_cache = std::make_shared<opt::PlanCache>(opt::PlanCache::Config{});
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  const PlanResponse computed = service.plan(req);
+  ASSERT_TRUE(computed.ok) << computed.error;
+  EXPECT_EQ(computed.plan_source, PlanSource::kComputed);
+
+  const opt::TraceStore::Stats store_before = service.store_stats();
+  const PlanResponse cached = service.plan(req);
+  ASSERT_TRUE(cached.ok) << cached.error;
+  // A cache hit is a pure lookup: no pin, no store probe, no replay, no
+  // MCKP solve — and a bit-identical response.
+  EXPECT_EQ(cached.plan_source, PlanSource::kCache);
+  EXPECT_EQ(cached.captured(), 0u);
+  EXPECT_EQ(cached.store_hits(), 0u);
+  ASSERT_EQ(cached.captures.size(), 1u);
+  EXPECT_EQ(cached.captures[0].source, CaptureSource::kPlanCached);
+  EXPECT_EQ(cached.captures[0].digest, computed.captures[0].digest);
+  EXPECT_EQ(cached.profile_ms, 0.0);
+  EXPECT_EQ(cached.plan_ms, 0.0);
+  EXPECT_TRUE(cached.assignment.identical(computed.assignment));
+  ASSERT_EQ(cached.tasks.size(), computed.tasks.size());
+  for (std::size_t i = 0; i < cached.tasks.size(); ++i) {
+    EXPECT_EQ(cached.tasks[i].name, computed.tasks[i].name);
+    EXPECT_EQ(cached.tasks[i].sets, computed.tasks[i].sets);
+    EXPECT_EQ(cached.tasks[i].predicted_misses,
+              computed.tasks[i].predicted_misses);
+    EXPECT_EQ(cached.tasks[i].predicted_cycles,
+              computed.tasks[i].predicted_cycles);
+  }
+  const opt::TraceStore::Stats store_after = service.store_stats();
+  EXPECT_EQ(store_after.hits, store_before.hits);
+  EXPECT_EQ(store_after.misses, store_before.misses);
+  EXPECT_EQ(service.service_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(service.plan_cache_stats().hits, 1u);
+}
+
+TEST(PlanService, PlanCacheKeySeparatesRequestVariants) {
+  TempDir tmp;
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  cfg.plan_cache = std::make_shared<opt::PlanCache>(opt::PlanCache::Config{});
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  ASSERT_TRUE(service.plan(req).ok);
+
+  // Each override must address a DIFFERENT plan entry (never serve the
+  // base plan), and repeating it must hit its own entry.
+  std::vector<PlanRequest> variants;
+  variants.push_back(req);
+  variants.back().grid = {1, 8};
+  variants.push_back(req);
+  variants.back().runs = 2;
+  variants.push_back(req);
+  variants.back().l2_size_bytes = 64 * 1024;
+  variants.push_back(req);
+  variants.back().curvature_eps = 0.25;
+
+  for (const PlanRequest& v : variants) {
+    const PlanResponse first = service.plan(v);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.plan_source, PlanSource::kComputed);
+    const PlanResponse second = service.plan(v);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.plan_source, PlanSource::kCache);
+    EXPECT_TRUE(second.assignment.identical(first.assignment));
+  }
+}
+
+TEST(PlanService, PlanCacheDiskTierSurvivesProcessRestart) {
+  TempDir tmp;
+  const auto disk_cache = [&] {
+    opt::PlanCache::Config cfg;
+    cfg.dir = tmp.store_dir();
+    return std::make_shared<opt::PlanCache>(std::move(cfg));
+  };
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+
+  PlanningService first({make_store(tmp), 1, nullptr, disk_cache()});
+  const PlanResponse computed = first.plan(req);
+  ASSERT_TRUE(computed.ok) << computed.error;
+
+  // Fresh store + cache instances over the same directory model a new
+  // server process: the plan must come off the disk tier, untouched.
+  PlanningService second({make_store(tmp), 1, nullptr, disk_cache()});
+  const PlanResponse warm = second.plan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.plan_source, PlanSource::kCache);
+  EXPECT_TRUE(warm.assignment.identical(computed.assignment));
+  EXPECT_EQ(second.plan_cache_stats().disk_hits, 1u);
+  EXPECT_EQ(second.store_stats().hits + second.store_stats().misses, 0u);
+}
+
+TEST(PlanProtocol, ParsesFullRequests) {
+  PlanRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_plan_request("mpeg2-tiny grid=1,2,8 runs=2 l2=32768 "
+                                 "eps=0.5",
+                                 req, err))
+      << err;
+  EXPECT_EQ(req.scenario, "mpeg2-tiny");
+  EXPECT_EQ(req.grid, (std::vector<std::uint32_t>{1, 2, 8}));
+  ASSERT_TRUE(req.runs.has_value());
+  EXPECT_EQ(*req.runs, 2u);
+  ASSERT_TRUE(req.l2_size_bytes.has_value());
+  EXPECT_EQ(*req.l2_size_bytes, 32768u);
+  ASSERT_TRUE(req.curvature_eps.has_value());
+  EXPECT_EQ(*req.curvature_eps, 0.5);
+
+  PlanRequest bare;
+  ASSERT_TRUE(parse_plan_request("jpeg-canny", bare, err)) << err;
+  EXPECT_EQ(bare.scenario, "jpeg-canny");
+  EXPECT_TRUE(bare.grid.empty());
+  EXPECT_FALSE(bare.curvature_eps.has_value());
+}
+
+TEST(PlanProtocol, RejectsMalformedValues) {
+  const auto fails = [](const std::string& line) {
+    PlanRequest req;
+    std::string err;
+    const bool ok = parse_plan_request(line, req, err);
+    EXPECT_FALSE(ok) << line << " parsed unexpectedly";
+    return err;
+  };
+  EXPECT_NE(fails("").find("scenario"), std::string::npos);
+  EXPECT_NE(fails("s grid=1,x,2").find("grid"), std::string::npos);
+  EXPECT_NE(fails("s grid=").find("grid"), std::string::npos);
+  EXPECT_NE(fails("s runs=+2").find("runs"), std::string::npos);
+  EXPECT_NE(fails("s l2=64k").find("l2"), std::string::npos);
+  EXPECT_NE(fails("s bogus=1").find("unknown option"), std::string::npos);
+}
+
+TEST(PlanProtocol, RejectsNonFiniteAndNegativeEps) {
+  // BUGFIX regression: strtod happily parses all of these; "-1" would
+  // silently alias the auto-tune sentinel (kAutoCurvatureEps) instead of
+  // erroring, and nan/inf would poison the planner and plan-cache key.
+  for (const char* bad :
+       {"s eps=-1", "s eps=-0.5", "s eps=nan", "s eps=NaN", "s eps=inf",
+        "s eps=-inf", "s eps=1e999", "s eps=", "s eps=0.5x"}) {
+    PlanRequest req;
+    std::string err;
+    EXPECT_FALSE(parse_plan_request(bad, req, err)) << bad;
+    EXPECT_NE(err.find("eps"), std::string::npos) << bad << ": " << err;
+  }
+  // Zero and positive finite values are legal.
+  for (const char* good : {"s eps=0", "s eps=0.05", "s eps=2"}) {
+    PlanRequest req;
+    std::string err;
+    EXPECT_TRUE(parse_plan_request(good, req, err)) << good << ": " << err;
+  }
 }
 
 }  // namespace

@@ -411,6 +411,87 @@ TEST(TraceStoreCapacity, VanishedEntryIsAMissNotAnError) {
   EXPECT_FALSE(store.contains("a"));
 }
 
+TEST(TraceStoreCapacity, UnknownEntrySizeIsReStattedNotFrozen) {
+  // An entry whose stat fails at index time (here: a directory wearing an
+  // entry's name — exists() true, file_size() error, the same shape as a
+  // peer eviction racing the stat) must not freeze the byte accounting
+  // at 0: once the file becomes stat-able, gc() re-stats it and
+  // stats().bytes converges to the on-disk truth.
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  store.save("a", capture_numbered(0));
+  const std::uint64_t a_bytes = store.stats().bytes;
+  ASSERT_GT(a_bytes, 0u);
+
+  fs::create_directory(store.path_of("ghost"));
+  EXPECT_TRUE(store.contains("ghost"));  // indexed with unknown size
+  EXPECT_EQ(store.stats().entries, 2u);
+  EXPECT_EQ(store.stats().bytes, a_bytes);  // unknown contributes nothing
+
+  // The path becomes a real entry (what a racing writer's rename does).
+  fs::remove(store.path_of("ghost"));
+  save_capture(capture_numbered(7), "ghost", store.path_of("ghost"));
+  store.gc();  // re-stats unknown-size entries before any budget decision
+  EXPECT_EQ(store.stats().bytes,
+            a_bytes + fs::file_size(store.path_of("ghost")));
+}
+
+TEST(TraceStoreCapacity, UnknownSizeOfVanishedEntryIsDropped) {
+  TempDir tmp;
+  const TraceStore store(tmp.file("store"));
+  fs::create_directory(store.path_of("ghost"));
+  EXPECT_TRUE(store.contains("ghost"));
+  fs::remove(store.path_of("ghost"));  // gone before it could be statted
+  store.gc();
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_EQ(store.stats().bytes, 0u);
+}
+
+TEST(TraceStoreCapacity, FailedUnlinkKeepsTheEntryAccounted) {
+  // fs::remove failing (here: the entry's path is a NON-EMPTY directory,
+  // which unlinks with ENOTEMPTY) must not drop the index entry: the
+  // bytes are still on disk, and evicted_bytes must not claim bytes that
+  // were never freed. Enforcement skips the victim and falls through to
+  // the next candidate instead.
+  TempDir tmp;
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(tmp.file("store"), false, cap);
+  store.save("a", capture_numbered(0));
+  const std::uint64_t a_bytes = store.stats().bytes;
+
+  // Swap a's file for a non-empty directory: the next unlink fails.
+  fs::remove(store.path_of("a"));
+  fs::create_directories(fs::path(store.path_of("a")) / "sub");
+
+  store.save("b", capture_numbered(1));
+  // "a" was the LRU victim but could not be unlinked -> kept (and still
+  // counted); enforcement fell through to "b", the only other candidate.
+  const auto st = store.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, a_bytes);
+  EXPECT_EQ(st.evictions, 1u);  // b, not a
+  EXPECT_TRUE(fs::exists(store.path_of("a")));
+  EXPECT_FALSE(fs::exists(store.path_of("b")));
+}
+
+TEST(TraceStoreCapacity, AlreadyVanishedVictimIsNotCountedAsEvicted) {
+  TempDir tmp;
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(tmp.file("store"), false, cap);
+  store.save("a", capture_numbered(0));
+  fs::remove(store.path_of("a"));  // another process evicted it already
+  store.save("b", capture_numbered(1));
+  // The index entry for "a" is dropped (resynced), but no eviction — and
+  // no freed bytes — are claimed for a file we never removed.
+  const auto st = store.stats();
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_EQ(st.evicted_bytes, 0u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_TRUE(fs::exists(store.path_of("b")));
+}
+
 TEST(TraceStoreCapacity, ContainsProbesWithoutCountingHits) {
   TempDir tmp;
   const TraceStore store(tmp.file("store"));
@@ -491,6 +572,20 @@ TEST(TraceStoreStress, ConcurrentReadersWritersEvictorsStayConsistent) {
   for (std::uint64_t d = 0; d < kDigests; ++d)
     if (const auto hit = store.load(digest_of(d)))
       expect_identical(canonical[d], *hit);
+
+  // Post-hoc size audit: at quiescence (no concurrent instance, gc run,
+  // any stat that failed mid-race re-statted) the byte accounting must
+  // equal the on-disk truth exactly — the invariant the unknown-size
+  // re-stat exists to restore.
+  store.gc();
+  std::uint64_t disk_bytes = 0, disk_entries = 0;
+  for (const auto& e : fs::directory_iterator(tmp.file("store"))) {
+    if (e.path().extension() != ".cmstrace") continue;
+    disk_bytes += static_cast<std::uint64_t>(e.file_size());
+    ++disk_entries;
+  }
+  EXPECT_EQ(store.stats().entries, disk_entries);
+  EXPECT_EQ(store.stats().bytes, disk_bytes);
 }
 
 // ---- Experiment integration: capture once, replay across processes ----
