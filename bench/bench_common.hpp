@@ -31,6 +31,7 @@ namespace cms::bench {
 using core::has_flag;
 using core::parse_jobs;
 using core::parse_profiler;
+using core::parse_replay_kernel;
 using core::parse_trace_dir;
 using core::parse_trace_mode;
 

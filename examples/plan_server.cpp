@@ -27,6 +27,9 @@
 // Flags: --trace-dir D             store directory (default plan_server.traces)
 //        --trace off|ro|rw         store mode (off is rejected; default rw)
 //        --jobs N                  campaign workers per request
+//        --replay-kernel K         replay engine: auto|scalar|sse4|avx2|
+//                                  persize (bit-identical responses; the
+//                                  resolved kernel is echoed as "kernel")
 //        --service-budget-bytes N  store byte budget (0 = unlimited)
 //        --service-budget-entries N  store entry budget (0 = unlimited)
 //        --plan-cache off|mem|disk memoized plan cache (default disk:
@@ -96,10 +99,11 @@ void print_response(const svc::PlanResponse& resp) {
                 i ? ", " : "", static_cast<unsigned long long>(r.jitter),
                 r.digest.c_str(), svc::to_string(r.source));
   }
-  std::printf("], \"plan_source\": \"%s\", "
+  std::printf("], \"plan_source\": \"%s\", \"kernel\": \"%s\", "
               "\"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
               "\"plan\": %.1f, \"plan_cache\": %.2f, \"total\": %.1f}}\n",
-              svc::to_string(resp.plan_source), resp.capture_ms,
+              svc::to_string(resp.plan_source),
+              resp.replay_kernel.c_str(), resp.capture_ms,
               resp.profile_ms, resp.plan_ms, resp.plan_cache_ms,
               resp.total_ms);
 }
@@ -123,9 +127,12 @@ int main(int argc, char** argv) {
       core::parse_plan_cache_budget_bytes(argc, argv),
       core::parse_plan_cache_budget_entries(argc, argv)};
 
-  svc::PlanningService service(
-      {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
-       svc::open_plan_cache(cache_mode, dir, mode, cache_budget)});
+  svc::PlanningServiceConfig svc_cfg;
+  svc_cfg.store = svc::open_service_store(dir, mode, capacity);
+  svc_cfg.jobs = jobs;
+  svc_cfg.replay_kernel = core::parse_replay_kernel(argc, argv);
+  svc_cfg.plan_cache = svc::open_plan_cache(cache_mode, dir, mode, cache_budget);
+  svc::PlanningService service(std::move(svc_cfg));
   std::fprintf(stderr,
                "plan_server ready: store %s (budget %llu bytes / %llu "
                "entries), plan cache %s, %u worker%s per request\n",

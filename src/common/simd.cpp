@@ -1,0 +1,72 @@
+#include "common/simd.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(CMS_FORCE_SCALAR)
+#include <cpuid.h>
+#define CMS_SIMD_X86_PROBE 1
+#endif
+
+namespace cms::common {
+
+namespace {
+
+#ifdef CMS_SIMD_X86_PROBE
+
+// xgetbv(0): which register states the OS saves/restores. Inline asm
+// instead of the _xgetbv intrinsic — the intrinsic needs -mxsave on GCC,
+// and this TU must stay baseline so the probe itself runs anywhere.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+std::uint32_t probe() {
+  std::uint32_t feats = kSimdNone;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return feats;
+  if (ecx & bit_SSE4_1) feats |= kSimdSse41;
+  if (ecx & bit_SSE4_2) feats |= kSimdSse42;
+  // AVX needs CPU support AND OS-managed ymm state: OSXSAVE says XGETBV
+  // is usable, XGETBV bits 1|2 say xmm+ymm state is saved on context
+  // switch. Without both, executing a vex-256 instruction faults.
+  constexpr std::uint64_t kXmmYmm = 0x6;
+  if ((ecx & bit_OSXSAVE) && (ecx & bit_AVX) &&
+      (xgetbv0() & kXmmYmm) == kXmmYmm) {
+    feats |= kSimdAvx;
+    unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+    if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0 &&
+        (ebx7 & bit_AVX2) != 0)
+      feats |= kSimdAvx2;
+  }
+  return feats;
+}
+
+#else  // non-x86 build or CMS_FORCE_SCALAR
+
+std::uint32_t probe() { return kSimdNone; }
+
+#endif
+
+}  // namespace
+
+std::uint32_t available_simd() {
+  // Magic-static: probed once, immutable afterwards (thread-safe per the
+  // process-wide-state contract in ARCHITECTURE.md).
+  static const std::uint32_t feats = probe();
+  return feats;
+}
+
+bool simd_has(std::uint32_t features) {
+  return (available_simd() & features) == features;
+}
+
+const char* simd_to_string() {
+  const std::uint32_t f = available_simd();
+  if (f & kSimdAvx2) return "avx2+sse4.2";
+  if (f & kSimdAvx) return "avx+sse4.2";
+  if (f & kSimdSse42) return "sse4.2";
+  if (f & kSimdSse41) return "sse4.1";
+  return "scalar";
+}
+
+}  // namespace cms::common

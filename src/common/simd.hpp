@@ -1,0 +1,43 @@
+// Runtime ISA feature detection for vectorized kernels.
+//
+// The replay kernel (opt/replay_kernel.hpp) ships several tag-compare
+// paths — AVX2, SSE4.1 and a portable scalar one — compiled into every
+// binary; which one runs is decided at RUNTIME from the CPUID feature
+// bits reported here, so one build serves every x86 host and non-x86
+// hosts fall back to scalar automatically (the get_availableSIMD()
+// pattern of QSVEnc's qsv_simd.h).
+//
+// AVX detection follows the full dance: the CPU advertising AVX is not
+// enough — the OS must also have enabled extended (ymm) state saving,
+// which is checked through OSXSAVE + XGETBV. Skipping that check crashes
+// on kernels/VMs that mask ymm state.
+//
+// Building with -DCMS_FORCE_SCALAR=ON (CMakeLists.txt) pins
+// available_simd() to kSimdNone so every dispatch resolves to the scalar
+// path — CI uses it to keep the fallback exercised (e.g. under TSan) on
+// hardware that would otherwise always take the AVX2 route.
+#pragma once
+
+#include <cstdint>
+
+namespace cms::common {
+
+enum SimdFeature : std::uint32_t {
+  kSimdNone = 0,
+  kSimdSse41 = 1u << 0,
+  kSimdSse42 = 1u << 1,
+  kSimdAvx = 1u << 2,   // CPU + OS ymm-state support
+  kSimdAvx2 = 1u << 3,  // implies kSimdAvx
+};
+
+/// Feature bits of the executing CPU (CPUID-probed once, then cached;
+/// thread-safe). kSimdNone on non-x86 builds and under CMS_FORCE_SCALAR.
+std::uint32_t available_simd();
+
+/// True when every bit of `features` is available.
+bool simd_has(std::uint32_t features);
+
+/// Human-readable summary of available_simd() ("avx2+sse4.2", "scalar").
+const char* simd_to_string();
+
+}  // namespace cms::common

@@ -309,6 +309,25 @@ std::vector<opt::ReplayJob> Experiment::replay_jobs(
   return jobs;
 }
 
+std::vector<opt::MultiReplayJob> Experiment::multi_replay_jobs(
+    const std::vector<opt::CaptureRun>& captures) const {
+  const std::vector<ProfileJob> sweep = profile_jobs();
+  const std::uint32_t runs = std::max(1u, cfg_.profile_runs);
+  std::vector<opt::MultiReplayJob> jobs(std::min<std::size_t>(
+      runs, captures.size()));
+  for (std::size_t r = 0; r < jobs.size(); ++r)
+    jobs[r].capture = &captures[r];
+  // Same canonical orders as replay_jobs (sweep index), so a fold of the
+  // fused fragments replays the exact serial accumulation sequence.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ProfileJob& pj = sweep[i];
+    assert(pj.run < jobs.size());
+    jobs[pj.run].points.push_back(opt::ReplayGridPoint{
+        pj.job.plan, pj.sets, static_cast<std::uint64_t>(i)});
+  }
+  return jobs;
+}
+
 opt::MissProfile Experiment::profile_replay(
     const std::vector<ProfileJob>& sweep) const {
   if (sweep.empty()) return {};
@@ -317,25 +336,70 @@ opt::MissProfile Experiment::profile_replay(
   const Cycle surcharge = opt::miss_surcharge(cfg_.platform.hier);
   const mem::CacheConfig& l2 = cfg_.platform.hier.l2;
   const std::uint64_t l2_seed = cfg_.platform.hier.l2_seed();
-  std::vector<opt::ProfileFragment> fragments(sweep.size());
+  const opt::ReplayKernel kernel =
+      opt::resolve_replay_kernel(cfg_.replay_kernel);
+
+  if (kernel == opt::ReplayKernel::kPerSize) {
+    // Legacy sharding: one campaign item per (capture, size) — each item
+    // re-decodes every stream of its capture. Kept as the independent
+    // reference path for the fused kernels.
+    std::vector<opt::ProfileFragment> fragments(sweep.size());
+    Campaign campaign(cfg_.jobs);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const ProfileJob& pj = sweep[i];
+      const opt::CaptureRun* capture = &captures[pj.run];
+      campaign.add(
+          [&fragments, i, capture, plan = pj.job.plan, sets = pj.sets, &l2,
+           l2_seed, surcharge] {
+            fragments[i] = opt::replay_fragment(*capture, *plan, l2, l2_seed,
+                                                sets,
+                                                static_cast<std::uint64_t>(i),
+                                                surcharge);
+            RunOutput out;
+            out.verified = true;
+            return out;
+          },
+          pj.job.label + "/replay");
+    }
+    campaign.run_all();
+    return opt::fold_fragments(std::move(fragments));
+  }
+
+  // Fused kernel: each capture run decodes every stream ONCE for the whole
+  // grid, so the campaign shards by (capture, stream) instead of
+  // (capture, size) — replay_stream is thread-safe for distinct streams,
+  // and per-stream items balance a sweep whose stream sizes are skewed.
+  // Assembly (fragments + fold by canonical order) stays serial, keeping
+  // the output bit-identical at any worker count.
+  const std::vector<opt::MultiReplayJob> jobs = multi_replay_jobs(captures);
+  std::vector<std::unique_ptr<opt::MultiReplay>> replays;
+  replays.reserve(jobs.size());
+  for (const opt::MultiReplayJob& job : jobs)
+    replays.push_back(std::make_unique<opt::MultiReplay>(
+        *job.capture, job.points, l2, l2_seed, kernel));
+
   Campaign campaign(cfg_.jobs);
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const ProfileJob& pj = sweep[i];
-    const opt::CaptureRun* capture = &captures[pj.run];
-    campaign.add(
-        [&fragments, i, capture, plan = pj.job.plan, sets = pj.sets, &l2,
-         l2_seed, surcharge] {
-          fragments[i] = opt::replay_fragment(*capture, *plan, l2, l2_seed,
-                                              sets,
-                                              static_cast<std::uint64_t>(i),
-                                              surcharge);
-          RunOutput out;
-          out.verified = true;
-          return out;
-        },
-        pj.job.label + "/replay");
+  for (std::size_t r = 0; r < replays.size(); ++r) {
+    opt::MultiReplay* mr = replays[r].get();
+    for (std::size_t s = 0; s < mr->num_streams(); ++s) {
+      campaign.add(
+          [mr, s] {
+            mr->replay_stream(s);
+            RunOutput out;
+            out.verified = true;
+            return out;
+          },
+          "profile/r=" + std::to_string(r) + "/stream=" + std::to_string(s) +
+              "/replay");
+    }
   }
   campaign.run_all();
+
+  std::vector<opt::ProfileFragment> fragments;
+  fragments.reserve(sweep.size());
+  for (const auto& mr : replays)
+    for (opt::ProfileFragment& f : mr->fragments(surcharge))
+      fragments.push_back(std::move(f));
   return opt::fold_fragments(std::move(fragments));
 }
 

@@ -30,6 +30,7 @@
 #include "opt/compositionality.hpp"
 #include "opt/planner.hpp"
 #include "opt/profile.hpp"
+#include "opt/replay_kernel.hpp"
 #include "opt/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/os.hpp"
@@ -72,6 +73,13 @@ struct ExperimentConfig {
   /// 0 = hardware concurrency, N = exactly N workers. Results are
   /// bit-identical for every value.
   unsigned jobs = 1;
+
+  /// Replay engine of kTraceReplay profiling (opt/replay_kernel_mode.hpp).
+  /// Every kernel yields bit-identical profiles; kAuto picks the fastest
+  /// fused path the CPU supports, kPerSize keeps the legacy
+  /// one-cache-per-size loop (the reference the fused kernels are
+  /// verified against).
+  opt::ReplayKernel replay_kernel = opt::ReplayKernel::kAuto;
 };
 
 class Experiment {
@@ -138,8 +146,16 @@ class Experiment {
 
   /// The replay half as declarative jobs in canonical sweep order; the
   /// returned jobs point into `captures`, which must outlive them.
-  /// Feed to opt::replay_profile or fan out on a Campaign.
+  /// Feed to opt::replay_profile or fan out on a Campaign. This is the
+  /// PER-SIZE job list — the fused kernel's independent reference.
   std::vector<opt::ReplayJob> replay_jobs(
+      const std::vector<opt::CaptureRun>& captures) const;
+
+  /// The same sweep as fused multi-size jobs: one MultiReplayJob per
+  /// capture run, carrying every grid point (orders match replay_jobs,
+  /// so the folds are bit-identical). Jobs point into `captures`, which
+  /// must outlive them. Feed to opt::replay_profile_multi.
+  std::vector<opt::MultiReplayJob> multi_replay_jobs(
       const std::vector<opt::CaptureRun>& captures) const;
 
   /// Buffers-first + MCKP plan on the real L2 (paper section 3.2).

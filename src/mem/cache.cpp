@@ -42,11 +42,7 @@ SetAssocCache::Line& SetAssocCache::choose_victim(std::uint32_t set_index,
       // pushes one client's stream through a standalone cache with the
       // same seed — reproduces the exact victim sequence (opt/trace.hpp).
       const std::uint64_t n = rand_seq_[client]++;
-      const std::uint64_t h = mix64(seed_ ^ mix64(client.key()) ^
-                                    (n * 0x9E3779B97F4A7C15ull));
-      const auto pick = static_cast<std::uint32_t>(
-          (static_cast<unsigned __int128>(h) * count) >> 64);
-      return base[first + pick];
+      return base[first + random_victim_way(seed_, client.key(), n, count)];
     }
     case Replacement::kLru:
     case Replacement::kFifo: {

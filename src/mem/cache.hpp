@@ -129,6 +129,33 @@ class SetAssocCache {
   /// Number of valid lines owned by `client`.
   std::uint64_t occupancy_of(ClientId client) const;
 
+  /// The counter-based kRandom victim stream, exposed as the pure
+  /// function it is: the way (within a `count`-way replacement range)
+  /// chosen for the n-th random replacement of the client with key
+  /// `client_key` under cache seed `seed`. choose_victim and the fused
+  /// replay kernel (opt/replay_kernel.hpp) BOTH call this, so the
+  /// bit-identity contract between live caches and replay has exactly one
+  /// definition. Lemire-mapped: uniform over [0, count) without modulo
+  /// bias.
+  static std::uint32_t random_victim_way(std::uint64_t seed,
+                                         std::uint64_t client_key,
+                                         std::uint64_t n,
+                                         std::uint32_t count) {
+    const std::uint64_t h =
+        mix64(seed ^ mix64(client_key) ^ (n * 0x9E3779B97F4A7C15ull));
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(h) * count) >> 64);
+  }
+
+  /// Replacement-state layout contract of this model, for read-only
+  /// mirroring by the fused replay kernel: hit/miss outcomes depend only
+  /// on (a) per-way line tags + valid bits, (b) per-way stamps driven by
+  /// a per-cache access tick (LRU stamps on every touch, FIFO on
+  /// insertion only), and (c) the per-client kRandom counters behind
+  /// random_victim_way. Dirty bits, owners and the cold-miss table never
+  /// influence an outcome.
+  static constexpr bool kOutcomeStateIsTagsStampsCounters = true;
+
  private:
   struct Line {
     Addr tag_line = 0;  // full line address (tag comparison uses this)

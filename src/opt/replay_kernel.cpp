@@ -1,0 +1,193 @@
+#include "opt/replay_kernel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/simd.hpp"
+#include "opt/replay_kernel_impl.hpp"
+
+namespace cms::opt {
+
+namespace detail {
+
+void run_stream_scalar(StreamCtx& ctx) {
+  run_stream_generic(ctx, FindWayScalar{});
+}
+
+}  // namespace detail
+
+bool have_sse4_kernel() { return detail::built_with_sse4(); }
+bool have_avx2_kernel() { return detail::built_with_avx2(); }
+
+ReplayKernel resolve_replay_kernel(ReplayKernel requested) {
+  const bool avx2_ok =
+      have_avx2_kernel() && common::simd_has(common::kSimdAvx2);
+  // The SSE4 body uses _mm_cmpeq_epi64 (SSE4.1); requiring 4.2 as well
+  // matches the -msse4.2 the TU is built with.
+  const bool sse4_ok = have_sse4_kernel() &&
+                       common::simd_has(common::kSimdSse41) &&
+                       common::simd_has(common::kSimdSse42);
+  switch (requested) {
+    case ReplayKernel::kAuto:
+      return avx2_ok ? ReplayKernel::kAvx2
+                     : (sse4_ok ? ReplayKernel::kSse4 : ReplayKernel::kScalar);
+    case ReplayKernel::kAvx2:
+      return avx2_ok ? ReplayKernel::kAvx2 : ReplayKernel::kScalar;
+    case ReplayKernel::kSse4:
+      return sse4_ok ? ReplayKernel::kSse4 : ReplayKernel::kScalar;
+    case ReplayKernel::kScalar:
+    case ReplayKernel::kPerSize:
+      return requested;
+  }
+  return ReplayKernel::kScalar;
+}
+
+namespace {
+
+/// Plan entry of `client` in `plan`, or the replay_fragment error.
+const PlanEntry& entry_for(const PartitionPlan& plan, mem::ClientId client) {
+  for (const PlanEntry& e : plan.entries)
+    if (e.client == client) return e;
+  throw std::invalid_argument("trace stream for unplanned client " +
+                              client.to_string());
+}
+
+}  // namespace
+
+MultiReplay::MultiReplay(const CaptureRun& capture,
+                         std::vector<ReplayGridPoint> points,
+                         const mem::CacheConfig& l2, std::uint64_t l2_seed,
+                         ReplayKernel kernel)
+    : capture_(&capture),
+      points_(std::move(points)),
+      l2_(l2),
+      l2_seed_(l2_seed),
+      kernel_(resolve_replay_kernel(kernel)) {
+  if (kernel_ == ReplayKernel::kPerSize) kernel_ = ReplayKernel::kScalar;
+  slot_ids_.reserve(capture_->tasks.size());
+  for (const CaptureTaskStats& t : capture_->tasks) slot_ids_.push_back(t.id);
+
+  const std::size_t nstreams = capture_->trace.streams.size();
+  const std::size_t npoints = points_.size();
+  client_sets_.resize(nstreams);
+  misses_.resize(nstreams);
+  demand_.resize(nstreams);
+  for (std::size_t s = 0; s < nstreams; ++s) {
+    const mem::ClientId client = capture_->trace.streams[s].client();
+    client_sets_[s].reserve(npoints);
+    // entry_for throws for a client missing from ANY point's plan — the
+    // same std::invalid_argument the first offending per-size job would
+    // have raised, just before any work instead of mid-sweep.
+    for (const ReplayGridPoint& p : points_) {
+      assert(p.plan != nullptr);
+      client_sets_[s].push_back(
+          std::max(entry_for(*p.plan, client).partition.num_sets, 1u));
+    }
+    misses_[s].assign(npoints, 0);
+    demand_[s].assign((slot_ids_.size() + 1) * npoints, 0);
+  }
+}
+
+void MultiReplay::replay_stream(std::size_t s) {
+  assert(s < num_streams());
+  const ClientTrace& stream = capture_->trace.streams[s];
+
+  detail::StreamCtx ctx;
+  ctx.stream = &stream;
+  ctx.count_issuers = !capture_->is_scheduler_client(stream.client());
+  ctx.ways = l2_.ways;
+  ctx.replacement = l2_.replacement;
+  ctx.write_allocate = l2_.write_policy != mem::WritePolicy::kWriteThroughNoAllocate;
+  ctx.l2_seed = l2_seed_;
+  ctx.client_key = stream.client().key();
+  ctx.trace_line_bytes = capture_->trace.line_bytes;
+  ctx.l2_line_bytes = l2_.line_bytes;
+  ctx.slot_ids = slot_ids_;
+
+  ctx.lanes.reserve(points_.size());
+  std::size_t slots = 0;
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    detail::LaneGeom g;
+    g.total = detail::FastMod::make(std::max(points_[p].plan->total_sets, 1u));
+    g.client_sets = detail::FastMod::make(client_sets_[s][p]);
+    g.base = slots;
+    slots += static_cast<std::size_t>(client_sets_[s][p]) * l2_.ways;
+    ctx.lanes.push_back(g);
+  }
+  ctx.state_slots = slots;
+
+  std::vector<std::uint64_t> tags(slots, 0);
+  std::vector<std::uint64_t> stamps(slots, 0);
+  std::vector<std::uint64_t> rand_seq(points_.size(), 0);
+  ctx.tags = tags.data();
+  ctx.stamps = stamps.data();
+  ctx.rand_seq = rand_seq.data();
+  ctx.misses = misses_[s].data();
+  ctx.demand = demand_[s].data();
+
+  switch (kernel_) {
+    case ReplayKernel::kAvx2: detail::run_stream_avx2(ctx); break;
+    case ReplayKernel::kSse4: detail::run_stream_sse4(ctx); break;
+    default: detail::run_stream_scalar(ctx); break;
+  }
+}
+
+std::vector<ProfileFragment> MultiReplay::fragments(Cycle surcharge) const {
+  const std::size_t npoints = points_.size();
+  const std::size_t nstreams = capture_->trace.streams.size();
+
+  // Stream index of each task's own client, for the per-task miss rows.
+  std::unordered_map<mem::ClientId, std::size_t, mem::ClientIdHash> stream_of;
+  stream_of.reserve(nstreams);
+  for (std::size_t s = 0; s < nstreams; ++s)
+    stream_of.emplace(capture_->trace.streams[s].client(), s);
+
+  std::vector<ProfileFragment> out;
+  out.reserve(npoints);
+  for (std::size_t p = 0; p < npoints; ++p) {
+    const ReplayGridPoint& point = points_[p];
+    ProfileFragment frag;
+    frag.order = point.order;
+    // Sample order replicates replay_fragment exactly: tasks in capture
+    // (creation) order first, then buffer streams in stream order.
+    for (std::size_t slot = 0; slot < capture_->tasks.size(); ++slot) {
+      const CaptureTaskStats& t = capture_->tasks[slot];
+      const auto it = stream_of.find(mem::ClientId::task(t.id));
+      const std::uint64_t m =
+          it != stream_of.end() ? misses_[it->second][p] : 0;
+      std::uint64_t dm = 0;
+      for (std::size_t s = 0; s < nstreams; ++s)
+        dm += demand_[s][slot * npoints + p];
+      frag.add(t.name, point.sets, static_cast<double>(m),
+               static_cast<double>(reconstruct_active_cycles(
+                   t.compute_cycles, t.mem_cycles, dm, surcharge)),
+               static_cast<double>(t.instructions));
+    }
+    for (std::size_t s = 0; s < nstreams; ++s) {
+      const ClientTrace& stream = capture_->trace.streams[s];
+      if (!stream.client().is_buffer()) continue;
+      frag.add(entry_for(*point.plan, stream.client()).name, point.sets,
+               static_cast<double>(misses_[s][p]), 0.0, 0.0);
+    }
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+MissProfile replay_profile_multi(const std::vector<MultiReplayJob>& jobs,
+                                 const mem::CacheConfig& l2,
+                                 std::uint64_t l2_seed, Cycle surcharge,
+                                 ReplayKernel kernel) {
+  std::vector<ProfileFragment> fragments;
+  for (const MultiReplayJob& job : jobs) {
+    assert(job.capture != nullptr);
+    MultiReplay mr(*job.capture, job.points, l2, l2_seed, kernel);
+    for (std::size_t s = 0; s < mr.num_streams(); ++s) mr.replay_stream(s);
+    for (ProfileFragment& f : mr.fragments(surcharge))
+      fragments.push_back(std::move(f));
+  }
+  return fold_fragments(std::move(fragments));
+}
+
+}  // namespace cms::opt

@@ -1,0 +1,60 @@
+// AVX2 body of the fused replay kernel. CMakeLists.txt compiles this TU
+// with -mavx2 on x86 targets; everywhere else (or under CMS_FORCE_SCALAR)
+// it degrades to the scalar loop so the symbols always link —
+// resolve_replay_kernel never dispatches here in that case, and
+// built_with_avx2() reports the truth.
+#include "opt/replay_kernel_impl.hpp"
+
+#if defined(__AVX2__) && !defined(CMS_FORCE_SCALAR)
+#include <immintrin.h>
+#define CMS_HAVE_AVX2_BODY 1
+#endif
+
+namespace cms::opt::detail {
+
+#ifdef CMS_HAVE_AVX2_BODY
+
+namespace {
+
+/// First way whose 64-bit tag equals `needle`, probing 4 ways per
+/// compare (one 256-bit load covers a whole 4-way set). Lane bits of
+/// _mm256_movemask_pd are in way order, so ctz picks the FIRST match,
+/// matching the scalar loop and SetAssocCache::find.
+struct FindWayAvx2 {
+  int operator()(const std::uint64_t* tags, std::uint32_t ways,
+                 std::uint64_t needle) const {
+    const __m256i n = _mm256_set1_epi64x(static_cast<long long>(needle));
+    std::uint32_t w = 0;
+    for (; w + 4 <= ways; w += 4) {
+      const __m256i t =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+      const int m =
+          _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(t, n)));
+      if (m != 0)
+        return static_cast<int>(w) + __builtin_ctz(static_cast<unsigned>(m));
+    }
+    for (; w < ways; ++w)
+      if (tags[w] == needle) return static_cast<int>(w);
+    return -1;
+  }
+};
+
+}  // namespace
+
+void run_stream_avx2(StreamCtx& ctx) {
+  run_stream_generic(ctx, FindWayAvx2{});
+}
+
+bool built_with_avx2() { return true; }
+
+#else  // scalar fallback build
+
+void run_stream_avx2(StreamCtx& ctx) {
+  run_stream_generic(ctx, FindWayScalar{});
+}
+
+bool built_with_avx2() { return false; }
+
+#endif
+
+}  // namespace cms::opt::detail

@@ -1,0 +1,59 @@
+// SSE4.1 body of the fused replay kernel. CMakeLists.txt compiles this TU
+// with -msse4.2 on x86 targets; everywhere else (or under
+// CMS_FORCE_SCALAR) it degrades to the scalar loop so the symbols always
+// link — resolve_replay_kernel never dispatches here in that case, and
+// built_with_sse4() reports the truth.
+#include "opt/replay_kernel_impl.hpp"
+
+#if defined(__SSE4_1__) && !defined(CMS_FORCE_SCALAR)
+#include <smmintrin.h>
+#define CMS_HAVE_SSE4_BODY 1
+#endif
+
+namespace cms::opt::detail {
+
+#ifdef CMS_HAVE_SSE4_BODY
+
+namespace {
+
+/// First way whose 64-bit tag equals `needle`, probing 2 ways per
+/// compare. _mm_movemask_pd yields one bit per 64-bit lane in way order,
+/// so ctz of the mask is the FIRST matching way — the same way the
+/// scalar loop (and SetAssocCache::find) returns.
+struct FindWaySse4 {
+  int operator()(const std::uint64_t* tags, std::uint32_t ways,
+                 std::uint64_t needle) const {
+    const __m128i n = _mm_set1_epi64x(static_cast<long long>(needle));
+    std::uint32_t w = 0;
+    for (; w + 2 <= ways; w += 2) {
+      const __m128i t =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + w));
+      const int m = _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(t, n)));
+      if (m != 0)
+        return static_cast<int>(w) + __builtin_ctz(static_cast<unsigned>(m));
+    }
+    for (; w < ways; ++w)
+      if (tags[w] == needle) return static_cast<int>(w);
+    return -1;
+  }
+};
+
+}  // namespace
+
+void run_stream_sse4(StreamCtx& ctx) {
+  run_stream_generic(ctx, FindWaySse4{});
+}
+
+bool built_with_sse4() { return true; }
+
+#else  // scalar fallback build
+
+void run_stream_sse4(StreamCtx& ctx) {
+  run_stream_generic(ctx, FindWayScalar{});
+}
+
+bool built_with_sse4() { return false; }
+
+#endif
+
+}  // namespace cms::opt::detail

@@ -252,23 +252,43 @@ ProfileFragment replay_fragment(const CaptureRun& capture,
                                 std::uint64_t l2_seed, std::uint32_t sets,
                                 std::uint64_t order, Cycle surcharge) {
   const std::uint32_t total = std::max(plan.total_sets, 1u);
+  const std::size_t nstreams = capture.trace.streams.size();
+  const std::size_t ntasks = capture.tasks.size();
 
-  std::unordered_map<mem::ClientId, const PlanEntry*, mem::ClientIdHash>
-      entry_of;
-  entry_of.reserve(plan.entries.size());
-  for (const PlanEntry& e : plan.entries) entry_of.emplace(e.client, &e);
-
-  std::unordered_map<mem::ClientId, std::uint64_t, mem::ClientIdHash>
-      misses_of;
-  std::unordered_map<TaskId, std::uint64_t> demand_misses_of;
-
-  for (const ClientTrace& stream : capture.trace.streams) {
-    const auto it = entry_of.find(stream.client());
-    if (it == entry_of.end())
+  // Per-stream plan entries, resolved once up front (a handful of linear
+  // scans instead of a hash map rebuilt per fragment — this function runs
+  // once per grid point of a sweep).
+  std::vector<const PlanEntry*> entries(nstreams, nullptr);
+  for (std::size_t s = 0; s < nstreams; ++s) {
+    const mem::ClientId client = capture.trace.streams[s].client();
+    for (const PlanEntry& e : plan.entries)
+      if (e.client == client) {
+        entries[s] = &e;
+        break;
+      }
+    if (entries[s] == nullptr)
       throw std::invalid_argument("trace stream for unplanned client " +
-                                  stream.client().to_string());
+                                  client.to_string());
+  }
+
+  // Dense task-slot demand counters (capture.tasks order + one trailing
+  // trash slot for ids outside the table, whose counts are never read
+  // back). Events switch tasks rarely, so the slot is resolved on task
+  // CHANGE only — the per-event hash-map lookup this replaces dominated
+  // the non-cache-model half of the replay profile.
+  const std::size_t trash_slot = ntasks;
+  std::vector<std::uint64_t> demand(ntasks + 1, 0);
+  const auto slot_of = [&](TaskId id) {
+    for (std::size_t s = 0; s < ntasks; ++s)
+      if (capture.tasks[s].id == id) return s;
+    return trash_slot;
+  };
+
+  std::vector<std::uint64_t> misses(nstreams, 0);
+  for (std::size_t s = 0; s < nstreams; ++s) {
+    const ClientTrace& stream = capture.trace.streams[s];
     const std::uint32_t client_sets =
-        std::max(it->second->partition.num_sets, 1u);
+        std::max(entries[s]->partition.num_sets, 1u);
 
     mem::CacheConfig cc = l2;
     cc.size_bytes = client_sets * l2.line_bytes * l2.ways;
@@ -277,6 +297,8 @@ ProfileFragment replay_fragment(const CaptureRun& capture,
     mem::SetAssocCache cache(cc, l2_seed);
 
     const bool count_issuers = !capture.is_scheduler_client(stream.client());
+    TaskId cur_task = kInvalidTask;
+    std::size_t cur_slot = trash_slot;
     auto rd = stream.reader();
     TraceEvent ev;
     while (rd.next(ev)) {
@@ -288,28 +310,41 @@ ProfileFragment replay_fragment(const CaptureRun& capture,
       const Addr addr = ev.line_index * capture.trace.line_bytes;
       const mem::AccessResult res =
           cache.access_at(idx, addr, ev.type, stream.client());
-      if (!res.hit && !ev.l1_writeback && count_issuers)
-        ++demand_misses_of[ev.task];
+      if (!res.hit && !ev.l1_writeback && count_issuers) {
+        if (ev.task != cur_task) {
+          cur_task = ev.task;
+          cur_slot = slot_of(ev.task);
+        }
+        ++demand[cur_slot];
+      }
     }
-    misses_of[stream.client()] = cache.stats().misses;
+    misses[s] = cache.stats().misses;
   }
 
+  // Stream index of each task's own client for the per-task miss rows
+  // (streams are sorted by ClientId — AccessTrace::find is the same
+  // binary search).
   ProfileFragment frag;
   frag.order = order;
-  for (const CaptureTaskStats& t : capture.tasks) {
-    const auto mit = misses_of.find(mem::ClientId::task(t.id));
-    const std::uint64_t m = mit != misses_of.end() ? mit->second : 0;
-    const auto dit = demand_misses_of.find(t.id);
-    const std::uint64_t dm = dit != demand_misses_of.end() ? dit->second : 0;
+  for (std::size_t slot = 0; slot < ntasks; ++slot) {
+    const CaptureTaskStats& t = capture.tasks[slot];
+    std::uint64_t m = 0;
+    const mem::ClientId client = mem::ClientId::task(t.id);
+    for (std::size_t s = 0; s < nstreams; ++s)
+      if (capture.trace.streams[s].client() == client) {
+        m = misses[s];
+        break;
+      }
     frag.add(t.name, sets, static_cast<double>(m),
              static_cast<double>(reconstruct_active_cycles(
-                 t.compute_cycles, t.mem_cycles, dm, surcharge)),
+                 t.compute_cycles, t.mem_cycles, demand[slot], surcharge)),
              static_cast<double>(t.instructions));
   }
-  for (const ClientTrace& stream : capture.trace.streams) {
+  for (std::size_t s = 0; s < nstreams; ++s) {
+    const ClientTrace& stream = capture.trace.streams[s];
     if (!stream.client().is_buffer()) continue;
-    frag.add(entry_of.at(stream.client())->name, sets,
-             static_cast<double>(misses_of.at(stream.client())), 0.0, 0.0);
+    frag.add(entries[s]->name, sets, static_cast<double>(misses[s]), 0.0,
+             0.0);
   }
   return frag;
 }

@@ -111,6 +111,7 @@ core::Experiment PlanningService::make_experiment(
   cfg.trace_store = store_;
   cfg.profiler = core::ProfilerMode::kTraceReplay;
   cfg.jobs = cfg_.jobs;
+  cfg.replay_kernel = cfg_.replay_kernel;
   return core::Experiment(std::move(spec.factory), std::move(cfg));
 }
 
@@ -239,6 +240,8 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
         resp.tasks.push_back(PlanResponse::TaskPrediction{
             p.name, p.sets, p.misses, p.cycles});
       resp.plan_source = PlanSource::kCache;
+      // No replay executed — the cached bits are kernel-independent.
+      resp.replay_kernel = "cache";
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       resp.ok = true;
       resp.total_ms = ms_since(t0);
@@ -265,6 +268,8 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
     // Every capture is now resident and pinned: the profiling sweep is a
     // pure store-hit replay (over a read-only store it also runs any
     // deferred captures — see ensure_capture).
+    resp.replay_kernel = opt::to_string(
+        opt::resolve_replay_kernel(exp.config().replay_kernel));
     const auto tp = Clock::now();
     const opt::MissProfile prof = exp.profile();
     resp.profile_ms = ms_since(tp);

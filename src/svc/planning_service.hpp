@@ -144,6 +144,15 @@ struct PlanResponse {
 
   PlanSource plan_source = PlanSource::kComputed;
 
+  /// Replay engine that produced the profile, RESOLVED to what actually
+  /// executed ("avx2", "sse4", "scalar" or "persize" — never "auto"), or
+  /// "cache" when the response came from the plan cache and no replay ran
+  /// at all. Provenance only: kernels are bit-identical by contract, so
+  /// cached entries are kernel-independent (bench/micro_plan_service
+  /// asserts a cache hit matches a response computed under a DIFFERENT
+  /// kernel bit-for-bit).
+  std::string replay_kernel;
+
   /// Pin + store-probe + ensure-capture phase (see kDeferred for the ro
   /// shift). Digest computation precedes every phase timer and shows up
   /// only in total_ms.
@@ -174,6 +183,10 @@ struct PlanningServiceConfig {
   /// memo; with a disk tier, point it at the store's directory
   /// (open_plan_cache below wires the CLI flags).
   std::shared_ptr<opt::PlanCache> plan_cache;
+  /// Replay engine for the profiling sweeps (--replay-kernel). Any value
+  /// yields bit-identical responses; the flag trades wall-clock only, and
+  /// the resolved kernel is echoed in PlanResponse::replay_kernel.
+  opt::ReplayKernel replay_kernel = opt::ReplayKernel::kAuto;
 };
 
 /// Aggregate service counters (monotonic, race-free).
