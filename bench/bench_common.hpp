@@ -32,15 +32,20 @@ using core::has_flag;
 using core::parse_jobs;
 using core::parse_profiler;
 using core::parse_replay_kernel;
+using core::parse_store_l2;
+using core::parse_store_l2_dir;
 using core::parse_trace_dir;
 using core::parse_trace_mode;
 
-/// The persistent capture store selected by --trace-dir / --trace
-/// (null when absent or --trace=off).
+/// The persistent capture store selected by --trace-dir / --trace (null
+/// when absent or --trace=off). With --store-l2-dir / --store-l2 the
+/// local dir becomes the L1 of a tiered store over the shared far dir,
+/// so every bench can replay a fleet-shared capture corpus.
 inline std::shared_ptr<opt::TraceStore> parse_trace_store(int argc,
                                                           char** argv) {
-  return core::open_trace_store(parse_trace_dir(argc, argv),
-                                parse_trace_mode(argc, argv));
+  return core::open_trace_store(
+      parse_trace_dir(argc, argv), parse_trace_mode(argc, argv),
+      parse_store_l2_dir(argc, argv), parse_store_l2(argc, argv));
 }
 
 inline apps::AppConfig app1_content() {

@@ -44,6 +44,9 @@
 //        --quick                   tiny scenarios only (TSan/CI smoke)
 //        --trace-dir D             store dir (default micro_plan_service.traces)
 //        --trace MODE              off|ro|rw (off is rejected; default rw)
+//        --store-l2-dir D          far store tier: every service instance
+//                                  gets its own L1-over-D tiered store
+//        --store-l2 MODE           off|ro|rw far-tier mode (default rw)
 //        --service-clients N       concurrent client threads (default 4)
 //        --service-budget-bytes N  store byte budget (0 = unlimited)
 //        --service-budget-entries N  store entry budget (0 = unlimited)
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "micro_plan_service needs a store (--trace=off?)\n");
     return 1;
   }
+  const std::string l2_dir = bench::parse_store_l2_dir(argc, argv);
+  const core::StoreL2Mode l2 = bench::parse_store_l2(argc, argv);
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
       core::parse_service_budget_entries(argc, argv)};
@@ -79,6 +84,16 @@ int main(int argc, char** argv) {
   const opt::TraceStore::Capacity cache_budget{
       core::parse_plan_cache_budget_bytes(argc, argv),
       core::parse_plan_cache_budget_entries(argc, argv)};
+
+  // Each service instance composes its own backend over the shared dirs —
+  // fresh instances model separate server processes, tiered when
+  // --store-l2-dir is given (captures AND .cmsplan entries read through).
+  const auto make_backend = [&] {
+    return core::open_store_backend(dir, mode, l2_dir, l2);
+  };
+  const auto open_store = [&] {
+    return svc::open_service_store(make_backend(), mode, capacity);
+  };
 
   std::vector<std::string> names;
   if (quick)
@@ -96,22 +111,17 @@ int main(int argc, char** argv) {
     req.scenario = names[s];
 
     // Cold: captures run (or, on a reused --trace-dir, hit a prior pass).
-    svc::PlanningService cold_service(
-        {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
-         nullptr});
+    svc::PlanningService cold_service({open_store(), jobs, nullptr, nullptr});
     const svc::PlanResponse cold = cold_service.plan(req);
 
     // Warm: a FRESH service + store instance over the same directory —
     // models a new server process; every capture must come off disk.
-    svc::PlanningService warm_service(
-        {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
-         nullptr});
+    svc::PlanningService warm_service({open_store(), jobs, nullptr, nullptr});
     const svc::PlanResponse warm = warm_service.plan(req);
 
     // Reference: a direct store-served Experiment plan, same spec.
     const core::Experiment direct = core::scenarios().make_experiment(
-        names[s], jobs, core::ProfilerMode::kTraceReplay,
-        svc::open_service_store(dir, mode, capacity));
+        names[s], jobs, core::ProfilerMode::kTraceReplay, open_store());
     const opt::PartitionPlan direct_plan = direct.plan(direct.profile());
 
     // Concurrent phase: `clients` threads re-request the warm scenario.
@@ -141,20 +151,25 @@ int main(int argc, char** argv) {
     opt::PlanCache::Stats cached_stats;
     std::uint64_t cached_requests = 0, cached_hits = 0;
     if (cache_mode != core::PlanCacheMode::kOff) {
-      const auto cache = svc::open_plan_cache(cache_mode, dir, mode,
-                                              cache_budget);
+      // Each service shares ONE backend between its store and its cache's
+      // disk tier, like plan_server does.
+      const auto prime_backend = make_backend();
+      const auto cache =
+          svc::open_plan_cache(cache_mode, prime_backend, mode, cache_budget);
       // Prime under the per-size reference engine: the cached service
       // below resolves its own kernel (auto), so the identity checks
       // prove cached plans are kernel-independent.
       svc::PlanningService prime_service(
-          {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
-           cache, opt::ReplayKernel::kPerSize});
+          {svc::open_service_store(prime_backend, mode, capacity), jobs,
+           nullptr, cache, opt::ReplayKernel::kPerSize});
       primed = prime_service.plan(req);
       const bool restart = cache_mode == core::PlanCacheMode::kDisk &&
                            mode != core::TraceMode::kReadOnly;
+      const auto cached_backend = make_backend();
       svc::PlanningService cached_service(
-          {svc::open_service_store(dir, mode, capacity), jobs, nullptr,
-           restart ? svc::open_plan_cache(cache_mode, dir, mode,
+          {svc::open_service_store(cached_backend, mode, capacity), jobs,
+           nullptr,
+           restart ? svc::open_plan_cache(cache_mode, cached_backend, mode,
                                           cache_budget)
                    : cache});
       cached = cached_service.plan(req);

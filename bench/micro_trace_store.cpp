@@ -20,10 +20,19 @@
 //               "warm_hits": 1, "warm_misses": 0}, "bytes": 123456}, ...],
 //    "identical": true, "all_hits": false}
 //
+// With --store-l2-dir the store is TIERED: --trace-dir is the L1 of an
+// opt::TieredBackend over the far directory, and a fourth L2-ONLY-WARM
+// pass runs per scenario — a fresh, EMPTY L1 (trace-dir + ".l2only",
+// wiped at startup) over the same L2, so every capture must arrive by
+// read-through from the far tier. Exits 4 if that pass missed; per-tier
+// counters (l1/l2 hits, promotions, write-throughs) join the JSON.
+//
 // Flags: --jobs N       campaign workers (0 = hardware)
 //        --quick        tiny scenarios only, no fullsim arm (TSan/CI smoke)
 //        --trace-dir D  store directory (default micro_trace_store.traces)
 //        --trace MODE   off|ro|rw store mode (default rw)
+//        --store-l2-dir D  far tier directory (enables tiered mode)
+//        --store-l2 MODE   off|ro|rw far-tier mode (default rw)
 //        --expect-hits  fail unless the cold pass was all store hits
 //        --full         force the fullsim identity arm even with --quick
 #include <chrono>
@@ -59,6 +68,27 @@ std::uintmax_t dir_bytes(const std::string& dir) {
   return total;
 }
 
+/// `, "<key>": {...per-tier counters...}` for a tiered store's stats,
+/// "" otherwise.
+std::string tiers_json(const char* key, const opt::TraceStore::Stats& st) {
+  if (!st.tiers) return "";
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      ", \"%s\": {\"l1_hits\": %llu, \"l1_misses\": %llu, "
+      "\"l2_hits\": %llu, \"l2_misses\": %llu, \"l2_errors\": %llu, "
+      "\"promotions\": %llu, \"l1_writes\": %llu, \"l2_writes\": %llu}",
+      key, static_cast<unsigned long long>(st.tiers->l1_hits),
+      static_cast<unsigned long long>(st.tiers->l1_misses),
+      static_cast<unsigned long long>(st.tiers->l2_hits),
+      static_cast<unsigned long long>(st.tiers->l2_misses),
+      static_cast<unsigned long long>(st.tiers->l2_errors),
+      static_cast<unsigned long long>(st.tiers->promotions),
+      static_cast<unsigned long long>(st.tiers->l1_writes),
+      static_cast<unsigned long long>(st.tiers->l2_writes));
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +103,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "micro_trace_store needs a store (--trace=off?)\n");
     return 1;
   }
+  const std::string l2_dir = bench::parse_store_l2_dir(argc, argv);
+  const core::StoreL2Mode l2 = bench::parse_store_l2(argc, argv);
+  const bool tiered = !l2_dir.empty() && l2 != core::StoreL2Mode::kOff;
+  // L2-only-warm pass: a fresh EMPTY L1 over the shared far tier, so
+  // every capture must read through. Wiped once up front.
+  const std::string l2only_dir = dir + ".l2only";
+  if (tiered) std::filesystem::remove_all(l2only_dir);
 
   std::vector<std::string> names;
   if (quick)
@@ -83,6 +120,7 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   bool cold_all_hits = true;
   bool warm_all_hits = true;
+  bool l2only_all_hits = true;
   std::printf("{\"bench\": \"micro_trace_store\", \"trace_dir\": \"%s\", "
               "\"scenarios\": [",
               dir.c_str());
@@ -103,8 +141,9 @@ int main(int argc, char** argv) {
     }
 
     // Cold pass: consult the store (first run captures + writes back,
-    // repeat runs are served from disk).
-    const auto cold_store = core::open_trace_store(dir, mode);
+    // repeat runs are served from disk — or read through from the L2
+    // when tiered).
+    const auto cold_store = core::open_trace_store(dir, mode, l2_dir, l2);
     const std::uintmax_t bytes_before = dir_bytes(dir);
     opt::MissProfile cold;
     const core::Experiment exp_cold = core::scenarios().make_experiment(
@@ -114,13 +153,29 @@ int main(int argc, char** argv) {
     const std::uintmax_t bytes = dir_bytes(dir) - bytes_before;
 
     // Warm pass: a FRESH store instance over the same directory — every
-    // capture must come off disk.
-    const auto warm_store = core::open_trace_store(dir, mode);
+    // capture must come off disk (the L1 alone can serve it).
+    const auto warm_store = core::open_trace_store(dir, mode, l2_dir, l2);
     opt::MissProfile warm;
     const core::Experiment exp_warm = core::scenarios().make_experiment(
         names[s], jobs, core::ProfilerMode::kTraceReplay, warm_store);
     const double warm_ms = wall_ms([&] { warm = exp_warm.profile(); });
     const opt::TraceStore::Stats warm_stats = warm_store->stats();
+
+    // L2-only-warm pass (tiered only): a fresh EMPTY L1 over the same
+    // far tier — zero captures, everything by read-through.
+    double l2only_ms = 0.0;
+    opt::TraceStore::Stats l2only_stats;
+    if (tiered) {
+      const auto l2only_store =
+          core::open_trace_store(l2only_dir, mode, l2_dir, l2);
+      opt::MissProfile l2only;
+      const core::Experiment exp_l2only = core::scenarios().make_experiment(
+          names[s], jobs, core::ProfilerMode::kTraceReplay, l2only_store);
+      l2only_ms = wall_ms([&] { l2only = exp_l2only.profile(); });
+      l2only_stats = l2only_store->stats();
+      identical = identical && reference.identical(l2only);
+      l2only_all_hits = l2only_all_hits && l2only_stats.misses == 0;
+    }
 
     identical = identical && reference.identical(cold) &&
                 reference.identical(warm);
@@ -131,17 +186,22 @@ int main(int argc, char** argv) {
     std::printf(
         "%s{\"scenario\": \"%s\", \"identical\": %s, "
         "\"ms\": {\"fullsim\": %.1f, \"replay_mem\": %.1f, \"cold\": %.1f, "
-        "\"warm\": %.1f}, "
+        "\"warm\": %.1f, \"l2only\": %.1f}, "
         "\"store\": {\"cold_hits\": %llu, \"cold_misses\": %llu, "
-        "\"writes\": %llu, \"warm_hits\": %llu, \"warm_misses\": %llu}, "
+        "\"writes\": %llu, \"warm_hits\": %llu, \"warm_misses\": %llu, "
+        "\"l2only_hits\": %llu, \"l2only_misses\": %llu%s%s}, "
         "\"bytes\": %llu}",
         s ? ", " : "", names[s].c_str(), identical ? "true" : "false",
-        fullsim_ms, mem_ms, cold_ms, warm_ms,
+        fullsim_ms, mem_ms, cold_ms, warm_ms, l2only_ms,
         static_cast<unsigned long long>(cold_stats.hits),
         static_cast<unsigned long long>(cold_stats.misses),
         static_cast<unsigned long long>(cold_stats.writes),
         static_cast<unsigned long long>(warm_stats.hits),
         static_cast<unsigned long long>(warm_stats.misses),
+        static_cast<unsigned long long>(l2only_stats.hits),
+        static_cast<unsigned long long>(l2only_stats.misses),
+        tiers_json("cold_tiers", cold_stats).c_str(),
+        tiers_json("l2only_tiers", l2only_stats).c_str(),
         static_cast<unsigned long long>(bytes));
   }
   std::printf("], \"identical\": %s, \"all_hits\": %s}\n",
@@ -151,5 +211,6 @@ int main(int argc, char** argv) {
   if (!all_identical) return 1;
   if (!warm_all_hits) return 2;
   if (expect_hits && !cold_all_hits) return 3;
+  if (!l2only_all_hits) return 4;
   return 0;
 }

@@ -26,6 +26,11 @@
 //
 // Flags: --trace-dir D             store directory (default plan_server.traces)
 //        --trace off|ro|rw         store mode (off is rejected; default rw)
+//        --store-l2-dir D          far store tier: --trace-dir becomes the
+//                                  L1 of a tiered store that reads through
+//                                  to D (captures AND .cmsplan entries)
+//        --store-l2 off|ro|rw      far-tier mode (default rw: write
+//                                  through; ro serves a frozen shared dir)
 //        --jobs N                  campaign workers per request
 //        --replay-kernel K         replay engine: auto|scalar|sse4|avx2|
 //                                  persize (bit-identical responses; the
@@ -43,6 +48,7 @@
 #include <vector>
 
 #include "core/cli.hpp"
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "svc/plan_protocol.hpp"
 #include "svc/planning_service.hpp"
@@ -66,6 +72,27 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// `, "tiers": {...}` when the store sits on a TieredBackend, "" otherwise.
+std::string tiers_json(
+    const std::optional<opt::StoreBackend::TierCounters>& t) {
+  if (!t) return "";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      ", \"tiers\": {\"l1_hits\": %llu, \"l1_misses\": %llu, "
+      "\"l2_hits\": %llu, \"l2_misses\": %llu, \"l2_errors\": %llu, "
+      "\"promotions\": %llu, \"l1_writes\": %llu, \"l2_writes\": %llu}",
+      static_cast<unsigned long long>(t->l1_hits),
+      static_cast<unsigned long long>(t->l1_misses),
+      static_cast<unsigned long long>(t->l2_hits),
+      static_cast<unsigned long long>(t->l2_misses),
+      static_cast<unsigned long long>(t->l2_errors),
+      static_cast<unsigned long long>(t->promotions),
+      static_cast<unsigned long long>(t->l1_writes),
+      static_cast<unsigned long long>(t->l2_writes));
+  return buf;
 }
 
 void print_response(const svc::PlanResponse& resp) {
@@ -119,6 +146,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "plan_server needs a store (--trace=off?)\n");
     return 1;
   }
+  const std::string l2_dir = core::parse_store_l2_dir(argc, argv);
+  const core::StoreL2Mode l2 = core::parse_store_l2(argc, argv);
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
       core::parse_service_budget_entries(argc, argv)};
@@ -127,16 +156,23 @@ int main(int argc, char** argv) {
       core::parse_plan_cache_budget_bytes(argc, argv),
       core::parse_plan_cache_budget_entries(argc, argv)};
 
+  // ONE backend (dir, or tiered dir-over-dir) shared by the trace store
+  // and the plan cache's disk tier, so both kinds of blob ride the same
+  // L1/L2 tiering and the same far directory.
+  const std::shared_ptr<opt::StoreBackend> backend =
+      core::open_store_backend(dir, mode, l2_dir, l2);
   svc::PlanningServiceConfig svc_cfg;
-  svc_cfg.store = svc::open_service_store(dir, mode, capacity);
+  svc_cfg.store = svc::open_service_store(backend, mode, capacity);
   svc_cfg.jobs = jobs;
   svc_cfg.replay_kernel = core::parse_replay_kernel(argc, argv);
-  svc_cfg.plan_cache = svc::open_plan_cache(cache_mode, dir, mode, cache_budget);
+  svc_cfg.plan_cache =
+      svc::open_plan_cache(cache_mode, backend, mode, cache_budget);
   svc::PlanningService service(std::move(svc_cfg));
   std::fprintf(stderr,
                "plan_server ready: store %s (budget %llu bytes / %llu "
                "entries), plan cache %s, %u worker%s per request\n",
-               dir.c_str(), static_cast<unsigned long long>(capacity.max_bytes),
+               backend->describe().c_str(),
+               static_cast<unsigned long long>(capacity.max_bytes),
                static_cast<unsigned long long>(capacity.max_entries),
                service.plan_cache() == nullptr
                    ? "off"
@@ -165,12 +201,14 @@ int main(int argc, char** argv) {
           "\"coalesced\": %llu, \"plan_cache_hits\": %llu}, "
           "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
           "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
-          "\"pinned\": %llu}, "
+          "\"pinned\": %llu%s}, "
           "\"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
           "\"inserts\": %llu, \"mem_hits\": %llu, \"disk_hits\": %llu, "
-          "\"disk_writes\": %llu, \"evictions\": %llu, \"entries\": %llu, "
-          "\"bytes\": %llu, \"disk_entries\": %llu, \"disk_bytes\": "
-          "%llu}}\n",
+          "\"disk_writes\": %llu, \"evictions\": %llu, "
+          "\"mem_evictions\": %llu, \"mem_evicted_bytes\": %llu, "
+          "\"disk_evictions\": %llu, \"disk_evicted_bytes\": %llu, "
+          "\"entries\": %llu, \"bytes\": %llu, \"disk_entries\": %llu, "
+          "\"disk_bytes\": %llu%s}}\n",
           static_cast<unsigned long long>(ss.requests),
           static_cast<unsigned long long>(ss.captured),
           static_cast<unsigned long long>(ss.deferred),
@@ -184,6 +222,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(st.entries),
           static_cast<unsigned long long>(st.bytes),
           static_cast<unsigned long long>(st.pinned),
+          tiers_json(st.tiers).c_str(),
           static_cast<unsigned long long>(pc.hits),
           static_cast<unsigned long long>(pc.misses),
           static_cast<unsigned long long>(pc.inserts),
@@ -191,10 +230,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(pc.disk_hits),
           static_cast<unsigned long long>(pc.disk_writes),
           static_cast<unsigned long long>(pc.evictions),
+          static_cast<unsigned long long>(pc.mem_evictions),
+          static_cast<unsigned long long>(pc.mem_evicted_bytes),
+          static_cast<unsigned long long>(pc.disk_evictions),
+          static_cast<unsigned long long>(pc.disk_evicted_bytes),
           static_cast<unsigned long long>(pc.entries),
           static_cast<unsigned long long>(pc.bytes),
           static_cast<unsigned long long>(pc.disk_entries),
-          static_cast<unsigned long long>(pc.disk_bytes));
+          static_cast<unsigned long long>(pc.disk_bytes),
+          tiers_json(pc.tiers).c_str());
     } else if (cmd == "gc") {
       const opt::TraceStore::GcResult gr = service.gc();
       std::printf("{\"ok\": true, \"evicted_entries\": %llu, "

@@ -268,4 +268,49 @@ inline TraceMode parse_trace_mode(int argc, char** argv,
   return def;
 }
 
+/// Parse `--store-l2-dir DIR` / `--store-l2-dir=DIR`: directory of the
+/// far (shared) store tier. Empty (the default) means no L2 — the local
+/// --trace-dir is the whole store.
+inline std::string parse_store_l2_dir(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-l2-dir") == 0) {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "warning: --store-l2-dir needs a directory\n");
+      return {};
+    }
+    if (std::strncmp(argv[i], "--store-l2-dir=", 15) == 0)
+      return argv[i] + 15;
+  }
+  return {};
+}
+
+/// Parse `--store-l2 MODE` / `--store-l2=MODE` where MODE is `off`
+/// (ignore the L2 dir), `ro` (read through, never write through — a
+/// frozen shared tier) or `rw` (read + write through). Returns `def`
+/// when absent — read-write, so `--store-l2-dir` alone gives the
+/// expected capture-once-globally behavior; unknown modes warn and keep
+/// `def`.
+inline StoreL2Mode parse_store_l2(int argc, char** argv,
+                                  StoreL2Mode def = StoreL2Mode::kReadWrite) {
+  const auto parse_value = [def](const char* v) -> StoreL2Mode {
+    if (std::strcmp(v, "off") == 0) return StoreL2Mode::kOff;
+    if (std::strcmp(v, "ro") == 0) return StoreL2Mode::kReadOnly;
+    if (std::strcmp(v, "rw") == 0) return StoreL2Mode::kReadWrite;
+    std::fprintf(stderr,
+                 "warning: ignoring bad --store-l2 value '%s' (off|ro|rw)\n",
+                 v);
+    return def;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-l2") == 0) {
+      if (i + 1 < argc) return parse_value(argv[i + 1]);
+      std::fprintf(stderr, "warning: --store-l2 needs a value (off|ro|rw)\n");
+      return def;
+    }
+    if (std::strncmp(argv[i], "--store-l2=", 11) == 0)
+      return parse_value(argv[i] + 11);
+  }
+  return def;
+}
+
 }  // namespace cms::core

@@ -415,6 +415,36 @@ std::shared_ptr<opt::TraceStore> open_trace_store(const std::string& dir,
                                            mode == TraceMode::kReadOnly);
 }
 
+std::shared_ptr<opt::StoreBackend> open_store_backend(const std::string& dir,
+                                                      TraceMode mode,
+                                                      const std::string& l2_dir,
+                                                      StoreL2Mode l2) {
+  if (dir.empty() || mode == TraceMode::kOff) return nullptr;
+  std::shared_ptr<opt::StoreBackend> l1 = std::make_shared<opt::DirBackend>(
+      dir, /*create=*/mode != TraceMode::kReadOnly);
+  if (l2_dir.empty() || l2 == StoreL2Mode::kOff) return l1;
+  opt::TieredBackend::Config cfg;
+  cfg.l1 = std::move(l1);
+  // A read-only L2 is a frozen shared tier: never create, never write.
+  cfg.l2 = std::make_shared<opt::DirBackend>(
+      l2_dir, /*create=*/l2 == StoreL2Mode::kReadWrite);
+  cfg.l2_writable = l2 == StoreL2Mode::kReadWrite;
+  // Promotion writes into L1, which a read-only store must not do.
+  cfg.promote = mode != TraceMode::kReadOnly;
+  return std::make_shared<opt::TieredBackend>(std::move(cfg));
+}
+
+std::shared_ptr<opt::TraceStore> open_trace_store(const std::string& dir,
+                                                  TraceMode mode,
+                                                  const std::string& l2_dir,
+                                                  StoreL2Mode l2) {
+  std::shared_ptr<opt::StoreBackend> backend =
+      open_store_backend(dir, mode, l2_dir, l2);
+  if (backend == nullptr) return nullptr;
+  return std::make_shared<opt::TraceStore>(std::move(backend),
+                                           mode == TraceMode::kReadOnly);
+}
+
 std::string app_trace_key(const std::string& label,
                           const apps::AppConfig& content) {
   char buf[17];

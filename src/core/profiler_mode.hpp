@@ -31,6 +31,18 @@ enum class TraceMode : std::uint8_t {
   kReadWrite,  // serve hits, write back misses (the default with a dir)
 };
 
+/// Far tier of a two-level store (--store-l2=off|ro|rw + --store-l2-dir).
+/// With an L2 attached, the local --trace-dir becomes the L1 of an
+/// opt::TieredBackend: L1 misses read through to the L2 (hits promoted
+/// into L1), writes go through to both tiers in kReadWrite, and every
+/// L2 failure degrades to L1-only with a logged warning — a fleet then
+/// captures each digest once GLOBALLY, not once per box.
+enum class StoreL2Mode : std::uint8_t {
+  kOff,        // no far tier: the local directory is the whole store
+  kReadOnly,   // serve L2 hits, never write through (frozen shared tier)
+  kReadWrite,  // read through and write through (the default with a dir)
+};
+
 /// Memoized plan cache of the planning service (--plan-cache=off|mem|disk
 /// + --plan-cache-budget-bytes/-entries). A PlanResponse is a pure
 /// function of its capture digests, grid and planner config, so warm

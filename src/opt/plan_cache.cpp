@@ -267,42 +267,35 @@ PlanCacheEntry load_plan_entry(const std::string& path, std::string* digest) {
 // ---- PlanCache ----
 
 PlanCache::PlanCache(Config cfg) : cfg_(std::move(cfg)) {
+  // Normalize the two spellings of tier 2 onto one backend handle: an
+  // explicit backend wins; a bare directory builds the historical
+  // DirBackend layout (shared with the trace store's .cmstrace entries).
+  if (cfg_.backend == nullptr && !cfg_.dir.empty())
+    cfg_.backend =
+        std::make_shared<DirBackend>(cfg_.dir, /*create=*/!cfg_.read_only);
   if (!disk_tier()) return;
-  if (!cfg_.read_only) {
-    std::error_code ec;
-    fs::create_directories(cfg_.dir, ec);
-    if (ec)
-      throw std::runtime_error(cfg_.dir + ": cannot create plan cache dir (" +
-                               ec.message() + ")");
-  }
-  // Index pre-existing .cmsplan entries, LRU order seeded from mtimes —
-  // the same reopen semantics as the trace store sharing this directory.
-  std::error_code ec;
-  std::vector<std::pair<fs::file_time_type, std::pair<std::string, std::uint64_t>>>
-      found;
-  for (const auto& e : fs::directory_iterator(cfg_.dir, ec)) {
-    std::error_code file_ec;
-    if (!e.is_regular_file(file_ec) || file_ec) continue;
-    const fs::path& p = e.path();
-    if (p.extension() != ".cmsplan") continue;
-    std::error_code mtime_ec, size_ec;
-    const fs::file_time_type mtime = e.last_write_time(mtime_ec);
-    const std::uintmax_t bytes = e.file_size(size_ec);
-    if (mtime_ec || size_ec) continue;
-    found.emplace_back(mtime, std::make_pair(p.stem().string(),
-                                             static_cast<std::uint64_t>(bytes)));
-  }
-  std::sort(found.begin(), found.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Index pre-existing .cmsplan entries; the backend lists them
+  // stalest-first (mtime order, digest tie-break) — the same reopen
+  // semantics as the trace store sharing this directory.
+  const std::vector<StoreBackend::ListedBlob> found =
+      cfg_.backend->list(BlobKind::kPlan);
   std::lock_guard<std::mutex> lk(mu_);
-  for (const auto& [mtime, entry] : found) {
-    disk_[entry.first] = DiskEntry{entry.second, ++clock_};
-    disk_bytes_total_ += entry.second;
+  for (const StoreBackend::ListedBlob& b : found) {
+    disk_[b.digest] = DiskEntry{b.bytes, ++clock_};
+    disk_bytes_total_ += b.bytes;
   }
 }
 
 std::string PlanCache::path_of(const std::string& digest) const {
-  return (fs::path(cfg_.dir) / (digest + ".cmsplan")).string();
+  return disk_tier() ? cfg_.backend->path_of(BlobKind::kPlan, digest)
+                     : std::string();
+}
+
+std::string PlanCache::context_of(const std::string& digest) const {
+  std::string ctx = path_of(digest);
+  if (ctx.empty())
+    ctx = cfg_.backend->describe() + ":" + digest + ".cmsplan";
+  return ctx;
 }
 
 std::shared_ptr<const PlanCacheEntry> PlanCache::get(
@@ -321,8 +314,6 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::get(
     return nullptr;
   }
 
-  const std::string path = path_of(digest);
-  std::error_code ec;
   const auto miss = [&]() -> std::shared_ptr<const PlanCacheEntry> {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = disk_.find(digest);
@@ -333,26 +324,32 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::get(
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   };
-  // Cheap-miss precheck (the trace store's rule): a cold key must not
-  // pay for an ifstream failure + exception on every computed plan.
-  if (!fs::exists(path, ec) || ec) return miss();
 
   std::string stored_digest;
   PlanCacheEntry loaded;
   std::uint64_t bytes = 0;
   for (int attempt = 0;; ++attempt) {
+    std::optional<StoreBackend::Blob> blob;
     try {
-      const std::vector<std::uint8_t> blob = read_file(path);
-      loaded = decode_plan_entry(blob.data(), blob.size(), path,
-                                 &stored_digest);
-      bytes = blob.size();  // the exact size, no re-stat race
+      blob = cfg_.backend->get(BlobKind::kPlan, digest);
+    } catch (const std::runtime_error&) {
+      // Present but unreadable: one retry separates a prune-then-rewrite
+      // race from genuine breakage (a vanished entry is nullopt, below).
+      if (attempt == 0) continue;
+      throw;
+    }
+    if (!blob) return miss();
+    try {
+      loaded = decode_plan_entry(blob->data(), blob->size(),
+                                 context_of(digest), &stored_digest);
+      bytes = blob->size();  // the exact size, no re-stat race
       break;
     } catch (const std::runtime_error&) {
-      // Vanished mid-read (another process pruned the directory): an
-      // ordinary miss. Still present: one retry distinguishes a
+      // A decode failure with the entry gone again is the prune race
+      // resolving to a miss. Still present: one retry distinguishes a
       // prune-then-rewrite race from genuine corruption — entries are
       // immutable per digest, so a successful reread is the same plan.
-      if (fs::exists(path, ec) && !ec) {
+      if (cfg_.backend->contains(BlobKind::kPlan, digest)) {
         if (attempt == 0) continue;
         throw;
       }
@@ -360,8 +357,9 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::get(
     }
   }
   if (stored_digest != digest)
-    throw std::runtime_error(path + ": stored plan key " + stored_digest +
-                             " does not match requested " + digest);
+    throw std::runtime_error(context_of(digest) + ": stored plan key " +
+                             stored_digest + " does not match requested " +
+                             digest);
 
   auto entry = std::make_shared<const PlanCacheEntry>(std::move(loaded));
   {
@@ -390,7 +388,7 @@ void PlanCache::put(const std::string& digest, PlanCacheEntry entry) {
 
   if (!disk_tier() || cfg_.read_only) return;
   try {
-    serialize::write_file_atomic(path_of(digest), blob);
+    cfg_.backend->put(BlobKind::kPlan, digest, blob);
   } catch (const std::exception& e) {
     // Tier 2 is an amortization, not a correctness boundary: the memory
     // tier already serves the entry, so a failed persist only costs a
@@ -436,8 +434,8 @@ TraceStore::GcResult PlanCache::enforce_mem_budget_locked() {
     // only drops the cache's reference (pin-during-read).
     mem_.erase(victim);
   }
-  evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
-  evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
+  mem_evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
+  mem_evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
   return out;
 }
 
@@ -449,7 +447,7 @@ TraceStore::GcResult PlanCache::enforce_disk_budget_locked() {
     return (cap.max_bytes != 0 && disk_bytes_total_ > cap.max_bytes) ||
            (cap.max_entries != 0 && disk_.size() > cap.max_entries);
   };
-  std::set<std::string> skipped;  // unlink failed this pass: not a victim
+  std::set<std::string> skipped;  // remove failed this pass: not a victim
   while (over()) {
     const std::string* victim = nullptr;
     std::uint64_t oldest = 0;
@@ -462,26 +460,27 @@ TraceStore::GcResult PlanCache::enforce_disk_budget_locked() {
     }
     if (victim == nullptr) break;
     const auto it = disk_.find(*victim);
-    std::error_code ec;
-    const bool removed = fs::remove(path_of(*victim), ec);
-    if (ec) {
-      // Unlink failed with the file still on disk: dropping the index
-      // entry would orphan bytes nobody accounts for until reopen. Keep
-      // it (the budget stays busted) and move on.
+    const StoreBackend::RemoveOutcome removed =
+        cfg_.backend->remove(BlobKind::kPlan, *victim);
+    if (removed == StoreBackend::RemoveOutcome::kFailed) {
+      // Removal failed with the entry still occupying storage: dropping
+      // the index entry would orphan bytes nobody accounts for until
+      // reopen. Keep it (the budget stays busted) and move on.
       skipped.insert(*victim);
       continue;
     }
     disk_bytes_total_ -= it->second.bytes;
-    if (removed) {
+    if (removed == StoreBackend::RemoveOutcome::kRemoved) {
       out.evicted_entries += 1;
       out.evicted_bytes += it->second.bytes;
     }
-    // !removed: already vanished (another process pruned it) — resync the
+    // kVanished: already gone (another process pruned it) — resync the
     // index without claiming an eviction.
     disk_.erase(it);
   }
-  evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
-  evicted_bytes_.fetch_add(out.evicted_bytes, std::memory_order_relaxed);
+  disk_evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
+  disk_evicted_bytes_.fetch_add(out.evicted_bytes,
+                                std::memory_order_relaxed);
   return out;
 }
 
@@ -502,8 +501,13 @@ PlanCache::Stats PlanCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  s.mem_evictions = mem_evictions_.load(std::memory_order_relaxed);
+  s.mem_evicted_bytes = mem_evicted_bytes_.load(std::memory_order_relaxed);
+  s.disk_evictions = disk_evictions_.load(std::memory_order_relaxed);
+  s.disk_evicted_bytes = disk_evicted_bytes_.load(std::memory_order_relaxed);
+  s.evictions = s.mem_evictions + s.disk_evictions;
+  s.evicted_bytes = s.mem_evicted_bytes + s.disk_evicted_bytes;
+  if (disk_tier()) s.tiers = cfg_.backend->tier_counters();
   std::lock_guard<std::mutex> lk(mu_);
   s.entries = mem_.size();
   s.bytes = mem_bytes_total_;

@@ -14,19 +14,22 @@
 //     LRU-evicted under its own entry/byte budget. Readers hold the
 //     shared_ptr, so eviction can drop the cache's reference but never a
 //     result a request is still copying from (pin-during-read).
-//   Tier 2 (disk):   <digest>.cmsplan files in the SAME directory as the
-//     trace store's .cmstrace entries — versioned magic + FNV-1a trailer
-//     (format below), written via temp file + atomic rename. Warm plans
-//     survive the process; a file another process pruned mid-read is a
-//     MISS, a corrupt or mislabeled file THROWS. Stale entries cannot be
-//     served at all: the PlanKey digest includes the schema version and
-//     every planning input, so any change addresses a different file
-//     (invalidation by addressing, exactly like the trace store).
+//   Tier 2 (disk):   <digest>.cmsplan blobs behind an opt::StoreBackend
+//     (opt/store_backend.hpp) — by default a DirBackend over the SAME
+//     directory as the trace store's .cmstrace entries, but any backend
+//     (mem, tiered) composes. The format is a versioned magic + FNV-1a
+//     trailer (below); DirBackend publishes via temp file + atomic
+//     rename. Warm plans survive the process; an entry another process
+//     pruned mid-read is a MISS, a corrupt or mislabeled one THROWS.
+//     Stale entries cannot be served at all: the PlanKey digest includes
+//     the schema version and every planning input, so any change
+//     addresses a different blob (invalidation by addressing, exactly
+//     like the trace store).
 //
 // Thread-safety: get()/put()/gc()/stats() are safe from any number of
 // threads. Counters are lock-free atomics mirroring TraceStore::Stats;
 // one mutex guards the two LRU indexes and is never held across file
-// I/O except during disk-tier eviction unlinks (the trace store's rule).
+// I/O except during disk-tier eviction removals (the trace store's rule).
 #pragma once
 
 #include <atomic>
@@ -34,11 +37,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "opt/planner.hpp"
 #include "opt/profile.hpp"
+#include "opt/store_backend.hpp"
 #include "opt/trace_store.hpp"
 
 namespace cms::opt {
@@ -128,49 +133,64 @@ PlanCacheEntry load_plan_entry(const std::string& path,
 class PlanCache {
  public:
   struct Config {
-    /// Disk-tier directory (typically the trace store's dir); empty
-    /// disables tier 2 — entries then live and die with this instance.
+    /// Explicit tier-2 backend (mem, tiered, a shared instance with the
+    /// trace store...); when null, a DirBackend is built over `dir`.
+    std::shared_ptr<StoreBackend> backend;
+    /// Disk-tier directory (typically the trace store's dir); ignored
+    /// when `backend` is set. Both empty disables tier 2 — entries then
+    /// live and die with this instance.
     std::string dir;
     /// A read-only disk tier serves warm hits but never writes (frozen
-    /// CI stores). Ignored without a dir.
+    /// CI stores). Ignored without a tier 2.
     bool read_only = false;
     /// Tier-1 (in-memory) budget; 0 = unlimited. Bytes are the entries'
     /// encoded sizes.
     TraceStore::Capacity memory;
-    /// Tier-2 (on-disk) budget over the .cmsplan files; 0 = unlimited.
-    /// LRU order is seeded from file mtimes on open, like the store.
+    /// Tier-2 (persistent) budget over the .cmsplan blobs; 0 =
+    /// unlimited. LRU order is seeded from the backend's stalest-first
+    /// listing on open, like the store.
     TraceStore::Capacity disk;
   };
 
   /// Counters mirror TraceStore::Stats: hits/misses/inserts are
-  /// lock-free atomics; hits = mem_hits + disk_hits.
+  /// lock-free atomics; hits = mem_hits + disk_hits and evictions =
+  /// mem_evictions + disk_evictions.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t inserts = 0;  // put() calls that stored a new result
     std::uint64_t mem_hits = 0;
     std::uint64_t disk_hits = 0;   // served from tier 2 (then promoted)
-    std::uint64_t disk_writes = 0; // .cmsplan files persisted
-    std::uint64_t evictions = 0;   // both tiers
+    std::uint64_t disk_writes = 0; // .cmsplan blobs persisted
+    std::uint64_t evictions = 0;   // both tiers combined
     std::uint64_t evicted_bytes = 0;
+    std::uint64_t mem_evictions = 0;        // tier-1 LRU drops
+    std::uint64_t mem_evicted_bytes = 0;
+    std::uint64_t disk_evictions = 0;       // tier-2 removals
+    std::uint64_t disk_evicted_bytes = 0;
     std::uint64_t entries = 0;      // tier-1 resident entries
     std::uint64_t bytes = 0;        // tier-1 resident encoded bytes
     std::uint64_t disk_entries = 0; // tier-2 indexed entries
     std::uint64_t disk_bytes = 0;   // tier-2 indexed bytes
+    /// Per-tier backend counters; nullopt unless tier 2 sits on a
+    /// TieredBackend.
+    std::optional<StoreBackend::TierCounters> tiers;
   };
 
   /// Open the cache (and in read-write disk mode create the directory,
-  /// indexing any existing .cmsplan entries oldest-first). Throws
-  /// std::runtime_error when a read-write directory cannot be created.
+  /// indexing any existing .cmsplan entries oldest-first, mtime ties
+  /// broken by digest). Throws std::runtime_error when a read-write
+  /// directory cannot be created.
   explicit PlanCache(Config cfg);
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  bool disk_tier() const { return !cfg_.dir.empty(); }
+  bool disk_tier() const { return cfg_.backend != nullptr; }
   const Config& config() const { return cfg_; }
 
-  /// Path the tier-2 entry for `digest` would live at.
+  /// Path the tier-2 entry for `digest` would live at ("" without a
+  /// tier 2 or over a pathless backend).
   std::string path_of(const std::string& digest) const;
 
   /// Look up a memoized plan. Tier 1 first; on a memory miss the disk
@@ -207,6 +227,7 @@ class PlanCache {
                          std::uint64_t bytes);
   TraceStore::GcResult enforce_mem_budget_locked();
   TraceStore::GcResult enforce_disk_budget_locked();
+  std::string context_of(const std::string& digest) const;
 
   Config cfg_;
 
@@ -215,8 +236,10 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> inserts_{0};
   std::atomic<std::uint64_t> disk_writes_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> evicted_bytes_{0};
+  std::atomic<std::uint64_t> mem_evictions_{0};
+  std::atomic<std::uint64_t> mem_evicted_bytes_{0};
+  std::atomic<std::uint64_t> disk_evictions_{0};
+  std::atomic<std::uint64_t> disk_evicted_bytes_{0};
 
   mutable std::mutex mu_;  // guards mem_, disk_, clock_, *_bytes_total_
   std::map<std::string, MemEntry> mem_;

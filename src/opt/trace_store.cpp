@@ -1,16 +1,11 @@
 #include "opt/trace_store.hpp"
 
-#include <algorithm>
-#include <filesystem>
 #include <set>
 #include <stdexcept>
-#include <system_error>
 #include <utility>
 #include <vector>
 
 namespace cms::opt {
-
-namespace fs = std::filesystem;
 
 TraceStore::Pin& TraceStore::Pin::operator=(Pin&& other) noexcept {
   if (this != &other) {
@@ -31,46 +26,39 @@ TraceStore::TraceStore(std::string dir, bool read_only)
     : TraceStore(std::move(dir), read_only, Capacity()) {}
 
 TraceStore::TraceStore(std::string dir, bool read_only, Capacity capacity)
-    : dir_(std::move(dir)), read_only_(read_only), capacity_(capacity) {
-  if (dir_.empty())
-    throw std::runtime_error("trace store needs a directory path");
-  if (!read_only_) {
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec)
-      throw std::runtime_error(dir_ + ": cannot create trace store dir (" +
-                               ec.message() + ")");
-  }
-  // Index pre-existing entries; LRU order seeded from file mtimes so a
-  // reopened store evicts the stalest captures first. Sort before
-  // touching: directory iteration order is unspecified.
-  std::error_code ec;
-  std::vector<std::pair<fs::file_time_type, std::pair<std::string, std::uint64_t>>>
-      found;
-  for (const auto& e : fs::directory_iterator(dir_, ec)) {
-    std::error_code file_ec;
-    if (!e.is_regular_file(file_ec) || file_ec) continue;
-    const fs::path& p = e.path();
-    if (p.extension() != ".cmstrace") continue;
-    // Each stat gets its own error check: a file another process evicts
-    // mid-scan must be skipped, not indexed with file_size's uintmax(-1)
-    // error value (which would poison the byte accounting).
-    std::error_code mtime_ec, size_ec;
-    const fs::file_time_type mtime = e.last_write_time(mtime_ec);
-    const std::uintmax_t bytes = e.file_size(size_ec);
-    if (mtime_ec || size_ec) continue;
-    found.emplace_back(mtime, std::make_pair(p.stem().string(),
-                                             static_cast<std::uint64_t>(bytes)));
-  }
-  std::sort(found.begin(), found.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+    : TraceStore(
+          std::make_shared<DirBackend>(std::move(dir), /*create=*/!read_only),
+          read_only, capacity) {}
+
+TraceStore::TraceStore(std::shared_ptr<StoreBackend> backend, bool read_only)
+    : TraceStore(std::move(backend), read_only, Capacity()) {}
+
+TraceStore::TraceStore(std::shared_ptr<StoreBackend> backend, bool read_only,
+                       Capacity capacity)
+    : backend_(std::move(backend)), read_only_(read_only),
+      capacity_(capacity) {
+  if (backend_ == nullptr)
+    throw std::invalid_argument("trace store needs a backend");
+  if (auto* dir_backend = dynamic_cast<DirBackend*>(backend_.get()))
+    dir_ = dir_backend->dir();
+  // Index pre-existing entries; the backend lists them stalest-first
+  // (mtime order, ties broken by digest) so a reopened store evicts the
+  // stalest captures first, deterministically.
+  const std::vector<StoreBackend::ListedBlob> found =
+      backend_->list(BlobKind::kTrace);
   std::lock_guard<std::mutex> lk(mu_);
-  for (const auto& [mtime, entry] : found)
-    touch_locked(entry.first, entry.second);
+  for (const StoreBackend::ListedBlob& b : found)
+    touch_locked(b.digest, b.bytes);
 }
 
 std::string TraceStore::path_of(const std::string& digest) const {
-  return (fs::path(dir_) / (digest + ".cmstrace")).string();
+  return backend_->path_of(BlobKind::kTrace, digest);
+}
+
+std::string TraceStore::context_of(const std::string& digest) const {
+  std::string ctx = backend_->path_of(BlobKind::kTrace, digest);
+  if (ctx.empty()) ctx = backend_->describe() + ":" + digest + ".cmstrace";
+  return ctx;
 }
 
 void TraceStore::touch_locked(const std::string& digest,
@@ -108,17 +96,14 @@ void TraceStore::restat_unknown_locked() const {
       ++it;
       continue;
     }
-    std::error_code ec;
-    const std::uintmax_t sz = fs::file_size(path_of(it->first), ec);
-    if (!ec && sz > 0) {
-      it->second.bytes = static_cast<std::uint64_t>(sz);
+    const std::optional<std::uint64_t> sz =
+        backend_->stat(BlobKind::kTrace, it->first);
+    if (sz && *sz > 0) {
+      it->second.bytes = *sz;
       bytes_total_ += it->second.bytes;
       --unknown_sizes_;
       ++it;
-      continue;
-    }
-    std::error_code exist_ec;
-    if (!fs::exists(path_of(it->first), exist_ec) && !exist_ec) {
+    } else if (!sz) {
       // Gone entirely (the racing eviction won): drop the stale entry.
       --unknown_sizes_;
       it = entries_.erase(it);
@@ -137,7 +122,7 @@ TraceStore::GcResult TraceStore::enforce_budget_locked() const {
            (capacity_.max_entries != 0 &&
             entries_.size() > capacity_.max_entries);
   };
-  std::set<std::string> skipped;  // unlink failed this pass: not a victim
+  std::set<std::string> skipped;  // remove failed this pass: not a victim
   while (over()) {
     // Least-recently-used unpinned entry; pinned entries are invisible to
     // eviction, so a store whose pins alone bust the budget stays over it.
@@ -152,26 +137,27 @@ TraceStore::GcResult TraceStore::enforce_budget_locked() const {
     }
     if (victim == nullptr) break;
     const auto it = entries_.find(*victim);
-    std::error_code ec;
-    const bool removed = fs::remove(path_of(*victim), ec);
-    if (ec) {
-      // Unlink FAILED with the file still on disk: dropping the index
-      // entry would orphan bytes nobody accounts for until reopen, and
-      // counting them as evicted would claim a reclamation that never
-      // happened. Keep the entry (the budget stays busted, like a pinned
-      // entry) and skip it for the rest of this pass so enforcement
-      // cannot spin on it.
+    const StoreBackend::RemoveOutcome removed =
+        backend_->remove(BlobKind::kTrace, *victim);
+    if (removed == StoreBackend::RemoveOutcome::kFailed) {
+      // Delete FAILED with the entry still occupying storage: dropping
+      // the index entry would orphan bytes nobody accounts for until
+      // reopen, and counting them as evicted would claim a reclamation
+      // that never happened. Keep the entry (the budget stays busted,
+      // like a pinned entry) and skip it for the rest of this pass so
+      // enforcement cannot spin on it.
       skipped.insert(*victim);
       continue;
     }
     if (it->second.bytes == 0) --unknown_sizes_;
     bytes_total_ -= it->second.bytes;
-    if (removed) {
+    if (removed == StoreBackend::RemoveOutcome::kRemoved) {
       out.evicted_entries += 1;
       out.evicted_bytes += it->second.bytes;
     }
-    // !removed: the file had already vanished (another process evicted
-    // it) — resync the index without claiming an eviction we never did.
+    // kVanished: the entry had already disappeared (another process
+    // evicted it) — resync the index without claiming an eviction we
+    // never did.
     entries_.erase(it);
   }
   evictions_.fetch_add(out.evicted_entries, std::memory_order_relaxed);
@@ -180,48 +166,56 @@ TraceStore::GcResult TraceStore::enforce_budget_locked() const {
 }
 
 std::optional<CaptureRun> TraceStore::load(const std::string& digest) const {
-  const std::string path = path_of(digest);
-  std::error_code ec;
-  if (!fs::exists(path, ec) || ec) {
+  const auto miss = [&]() -> std::optional<CaptureRun> {
     std::lock_guard<std::mutex> lk(mu_);
     erase_locked(digest);  // may have been evicted by another process
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
-  }
+  };
   std::string stored_digest;
   CaptureRun capture;
+  std::uint64_t bytes = 0;
   for (int attempt = 0;; ++attempt) {
+    std::optional<StoreBackend::Blob> blob;
     try {
-      capture = load_capture(path, &stored_digest);
+      blob = backend_->get(BlobKind::kTrace, digest);
+    } catch (const std::runtime_error&) {
+      // Present but unreadable: either genuine breakage or an
+      // evict-then-resave race mid-read; ONE retry distinguishes them
+      // (the backend already reports a vanished entry as nullopt).
+      if (attempt == 0) continue;
+      throw;
+    }
+    if (!blob) return miss();
+    try {
+      capture = decode_capture(blob->data(), blob->size(),
+                               context_of(digest), &stored_digest);
+      bytes = blob->size();
       break;
     } catch (const std::runtime_error&) {
-      // The file vanished between the existence check and the read: a
-      // concurrent eviction (this process or another) — an ordinary
-      // miss. Still present means either genuine corruption or an
-      // evict-then-resave race (a peer wrote the entry back after the
-      // eviction that broke our read); ONE retry distinguishes them —
-      // entries are immutable per digest, so a successful reread is the
-      // same capture, and a second failure on a present file is real
-      // corruption to surface.
-      if (fs::exists(path, ec) && !ec) {
+      // A decode failure with the entry gone again is the eviction race
+      // resolving to a miss. Still present means either genuine
+      // corruption or an evict-then-resave race (a peer wrote the entry
+      // back after the eviction that broke our read); one retry
+      // distinguishes them — entries are immutable per digest, so a
+      // successful reread is the same capture, and a second failure on a
+      // present entry is real corruption to surface.
+      if (backend_->contains(BlobKind::kTrace, digest)) {
         if (attempt == 0) continue;
         throw;
       }
-      std::lock_guard<std::mutex> lk(mu_);
-      erase_locked(digest);
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
+      return miss();
     }
   }
-  // The digest inside the file must match the name it was addressed by;
+  // The digest inside the blob must match the name it was addressed by;
   // a renamed or hand-copied entry must never masquerade as another key.
   if (stored_digest != digest)
-    throw std::runtime_error(path + ": stored digest " + stored_digest +
-                             " does not match requested " + digest);
-  const std::uintmax_t sz = fs::file_size(path, ec);
+    throw std::runtime_error(context_of(digest) + ": stored digest " +
+                             stored_digest + " does not match requested " +
+                             digest);
   {
     std::lock_guard<std::mutex> lk(mu_);
-    touch_locked(digest, ec ? 0 : static_cast<std::uint64_t>(sz));
+    touch_locked(digest, bytes);
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   return capture;
@@ -230,27 +224,23 @@ std::optional<CaptureRun> TraceStore::load(const std::string& digest) const {
 void TraceStore::save(const std::string& digest,
                       const CaptureRun& capture) const {
   if (read_only_) return;
-  save_capture(capture, digest, path_of(digest));
+  const StoreBackend::Blob blob = encode_capture(capture, digest);
+  backend_->put(BlobKind::kTrace, digest, blob);
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::error_code ec;
-  const auto bytes =
-      static_cast<std::uint64_t>(fs::file_size(path_of(digest), ec));
   std::lock_guard<std::mutex> lk(mu_);
-  touch_locked(digest, ec ? 0 : bytes);
+  touch_locked(digest, blob.size());  // the exact size, no re-stat race
   enforce_budget_locked();
 }
 
 bool TraceStore::contains(const std::string& digest) const {
-  const std::string path = path_of(digest);
-  std::error_code ec;
-  const bool present = fs::exists(path, ec) && !ec;
-  const std::uintmax_t sz = present ? fs::file_size(path, ec) : 0;
+  const std::optional<std::uint64_t> sz =
+      backend_->stat(BlobKind::kTrace, digest);
   std::lock_guard<std::mutex> lk(mu_);
-  if (present)
-    touch_locked(digest, ec ? 0 : static_cast<std::uint64_t>(sz));
+  if (sz)
+    touch_locked(digest, *sz);
   else
     erase_locked(digest);
-  return present;
+  return sz.has_value();
 }
 
 TraceStore::Pin TraceStore::pin(const std::string& digest) const {
@@ -280,6 +270,7 @@ TraceStore::Stats TraceStore::stats() const {
   s.writes = writes_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  s.tiers = backend_->tier_counters();
   std::lock_guard<std::mutex> lk(mu_);
   s.entries = entries_.size();
   s.bytes = bytes_total_;

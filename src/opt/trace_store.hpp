@@ -43,15 +43,25 @@
 // index and pin table share one mutex that is never held across file I/O
 // except during eviction deletes and the re-stat of entries whose size
 // could not be determined when they were indexed.
+//
+// Storage: all blob I/O and reopen indexing go through an
+// opt::StoreBackend (opt/store_backend.hpp). The directory constructors
+// build a DirBackend (bit-compatible with the historical layout); the
+// backend constructor composes anything else — a MemBackend for
+// ephemeral stores, a TieredBackend for a local L1 over a fleet-shared
+// L2 (whose per-tier counters surface through Stats::tiers). The store
+// keeps the semantics: digest verification, LRU/budget/pins, counters.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 
+#include "opt/store_backend.hpp"
 #include "opt/trace.hpp"
 
 namespace cms::opt {
@@ -67,6 +77,9 @@ class TraceStore {
     std::uint64_t entries = 0;  // resident entries right now
     std::uint64_t bytes = 0;    // resident on-disk bytes right now
     std::uint64_t pinned = 0;   // digests currently pinned
+    /// Per-tier backend counters; nullopt unless the store sits on a
+    /// TieredBackend.
+    std::optional<StoreBackend::TierCounters> tiers;
   };
 
   /// Byte/entry budget of a read-write store; 0 means unlimited. Enforced
@@ -112,17 +125,25 @@ class TraceStore {
   };
 
   /// Open (and in read-write mode create) the store directory, indexing
-  /// any existing entries (LRU order seeded from file mtimes). Throws
-  /// std::runtime_error when a read-write store directory cannot be
-  /// created.
+  /// any existing entries (LRU order seeded from file mtimes, ties by
+  /// digest). Throws std::runtime_error when a read-write store
+  /// directory cannot be created.
   explicit TraceStore(std::string dir, bool read_only = false);
   TraceStore(std::string dir, bool read_only, Capacity capacity);
+  /// Open over an explicit backend (mem, tiered, ...); same indexing.
+  /// Throws std::invalid_argument on a null backend.
+  explicit TraceStore(std::shared_ptr<StoreBackend> backend,
+                      bool read_only = false);
+  TraceStore(std::shared_ptr<StoreBackend> backend, bool read_only,
+             Capacity capacity);
 
   const std::string& dir() const { return dir_; }
+  const std::shared_ptr<StoreBackend>& backend() const { return backend_; }
   bool read_only() const { return read_only_; }
   const Capacity& capacity() const { return capacity_; }
 
-  /// Path an entry for `digest` would live at (bench reporting, tests).
+  /// Path an entry for `digest` would live at (bench reporting, tests);
+  /// "" over a pathless (memory) backend.
   std::string path_of(const std::string& digest) const;
 
   /// Look up a capture by digest. Returns nullopt on a miss — including
@@ -170,8 +191,12 @@ class TraceStore {
   void restat_unknown_locked() const;
   GcResult enforce_budget_locked() const;
   void unpin(const std::string& digest) const;
+  /// Error-message context for decode failures: the entry's path when
+  /// the backend has one, otherwise a digest-based label.
+  std::string context_of(const std::string& digest) const;
 
-  std::string dir_;
+  std::shared_ptr<StoreBackend> backend_;
+  std::string dir_;  // "" when constructed over a pathless backend
   bool read_only_;
   Capacity capacity_;
 

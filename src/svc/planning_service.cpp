@@ -346,6 +346,14 @@ std::shared_ptr<opt::TraceStore> open_service_store(
       dir, mode == core::TraceMode::kReadOnly, capacity);
 }
 
+std::shared_ptr<opt::TraceStore> open_service_store(
+    std::shared_ptr<opt::StoreBackend> backend, core::TraceMode mode,
+    opt::TraceStore::Capacity capacity) {
+  if (backend == nullptr || mode == core::TraceMode::kOff) return nullptr;
+  return std::make_shared<opt::TraceStore>(
+      std::move(backend), mode == core::TraceMode::kReadOnly, capacity);
+}
+
 std::shared_ptr<opt::PlanCache> open_plan_cache(
     core::PlanCacheMode mode, const std::string& store_dir,
     core::TraceMode trace_mode, opt::TraceStore::Capacity budget) {
@@ -356,6 +364,24 @@ std::shared_ptr<opt::PlanCache> open_plan_cache(
   if (mode == core::PlanCacheMode::kDisk && !store_dir.empty() &&
       trace_mode != core::TraceMode::kOff) {
     cfg.dir = store_dir;
+    cfg.read_only = trace_mode == core::TraceMode::kReadOnly;
+  }
+  cfg.memory = budget;
+  cfg.disk = budget;
+  return std::make_shared<opt::PlanCache>(std::move(cfg));
+}
+
+std::shared_ptr<opt::PlanCache> open_plan_cache(
+    core::PlanCacheMode mode, std::shared_ptr<opt::StoreBackend> backend,
+    core::TraceMode trace_mode, opt::TraceStore::Capacity budget) {
+  if (mode == core::PlanCacheMode::kOff) return nullptr;
+  opt::PlanCache::Config cfg;
+  // Tier 2 rides the trace store's backend — plans and captures share one
+  // (possibly tiered) store; without one it degrades to the in-process
+  // memo, exactly like the directory overload.
+  if (mode == core::PlanCacheMode::kDisk && backend != nullptr &&
+      trace_mode != core::TraceMode::kOff) {
+    cfg.backend = std::move(backend);
     cfg.read_only = trace_mode == core::TraceMode::kReadOnly;
   }
   cfg.memory = budget;

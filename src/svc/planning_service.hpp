@@ -258,6 +258,13 @@ std::shared_ptr<opt::TraceStore> open_service_store(
     const std::string& dir, core::TraceMode mode,
     opt::TraceStore::Capacity capacity = opt::TraceStore::Capacity());
 
+/// Same, over an explicit backend (e.g. a TieredBackend composed by
+/// core::open_store_backend, shared with the plan cache): null when
+/// `backend` is null or `mode` is kOff.
+std::shared_ptr<opt::TraceStore> open_service_store(
+    std::shared_ptr<opt::StoreBackend> backend, core::TraceMode mode,
+    opt::TraceStore::Capacity capacity = opt::TraceStore::Capacity());
+
 /// Build a plan cache per the shared CLI flags (`--plan-cache`,
 /// `--plan-cache-budget-bytes/-entries` — see core/cli.hpp): null for
 /// kOff; memory-only for kMemory; for kDisk the tier-2 entries live in
@@ -266,6 +273,14 @@ std::shared_ptr<opt::TraceStore> open_service_store(
 /// tier.
 std::shared_ptr<opt::PlanCache> open_plan_cache(
     core::PlanCacheMode mode, const std::string& store_dir,
+    core::TraceMode trace_mode,
+    opt::TraceStore::Capacity budget = opt::TraceStore::Capacity());
+
+/// Same, with tier 2 over an explicit backend (typically the one the
+/// trace store sits on, so plans ride the same L1/L2 tiering): memory-only
+/// when `backend` is null or `trace_mode` is kOff.
+std::shared_ptr<opt::PlanCache> open_plan_cache(
+    core::PlanCacheMode mode, std::shared_ptr<opt::StoreBackend> backend,
     core::TraceMode trace_mode,
     opt::TraceStore::Capacity budget = opt::TraceStore::Capacity());
 

@@ -1,5 +1,7 @@
 // Tests for the shared CLI helpers: accepted/rejected --jobs forms (the
-// validation must be stricter than strtoul) and the --profiler flag.
+// validation must be stricter than strtoul), the --profiler flag, and
+// the tiered-store flags (--store-l2 / --store-l2-dir share a prefix
+// and must never be confused for one another).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -137,6 +139,48 @@ TEST(ParsePlanCacheBudgets, ParseAsPlainDecimalU64) {
   EXPECT_EQ(parse_plan_cache_budget_bytes(
                 2, const_cast<char**>(bad.data()), 7),
             7u);
+}
+
+StoreL2Mode l2_of(std::vector<const char*> args,
+                  StoreL2Mode def = StoreL2Mode::kReadWrite) {
+  args.insert(args.begin(), "prog");
+  return parse_store_l2(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()), def);
+}
+
+std::string l2_dir_of(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parse_store_l2_dir(static_cast<int>(args.size()),
+                            const_cast<char**>(args.data()));
+}
+
+TEST(ParseStoreL2, AcceptsAllModes) {
+  EXPECT_EQ(l2_of({"--store-l2", "off"}), StoreL2Mode::kOff);
+  EXPECT_EQ(l2_of({"--store-l2=ro"}), StoreL2Mode::kReadOnly);
+  EXPECT_EQ(l2_of({"--store-l2", "rw"}, StoreL2Mode::kOff),
+            StoreL2Mode::kReadWrite);
+}
+
+TEST(ParseStoreL2, DefaultAndBadValues) {
+  EXPECT_EQ(l2_of({}), StoreL2Mode::kReadWrite);
+  EXPECT_EQ(l2_of({}, StoreL2Mode::kOff), StoreL2Mode::kOff);
+  EXPECT_EQ(l2_of({"--store-l2=readonly"}), StoreL2Mode::kReadWrite);
+  EXPECT_EQ(l2_of({"--store-l2"}), StoreL2Mode::kReadWrite);
+  EXPECT_EQ(l2_of({"--store-l2=RO"}), StoreL2Mode::kReadWrite);
+  // The dir flag shares the prefix; it must not be mistaken for the mode
+  // flag (nor its directory swallowed as a mode value).
+  EXPECT_EQ(l2_of({"--store-l2-dir", "far"}), StoreL2Mode::kReadWrite);
+  EXPECT_EQ(l2_of({"--store-l2-dir=far", "--store-l2=ro"}),
+            StoreL2Mode::kReadOnly);
+}
+
+TEST(ParseStoreL2Dir, BothFormsAndDefault) {
+  EXPECT_EQ(l2_dir_of({"--store-l2-dir", "far"}), "far");
+  EXPECT_EQ(l2_dir_of({"--store-l2-dir=/tmp/far"}), "/tmp/far");
+  EXPECT_EQ(l2_dir_of({}), "");
+  EXPECT_EQ(l2_dir_of({"--store-l2-dir"}), "");  // missing value
+  // The mode flag must not leak its value into the directory.
+  EXPECT_EQ(l2_dir_of({"--store-l2", "rw"}), "");
 }
 
 }  // namespace

@@ -489,6 +489,170 @@ TEST(PlanCacheDisk, CoexistsWithATraceStoreInOneDirectory) {
   EXPECT_TRUE(reopened.load("trace-1").has_value());
 }
 
+// ---- Backend-parameterized tier 2: the disk-tier semantics hold over
+// ---- any StoreBackend, not just the historical directory layout ----
+
+enum class BackendKind { kDir, kMem };
+
+const char* to_string(BackendKind k) {
+  return k == BackendKind::kDir ? "dir" : "mem";
+}
+
+class PlanCacheAnyBackend : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  /// A handle onto the SAME underlying storage each call — a fresh
+  /// DirBackend over one directory, or one shared MemBackend instance —
+  /// so a new PlanCache over config() models a process restart.
+  std::shared_ptr<StoreBackend> backend() {
+    if (GetParam() == BackendKind::kDir)
+      return std::make_shared<DirBackend>(tmp_.file("store"));
+    if (mem_ == nullptr) mem_ = std::make_shared<MemBackend>();
+    return mem_;
+  }
+  PlanCache::Config config(bool read_only = false) {
+    PlanCache::Config cfg;
+    cfg.backend = backend();
+    cfg.read_only = read_only;
+    return cfg;
+  }
+  bool entry_exists(const std::string& key) {
+    return backend()->contains(BlobKind::kPlan, key);
+  }
+
+  TempDir tmp_;
+  std::shared_ptr<MemBackend> mem_;
+};
+
+TEST_P(PlanCacheAnyBackend, FreshInstanceWarmHitsAcrossRestarts) {
+  {
+    PlanCache writer(config());
+    writer.put("k1", sample_entry(9));
+    EXPECT_EQ(writer.stats().disk_writes, 1u);
+  }
+  PlanCache reader(config());
+  const auto hit = reader.get("k1");
+  ASSERT_NE(hit, nullptr);
+  expect_identical(*hit, sample_entry(9));
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().mem_hits, 0u);
+  // Promoted: the second lookup is a pure memory hit.
+  EXPECT_NE(reader.get("k1"), nullptr);
+  EXPECT_EQ(reader.stats().mem_hits, 1u);
+}
+
+TEST_P(PlanCacheAnyBackend, VanishedEntryIsAMissNotAnError) {
+  PlanCache writer(config());
+  writer.put("k1", sample_entry());
+  PlanCache reader(config());  // indexes the entry, memory cold
+  backend()->remove(BlobKind::kPlan, "k1");  // another process pruned it
+  EXPECT_EQ(reader.get("k1"), nullptr);
+  EXPECT_EQ(reader.stats().misses, 1u);
+  EXPECT_EQ(reader.stats().disk_entries, 0u);  // index resynced
+}
+
+TEST_P(PlanCacheAnyBackend, CorruptEntryThrowsInsteadOfServing) {
+  backend()->put(BlobKind::kPlan, "k1",
+                 StoreBackend::Blob{'n', 'o', 't', 'a', 'p', 'l', 'a', 'n'});
+  PlanCache reader(config());
+  EXPECT_THROW(reader.get("k1"), std::runtime_error);
+}
+
+TEST_P(PlanCacheAnyBackend, ReadOnlyNeverWrites) {
+  {
+    PlanCache writer(config());
+    writer.put("k1", sample_entry());
+  }
+  PlanCache ro(config(/*read_only=*/true));
+  ro.put("k2", sample_entry());  // memory tier only
+  EXPECT_EQ(ro.stats().disk_writes, 0u);
+  EXPECT_FALSE(entry_exists("k2"));
+  EXPECT_NE(ro.get("k1"), nullptr);  // tier-2 reads still work
+  EXPECT_NE(ro.get("k2"), nullptr);  // the memory tier still memoizes
+}
+
+TEST_P(PlanCacheAnyBackend, DiskBudgetEvictsLruEntries) {
+  PlanCache::Config cfg = config();
+  cfg.disk.max_entries = 2;
+  PlanCache cache(cfg);
+  cache.put("a", sample_entry(0));
+  cache.put("b", sample_entry(1));
+  cache.put("c", sample_entry(2));  // evicts a (oldest)
+  EXPECT_FALSE(entry_exists("a"));
+  EXPECT_TRUE(entry_exists("b"));
+  EXPECT_TRUE(entry_exists("c"));
+  EXPECT_EQ(cache.stats().disk_entries, 2u);
+  // The memory tier is unlimited here: "a" still serves from tier 1.
+  EXPECT_NE(cache.get("a"), nullptr);
+}
+
+TEST_P(PlanCacheAnyBackend, ReopenedCacheIndexesExistingEntries) {
+  {
+    PlanCache w(config());
+    w.put("a", sample_entry(0));
+    w.put("b", sample_entry(1));
+    w.put("c", sample_entry(2));
+  }
+  PlanCache::Config cfg = config();
+  cfg.disk.max_entries = 2;
+  PlanCache cache(cfg);
+  EXPECT_EQ(cache.stats().disk_entries, 3u);  // indexed, over budget
+  const TraceStore::GcResult gr = cache.gc();
+  EXPECT_EQ(gr.evicted_entries, 1u);
+  EXPECT_EQ(cache.stats().disk_entries, 2u);
+}
+
+TEST_P(PlanCacheAnyBackend, EvictionCountersSplitPerTier) {
+  PlanCache::Config cfg = config();
+  cfg.memory.max_entries = 1;
+  cfg.disk.max_entries = 2;
+  PlanCache cache(cfg);
+  cache.put("a", sample_entry(0));
+  cache.put("b", sample_entry(1));
+  cache.put("c", sample_entry(2));
+  const PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.mem_evictions, 2u);   // the memory tier holds 1 of 3
+  EXPECT_EQ(st.disk_evictions, 1u);  // tier 2 holds 2 of 3
+  EXPECT_EQ(st.evictions, st.mem_evictions + st.disk_evictions);
+  EXPECT_GT(st.mem_evicted_bytes, 0u);
+  EXPECT_GT(st.disk_evicted_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PlanCacheAnyBackend,
+                         ::testing::Values(BackendKind::kDir,
+                                           BackendKind::kMem),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---- Tiered tier 2: plans ride the same L1/L2 composition ----
+
+TEST(PlanCacheTiered, FreshL1AnswersFromSharedL2ByReadThrough) {
+  const auto shared_l2 = std::make_shared<MemBackend>();
+  {
+    PlanCache::Config cfg;
+    cfg.backend = std::make_shared<TieredBackend>(
+        std::make_shared<MemBackend>(), shared_l2);
+    PlanCache writer(cfg);
+    writer.put("k", sample_entry(3));  // writes through to the far tier
+  }
+  const auto fresh_l1 = std::make_shared<MemBackend>();
+  PlanCache::Config cfg;
+  cfg.backend = std::make_shared<TieredBackend>(fresh_l1, shared_l2,
+                                                /*l2_writable=*/false);
+  PlanCache reader(cfg);
+  EXPECT_EQ(reader.stats().disk_entries, 0u);  // empty near-tier index
+  const auto hit = reader.get("k");
+  ASSERT_NE(hit, nullptr);
+  expect_identical(*hit, sample_entry(3));
+  const PlanCache::Stats st = reader.stats();
+  EXPECT_EQ(st.disk_hits, 1u);
+  EXPECT_EQ(st.misses, 0u);
+  ASSERT_TRUE(st.tiers.has_value());
+  EXPECT_EQ(st.tiers->l2_hits, 1u);
+  EXPECT_EQ(st.tiers->promotions, 1u);
+  EXPECT_TRUE(fresh_l1->contains(BlobKind::kPlan, "k"));  // promoted
+}
+
 // ---- Concurrency stress (mirrors TraceStoreStress) ----
 
 TEST(PlanCacheStress, ConcurrentGetsPutsGcStayConsistent) {

@@ -6,7 +6,9 @@
 // an entry pinned by an in-flight request, failures come back as error
 // responses instead of exceptions, the read-only-store path reports its
 // deferred captures honestly, the memoized plan cache turns repeat
-// requests into pure lookups, and the plan_server protocol parser
+// requests into pure lookups, a tiered store lets a fresh process answer
+// by L2 read-through with zero captures, one shared backend feeds both
+// the store and the plan cache, and the plan_server protocol parser
 // rejects malformed values (non-finite/negative eps included).
 #include <gtest/gtest.h>
 
@@ -439,6 +441,86 @@ TEST(PlanService, PlanCacheDiskTierSurvivesProcessRestart) {
   // Fresh store + cache instances over the same directory model a new
   // server process: the plan must come off the disk tier, untouched.
   PlanningService second({make_store(tmp), 1, nullptr, disk_cache()});
+  const PlanResponse warm = second.plan(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.plan_source, PlanSource::kCache);
+  EXPECT_TRUE(warm.assignment.identical(computed.assignment));
+  EXPECT_EQ(second.plan_cache_stats().disk_hits, 1u);
+  EXPECT_EQ(second.store_stats().hits + second.store_stats().misses, 0u);
+}
+
+TEST(PlanService, TieredFreshL1ServesViaReadThroughWithZeroCaptures) {
+  // Two-"process" read-through: a first service populates a shared far
+  // tier by write-through; a second service with a fresh, EMPTY near
+  // tier must answer the same request with ZERO captures — the trace
+  // arrives from the L2 and is promoted, never re-simulated.
+  const auto shared_l2 = std::make_shared<opt::MemBackend>();
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  opt::PartitionPlan first_plan;
+  {
+    PlanningServiceConfig cfg;
+    cfg.store = std::make_shared<opt::TraceStore>(
+        std::make_shared<opt::TieredBackend>(
+            std::make_shared<opt::MemBackend>(), shared_l2),
+        /*read_only=*/false);
+    PlanningService writer(std::move(cfg));
+    const PlanResponse seeded = writer.plan(req);
+    ASSERT_TRUE(seeded.ok) << seeded.error;
+    EXPECT_EQ(seeded.captured(), 1u);
+    first_plan = seeded.assignment;
+  }
+
+  std::atomic<int> captures{0};
+  const auto fresh_l1 = std::make_shared<opt::MemBackend>();
+  PlanningServiceConfig cfg;
+  cfg.store = std::make_shared<opt::TraceStore>(
+      std::make_shared<opt::TieredBackend>(fresh_l1, shared_l2,
+                                           /*l2_writable=*/false),
+      /*read_only=*/false);
+  cfg.capture_started = [&](const std::string&) { ++captures; };
+  PlanningService reader(std::move(cfg));
+  EXPECT_EQ(reader.store_stats().entries, 0u);  // near tier starts empty
+
+  const PlanResponse resp = reader.plan(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.captured(), 0u);
+  EXPECT_EQ(resp.store_hits(), 1u);
+  EXPECT_EQ(captures.load(), 0);  // no instrumented simulation ran
+  EXPECT_TRUE(resp.assignment.identical(first_plan));
+  const opt::TraceStore::Stats st = reader.store_stats();
+  ASSERT_TRUE(st.tiers.has_value());
+  EXPECT_GE(st.tiers->l2_hits, 1u);
+  EXPECT_GE(st.tiers->promotions, 1u);
+  EXPECT_EQ(st.tiers->l2_writes, 0u);  // the far tier stayed read-only
+}
+
+TEST(PlanService, SharedBackendFeedsBothStoreAndPlanCache) {
+  // The plan_server wiring: ONE backend behind both the trace store and
+  // the plan cache's tier 2, so captures and plans ride the same
+  // persistence (and the same tiering) under separate blob kinds.
+  const auto backend = std::make_shared<opt::MemBackend>();
+  const auto open_pair = [&](PlanningServiceConfig& cfg) {
+    cfg.store = open_service_store(backend, core::TraceMode::kReadWrite);
+    cfg.plan_cache = open_plan_cache(core::PlanCacheMode::kDisk, backend,
+                                     core::TraceMode::kReadWrite);
+  };
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+
+  PlanningServiceConfig cfg;
+  open_pair(cfg);
+  PlanningService service(std::move(cfg));
+  const PlanResponse computed = service.plan(req);
+  ASSERT_TRUE(computed.ok) << computed.error;
+  EXPECT_EQ(backend->list(opt::BlobKind::kTrace).size(), 1u);
+  EXPECT_EQ(backend->list(opt::BlobKind::kPlan).size(), 1u);
+
+  // A fresh service over the same backend models a restart: the request
+  // is a pure plan-cache disk hit — the store is never even probed.
+  PlanningServiceConfig cfg2;
+  open_pair(cfg2);
+  PlanningService second(std::move(cfg2));
   const PlanResponse warm = second.plan(req);
   ASSERT_TRUE(warm.ok) << warm.error;
   EXPECT_EQ(warm.plan_source, PlanSource::kCache);

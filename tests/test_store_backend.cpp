@@ -1,0 +1,565 @@
+// Tests for the StoreBackend seam (opt/store_backend.hpp): the storage
+// contract every implementation must satisfy (get/put/stat/remove/list
+// with the vanished-vs-corrupt failure model), DirBackend's filesystem
+// specifics (atomic publish, failed-unlink reporting, deterministic
+// stalest-first listing with digest tie-breaks), MemBackend parity, and
+// the TieredBackend composition: read-through with promote-on-hit,
+// write-through, L1-only remove/list, and the degradation guarantee —
+// every L2 failure is counted and logged, never surfaced as an error.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/store_backend.hpp"
+
+namespace cms::opt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the system temp dir, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cms-backend-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+StoreBackend::Blob blob_of(const std::string& text) {
+  return StoreBackend::Blob(text.begin(), text.end());
+}
+
+/// Wraps a MemBackend and throws on demand, per operation — the shape of
+/// a far tier whose network/filesystem is failing. Flags are atomic so
+/// the tiered stress test may flip them mid-run.
+class FailingBackend final : public StoreBackend {
+ public:
+  std::atomic<bool> fail_get{false};
+  std::atomic<bool> fail_put{false};
+  std::atomic<bool> fail_stat{false};
+
+  std::string describe() const override { return "failing"; }
+  std::optional<Blob> get(BlobKind kind, const std::string& digest) override {
+    if (fail_get.load()) throw std::runtime_error("injected get failure");
+    return inner_.get(kind, digest);
+  }
+  void put(BlobKind kind, const std::string& digest,
+           const Blob& bytes) override {
+    if (fail_put.load()) throw std::runtime_error("injected put failure");
+    inner_.put(kind, digest, bytes);
+  }
+  std::optional<std::uint64_t> stat(BlobKind kind,
+                                    const std::string& digest) override {
+    if (fail_stat.load()) throw std::runtime_error("injected stat failure");
+    return inner_.stat(kind, digest);
+  }
+  RemoveOutcome remove(BlobKind kind, const std::string& digest) override {
+    return inner_.remove(kind, digest);
+  }
+  std::vector<ListedBlob> list(BlobKind kind) override {
+    return inner_.list(kind);
+  }
+
+ private:
+  MemBackend inner_;
+};
+
+// ---- The contract every backend satisfies (Dir and Mem) ----
+
+struct BackendFactory {
+  const char* name;
+  std::function<std::shared_ptr<StoreBackend>(TempDir&)> make;
+};
+
+std::vector<BackendFactory> contract_backends() {
+  return {
+      {"dir",
+       [](TempDir& tmp) {
+         return std::make_shared<DirBackend>(tmp.file("store"));
+       }},
+      {"mem", [](TempDir&) { return std::make_shared<MemBackend>(); }},
+  };
+}
+
+TEST(StoreBackendContract, PutGetStatRemoveRoundTrip) {
+  for (const BackendFactory& f : contract_backends()) {
+    SCOPED_TRACE(f.name);
+    TempDir tmp;
+    const auto b = f.make(tmp);
+    EXPECT_FALSE(b->get(BlobKind::kTrace, "k").has_value());
+    EXPECT_FALSE(b->stat(BlobKind::kTrace, "k").has_value());
+    EXPECT_FALSE(b->contains(BlobKind::kTrace, "k"));
+
+    const StoreBackend::Blob bytes = blob_of("capture payload");
+    b->put(BlobKind::kTrace, "k", bytes);
+    const auto got = b->get(BlobKind::kTrace, "k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, bytes);
+    const auto sz = b->stat(BlobKind::kTrace, "k");
+    ASSERT_TRUE(sz.has_value());
+    EXPECT_EQ(*sz, bytes.size());
+    EXPECT_TRUE(b->contains(BlobKind::kTrace, "k"));
+
+    EXPECT_EQ(b->remove(BlobKind::kTrace, "k"),
+              StoreBackend::RemoveOutcome::kRemoved);
+    EXPECT_EQ(b->remove(BlobKind::kTrace, "k"),
+              StoreBackend::RemoveOutcome::kVanished);
+    EXPECT_FALSE(b->get(BlobKind::kTrace, "k").has_value());
+  }
+}
+
+TEST(StoreBackendContract, KindsAreIndependentNamespaces) {
+  for (const BackendFactory& f : contract_backends()) {
+    SCOPED_TRACE(f.name);
+    TempDir tmp;
+    const auto b = f.make(tmp);
+    b->put(BlobKind::kTrace, "k", blob_of("trace"));
+    b->put(BlobKind::kPlan, "k", blob_of("plan!"));
+    EXPECT_EQ(*b->get(BlobKind::kTrace, "k"), blob_of("trace"));
+    EXPECT_EQ(*b->get(BlobKind::kPlan, "k"), blob_of("plan!"));
+    // Removing one kind's entry leaves the other kind's alone.
+    EXPECT_EQ(b->remove(BlobKind::kTrace, "k"),
+              StoreBackend::RemoveOutcome::kRemoved);
+    EXPECT_TRUE(b->contains(BlobKind::kPlan, "k"));
+    ASSERT_EQ(b->list(BlobKind::kPlan).size(), 1u);
+    EXPECT_TRUE(b->list(BlobKind::kTrace).empty());
+  }
+}
+
+TEST(StoreBackendContract, ListReportsDigestAndSizeInWriteOrder) {
+  for (const BackendFactory& f : contract_backends()) {
+    SCOPED_TRACE(f.name);
+    TempDir tmp;
+    const auto b = f.make(tmp);
+    b->put(BlobKind::kTrace, "bb", blob_of("22"));
+    b->put(BlobKind::kTrace, "aa", blob_of("4444"));
+    const auto rows = b->list(BlobKind::kTrace);
+    ASSERT_EQ(rows.size(), 2u);
+    // Write order (mtime/seq) wins over lexical order when distinct.
+    // DirBackend mtimes may collide within the same second, where the
+    // digest tie-break makes lexical order correct too — accept both
+    // orders but require digest/size integrity.
+    std::uint64_t aa = 0, bb = 0;
+    for (const auto& r : rows) {
+      if (r.digest == "aa") aa = r.bytes;
+      if (r.digest == "bb") bb = r.bytes;
+    }
+    EXPECT_EQ(aa, 4u);
+    EXPECT_EQ(bb, 2u);
+  }
+}
+
+TEST(StoreBackendContract, RewritingAKeyReplacesItsBytes) {
+  for (const BackendFactory& f : contract_backends()) {
+    SCOPED_TRACE(f.name);
+    TempDir tmp;
+    const auto b = f.make(tmp);
+    b->put(BlobKind::kTrace, "k", blob_of("old"));
+    b->put(BlobKind::kTrace, "k", blob_of("newer"));
+    EXPECT_EQ(*b->get(BlobKind::kTrace, "k"), blob_of("newer"));
+    EXPECT_EQ(b->list(BlobKind::kTrace).size(), 1u);
+  }
+}
+
+// ---- DirBackend filesystem specifics ----
+
+TEST(DirBackend, EmptyDirThrows) {
+  EXPECT_THROW(DirBackend(""), std::runtime_error);
+}
+
+TEST(DirBackend, CreateFalseToleratesMissingDirectory) {
+  TempDir tmp;
+  DirBackend b(tmp.file("never-created"), /*create=*/false);
+  EXPECT_FALSE(fs::exists(tmp.file("never-created")));
+  EXPECT_FALSE(b.get(BlobKind::kTrace, "k").has_value());
+  EXPECT_FALSE(b.stat(BlobKind::kTrace, "k").has_value());
+  EXPECT_TRUE(b.list(BlobKind::kTrace).empty());
+  EXPECT_EQ(b.remove(BlobKind::kTrace, "k"),
+            StoreBackend::RemoveOutcome::kVanished);
+}
+
+TEST(DirBackend, UsesHistoricalFlatLayout) {
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  b.put(BlobKind::kTrace, "abc123", blob_of("t"));
+  b.put(BlobKind::kPlan, "abc123", blob_of("p"));
+  EXPECT_TRUE(fs::exists(tmp.file("store") + "/abc123.cmstrace"));
+  EXPECT_TRUE(fs::exists(tmp.file("store") + "/abc123.cmsplan"));
+  EXPECT_EQ(b.path_of(BlobKind::kTrace, "abc123"),
+            (fs::path(tmp.file("store")) / "abc123.cmstrace").string());
+}
+
+TEST(DirBackend, NoTempFilesSurviveAPut) {
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  b.put(BlobKind::kTrace, "k", blob_of("payload"));
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(tmp.file("store"))) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(DirBackend, StatOfUnstatableEntryReportsUnknownSize) {
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  // A directory wearing an entry's name: present, but file_size fails.
+  fs::create_directory(b.path_of(BlobKind::kTrace, "ghost"));
+  const auto sz = b.stat(BlobKind::kTrace, "ghost");
+  ASSERT_TRUE(sz.has_value());
+  EXPECT_EQ(*sz, 0u);
+}
+
+TEST(DirBackend, RemoveOfStuckEntryReportsFailed) {
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  // A NON-EMPTY directory at the entry's path: unlink fails (ENOTEMPTY),
+  // and the backend must say so rather than claim kRemoved/kVanished.
+  fs::create_directories(fs::path(b.path_of(BlobKind::kTrace, "stuck")) /
+                         "sub");
+  EXPECT_EQ(b.remove(BlobKind::kTrace, "stuck"),
+            StoreBackend::RemoveOutcome::kFailed);
+}
+
+TEST(DirBackend, ListBreaksMtimeTiesByDigest) {
+  // The reopen-nondeterminism regression (satellite of this PR): two
+  // entries written within one filesystem-timestamp quantum used to be
+  // indexed in directory-iteration order, so which one a budgeted reopen
+  // evicted first varied across runs. Ties now break by digest.
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  // Deliberately non-lexical write order.
+  b.put(BlobKind::kTrace, "cc", blob_of("3"));
+  b.put(BlobKind::kTrace, "aa", blob_of("1"));
+  b.put(BlobKind::kTrace, "bb", blob_of("2"));
+  // Force identical mtimes regardless of filesystem timestamp precision.
+  const auto stamp =
+      fs::last_write_time(b.path_of(BlobKind::kTrace, "aa"));
+  for (const char* d : {"aa", "bb", "cc"})
+    fs::last_write_time(b.path_of(BlobKind::kTrace, d), stamp);
+  const auto rows = b.list(BlobKind::kTrace);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].digest, "aa");
+  EXPECT_EQ(rows[1].digest, "bb");
+  EXPECT_EQ(rows[2].digest, "cc");
+}
+
+TEST(DirBackend, ListOrdersStalestFirstAcrossDistinctMtimes) {
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  b.put(BlobKind::kTrace, "newer", blob_of("n"));
+  b.put(BlobKind::kTrace, "older", blob_of("o"));
+  // Make "older" decisively older than "newer" without sleeping.
+  const std::string older = b.path_of(BlobKind::kTrace, "older");
+  fs::last_write_time(older,
+                      fs::last_write_time(older) - std::chrono::hours(1));
+  const auto rows = b.list(BlobKind::kTrace);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].digest, "older");
+  EXPECT_EQ(rows[1].digest, "newer");
+}
+
+// ---- MemBackend specifics ----
+
+TEST(MemBackend, ListOrdersByInsertionIncludingRewrites) {
+  MemBackend b;
+  b.put(BlobKind::kTrace, "x", blob_of("1"));
+  b.put(BlobKind::kTrace, "y", blob_of("2"));
+  b.put(BlobKind::kTrace, "x", blob_of("3"));  // rewrite freshens x
+  const auto rows = b.list(BlobKind::kTrace);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].digest, "y");
+  EXPECT_EQ(rows[1].digest, "x");
+}
+
+TEST(MemBackend, SharedInstanceModelsReopen) {
+  // The documented pattern: one MemBackend shared by several store
+  // instances stands in for a directory shared by several processes.
+  const auto b = std::make_shared<MemBackend>();
+  b->put(BlobKind::kTrace, "k", blob_of("payload"));
+  const std::shared_ptr<StoreBackend> reopened = b;
+  EXPECT_TRUE(reopened->contains(BlobKind::kTrace, "k"));
+  EXPECT_EQ(reopened->list(BlobKind::kTrace).size(), 1u);
+}
+
+// ---- TieredBackend composition ----
+
+TEST(TieredBackend, NullTierIsRejected) {
+  const auto mem = std::make_shared<MemBackend>();
+  EXPECT_THROW(TieredBackend(nullptr, mem), std::invalid_argument);
+  EXPECT_THROW(TieredBackend(mem, nullptr), std::invalid_argument);
+}
+
+TEST(TieredBackend, ReadThroughPromotesL2HitsIntoL1) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("far bytes"));
+
+  const auto got = tiered.get(BlobKind::kTrace, "k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob_of("far bytes"));
+  EXPECT_TRUE(l1->contains(BlobKind::kTrace, "k"));  // promoted
+
+  const auto again = tiered.get(BlobKind::kTrace, "k");  // now near
+  ASSERT_TRUE(again.has_value());
+  const auto c = tiered.tier_counters();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->l1_misses, 1u);
+  EXPECT_EQ(c->l2_hits, 1u);
+  EXPECT_EQ(c->promotions, 1u);
+  EXPECT_EQ(c->l1_hits, 1u);
+  EXPECT_EQ(c->l2_errors, 0u);
+}
+
+TEST(TieredBackend, PromoteCanBeDisabled) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend::Config cfg;
+  cfg.l1 = l1;
+  cfg.l2 = l2;
+  cfg.promote = false;
+  TieredBackend tiered(std::move(cfg));
+  l2->put(BlobKind::kTrace, "k", blob_of("far"));
+  EXPECT_TRUE(tiered.get(BlobKind::kTrace, "k").has_value());
+  EXPECT_TRUE(tiered.get(BlobKind::kTrace, "k").has_value());
+  EXPECT_FALSE(l1->contains(BlobKind::kTrace, "k"));
+  const auto c = tiered.tier_counters();
+  EXPECT_EQ(c->l2_hits, 2u);  // every read pays the far trip
+  EXPECT_EQ(c->promotions, 0u);
+}
+
+TEST(TieredBackend, PutWritesThroughToBothTiers) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  tiered.put(BlobKind::kPlan, "k", blob_of("plan"));
+  EXPECT_TRUE(l1->contains(BlobKind::kPlan, "k"));
+  EXPECT_TRUE(l2->contains(BlobKind::kPlan, "k"));
+  const auto c = tiered.tier_counters();
+  EXPECT_EQ(c->l1_writes, 1u);
+  EXPECT_EQ(c->l2_writes, 1u);
+}
+
+TEST(TieredBackend, ReadOnlyL2IsNeverWritten) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2, /*l2_writable=*/false);
+  tiered.put(BlobKind::kTrace, "k", blob_of("local only"));
+  EXPECT_TRUE(l1->contains(BlobKind::kTrace, "k"));
+  EXPECT_FALSE(l2->contains(BlobKind::kTrace, "k"));
+  EXPECT_EQ(tiered.tier_counters()->l2_writes, 0u);
+}
+
+TEST(TieredBackend, RemoveAndListTouchOnlyL1) {
+  // A local budget eviction must never delete the fleet-shared copy —
+  // and the reopen index seeds only the near tier.
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  tiered.put(BlobKind::kTrace, "k", blob_of("v"));
+  EXPECT_EQ(tiered.remove(BlobKind::kTrace, "k"),
+            StoreBackend::RemoveOutcome::kRemoved);
+  EXPECT_FALSE(l1->contains(BlobKind::kTrace, "k"));
+  EXPECT_TRUE(l2->contains(BlobKind::kTrace, "k"));
+  EXPECT_TRUE(tiered.list(BlobKind::kTrace).empty());
+  // The evicted entry is still one read-through away.
+  EXPECT_TRUE(tiered.get(BlobKind::kTrace, "k").has_value());
+}
+
+TEST(TieredBackend, StatFallsBackToL2) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("12345"));
+  const auto sz = tiered.stat(BlobKind::kTrace, "k");
+  ASSERT_TRUE(sz.has_value());
+  EXPECT_EQ(*sz, 5u);
+  EXPECT_FALSE(tiered.stat(BlobKind::kTrace, "absent").has_value());
+}
+
+// ---- TieredBackend degradation: L2 failures are never errors ----
+
+TEST(TieredBackend, L2GetFailureDegradesToAMiss) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<FailingBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("unreachable"));
+  l2->fail_get = true;
+  EXPECT_NO_THROW({
+    EXPECT_FALSE(tiered.get(BlobKind::kTrace, "k").has_value());
+  });
+  EXPECT_EQ(tiered.tier_counters()->l2_errors, 1u);
+  // L1 entries keep being served while the far tier is down.
+  tiered.put(BlobKind::kTrace, "local", blob_of("near"));
+  EXPECT_TRUE(tiered.get(BlobKind::kTrace, "local").has_value());
+}
+
+TEST(TieredBackend, L2PutFailureLeavesEntryL1Only) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<FailingBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->fail_put = true;
+  EXPECT_NO_THROW(tiered.put(BlobKind::kTrace, "k", blob_of("v")));
+  EXPECT_TRUE(l1->contains(BlobKind::kTrace, "k"));
+  EXPECT_FALSE(l2->contains(BlobKind::kTrace, "k"));
+  const auto c = tiered.tier_counters();
+  EXPECT_EQ(c->l1_writes, 1u);
+  EXPECT_EQ(c->l2_writes, 0u);
+  EXPECT_EQ(c->l2_errors, 1u);
+}
+
+TEST(TieredBackend, L2StatFailureDegradesToAbsent) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<FailingBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("v"));
+  l2->fail_stat = true;
+  EXPECT_NO_THROW({
+    EXPECT_FALSE(tiered.stat(BlobKind::kTrace, "k").has_value());
+  });
+  EXPECT_EQ(tiered.tier_counters()->l2_errors, 1u);
+}
+
+TEST(TieredBackend, L1FailurePropagatesFromPut) {
+  // The near tier IS the correctness boundary: its put failures must
+  // surface, not degrade.
+  const auto l1 = std::make_shared<FailingBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  l1->fail_put = true;
+  EXPECT_THROW(tiered.put(BlobKind::kTrace, "k", blob_of("v")),
+               std::runtime_error);
+}
+
+TEST(TieredBackend, FailedPromotionIsStillAHit) {
+  const auto l1 = std::make_shared<FailingBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("far"));
+  l1->fail_put = true;  // promotion will fail; the read must not
+  const auto got = tiered.get(BlobKind::kTrace, "k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob_of("far"));
+  const auto c = tiered.tier_counters();
+  EXPECT_EQ(c->l2_hits, 1u);
+  EXPECT_EQ(c->promotions, 0u);  // never counted as promoted
+}
+
+TEST(TieredBackend, DescribeNamesBothTiers) {
+  TempDir tmp;
+  const auto l1 = std::make_shared<DirBackend>(tmp.file("near"));
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  EXPECT_EQ(tiered.describe(), "tiered(dir:" + tmp.file("near") + ", mem)");
+}
+
+// ---- Tiered stress: concurrent reads/writes/evictions + failing L2 ----
+
+TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
+  // 8 threads hammer one tiered backend over a small digest set while a
+  // toggler flips the far tier between healthy and failing. Invariants:
+  // no call ever throws (degradation, never errors), every successful
+  // get returns the digest's canonical bytes, and the counters add up
+  // (gets == l1 hits + l1 misses; every l1 miss resolves to an l2 hit,
+  // l2 miss or l2 error). TSan runs this to certify the seam.
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  constexpr std::uint64_t kDigests = 5;
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<FailingBackend>();
+  TieredBackend tiered(l1, l2);
+
+  const auto digest_of = [](std::uint64_t d) {
+    return "stress-" + std::to_string(d);
+  };
+  const auto bytes_of = [](std::uint64_t d) {
+    return blob_of("payload-" + std::to_string(d));
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    bool failing = false;
+    while (!stop.load()) {
+      failing = !failing;
+      l2->fail_get = failing;
+      l2->fail_put = failing;
+      l2->fail_stat = failing;
+      std::this_thread::yield();
+    }
+    l2->fail_get = l2->fail_put = l2->fail_stat = false;
+  });
+
+  std::atomic<std::uint64_t> gets{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      Rng rng(0x71E2EDull + static_cast<std::uint64_t>(t));
+      for (int op = 0; op < kOps; ++op) {
+        const std::uint64_t d = rng.below(kDigests);
+        const std::string digest = digest_of(d);
+        switch (rng.below(5)) {
+          case 0:
+          case 1:
+            tiered.put(BlobKind::kTrace, digest, bytes_of(d));
+            break;
+          case 2:
+          case 3: {
+            const auto got = tiered.get(BlobKind::kTrace, digest);
+            gets.fetch_add(1, std::memory_order_relaxed);
+            if (got) {
+              EXPECT_EQ(*got, bytes_of(d));
+            }
+            break;
+          }
+          case 4:
+            tiered.remove(BlobKind::kTrace, digest);  // L1-only eviction
+            break;
+        }
+        if (op % 16 == 0) (void)tiered.tier_counters();
+      }
+    });
+  for (auto& th : pool) th.join();
+  stop = true;
+  toggler.join();
+
+  const auto c = tiered.tier_counters();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->l1_hits + c->l1_misses, gets.load());
+  EXPECT_EQ(c->l1_misses, c->l2_hits + c->l2_misses +
+                              (c->l2_errors - (c->l1_writes - c->l2_writes)));
+  // With the far tier healthy again, every entry written to either tier
+  // round-trips with its canonical bytes.
+  for (std::uint64_t d = 0; d < kDigests; ++d)
+    if (const auto got = tiered.get(BlobKind::kTrace, digest_of(d))) {
+      EXPECT_EQ(*got, bytes_of(d));
+    }
+}
+
+}  // namespace
+}  // namespace cms::opt

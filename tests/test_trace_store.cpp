@@ -588,6 +588,300 @@ TEST(TraceStoreStress, ConcurrentReadersWritersEvictorsStayConsistent) {
   EXPECT_EQ(store.stats().bytes, disk_bytes);
 }
 
+// ---- Backend-parameterized suite: the store semantics hold over any
+// ---- StoreBackend, not just the historical directory layout ----
+
+enum class BackendKind { kDir, kMem };
+
+const char* to_string(BackendKind k) {
+  return k == BackendKind::kDir ? "dir" : "mem";
+}
+
+class TraceStoreAnyBackend : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  /// A handle onto the SAME underlying storage each call — a fresh
+  /// DirBackend over one directory, or one shared MemBackend instance —
+  /// so constructing a new TraceStore over backend() models a process
+  /// reopening its store.
+  std::shared_ptr<StoreBackend> backend() {
+    if (GetParam() == BackendKind::kDir)
+      return std::make_shared<DirBackend>(tmp_.file("store"));
+    if (mem_ == nullptr) mem_ = std::make_shared<MemBackend>();
+    return mem_;
+  }
+
+  bool entry_exists(const std::string& digest) {
+    return backend()->contains(BlobKind::kTrace, digest);
+  }
+  void vanish_entry(const std::string& digest) {
+    backend()->remove(BlobKind::kTrace, digest);
+  }
+
+  TempDir tmp_;
+  std::shared_ptr<MemBackend> mem_;
+};
+
+TEST_P(TraceStoreAnyBackend, SaveThenLoadRoundTrips) {
+  const TraceStore store(backend());
+  const CaptureRun original = sample_capture();
+  store.save("k1", original);
+  const auto loaded = store.load("k1");
+  ASSERT_TRUE(loaded.has_value());
+  expect_identical(original, *loaded);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().writes, 1u);
+  EXPECT_FALSE(store.load("other").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_P(TraceStoreAnyBackend, CorruptEntryThrowsInsteadOfServing) {
+  const TraceStore store(backend());
+  backend()->put(BlobKind::kTrace, "bad",
+                 StoreBackend::Blob{'n', 'o', 't', 'a', 't', 'r', 'a', 'c',
+                                    'e'});
+  expect_error_mentioning([&] { store.load("bad"); }, "bad");
+}
+
+TEST_P(TraceStoreAnyBackend, MislabeledEntryIsRejected) {
+  const TraceStore store(backend());
+  // A valid blob stored under the WRONG digest (a hand-copied entry).
+  backend()->put(BlobKind::kTrace, "wrong-key",
+                 encode_capture(sample_capture(), "actual-digest"));
+  expect_error_mentioning([&] { store.load("wrong-key"); }, "digest");
+}
+
+TEST_P(TraceStoreAnyBackend, VanishedEntryIsAMissNotAnError) {
+  const TraceStore store(backend());
+  store.save("a", capture_numbered(0));
+  vanish_entry("a");  // another process evicted it
+  EXPECT_FALSE(store.load("a").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().entries, 0u);  // index resynced
+  EXPECT_FALSE(store.contains("a"));
+}
+
+TEST_P(TraceStoreAnyBackend, LruEvictionAboveEntryBudget) {
+  TraceStore::Capacity cap;
+  cap.max_entries = 2;
+  const TraceStore store(backend(), false, cap);
+  store.save("a", capture_numbered(0));
+  store.save("b", capture_numbered(1));
+  store.save("c", capture_numbered(2));  // evicts a (oldest)
+  EXPECT_FALSE(entry_exists("a"));
+  EXPECT_TRUE(store.load("b").has_value());  // touches b
+  store.save("d", capture_numbered(3));      // evicts c, NOT the fresher b
+  EXPECT_FALSE(entry_exists("c"));
+  EXPECT_TRUE(store.load("b").has_value());
+  EXPECT_TRUE(store.load("d").has_value());
+  const auto st = store.stats();
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_GT(st.evicted_bytes, 0u);
+}
+
+TEST_P(TraceStoreAnyBackend, PinnedEntriesAreNeverEvicted) {
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(backend(), false, cap);
+  {
+    const TraceStore::Pin pin = store.pin("a");
+    store.save("a", capture_numbered(0));
+    store.save("b", capture_numbered(1));  // falls through to evicting b
+    EXPECT_TRUE(entry_exists("a"));
+    EXPECT_FALSE(entry_exists("b"));
+  }
+  store.save("c", capture_numbered(2));  // unpinned now: a is the victim
+  EXPECT_FALSE(entry_exists("a"));
+  EXPECT_TRUE(entry_exists("c"));
+}
+
+TEST_P(TraceStoreAnyBackend, ReopenIndexesExistingEntriesOldestFirst) {
+  {
+    const TraceStore w(backend());
+    w.save("a", capture_numbered(0));
+    w.save("b", capture_numbered(1));
+    w.save("c", capture_numbered(2));
+  }
+  TraceStore::Capacity cap;
+  cap.max_entries = 2;
+  const TraceStore store(backend(), false, cap);
+  EXPECT_EQ(store.stats().entries, 3u);  // indexed, over budget until gc
+  const auto gr = store.gc();
+  EXPECT_EQ(gr.evicted_entries, 1u);
+  EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST_P(TraceStoreAnyBackend, ReadOnlyStoreNeverWrites) {
+  {
+    const TraceStore rw(backend());
+    rw.save("k1", sample_capture());
+  }
+  const TraceStore ro(backend(), /*read_only=*/true);
+  ro.save("k2", sample_capture());  // silently skipped
+  EXPECT_EQ(ro.stats().writes, 0u);
+  EXPECT_FALSE(entry_exists("k2"));
+  EXPECT_TRUE(ro.load("k1").has_value());  // reads still work
+}
+
+TEST_P(TraceStoreAnyBackend, ContainsProbesWithoutCountingHits) {
+  const TraceStore store(backend());
+  EXPECT_FALSE(store.contains("a"));
+  store.save("a", capture_numbered(0));
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_EQ(store.stats().hits, 0u);
+  EXPECT_EQ(store.stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TraceStoreAnyBackend,
+                         ::testing::Values(BackendKind::kDir,
+                                           BackendKind::kMem),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---- Reopen determinism: mtime ties break by digest ----
+
+TEST(TraceStoreCapacity, ReopenEvictionOrderIsDeterministicUnderMtimeTies) {
+  // Entries written within one filesystem-timestamp quantum used to be
+  // indexed in directory-iteration order, making which entry a budgeted
+  // reopen evicts first nondeterministic across runs. The backend breaks
+  // mtime ties by digest, so with all three mtimes forced equal the
+  // eviction order must be digest-ascending: a, then b; c survives.
+  TempDir tmp;
+  {
+    const TraceStore w(tmp.file("store"));
+    w.save("c", capture_numbered(2));
+    w.save("a", capture_numbered(0));
+    w.save("b", capture_numbered(1));
+  }
+  {
+    const DirBackend probe(tmp.file("store"));
+    const auto stamp =
+        fs::last_write_time(probe.path_of(BlobKind::kTrace, "a"));
+    for (const char* d : {"a", "b", "c"})
+      fs::last_write_time(probe.path_of(BlobKind::kTrace, d), stamp);
+  }
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(tmp.file("store"), false, cap);
+  const auto gr = store.gc();
+  EXPECT_EQ(gr.evicted_entries, 2u);
+  EXPECT_FALSE(fs::exists(store.path_of("a")));
+  EXPECT_FALSE(fs::exists(store.path_of("b")));
+  EXPECT_TRUE(fs::exists(store.path_of("c")));
+}
+
+// ---- Tiered store: read-through, degradation, corruption ----
+
+TEST(TraceStoreTiered, L1EvictionDegradesToL2ReadThrough) {
+  // A tight local budget evicts from L1 only; the evicted capture is
+  // still one read-through away in the shared far tier.
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(std::make_shared<TieredBackend>(l1, l2), false,
+                         cap);
+  store.save("a", capture_numbered(0));
+  store.save("b", capture_numbered(1));  // evicts a from L1 only
+  EXPECT_FALSE(l1->contains(BlobKind::kTrace, "a"));
+  EXPECT_TRUE(l2->contains(BlobKind::kTrace, "a"));
+  const auto hit = store.load("a");  // read-through + promote
+  ASSERT_TRUE(hit.has_value());
+  expect_identical(capture_numbered(0), *hit);
+  ASSERT_TRUE(store.stats().tiers.has_value());
+  EXPECT_GE(store.stats().tiers->l2_hits, 1u);
+  EXPECT_GE(store.stats().tiers->promotions, 1u);
+}
+
+TEST(TraceStoreTiered, EvictedEntryAbsentFromL2IsAMissToRecapture) {
+  // With a read-only (unwritten) far tier, an L1 eviction really loses
+  // the entry: the next load is a MISS and the caller re-captures —
+  // never an error.
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TraceStore::Capacity cap;
+  cap.max_entries = 1;
+  const TraceStore store(
+      std::make_shared<TieredBackend>(l1, l2, /*l2_writable=*/false), false,
+      cap);
+  store.save("a", capture_numbered(0));
+  store.save("b", capture_numbered(1));  // evicts a; L2 never had it
+  EXPECT_FALSE(store.load("a").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  store.save("a", capture_numbered(0));  // the re-capture
+  EXPECT_TRUE(store.load("a").has_value());
+}
+
+TEST(TraceStoreTiered, CorruptL2EntryThrowsOnLoad) {
+  // Corruption in the far tier is surfaced exactly like local
+  // corruption: the read-through bytes fail to decode while the entry
+  // remains present, which is a hard error — never a silent re-capture.
+  TempDir tmp;
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<DirBackend>(tmp.file("far"));
+  l2->put(BlobKind::kTrace, "bad",
+          StoreBackend::Blob{'g', 'a', 'r', 'b', 'a', 'g', 'e'});
+  const TraceStore store(std::make_shared<TieredBackend>(l1, l2));
+  expect_error_mentioning([&] { store.load("bad"); }, "bad");
+}
+
+TEST(TraceStoreTiered, L2DirRemovedMidRunDegradesToL1Only) {
+  // The far directory disappearing out from under a running store (an
+  // unmounted share, a cleaned-up CI artifact) must not fail a single
+  // store call: write-throughs degrade with a warning, reads are served
+  // from L1, and the degradations are visible in l2_errors.
+  TempDir tmp;
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<DirBackend>(tmp.file("far"));
+  const TraceStore store(std::make_shared<TieredBackend>(l1, l2));
+  store.save("a", capture_numbered(0));
+  ASSERT_TRUE(l2->contains(BlobKind::kTrace, "a"));
+
+  fs::remove_all(tmp.file("far"));  // the far tier vanishes mid-run
+
+  EXPECT_TRUE(store.load("a").has_value());  // still served from L1
+  EXPECT_NO_THROW(store.save("b", capture_numbered(1)));  // degrades
+  EXPECT_TRUE(store.load("b").has_value());
+  EXPECT_FALSE(fs::exists(tmp.file("far")));  // nothing resurrected it
+  const auto st = store.stats();
+  ASSERT_TRUE(st.tiers.has_value());
+  EXPECT_GE(st.tiers->l2_errors, 1u);  // the failed write-through
+  EXPECT_EQ(st.writes, 2u);            // both saves succeeded
+}
+
+TEST(TraceStoreTiered, TwoProcessReadThroughServesEverythingFromL2) {
+  // The CI shape: process one populates a shared far tier; process two —
+  // a fresh, EMPTY L1 over the same L2 — must answer every load by
+  // read-through, bit-identically, with zero misses.
+  const auto shared_l2 = std::make_shared<MemBackend>();
+  {
+    const TraceStore writer(
+        std::make_shared<TieredBackend>(std::make_shared<MemBackend>(),
+                                        shared_l2));
+    writer.save("a", capture_numbered(0));
+    writer.save("b", capture_numbered(1));
+  }
+  const auto fresh_l1 = std::make_shared<MemBackend>();
+  const TraceStore reader(
+      std::make_shared<TieredBackend>(fresh_l1, shared_l2,
+                                      /*l2_writable=*/false));
+  EXPECT_EQ(reader.stats().entries, 0u);  // L1 reopen index is empty
+  const auto a = reader.load("a");
+  const auto b = reader.load("b");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  expect_identical(capture_numbered(0), *a);
+  expect_identical(capture_numbered(1), *b);
+  const auto st = reader.stats();
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_EQ(st.hits, 2u);
+  ASSERT_TRUE(st.tiers.has_value());
+  EXPECT_EQ(st.tiers->l2_hits, 2u);
+  EXPECT_EQ(st.tiers->promotions, 2u);
+  EXPECT_TRUE(fresh_l1->contains(BlobKind::kTrace, "a"));  // promoted
+}
+
 // ---- Experiment integration: capture once, replay across processes ----
 
 core::ExperimentConfig store_experiment(std::shared_ptr<TraceStore> store,
