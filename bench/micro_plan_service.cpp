@@ -141,6 +141,11 @@ int main(int argc, char** argv) {
     const double conc_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
+    // Sweep-coalescing provenance of the concurrent phase: identical
+    // concurrent requests either hit the plan cache or fold into shared
+    // union sweeps (responses stay bit-identical either way — checked
+    // below like every other response).
+    const svc::ServiceStats warm_stats = warm_service.service_stats();
 
     // Plan-cached pass: one service computes and memoizes, then a fresh
     // service + cache over the same directory (a process restart when the
@@ -236,7 +241,9 @@ int main(int argc, char** argv) {
         "\"warm_ms\": {\"capture\": %.1f, \"profile\": %.1f, \"plan\": %.1f, "
         "\"total\": %.1f}, \"warm_captured\": %llu, "
         "\"concurrent\": {\"clients\": %u, \"requests\": %zu, "
-        "\"wall_ms\": %.1f, \"req_per_s\": %.1f}, "
+        "\"wall_ms\": %.1f, \"req_per_s\": %.1f, "
+        "\"sweeps_started\": %llu, \"sweeps_coalesced\": %llu, "
+        "\"union_points_saved\": %llu}, "
         "\"plan_cache\": {\"source\": \"%s\", \"cached_total_ms\": %.2f, "
         "\"lookup_ms\": %.2f, \"hits\": %llu, \"disk_hits\": %llu}, "
         "\"store\": {\"hits\": %llu, \"writes\": %llu, \"evictions\": %llu, "
@@ -249,6 +256,9 @@ int main(int argc, char** argv) {
         conc_ms, conc_ms > 0 ? 1000.0 * static_cast<double>(conc.size()) /
                                    conc_ms
                              : 0.0,
+        static_cast<unsigned long long>(warm_stats.sweeps_started),
+        static_cast<unsigned long long>(warm_stats.sweeps_coalesced),
+        static_cast<unsigned long long>(warm_stats.union_points_saved),
         cache_mode == core::PlanCacheMode::kOff
             ? "off"
             : svc::to_string(cached.plan_source),

@@ -1,28 +1,45 @@
 // plan_server: the store-aware planning service behind a line-oriented
-// stdin/stdout protocol — one request per line, one JSON response per
-// line. The process is the unit of deployment: point it at a trace-store
-// directory (shared with CI jobs, benches or other servers) and every
-// scenario is captured at most once across all of them; repeat plans are
-// pure store-replay and return in milliseconds.
+// protocol — one request per line, one JSON response per line — served
+// either over stdin/stdout (the default; pipelines, debugging) or as a
+// real socket server (`--port`, src/net/line_server.hpp: poll event
+// loop, many concurrent connections, worker pool). The process is the
+// unit of deployment: point it at a trace-store directory (shared with
+// CI jobs, benches or other servers) and every scenario is captured at
+// most once across all of them; repeat plans are pure store-replay and
+// return in milliseconds, and CONCURRENT near-identical requests merge
+// into one union-grid replay sweep (svc sweep coalescing) — which is
+// exactly why the socket front end matters: concurrent connections are
+// what puts concurrent requests in flight.
 //
-//   $ ./example_plan_server --trace-dir traces --service-budget-entries 64
-//   > scenarios
-//   {"ok": true, "scenarios": ["jpeg-canny", ...]}
-//   > plan mpeg2-tiny
-//   {"ok": true, "scenario": "mpeg2-tiny", "captured": 1, ...}
-//   > plan mpeg2-tiny grid=1,2,4,8 runs=2 l2=32768 eps=0.01
-//   > stats
-//   > gc
-//   > quit
+//   $ ./example_plan_server --trace-dir traces --port 0 --port-file p.txt
+//   $ nc 127.0.0.1 $(cat p.txt)
+//   plan mpeg2-tiny grid=1,2,4,8 runs=2 l2=32768 eps=0.01
+//   {"ok": true, "scenario": "mpeg2-tiny", ... "sweep": "leader", ...}
 //
-// Protocol:
+// WIRE PROTOCOL (identical on stdin and socket; newline-delimited,
+// UTF-8, one request line -> exactly one response line, responses always
+// in request order per connection):
+//
 //   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
-//                      (eps must be finite and >= 0; omit it for
-//                      auto-tune — see svc/plan_protocol.hpp)
+//                   [deadline_ms=MS]
+//       -> {"ok": true, "scenario": ..., "sweep": "leader|coalesced|
+//           cache", "union_points": N, "plan_digest": "...", ...}
+//       Each option may appear AT MOST ONCE (repeats are request
+//       errors); eps must be finite and >= 0 (omit for auto-tune).
+//       deadline_ms is an ADMISSION deadline: if the request is still
+//       queued when it expires, the server answers
+//       {"ok": false, "error": "error deadline expired in queue"}
+//       without planning; once started, a request always completes.
 //   scenarios          list registered scenario names
-//   stats              service + store + plan-cache counters
+//   stats              service + store + plan-cache (+ net) counters
 //   gc                 enforce the store + plan-cache budgets now
-//   quit | exit        leave (EOF works too)
+//   quit | exit        stdin mode: leave (EOF works too). Socket mode:
+//                      close the connection instead; quit is an error.
+//
+//   Error lines are {"ok": false, "error": "..."} — including the two
+//   transport-level ones every client must expect under load:
+//     {"ok": false, "error": "error busy (queue full, retry)"}   (shed)
+//     {"ok": false, "error": "error deadline expired in queue"}
 //
 // Flags: --trace-dir D             store directory (default plan_server.traces)
 //        --trace off|ro|rw         store mode (off is rejected; default rw)
@@ -41,7 +58,25 @@
 //                                  .cmsplan entries next to the captures)
 //        --plan-cache-budget-bytes N    per-tier cache byte budget
 //        --plan-cache-budget-entries N  per-tier cache entry budget
+//        --coalesce-window-ms X    hold every union sweep open X ms so
+//                                  concurrent bursts are guaranteed to
+//                                  merge (costs X ms of extra latency
+//                                  per cache-missing sweep leader)
+//   Socket mode (the flag's presence selects it):
+//        --port N                  listen on 127.0.0.1:N (0 = ephemeral)
+//        --port-file PATH          write the resolved port here (the
+//                                  rendezvous for --port 0)
+//        --net-workers N           worker threads = max requests in
+//                                  flight (size >= expected bursts so
+//                                  they coalesce; default 8)
+//        --max-pending N           admission queue bound; beyond it
+//                                  requests shed with the busy error
+//   SIGTERM/SIGINT drain gracefully: stop accepting + reading, finish
+//   every admitted request, flush every byte, then exit 0.
+#include <csignal>
+#include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -50,12 +85,28 @@
 #include "core/cli.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
+#include "net/line_server.hpp"
 #include "svc/plan_protocol.hpp"
 #include "svc/planning_service.hpp"
 
 using namespace cms;
 
 namespace {
+
+/// printf into a std::string (every responder below builds a line; the
+/// stdin loop prints it, the socket server buffers it per connection).
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
 
 /// Minimal JSON string escaping for error messages and names.
 std::string json_escape(const std::string& s) {
@@ -78,9 +129,7 @@ std::string json_escape(const std::string& s) {
 std::string tiers_json(
     const std::optional<opt::StoreBackend::TierCounters>& t) {
   if (!t) return "";
-  char buf[256];
-  std::snprintf(
-      buf, sizeof(buf),
+  return format(
       ", \"tiers\": {\"l1_hits\": %llu, \"l1_misses\": %llu, "
       "\"l2_hits\": %llu, \"l2_misses\": %llu, \"l2_errors\": %llu, "
       "\"promotions\": %llu, \"l1_writes\": %llu, \"l2_writes\": %llu}",
@@ -92,47 +141,198 @@ std::string tiers_json(
       static_cast<unsigned long long>(t->promotions),
       static_cast<unsigned long long>(t->l1_writes),
       static_cast<unsigned long long>(t->l2_writes));
-  return buf;
 }
 
-void print_response(const svc::PlanResponse& resp) {
-  if (!resp.ok) {
-    std::printf("{\"ok\": false, \"scenario\": \"%s\", \"error\": \"%s\"}\n",
-                json_escape(resp.scenario).c_str(),
-                json_escape(resp.error).c_str());
-    return;
-  }
-  std::printf("{\"ok\": true, \"scenario\": \"%s\", \"feasible\": %s, "
-              "\"expected_task_misses\": %.1f, \"used_sets\": %u, "
-              "\"total_sets\": %u, \"captured\": %llu, \"store_hits\": %llu",
-              json_escape(resp.scenario).c_str(),
-              resp.assignment.feasible ? "true" : "false",
-              resp.assignment.expected_task_misses, resp.assignment.used_sets,
-              resp.assignment.total_sets,
-              static_cast<unsigned long long>(resp.captured()),
-              static_cast<unsigned long long>(resp.store_hits()));
-  std::printf(", \"tasks\": [");
+std::string error_json(const std::string& message) {
+  return format("{\"ok\": false, \"error\": \"%s\"}",
+                json_escape(message).c_str());
+}
+
+std::string response_json(const svc::PlanResponse& resp) {
+  if (!resp.ok)
+    return format("{\"ok\": false, \"scenario\": \"%s\", \"error\": \"%s\"}",
+                  json_escape(resp.scenario).c_str(),
+                  json_escape(resp.error).c_str());
+  std::string out = format(
+      "{\"ok\": true, \"scenario\": \"%s\", \"feasible\": %s, "
+      "\"expected_task_misses\": %.1f, \"used_sets\": %u, "
+      "\"total_sets\": %u, \"captured\": %llu, \"store_hits\": %llu",
+      json_escape(resp.scenario).c_str(),
+      resp.assignment.feasible ? "true" : "false",
+      resp.assignment.expected_task_misses, resp.assignment.used_sets,
+      resp.assignment.total_sets,
+      static_cast<unsigned long long>(resp.captured()),
+      static_cast<unsigned long long>(resp.store_hits()));
+  out += ", \"tasks\": [";
   for (std::size_t i = 0; i < resp.tasks.size(); ++i) {
     const auto& t = resp.tasks[i];
-    std::printf("%s{\"name\": \"%s\", \"sets\": %u, \"misses\": %.1f, "
-                "\"t_i\": %.0f}",
-                i ? ", " : "", json_escape(t.name).c_str(), t.sets,
-                t.predicted_misses, t.predicted_cycles);
+    out += format("%s{\"name\": \"%s\", \"sets\": %u, \"misses\": %.1f, "
+                  "\"t_i\": %.0f}",
+                  i ? ", " : "", json_escape(t.name).c_str(), t.sets,
+                  t.predicted_misses, t.predicted_cycles);
   }
-  std::printf("], \"runs\": [");
+  out += "], \"runs\": [";
   for (std::size_t i = 0; i < resp.captures.size(); ++i) {
     const auto& r = resp.captures[i];
-    std::printf("%s{\"jitter\": %llu, \"digest\": \"%s\", \"source\": \"%s\"}",
-                i ? ", " : "", static_cast<unsigned long long>(r.jitter),
-                r.digest.c_str(), svc::to_string(r.source));
+    out += format("%s{\"jitter\": %llu, \"digest\": \"%s\", \"source\": "
+                  "\"%s\"}",
+                  i ? ", " : "", static_cast<unsigned long long>(r.jitter),
+                  r.digest.c_str(), svc::to_string(r.source));
   }
-  std::printf("], \"plan_source\": \"%s\", \"kernel\": \"%s\", "
-              "\"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
-              "\"plan\": %.1f, \"plan_cache\": %.2f, \"total\": %.1f}}\n",
-              svc::to_string(resp.plan_source),
-              resp.replay_kernel.c_str(), resp.capture_ms,
-              resp.profile_ms, resp.plan_ms, resp.plan_cache_ms,
-              resp.total_ms);
+  // plan_digest is the machine-grade identity: the rounded floats above
+  // are for humans, the digest separates answers bit-for-bit
+  // (bench/micro_plan_server proves coalesced == uncoalesced through it).
+  out += format(
+      "], \"plan_source\": \"%s\", \"sweep\": \"%s\", \"union_points\": %u, "
+      "\"plan_digest\": \"%s\", \"kernel\": \"%s\", "
+      "\"ms\": {\"capture\": %.1f, \"profile\": %.1f, "
+      "\"plan\": %.1f, \"plan_cache\": %.2f, \"total\": %.1f}}",
+      svc::to_string(resp.plan_source), svc::to_string(resp.sweep),
+      resp.union_points, svc::plan_response_digest(resp).c_str(),
+      resp.replay_kernel.c_str(), resp.capture_ms, resp.profile_ms,
+      resp.plan_ms, resp.plan_cache_ms, resp.total_ms);
+  return out;
+}
+
+std::string scenarios_json() {
+  const std::vector<std::string> names = core::scenarios().names();
+  std::string out = "{\"ok\": true, \"scenarios\": [";
+  for (std::size_t i = 0; i < names.size(); ++i)
+    out += format("%s\"%s\"", i ? ", " : "", names[i].c_str());
+  out += "]}";
+  return out;
+}
+
+std::string stats_json(const svc::PlanningService& service,
+                       const net::LineServer* server) {
+  const svc::ServiceStats ss = service.service_stats();
+  const opt::TraceStore::Stats st = service.store_stats();
+  const opt::PlanCache::Stats pc = service.plan_cache_stats();
+  std::string out = format(
+      "{\"ok\": true, \"service\": {\"requests\": %llu, \"captured\": "
+      "%llu, \"deferred\": %llu, \"store_hits\": %llu, "
+      "\"coalesced\": %llu, \"plan_cache_hits\": %llu, "
+      "\"sweeps_started\": %llu, \"sweeps_coalesced\": %llu, "
+      "\"union_points_saved\": %llu}, "
+      "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
+      "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
+      "\"pinned\": %llu%s}, "
+      "\"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"inserts\": %llu, \"mem_hits\": %llu, \"disk_hits\": %llu, "
+      "\"disk_writes\": %llu, \"evictions\": %llu, "
+      "\"mem_evictions\": %llu, \"mem_evicted_bytes\": %llu, "
+      "\"disk_evictions\": %llu, \"disk_evicted_bytes\": %llu, "
+      "\"entries\": %llu, \"bytes\": %llu, \"disk_entries\": %llu, "
+      "\"disk_bytes\": %llu%s}",
+      static_cast<unsigned long long>(ss.requests),
+      static_cast<unsigned long long>(ss.captured),
+      static_cast<unsigned long long>(ss.deferred),
+      static_cast<unsigned long long>(ss.store_hits),
+      static_cast<unsigned long long>(ss.coalesced),
+      static_cast<unsigned long long>(ss.plan_cache_hits),
+      static_cast<unsigned long long>(ss.sweeps_started),
+      static_cast<unsigned long long>(ss.sweeps_coalesced),
+      static_cast<unsigned long long>(ss.union_points_saved),
+      static_cast<unsigned long long>(st.hits),
+      static_cast<unsigned long long>(st.misses),
+      static_cast<unsigned long long>(st.writes),
+      static_cast<unsigned long long>(st.evictions),
+      static_cast<unsigned long long>(st.entries),
+      static_cast<unsigned long long>(st.bytes),
+      static_cast<unsigned long long>(st.pinned),
+      tiers_json(st.tiers).c_str(),
+      static_cast<unsigned long long>(pc.hits),
+      static_cast<unsigned long long>(pc.misses),
+      static_cast<unsigned long long>(pc.inserts),
+      static_cast<unsigned long long>(pc.mem_hits),
+      static_cast<unsigned long long>(pc.disk_hits),
+      static_cast<unsigned long long>(pc.disk_writes),
+      static_cast<unsigned long long>(pc.evictions),
+      static_cast<unsigned long long>(pc.mem_evictions),
+      static_cast<unsigned long long>(pc.mem_evicted_bytes),
+      static_cast<unsigned long long>(pc.disk_evictions),
+      static_cast<unsigned long long>(pc.disk_evicted_bytes),
+      static_cast<unsigned long long>(pc.entries),
+      static_cast<unsigned long long>(pc.bytes),
+      static_cast<unsigned long long>(pc.disk_entries),
+      static_cast<unsigned long long>(pc.disk_bytes),
+      tiers_json(pc.tiers).c_str());
+  if (server != nullptr) {
+    const net::LineServer::Stats ns = server->stats();
+    out += format(
+        ", \"net\": {\"accepted\": %llu, \"requests\": %llu, "
+        "\"served\": %llu, \"shed\": %llu, \"deadline_expired\": %llu, "
+        "\"closed_overlong\": %llu, \"closed_slow\": %llu}",
+        static_cast<unsigned long long>(ns.accepted),
+        static_cast<unsigned long long>(ns.requests),
+        static_cast<unsigned long long>(ns.served),
+        static_cast<unsigned long long>(ns.shed),
+        static_cast<unsigned long long>(ns.deadline_expired),
+        static_cast<unsigned long long>(ns.closed_overlong),
+        static_cast<unsigned long long>(ns.closed_slow));
+  }
+  out += "}";
+  return out;
+}
+
+std::string gc_json(svc::PlanningService& service) {
+  const opt::TraceStore::GcResult gr = service.gc();
+  return format("{\"ok\": true, \"evicted_entries\": %llu, "
+                "\"evicted_bytes\": %llu}",
+                static_cast<unsigned long long>(gr.evicted_entries),
+                static_cast<unsigned long long>(gr.evicted_bytes));
+}
+
+/// One protocol request -> one response line (without newline). Shared
+/// verbatim by the stdin loop and the socket worker pool ("quit" never
+/// reaches here). Thread-safe: every service entry point it touches is.
+std::string handle_line(svc::PlanningService& service,
+                        const net::LineServer* server,
+                        const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd)) return {};  // blank line (stdin loop skips these)
+  if (cmd == "scenarios") return scenarios_json();
+  if (cmd == "stats") return stats_json(service, server);
+  if (cmd == "gc") return gc_json(service);
+  if (cmd == "plan") {
+    svc::PlanRequest req;
+    std::string operands, err;
+    std::getline(in, operands);  // everything after the command word
+    if (!svc::parse_plan_request(operands, req, err)) return error_json(err);
+    return response_json(service.plan(req));
+  }
+  if (cmd == "quit" || cmd == "exit")
+    return error_json("quit is stdin-only; close the connection instead");
+  return error_json("unknown command '" + cmd +
+                    "' (plan|scenarios|stats|gc)");
+}
+
+/// Admission-deadline extractor for the socket server: pull
+/// `deadline_ms=` out of a plan line without a full parse (malformed
+/// requests still flow to the handler for a proper protocol error).
+std::optional<std::uint64_t> deadline_of(const std::string& line) {
+  std::istringstream in(line);
+  std::string tok;
+  if (!(in >> tok) || tok != "plan") return std::nullopt;
+  while (in >> tok) {
+    if (tok.rfind("deadline_ms=", 0) != 0) continue;
+    const std::string val = tok.substr(12);
+    if (val.empty() || val.size() > 19) return std::nullopt;
+    std::uint64_t ms = 0;
+    for (const char c : val) {
+      if (c < '0' || c > '9') return std::nullopt;
+      ms = ms * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return ms;
+  }
+  return std::nullopt;
+}
+
+net::LineServer* g_server = nullptr;  // SIGTERM/SIGINT -> graceful drain
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->shutdown();  // async-signal-safe
 }
 
 }  // namespace
@@ -155,6 +355,7 @@ int main(int argc, char** argv) {
   const opt::TraceStore::Capacity cache_budget{
       core::parse_plan_cache_budget_bytes(argc, argv),
       core::parse_plan_cache_budget_entries(argc, argv)};
+  const bool socket_mode = core::has_value_flag(argc, argv, "--port");
 
   // ONE backend (dir, or tiered dir-over-dir) shared by the trace store
   // and the plan cache's disk tier, so both kinds of blob ride the same
@@ -167,6 +368,7 @@ int main(int argc, char** argv) {
   svc_cfg.replay_kernel = core::parse_replay_kernel(argc, argv);
   svc_cfg.plan_cache =
       svc::open_plan_cache(cache_mode, backend, mode, cache_budget);
+  svc_cfg.coalesce_window_ms = core::parse_coalesce_window_ms(argc, argv);
   svc::PlanningService service(std::move(svc_cfg));
   std::fprintf(stderr,
                "plan_server ready: store %s (budget %llu bytes / %llu "
@@ -179,86 +381,53 @@ int main(int argc, char** argv) {
                    : service.plan_cache()->disk_tier() ? "mem+disk" : "mem",
                jobs, jobs == 1 ? "" : "s");
 
+  if (socket_mode) {
+    net::LineServerConfig net_cfg;
+    net_cfg.port = core::parse_port(argc, argv);
+    net_cfg.workers = core::parse_net_workers(argc, argv);
+    net_cfg.max_pending = core::parse_max_pending(argc, argv);
+    net_cfg.busy_response = error_json("error busy (queue full, retry)");
+    net_cfg.deadline_response =
+        error_json("error deadline expired in queue");
+    net_cfg.overlong_response = error_json("error line too long");
+    net_cfg.deadline_of = deadline_of;
+    // The handler wants the server back (net counters in `stats`), but
+    // the server needs the handler to construct: late-bind through a
+    // pointer that is set before start() spawns any worker.
+    net::LineServer* server_ptr = nullptr;
+    net_cfg.handler = [&service, &server_ptr](const std::string& line) {
+      return handle_line(service, server_ptr, line);
+    };
+    net::LineServer server(std::move(net_cfg));
+    server_ptr = &server;
+    std::fprintf(stderr,
+                 "plan_server listening on 127.0.0.1:%u (%u net workers, "
+                 "%llu max pending)\n",
+                 server.port(), core::parse_net_workers(argc, argv),
+                 static_cast<unsigned long long>(
+                     core::parse_max_pending(argc, argv)));
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.start();
+    const std::string port_file = core::parse_port_file(argc, argv);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      pf << server.port() << "\n";
+    }
+    server.join();
+    g_server = nullptr;
+    std::fprintf(stderr, "plan_server drained, exiting\n");
+    return 0;
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd)) continue;  // blank line
     if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "scenarios") {
-      const std::vector<std::string> names = core::scenarios().names();
-      std::printf("{\"ok\": true, \"scenarios\": [");
-      for (std::size_t i = 0; i < names.size(); ++i)
-        std::printf("%s\"%s\"", i ? ", " : "", names[i].c_str());
-      std::printf("]}\n");
-    } else if (cmd == "stats") {
-      const svc::ServiceStats ss = service.service_stats();
-      const opt::TraceStore::Stats st = service.store_stats();
-      const opt::PlanCache::Stats pc = service.plan_cache_stats();
-      std::printf(
-          "{\"ok\": true, \"service\": {\"requests\": %llu, \"captured\": "
-          "%llu, \"deferred\": %llu, \"store_hits\": %llu, "
-          "\"coalesced\": %llu, \"plan_cache_hits\": %llu}, "
-          "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
-          "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
-          "\"pinned\": %llu%s}, "
-          "\"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
-          "\"inserts\": %llu, \"mem_hits\": %llu, \"disk_hits\": %llu, "
-          "\"disk_writes\": %llu, \"evictions\": %llu, "
-          "\"mem_evictions\": %llu, \"mem_evicted_bytes\": %llu, "
-          "\"disk_evictions\": %llu, \"disk_evicted_bytes\": %llu, "
-          "\"entries\": %llu, \"bytes\": %llu, \"disk_entries\": %llu, "
-          "\"disk_bytes\": %llu%s}}\n",
-          static_cast<unsigned long long>(ss.requests),
-          static_cast<unsigned long long>(ss.captured),
-          static_cast<unsigned long long>(ss.deferred),
-          static_cast<unsigned long long>(ss.store_hits),
-          static_cast<unsigned long long>(ss.coalesced),
-          static_cast<unsigned long long>(ss.plan_cache_hits),
-          static_cast<unsigned long long>(st.hits),
-          static_cast<unsigned long long>(st.misses),
-          static_cast<unsigned long long>(st.writes),
-          static_cast<unsigned long long>(st.evictions),
-          static_cast<unsigned long long>(st.entries),
-          static_cast<unsigned long long>(st.bytes),
-          static_cast<unsigned long long>(st.pinned),
-          tiers_json(st.tiers).c_str(),
-          static_cast<unsigned long long>(pc.hits),
-          static_cast<unsigned long long>(pc.misses),
-          static_cast<unsigned long long>(pc.inserts),
-          static_cast<unsigned long long>(pc.mem_hits),
-          static_cast<unsigned long long>(pc.disk_hits),
-          static_cast<unsigned long long>(pc.disk_writes),
-          static_cast<unsigned long long>(pc.evictions),
-          static_cast<unsigned long long>(pc.mem_evictions),
-          static_cast<unsigned long long>(pc.mem_evicted_bytes),
-          static_cast<unsigned long long>(pc.disk_evictions),
-          static_cast<unsigned long long>(pc.disk_evicted_bytes),
-          static_cast<unsigned long long>(pc.entries),
-          static_cast<unsigned long long>(pc.bytes),
-          static_cast<unsigned long long>(pc.disk_entries),
-          static_cast<unsigned long long>(pc.disk_bytes),
-          tiers_json(pc.tiers).c_str());
-    } else if (cmd == "gc") {
-      const opt::TraceStore::GcResult gr = service.gc();
-      std::printf("{\"ok\": true, \"evicted_entries\": %llu, "
-                  "\"evicted_bytes\": %llu}\n",
-                  static_cast<unsigned long long>(gr.evicted_entries),
-                  static_cast<unsigned long long>(gr.evicted_bytes));
-    } else if (cmd == "plan") {
-      svc::PlanRequest req;
-      std::string operands, err;
-      std::getline(in, operands);  // everything after the command word
-      if (svc::parse_plan_request(operands, req, err))
-        print_response(service.plan(req));
-      else
-        std::printf("{\"ok\": false, \"error\": \"%s\"}\n",
-                    json_escape(err).c_str());
-    } else {
-      std::printf("{\"ok\": false, \"error\": \"unknown command '%s' "
-                  "(plan|scenarios|stats|gc|quit)\"}\n",
-                  json_escape(cmd).c_str());
-    }
+    std::printf("%s\n", handle_line(service, nullptr, line).c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -183,6 +183,110 @@ inline unsigned parse_service_clients(int argc, char** argv,
   return static_cast<unsigned>(n);
 }
 
+/// Parse `FLAG S` / `FLAG=S` as a raw string. Returns `def` when absent.
+inline std::string parse_string_flag(int argc, char** argv, const char* flag,
+                                     std::string def = {}) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "warning: %s needs a value\n", flag);
+      return def;
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=')
+      return argv[i] + flag_len + 1;
+  }
+  return def;
+}
+
+/// True when `flag` is present either bare, as `FLAG VALUE` or `FLAG=VALUE`.
+inline bool has_value_flag(int argc, char** argv, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=')
+      return true;
+  }
+  return false;
+}
+
+/// Parse `--port N` / `--port=N`: TCP listening port for socket-mode
+/// servers (0 = kernel-assigned ephemeral port; pair with `--port-file`).
+/// Values above 65535 warn and keep `def`. The flag's PRESENCE (even
+/// `--port 0`) is what switches plan_server into socket mode — probe it
+/// with has_value_flag(argc, argv, "--port").
+inline std::uint16_t parse_port(int argc, char** argv, std::uint16_t def = 0) {
+  const std::uint64_t n = parse_u64_flag(argc, argv, "--port", def);
+  if (n > 65535) {
+    std::fprintf(stderr, "warning: ignoring bad --port value (0..65535)\n");
+    return def;
+  }
+  return static_cast<std::uint16_t>(n);
+}
+
+/// Parse `--port-file PATH`: where a socket server writes its resolved
+/// listening port (one decimal line) once it accepts connections —
+/// the rendezvous for `--port 0` (bench harnesses poll this file).
+inline std::string parse_port_file(int argc, char** argv) {
+  return parse_string_flag(argc, argv, "--port-file");
+}
+
+/// Parse `--net-workers N`: socket-server worker threads (each blocked
+/// worker is one request in flight — size it at least as large as the
+/// burst you want sweep-coalesced). Same 1..kMaxJobs bound as
+/// --service-clients.
+inline unsigned parse_net_workers(int argc, char** argv, unsigned def = 8) {
+  const std::uint64_t n = parse_u64_flag(argc, argv, "--net-workers", def);
+  if (n == 0 || n > kMaxJobs) {
+    std::fprintf(stderr,
+                 "warning: ignoring bad --net-workers value (1..%u)\n",
+                 kMaxJobs);
+    return def;
+  }
+  return static_cast<unsigned>(n);
+}
+
+/// Parse `--max-pending N`: socket-server admission-queue bound; arrivals
+/// beyond it are shed with a `busy` error line. 0 (shed everything) is
+/// rejected as surely a mistake.
+inline std::size_t parse_max_pending(int argc, char** argv,
+                                     std::size_t def = 256) {
+  const std::uint64_t n = parse_u64_flag(argc, argv, "--max-pending", def);
+  if (n == 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring bad --max-pending value (>= 1)\n");
+    return def;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// Parse `--coalesce-window-ms X`: how long a sweep leader holds its
+/// union sweep open for concurrent requests to merge into — an
+/// unconditional hold, i.e. X ms of extra latency per cache-missing
+/// sweep bought against a guaranteed burst merge (see
+/// svc::PlanningServiceConfig::coalesce_window_ms). Must be finite and
+/// >= 0; malformed values warn and keep `def`.
+inline double parse_coalesce_window_ms(int argc, char** argv,
+                                       double def = 0.0) {
+  const std::string v =
+      parse_string_flag(argc, argv, "--coalesce-window-ms", "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const double ms = std::strtod(v.c_str(), &end);
+  // !(ms >= 0) also catches NaN; the cap catches inf and absurd typos.
+  if (end != v.c_str() + v.size() || !(ms >= 0.0) || ms > 60'000.0) {
+    std::fprintf(
+        stderr,
+        "warning: ignoring bad --coalesce-window-ms value '%s' "
+        "(finite ms in [0, 60000])\n",
+        v.c_str());
+    return def;
+  }
+  return ms;
+}
+
 /// Parse `--plan-cache MODE` / `--plan-cache=MODE` where MODE is `off`
 /// (recompute every plan), `mem` (in-process memo only) or `disk`
 /// (memo + persistent `.cmsplan` entries in the trace-store directory).

@@ -1,0 +1,128 @@
+// Poll-based line-protocol socket server — the transport half of the
+// fleet front end (ARCHITECTURE.md "Network front end").
+//
+// One IO thread owns every socket and runs a poll(2) event loop: it
+// accepts connections, splits the byte stream into newline-terminated
+// request lines, and flushes response bytes back out under POLLOUT.  It
+// never runs application code.  A pool of worker threads consumes a
+// bounded global request queue and calls the (blocking, thread-safe)
+// handler — for the planning service that blocking IS the feature:
+// concurrent connections put concurrent plan() calls in flight, which is
+// exactly what triggers capture single-flight and union-sweep coalescing
+// in svc::PlanningService.
+//
+// Contracts:
+//  * PER-CONNECTION ORDERING: responses are written in request order per
+//    connection, no matter how workers interleave (each request gets a
+//    sequence number; finished responses park in a per-connection reorder
+//    map until their turn).  Different connections are independent.
+//  * BACKPRESSURE / SHEDDING: the pending-request queue is bounded
+//    (Config::max_pending).  A request that arrives with the queue full
+//    is answered immediately with Config::busy_response and NOT queued —
+//    overload degrades to fast explicit failure, never to unbounded
+//    memory or latency.  A connection whose outbound buffer exceeds
+//    max_write_buffer_bytes (a reader that stopped reading) is closed.
+//  * DEADLINES AT ADMISSION: Config::deadline_of extracts an optional
+//    per-request deadline from the raw line (the plan protocol's
+//    `deadline_ms=`).  The clock starts when the line is admitted; a
+//    worker that dequeues a request whose deadline already expired
+//    answers Config::deadline_response without calling the handler.  An
+//    admitted request that STARTED in time always runs to completion.
+//  * GRACEFUL DRAIN: shutdown() is async-signal-safe (one write to a
+//    self-pipe; install it in a SIGTERM handler).  The server then stops
+//    accepting and stops READING, but every already-admitted request is
+//    served and every response byte flushed before join() returns.
+//  * Lines are capped at max_line_bytes; an overlong line gets
+//    Config::overlong_response and the connection is closed (the stream
+//    is mid-garbage — there is no safe resync).
+//
+// The server is transport only: it knows nothing about the plan
+// protocol beyond the three canned response strings the embedder
+// provides.  examples/plan_server.cpp binds it to svc::PlanningService.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include <memory>
+
+namespace cms::net {
+
+struct LineServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read the
+  /// resolved one back via LineServer::port()).
+  std::uint16_t port = 0;
+  /// Worker threads calling `handler`. Each blocked worker is one
+  /// request in flight, so this bounds server-side concurrency — size it
+  /// at least as large as the burst you want coalesced.
+  unsigned workers = 4;
+  /// Bound on ADMITTED-but-not-yet-started requests across all
+  /// connections; arrivals beyond it are shed with `busy_response`.
+  std::size_t max_pending = 256;
+  /// Longest accepted request line (bytes, newline excluded).
+  std::size_t max_line_bytes = 1 << 16;
+  /// Outbound-buffer cap per connection; exceeding it closes the
+  /// connection (slow consumer).
+  std::size_t max_write_buffer_bytes = 8u << 20;
+
+  /// Application callback: one request line in (newline stripped), the
+  /// full response in (missing trailing newline is added). Called
+  /// concurrently from worker threads; must be thread-safe. May block.
+  std::function<std::string(const std::string& line)> handler;
+  /// Optional deadline extractor (milliseconds from admission); parse
+  /// errors should return nullopt and let `handler` produce the protocol
+  /// error. Null = no deadlines.
+  std::function<std::optional<std::uint64_t>(const std::string& line)>
+      deadline_of = nullptr;
+
+  /// Canned response line for a request shed by the full queue.
+  std::string busy_response = "error busy (queue full, retry)";
+  /// Canned response line for a request whose deadline expired in queue.
+  std::string deadline_response = "error deadline expired in queue";
+  /// Canned response line written before closing on an overlong line.
+  std::string overlong_response = "error line too long";
+};
+
+class LineServer {
+ public:
+  /// Binds + listens on 127.0.0.1:cfg.port (throws std::system_error /
+  /// std::invalid_argument on failure) but serves nothing until start().
+  explicit LineServer(LineServerConfig cfg);
+  /// stop() semantics of shutdown() + join(): pending work is drained.
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// The resolved listening port (after an ephemeral bind).
+  std::uint16_t port() const;
+
+  /// Spawn the IO thread and the worker pool. Call once.
+  void start();
+  /// Request a graceful drain. Async-signal-safe (a single write() on a
+  /// pre-opened pipe) and idempotent — safe from a SIGTERM handler.
+  void shutdown();
+  /// Wait until drained: every admitted request answered, every byte
+  /// flushed, all threads joined. Call from the thread that start()ed.
+  void join();
+
+  struct Stats {
+    std::uint64_t accepted = 0;          // connections accepted
+    std::uint64_t requests = 0;          // request lines admitted or shed
+    std::uint64_t served = 0;            // responses produced by handler
+    std::uint64_t shed = 0;              // busy_response (queue full)
+    std::uint64_t deadline_expired = 0;  // deadline_response (in queue)
+    std::uint64_t closed_overlong = 0;   // closed on max_line_bytes
+    std::uint64_t closed_slow = 0;       // closed on write-buffer cap
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cms::net

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <exception>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "common/serialize.hpp"
 
 namespace cms::svc {
 
@@ -17,7 +20,87 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+std::vector<std::uint32_t> sorted_unique(std::vector<std::uint32_t> grid) {
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+/// `haystack` must be sorted unique.
+bool covers(const std::vector<std::uint32_t>& haystack,
+            const std::vector<std::uint32_t>& needles) {
+  for (const std::uint32_t s : needles)
+    if (!std::binary_search(haystack.begin(), haystack.end(), s)) return false;
+  return true;
+}
+
+/// Fold `grid` into the sorted-unique `union_grid` in place.
+void merge_into(std::vector<std::uint32_t>& union_grid,
+                const std::vector<std::uint32_t>& grid) {
+  for (const std::uint32_t s : grid) {
+    const auto it =
+        std::lower_bound(union_grid.begin(), union_grid.end(), s);
+    if (it == union_grid.end() || *it != s) union_grid.insert(it, s);
+  }
+}
+
+/// The sweep single-flight key: everything the union-grid MissProfile
+/// depends on EXCEPT the grid itself. Capture digests already encode the
+/// workload + platform + jitter seed; runs, the L2 size and the uniform-
+/// plan buffer knobs shape the replay; curvature_eps and the solver are
+/// deliberately absent (they only shape the per-request solve, which is
+/// never shared).
+std::string sweep_key(const std::string& scenario,
+                      std::vector<std::string> digests, std::uint32_t runs,
+                      const core::ExperimentConfig& cfg) {
+  std::sort(digests.begin(), digests.end());
+  serialize::ByteWriter w;
+  w.str("sweepkey-v1");
+  w.str(scenario);
+  w.varint(digests.size());
+  for (const std::string& d : digests) w.str(d);
+  w.varint(runs);
+  w.varint(cfg.platform.hier.l2.size_bytes);
+  w.varint(cfg.planner.frame_buffer_sets);
+  w.varint(cfg.planner.segment_sets);
+  w.varint(cfg.planner.max_fifo_sets);
+  return serialize::fnv1a128_hex(w.bytes().data(), w.size());
+}
+
+/// Copy exactly the `grid` columns out of a union-grid profile. set_point
+/// installs each ProfilePoint bit-exactly, so the result is
+/// indistinguishable from a sweep that only ever replayed `grid` (each
+/// point's accumulation never saw the other sizes — see the coalescing
+/// contract in the header).
+opt::MissProfile slice_profile(const opt::MissProfile& full,
+                               const std::vector<std::uint32_t>& grid) {
+  opt::MissProfile out;
+  for (const std::string& name : full.task_names()) {
+    const auto& curve = full.curve(name);
+    for (const std::uint32_t sets : grid) out.set_point(name, sets, curve.at(sets));
+  }
+  return out;
+}
+
 }  // namespace
+
+struct PlanningService::SweepOutcome {
+  opt::MissProfile profile;         // the union-grid profile
+  std::vector<std::uint32_t> grid;  // union grid actually replayed (sorted)
+  std::string replay_kernel;        // resolved kernel name
+  double capture_ms = 0.0;          // leader's capture phase
+  double profile_ms = 0.0;          // leader's replay phase
+};
+
+struct PlanningService::SweepState {
+  // grid / sealed / merged / sum_points are guarded by sweeps_mu_.
+  std::vector<std::uint32_t> grid;  // union under construction, sorted unique
+  bool sealed = false;
+  std::uint64_t sum_points = 0;  // Σ requested |grid| across merged requests
+  Clock::time_point opened = Clock::now();
+  std::promise<std::shared_ptr<const SweepOutcome>> promise;
+  std::shared_future<std::shared_ptr<const SweepOutcome>> future;
+};
 
 const char* to_string(CaptureSource source) {
   switch (source) {
@@ -34,6 +117,15 @@ const char* to_string(PlanSource source) {
   switch (source) {
     case PlanSource::kComputed: return "computed";
     case PlanSource::kCache: return "cache";
+  }
+  return "?";
+}
+
+const char* to_string(SweepRole role) {
+  switch (role) {
+    case SweepRole::kLeader: return "leader";
+    case SweepRole::kCoalesced: return "coalesced";
+    case SweepRole::kCache: return "cache";
   }
   return "?";
 }
@@ -80,6 +172,16 @@ core::Experiment PlanningService::make_experiment(
     for (const std::uint32_t sets : req.grid)
       if (sets == 0)
         throw std::invalid_argument("plan request grid contains size 0");
+    // A duplicated size would Welford-accumulate the same (task, size)
+    // point twice — the resulting statistics depend on how often the size
+    // appears in the sweep, which both inflates run counts and breaks the
+    // union-sweep slicing bit-identity contract. There is no legitimate
+    // use for it, so reject it as a request error.
+    std::vector<std::uint32_t> dedup = req.grid;
+    std::sort(dedup.begin(), dedup.end());
+    if (std::adjacent_find(dedup.begin(), dedup.end()) != dedup.end())
+      throw std::invalid_argument(
+          "plan request grid contains duplicate sizes");
     cfg.profile_grid = req.grid;
   }
   if (req.runs) cfg.profile_runs = std::max(1u, *req.runs);
@@ -240,6 +342,7 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
         resp.tasks.push_back(PlanResponse::TaskPrediction{
             p.name, p.sets, p.misses, p.cycles});
       resp.plan_source = PlanSource::kCache;
+      resp.sweep = SweepRole::kCache;
       // No replay executed — the cached bits are kernel-independent.
       resp.replay_kernel = "cache";
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -248,31 +351,186 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
       return resp;
     }
 
-    // Pin every digest this request will replay BEFORE ensuring captures:
-    // from here to the end of the request, capacity eviction cannot touch
-    // them (pins release when `pins` dies).
-    const auto tc = Clock::now();
-    std::vector<opt::TraceStore::Pin> pins;
-    pins.reserve(runs);
-    for (const auto& prov : resp.captures) pins.push_back(store_->pin(prov.digest));
-    // Missing digests are ensured one at a time: with the default 1-2
-    // jitter runs a cold request pays at most two sequential simulations
-    // ONCE per store lifetime, and per-digest single-flight stays simple.
-    // (Batching pending captures onto a Campaign, as capture_runs_for
-    // does, is the upgrade path if workloads with many runs appear.)
-    for (auto& prov : resp.captures)
-      prov.source = ensure_capture(
-          exp, static_cast<std::uint32_t>(prov.jitter), prov.digest);
-    resp.capture_ms = ms_since(tc);
+    // ---- SWEEP COALESCING (see the header's contract) ----
+    // Join a concurrent sweep over the same captures, or open one. A grid
+    // with duplicate sizes (only reachable via a scenario DEFAULT grid —
+    // make_experiment rejects explicit duplicates) is not sliceable, so
+    // it bypasses coalescing and keeps the legacy double-accumulation
+    // semantics verbatim.
+    const std::vector<std::uint32_t>& my_grid = exp.config().profile_grid;
+    const std::vector<std::uint32_t> my_sorted = sorted_unique(my_grid);
+    const bool coalescable = my_sorted.size() == my_grid.size();
+    std::shared_ptr<SweepState> sweep;
+    bool follower = false;
+    std::string skey;
+    if (coalescable) {
+      std::vector<std::string> digests;
+      digests.reserve(resp.captures.size());
+      for (const auto& prov : resp.captures) digests.push_back(prov.digest);
+      skey = sweep_key(req.scenario, std::move(digests), runs, exp.config());
+      std::lock_guard<std::mutex> lk(sweeps_mu_);
+      const auto it = sweeps_.find(skey);
+      if (it != sweeps_.end()) {
+        SweepState& st = *it->second;
+        // An OPEN sweep absorbs any grid; a SEALED one can still serve a
+        // late arrival whose sizes it already covers. A sealed sweep that
+        // does NOT cover us is simply stale — we open a fresh one over it
+        // (its leader erases by identity, never clobbering ours).
+        if (!st.sealed) {
+          merge_into(st.grid, my_sorted);
+          st.sum_points += my_sorted.size();
+          sweep = it->second;
+          follower = true;
+        } else if (covers(st.grid, my_sorted)) {
+          st.sum_points += my_sorted.size();
+          sweep = it->second;
+          follower = true;
+        }
+      }
+      if (sweep == nullptr) {
+        sweep = std::make_shared<SweepState>();
+        sweep->grid = my_sorted;
+        sweep->sum_points = my_sorted.size();
+        sweep->future = sweep->promise.get_future().share();
+        sweeps_[skey] = sweep;
+      }
+      if (follower)  // counted at JOIN time: sealing hooks can watch it
+        sweeps_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    }
 
-    // Every capture is now resident and pinned: the profiling sweep is a
-    // pure store-hit replay (over a read-only store it also runs any
-    // deferred captures — see ensure_capture).
-    resp.replay_kernel = opt::to_string(
-        opt::resolve_replay_kernel(exp.config().replay_kernel));
-    const auto tp = Clock::now();
-    const opt::MissProfile prof = exp.profile();
-    resp.profile_ms = ms_since(tp);
+    opt::MissProfile prof;
+    if (follower) {
+      // The leader replays our sizes for us. No pin, no store probe, no
+      // replay: block on the shared outcome (a leader failure rethrows
+      // here and becomes this request's error response), then slice our
+      // own columns out of the union profile — bit-identical to having
+      // run the sweep alone.
+      const auto tw = Clock::now();
+      const std::shared_ptr<const SweepOutcome> out = sweep->future.get();
+      resp.profile_ms = ms_since(tw);  // wait time; capture_ms stays 0
+      for (auto& prov : resp.captures)
+        prov.source = CaptureSource::kCoalesced;
+      resp.sweep = SweepRole::kCoalesced;
+      resp.union_points = static_cast<std::uint32_t>(out->grid.size());
+      resp.replay_kernel = out->replay_kernel;
+      prof = slice_profile(out->profile, my_sorted);
+    } else {
+      // Pin every digest this request will replay BEFORE ensuring
+      // captures: from here to the end of the request, capacity eviction
+      // cannot touch them (pins release when `pins` dies). Sweep
+      // followers of THIS request never pin — their whole store
+      // interaction is inherited from us, and the union profile they
+      // slice lives in memory, immune to eviction.
+      const auto tc = Clock::now();
+      std::vector<opt::TraceStore::Pin> pins;
+      pins.reserve(runs);
+      // Missing digests are ensured one at a time: with the default 1-2
+      // jitter runs a cold request pays at most two sequential simulations
+      // ONCE per store lifetime, and per-digest single-flight stays simple.
+      // (Batching pending captures onto a Campaign, as capture_runs_for
+      // does, is the upgrade path if workloads with many runs appear.)
+      // EVERYTHING between sweep registration and publication runs inside
+      // this try: any failure must reach the followers (set_exception) or
+      // they would block forever.
+      try {
+        for (const auto& prov : resp.captures)
+          pins.push_back(store_->pin(prov.digest));
+        for (auto& prov : resp.captures)
+          prov.source = ensure_capture(
+              exp, static_cast<std::uint32_t>(prov.jitter), prov.digest);
+        resp.capture_ms = ms_since(tc);
+
+        if (sweep != nullptr) {
+          // Merge window: hold the sweep open for the full window so a
+          // concurrent burst folds completely. Deliberately UNCONDITIONAL
+          // (no "skip if alone" early exit): burst peers may still be in a
+          // front end's admission queue — not yet inside plan() — when the
+          // leader gets here, and any in-flight heuristic would race with
+          // them. The window is opt-in (default 0) and trades exactly that
+          // much leader latency for a deterministic merge guarantee:
+          // everything admitted within the window joins this sweep.
+          if (cfg_.coalesce_window_ms > 0.0) {
+            for (;;) {
+              const double left =
+                  cfg_.coalesce_window_ms - ms_since(sweep->opened);
+              if (left <= 0.0) break;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double, std::milli>(
+                      std::min(left, 5.0)));
+            }
+          }
+          if (cfg_.sweep_sealing) cfg_.sweep_sealing();
+        }
+        std::vector<std::uint32_t> union_grid = my_sorted;
+        if (sweep != nullptr) {
+          std::lock_guard<std::mutex> lk(sweeps_mu_);
+          sweep->sealed = true;
+          union_grid = sweep->grid;
+        }
+
+        // Every capture is now resident and pinned: the profiling sweep
+        // is a pure store-hit replay (over a read-only store it also runs
+        // any deferred captures — see ensure_capture). Replay the UNION
+        // grid once; the fused multi-size kernel makes the extra columns
+        // nearly free.
+        resp.replay_kernel = opt::to_string(
+            opt::resolve_replay_kernel(exp.config().replay_kernel));
+        sweeps_started_.fetch_add(1, std::memory_order_relaxed);
+        if (cfg_.sweep_started) cfg_.sweep_started(req.scenario, union_grid);
+        const auto tp = Clock::now();
+        auto out = std::make_shared<SweepOutcome>();
+        if (sweep == nullptr || union_grid == my_grid) {
+          out->profile = exp.profile();
+        } else {
+          core::ExperimentConfig ucfg = exp.config();
+          ucfg.profile_grid = union_grid;
+          const core::Experiment uexp(exp.factory(), std::move(ucfg));
+          out->profile = uexp.profile();
+        }
+        resp.profile_ms = ms_since(tp);
+        resp.sweep = SweepRole::kLeader;
+        resp.union_points = static_cast<std::uint32_t>(
+            sweep == nullptr ? my_grid.size() : union_grid.size());
+        // The non-coalescable path keeps the full profile verbatim
+        // (duplicate sizes and all); a coalescing leader slices its own
+        // columns exactly like its followers do.
+        prof = sweep == nullptr ? std::move(out->profile)
+                                : slice_profile(out->profile, my_sorted);
+
+        if (sweep != nullptr) {
+          out->grid = std::move(union_grid);
+          out->replay_kernel = resp.replay_kernel;
+          out->capture_ms = resp.capture_ms;
+          out->profile_ms = resp.profile_ms;
+          // Retire the sweep BEFORE publishing: once the table entry is
+          // gone no one can join anymore, so sum_points read in the same
+          // critical section is final and the saved-points accounting is
+          // exact. Erase by identity — a stale sealed entry may have been
+          // replaced by a newer leader's.
+          std::uint64_t saved = 0;
+          {
+            std::lock_guard<std::mutex> lk(sweeps_mu_);
+            saved = sweep->sum_points - out->grid.size();
+            const auto sit = sweeps_.find(skey);
+            if (sit != sweeps_.end() && sit->second == sweep)
+              sweeps_.erase(sit);
+          }
+          union_points_saved_.fetch_add(saved, std::memory_order_relaxed);
+          sweep->promise.set_value(std::move(out));
+        }
+      } catch (...) {
+        if (sweep != nullptr) {
+          {
+            std::lock_guard<std::mutex> lk(sweeps_mu_);
+            const auto sit = sweeps_.find(skey);
+            if (sit != sweeps_.end() && sit->second == sweep)
+              sweeps_.erase(sit);
+          }
+          sweep->promise.set_exception(std::current_exception());
+        }
+        throw;
+      }
+    }
 
     const auto tl = Clock::now();
     resp.assignment = exp.plan(prof);
@@ -327,6 +585,9 @@ ServiceStats PlanningService::service_stats() const {
   s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  s.sweeps_started = sweeps_started_.load(std::memory_order_relaxed);
+  s.sweeps_coalesced = sweeps_coalesced_.load(std::memory_order_relaxed);
+  s.union_points_saved = union_points_saved_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -43,6 +43,33 @@
 //    plan_cache_ms. The disk tier shares the store directory, so warm
 //    plans survive the process.
 //
+//  * SWEEP COALESCING (union-grid single flight): the plan cache dedups
+//    EXACT repeats and capture single-flight dedups identical captures,
+//    but two concurrent requests over the same captures with DIFFERENT
+//    grids would still replay two full sweeps. Compositionality says
+//    they need not: a profile point (task, size) is a pure function of
+//    the captures and that size alone, independent of what other sizes
+//    share the sweep (each size replays its own standalone cache
+//    models, and a point's Welford accumulation only sees its own
+//    size's samples in run order). So concurrent requests whose sweep
+//    key — sorted capture digests, runs, L2 size and the replay-
+//    relevant planner knobs (the buffer-policy sets that shape the
+//    uniform profiling plans; NOT curvature_eps, which only shapes the
+//    per-request solve) — matches merge their grids: the first request
+//    becomes the sweep LEADER, later arrivals fold their grid into the
+//    union while the sweep is still open (and can still join a sealed
+//    sweep whose union covers them); the leader replays the UNION grid
+//    once (the fused opt::MultiReplay kernel makes extra sizes nearly
+//    free), then every request slices its own sizes out of the shared
+//    MissProfile — bit-identical to an uncoalesced sweep — and solves
+//    its own plan (per-request planner knobs stay fully honored).
+//    Followers never pin, probe the store or replay. Responses carry
+//    the role in PlanResponse::sweep (leader|coalesced) and ServiceStats
+//    counts sweeps_started / sweeps_coalesced / union_points_saved.
+//    `coalesce_window_ms` optionally holds every sweep open for a fixed
+//    window so short bursts are guaranteed to merge fully (at the cost
+//    of that much leader latency per cache-missing sweep).
+//
 // plan() never throws: failures (unknown scenario, missing trace_key,
 // unusable capture run, corrupt store or plan-cache entry) come back as
 // ok == false with the error message. The store's capacity controls are
@@ -86,6 +113,13 @@ struct PlanRequest {
   /// request error (they would poison the plan-cache key and the
   /// thinning comparisons alike).
   std::optional<double> curvature_eps;
+  /// TRANSPORT-LEVEL deadline (the plan_server line protocol's
+  /// `deadline_ms=`): honored by the net front end at ADMISSION — a
+  /// request whose deadline expired while queued is answered with an
+  /// error line before any planning work starts. The service itself
+  /// ignores it (an admitted request runs to completion) and it is part
+  /// of no cache or sweep key.
+  std::optional<std::uint64_t> deadline_ms;
 };
 
 /// Where one jitter run's capture came from.
@@ -110,6 +144,14 @@ enum class PlanSource {
   kCache,     // served from the memoized plan cache (either tier)
 };
 const char* to_string(PlanSource source);
+
+/// This request's role in the (possibly shared) replay sweep.
+enum class SweepRole {
+  kLeader,     // this request executed the (union-grid) replay sweep
+  kCoalesced,  // sliced its sizes out of a concurrent leader's sweep
+  kCache,      // plan-cache hit: no sweep was involved at all
+};
+const char* to_string(SweepRole role);
 
 struct PlanResponse {
   bool ok = false;
@@ -143,6 +185,18 @@ struct PlanResponse {
   std::uint64_t deferred() const;    // ro-store runs simulated in profile()
 
   PlanSource plan_source = PlanSource::kComputed;
+
+  /// Sweep-coalescing provenance: kLeader when this request ran the
+  /// replay sweep itself (union grid or its own), kCoalesced when it was
+  /// sliced out of a concurrent request's union sweep, kCache on a
+  /// plan-cache hit. Coalesced responses are bit-identical to what an
+  /// uncoalesced execution would have computed — the role is
+  /// observability, never a quality statement.
+  SweepRole sweep = SweepRole::kLeader;
+  /// Grid points the executed (or shared) replay sweep carried — the
+  /// request's own grid when nothing coalesced, the union otherwise.
+  /// 0 on plan-cache hits and errors.
+  std::uint32_t union_points = 0;
 
   /// Replay engine that produced the profile, RESOLVED to what actually
   /// executed ("avx2", "sse4", "scalar" or "persize" — never "auto"), or
@@ -187,6 +241,28 @@ struct PlanningServiceConfig {
   /// yields bit-identical responses; the flag trades wall-clock only, and
   /// the resolved kernel is echoed in PlanResponse::replay_kernel.
   opt::ReplayKernel replay_kernel = opt::ReplayKernel::kAuto;
+  /// Sweep-coalescing merge window: a sweep leader holds its sweep OPEN
+  /// for this long after it was registered, so every request of a short
+  /// concurrent burst folds its grid into one union sweep. The hold is
+  /// deliberately unconditional — burst peers may still sit in a front
+  /// end's admission queue, invisible to any in-flight heuristic — so a
+  /// cache-missing leader pays the full window as extra latency; that is
+  /// the trade the flag buys (everything admitted within the window is
+  /// GUARANTEED to merge). 0 (the default) adds no latency and still
+  /// coalesces whatever arrives during the leader's capture phase.
+  double coalesce_window_ms = 0.0;
+  /// Observability hook: invoked by a sweep leader right BEFORE it seals
+  /// the union grid (after the merge window). Tests use it to hold a
+  /// sweep open deterministically until every expected joiner has
+  /// arrived (joiners bump ServiceStats::sweeps_coalesced as they join).
+  /// Called from request threads; must be thread-safe.
+  std::function<void()> sweep_sealing = nullptr;
+  /// Observability hook: invoked by a sweep leader right after sealing,
+  /// with the union grid it is about to replay. Fires once per executed
+  /// sweep — exactly the ServiceStats::sweeps_started count.
+  std::function<void(const std::string& scenario,
+                     const std::vector<std::uint32_t>& union_grid)>
+      sweep_started = nullptr;
 };
 
 /// Aggregate service counters (monotonic, race-free).
@@ -201,6 +277,14 @@ struct ServiceStats {
   std::uint64_t store_hits = 0; // capture needs served by the store
   std::uint64_t coalesced = 0;  // capture needs folded into a leader's run
   std::uint64_t plan_cache_hits = 0;  // requests answered from the cache
+  /// Union-grid replay sweeps actually executed by a sweep leader.
+  std::uint64_t sweeps_started = 0;
+  /// Requests that joined a concurrent leader's sweep instead of running
+  /// their own (their responses carry SweepRole::kCoalesced).
+  std::uint64_t sweeps_coalesced = 0;
+  /// Σ over completed sweeps of (requested grid points across all merged
+  /// requests − union grid points): replay work avoided by coalescing.
+  std::uint64_t union_points_saved = 0;
 };
 
 class PlanningService {
@@ -231,6 +315,13 @@ class PlanningService {
   opt::PlanCache::Stats plan_cache_stats() const;
 
  private:
+  /// Immutable result a sweep leader publishes to its followers: the
+  /// union-grid profile plus everything a follower needs to assemble its
+  /// own response without touching the store.
+  struct SweepOutcome;
+  /// One open/sealed entry in the sweep single-flight table.
+  struct SweepState;
+
   core::Experiment make_experiment(const PlanRequest& req) const;
   CaptureSource ensure_capture(const core::Experiment& exp,
                                std::uint32_t run, const std::string& digest);
@@ -244,9 +335,15 @@ class PlanningService {
   std::atomic<std::uint64_t> store_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> plan_cache_hits_{0};
+  std::atomic<std::uint64_t> sweeps_started_{0};
+  std::atomic<std::uint64_t> sweeps_coalesced_{0};
+  std::atomic<std::uint64_t> union_points_saved_{0};
 
   std::mutex mu_;  // guards inflight_
   std::unordered_map<std::string, std::shared_future<void>> inflight_;
+
+  std::mutex sweeps_mu_;  // guards sweeps_ and each SweepState's grid
+  std::unordered_map<std::string, std::shared_ptr<SweepState>> sweeps_;
 };
 
 /// Build the service's store per the shared CLI flags (`--trace-dir`,

@@ -1,7 +1,9 @@
 // Tests for the shared CLI helpers: accepted/rejected --jobs forms (the
-// validation must be stricter than strtoul), the --profiler flag, and
-// the tiered-store flags (--store-l2 / --store-l2-dir share a prefix
-// and must never be confused for one another).
+// validation must be stricter than strtoul), the --profiler flag, the
+// tiered-store flags (--store-l2 / --store-l2-dir share a prefix and
+// must never be confused for one another), the socket-server flags
+// (--port presence semantics, worker/queue bounds, the coalesce-window
+// float validation) and the --service-clients thread-count sanity bound.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -181,6 +183,92 @@ TEST(ParseStoreL2Dir, BothFormsAndDefault) {
   EXPECT_EQ(l2_dir_of({"--store-l2-dir"}), "");  // missing value
   // The mode flag must not leak its value into the directory.
   EXPECT_EQ(l2_dir_of({"--store-l2", "rw"}), "");
+}
+
+unsigned clients_of(std::vector<const char*> args, unsigned def = 4) {
+  args.insert(args.begin(), "prog");
+  return parse_service_clients(static_cast<int>(args.size()),
+                               const_cast<char**>(args.data()), def);
+}
+
+TEST(ParseServiceClients, AcceptsSaneCounts) {
+  EXPECT_EQ(clients_of({"--service-clients", "8"}), 8u);
+  EXPECT_EQ(clients_of({"--service-clients=1"}), 1u);
+  EXPECT_EQ(clients_of({"--service-clients=1024"}), 1024u);
+  EXPECT_EQ(clients_of({}), 4u);
+  EXPECT_EQ(clients_of({}, 16), 16u);
+}
+
+TEST(ParseServiceClients, UpperBoundSanity) {
+  // Every thread is a real client connection in the benches: a mistyped
+  // count must fall back to the default, not build a 99999-thread army.
+  EXPECT_EQ(clients_of({"--service-clients=0"}), 4u);
+  EXPECT_EQ(clients_of({"--service-clients", "1025"}), 4u);  // > kMaxJobs
+  EXPECT_EQ(clients_of({"--service-clients=99999"}, 2), 2u);
+  EXPECT_EQ(clients_of({"--service-clients=8x"}), 4u);
+}
+
+TEST(HasValueFlag, AllThreeForms) {
+  std::vector<const char*> bare{"p", "--port"};
+  EXPECT_TRUE(has_value_flag(2, const_cast<char**>(bare.data()), "--port"));
+  std::vector<const char*> pair{"p", "--port", "0"};
+  EXPECT_TRUE(has_value_flag(3, const_cast<char**>(pair.data()), "--port"));
+  std::vector<const char*> eq{"p", "--port=8080"};
+  EXPECT_TRUE(has_value_flag(2, const_cast<char**>(eq.data()), "--port"));
+  // A shared prefix is NOT the flag (--port-file vs --port).
+  std::vector<const char*> prefix{"p", "--port-file", "x"};
+  EXPECT_FALSE(has_value_flag(3, const_cast<char**>(prefix.data()),
+                              "--port"));
+}
+
+TEST(ParsePort, RangeAndDefault) {
+  std::vector<const char*> ok{"p", "--port=8080"};
+  EXPECT_EQ(parse_port(2, const_cast<char**>(ok.data())), 8080);
+  std::vector<const char*> zero{"p", "--port", "0"};
+  EXPECT_EQ(parse_port(3, const_cast<char**>(zero.data())), 0);
+  std::vector<const char*> big{"p", "--port=65536"};
+  EXPECT_EQ(parse_port(2, const_cast<char**>(big.data())), 0);
+  std::vector<const char*> absent{"p"};
+  EXPECT_EQ(parse_port(1, const_cast<char**>(absent.data()), 9), 9);
+}
+
+TEST(ParseNetWorkers, BoundsLikeJobs) {
+  std::vector<const char*> ok{"p", "--net-workers=32"};
+  EXPECT_EQ(parse_net_workers(2, const_cast<char**>(ok.data())), 32u);
+  std::vector<const char*> zero{"p", "--net-workers=0"};
+  EXPECT_EQ(parse_net_workers(2, const_cast<char**>(zero.data())), 8u);
+  std::vector<const char*> big{"p", "--net-workers=1025"};
+  EXPECT_EQ(parse_net_workers(2, const_cast<char**>(big.data()), 6), 6u);
+}
+
+TEST(ParseMaxPending, RejectsZero) {
+  std::vector<const char*> ok{"p", "--max-pending=2"};
+  EXPECT_EQ(parse_max_pending(2, const_cast<char**>(ok.data())), 2u);
+  std::vector<const char*> zero{"p", "--max-pending=0"};
+  EXPECT_EQ(parse_max_pending(2, const_cast<char**>(zero.data())), 256u);
+}
+
+double window_of(std::vector<const char*> args, double def = 0.0) {
+  args.insert(args.begin(), "prog");
+  return parse_coalesce_window_ms(static_cast<int>(args.size()),
+                                  const_cast<char**>(args.data()), def);
+}
+
+TEST(ParseCoalesceWindow, AcceptsFiniteMilliseconds) {
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms", "150"}), 150.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=2.5"}), 2.5);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=0"}), 0.0);
+  EXPECT_DOUBLE_EQ(window_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(window_of({}, 250.0), 250.0);
+}
+
+TEST(ParseCoalesceWindow, RejectsNonFiniteAndAbsurd) {
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=-1"}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=nan"}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=inf"}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=60001"}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms=5ms"}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_of({"--coalesce-window-ms="}, 5.0), 5.0);
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+// Tests for net::LineServer (the poll-loop socket transport): many
+// pipelined connections get their responses in request order no matter
+// how the worker pool interleaves, the bounded admission queue sheds
+// with the canned busy response (which still occupies its sequence slot),
+// admission deadlines expire in-queue without invoking the handler,
+// overlong lines answer then close, empty/CRLF lines are tolerated, and
+// a graceful shutdown() drains every admitted request before join()
+// returns. Everything runs against a stub handler — the transport knows
+// nothing of the plan protocol, and these tests keep it that way.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/line_server.hpp"
+
+namespace cms::net {
+namespace {
+
+/// Minimal blocking line-protocol client.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(TestClient&& o) noexcept : fd_(o.fd_), buf_(std::move(o.buf_)) {
+    o.fd_ = -1;
+  }
+  TestClient(const TestClient&) = delete;
+
+  void send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line (newline stripped); nullopt when the server closed.
+  std::optional<std::string> recv_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// A handler gate: requests block inside the handler until release() —
+/// the deterministic way to hold the single worker busy while the IO
+/// thread admits (or sheds) everything behind it.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void wait_entered(int n) {
+    while (entered.load() < n) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  }
+  void block() {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(LineServer, PipelinedConnectionsAnswerInRequestOrder) {
+  LineServerConfig cfg;
+  cfg.workers = 8;
+  // Scramble worker completion order on purpose: a line's sleep depends
+  // on its content, so later requests routinely finish first and only
+  // the reorder map can restore per-connection ordering.
+  cfg.handler = [](const std::string& line) {
+    const int ms = (line.back() - '0') % 3;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return "echo:" + line;
+  };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  constexpr int kConns = 4;
+  constexpr int kLines = 10;
+  std::vector<TestClient> clients;
+  for (int c = 0; c < kConns; ++c) clients.emplace_back(server.port());
+  for (int c = 0; c < kConns; ++c) {
+    std::string burst;
+    for (int i = 0; i < kLines; ++i) {
+      burst += 'c';
+      burst += std::to_string(c);
+      burst += "-l";
+      burst += std::to_string(i);
+      burst += '\n';
+    }
+    clients[c].send_raw(burst);
+  }
+  for (int c = 0; c < kConns; ++c) {
+    for (int i = 0; i < kLines; ++i) {
+      const auto resp = clients[c].recv_line();
+      ASSERT_TRUE(resp.has_value());
+      std::string want = "echo:c";
+      want += std::to_string(c);
+      want += "-l";
+      want += std::to_string(i);
+      EXPECT_EQ(*resp, want);
+    }
+  }
+  const LineServer::Stats s = server.stats();
+  EXPECT_EQ(s.accepted, static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(s.served, static_cast<std::uint64_t>(kConns * kLines));
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(LineServer, BoundedQueueShedsWithBusyResponseInOrder) {
+  Gate gate;
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_pending = 1;
+  cfg.busy_response = "BUSY";
+  cfg.handler = [&](const std::string& line) {
+    if (line == "block") gate.block();
+    return "ok:" + line;
+  };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  // One request INSIDE the handler (the queue stays empty while it
+  // blocks), then four pipelined behind it: one fills the queue, three
+  // MUST shed — and the busy responses still arrive in request order.
+  c.send_raw("block\n");
+  gate.wait_entered(1);
+  c.send_raw("q1\nq2\nq3\nq4\n");
+  // Admission happens on the IO thread independent of the stuck worker;
+  // wait until all five lines are accounted for before releasing.
+  while (server.stats().requests < 5)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.stats().shed, 3u);
+  gate.release();
+
+  const char* want[] = {"ok:block", "ok:q1", "BUSY", "BUSY", "BUSY"};
+  for (const char* w : want) {
+    const auto resp = c.recv_line();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(*resp, w);
+  }
+  EXPECT_EQ(server.stats().served, 2u);
+}
+
+TEST(LineServer, AdmissionDeadlineExpiresInQueueWithoutHandler) {
+  Gate gate;
+  std::atomic<int> handled_dl{0};
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.deadline_response = "EXPIRED";
+  cfg.deadline_of = [](const std::string& line)
+      -> std::optional<std::uint64_t> {
+    if (line.rfind("dl", 0) == 0) return 1;  // 1ms admission deadline
+    return std::nullopt;
+  };
+  cfg.handler = [&](const std::string& line) {
+    if (line == "block") gate.block();
+    if (line.rfind("dl", 0) == 0) ++handled_dl;
+    return "ok:" + line;
+  };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  c.send_raw("block\n");
+  gate.wait_entered(1);
+  c.send_raw("dl-behind\n");
+  while (server.stats().requests < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The deadline_ms=1 request now sits in the queue behind the stuck
+  // worker; by the time it is dequeued its clock has long run out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate.release();
+
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:block"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("EXPIRED"));
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  EXPECT_EQ(handled_dl.load(), 0);  // the handler never saw it
+}
+
+TEST(LineServer, OverlongLineAnswersThenCloses) {
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_line_bytes = 32;
+  cfg.overlong_response = "TOO-LONG";
+  cfg.handler = [](const std::string& line) { return "ok:" + line; };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  // A short line first: it must still be answered, in order, before the
+  // overlong error.
+  c.send_raw("short\n");
+  c.send_raw(std::string(100, 'a'));  // no newline in sight, > 32 bytes
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:short"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("TOO-LONG"));
+  EXPECT_EQ(c.recv_line(), std::nullopt);  // connection closed
+  EXPECT_EQ(server.stats().closed_overlong, 1u);
+}
+
+TEST(LineServer, CrlfAndBlankLinesAreTolerated) {
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.handler = [](const std::string& line) { return "ok:" + line; };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  c.send_raw("a\r\n\r\n\nb\n");
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:a"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:b"));
+  EXPECT_EQ(server.stats().served, 2u);  // blank lines were never admitted
+}
+
+TEST(LineServer, GracefulShutdownDrainsEveryAdmittedRequest) {
+  Gate gate;
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.handler = [&](const std::string& line) {
+    if (line == "block") gate.block();
+    return "ok:" + line;
+  };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  c.send_raw("block\nq1\nq2\n");
+  gate.wait_entered(1);
+  while (server.stats().requests < 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Shutdown with one request stuck in the handler and two queued: all
+  // three must still be answered and flushed before join() returns.
+  server.shutdown();
+  server.shutdown();  // idempotent
+  gate.release();
+  server.join();
+
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:block"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:q1"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:q2"));
+  EXPECT_EQ(c.recv_line(), std::nullopt);  // server is gone
+  EXPECT_EQ(server.stats().served, 3u);
+}
+
+TEST(LineServer, ConstructorValidatesConfig) {
+  LineServerConfig no_handler;
+  EXPECT_THROW(LineServer{std::move(no_handler)}, std::invalid_argument);
+  LineServerConfig no_workers;
+  no_workers.workers = 0;
+  no_workers.handler = [](const std::string&) { return std::string(); };
+  EXPECT_THROW(LineServer{std::move(no_workers)}, std::invalid_argument);
+  // An ephemeral bind resolves to a real port.
+  LineServerConfig ok;
+  ok.handler = [](const std::string&) { return std::string("x"); };
+  LineServer server(std::move(ok));
+  EXPECT_GT(server.port(), 0);
+}
+
+}  // namespace
+}  // namespace cms::net

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -167,7 +168,11 @@ TEST(PlanService, SingleFlightPerformsExactlyOneCapture) {
   EXPECT_EQ(captured_total, 1u);
   const ServiceStats stats = service.service_stats();
   EXPECT_EQ(stats.captured, 1u);
-  EXPECT_EQ(stats.captured + stats.store_hits + stats.coalesced,
+  // Every client either ran its own capture phase (captured / store hit /
+  // capture-coalesced, one digest each) or joined a concurrent leader's
+  // union sweep and never touched the store at all.
+  EXPECT_EQ(stats.captured + stats.store_hits + stats.coalesced +
+                stats.sweeps_coalesced,
             static_cast<std::uint64_t>(kClients));
 }
 
@@ -529,6 +534,154 @@ TEST(PlanService, SharedBackendFeedsBothStoreAndPlanCache) {
   EXPECT_EQ(second.store_stats().hits + second.store_stats().misses, 0u);
 }
 
+TEST(PlanService, ConcurrentMixedGridsCoalesceIntoOneUnionSweep) {
+  TempDir tmp;
+  // Disjoint AND overlapping grids; their union is what the one sweep
+  // must replay.
+  const std::vector<std::vector<std::uint32_t>> grids = {
+      {1, 4}, {2, 8}, {4, 8, 16}, {16, 1}};
+  const std::vector<std::uint32_t> union_grid = {1, 2, 4, 8, 16};
+  const int kClients = static_cast<int>(grids.size());
+
+  PlanningService* svc_ptr = nullptr;
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  // Deterministic orchestration: whoever leads holds its sweep OPEN until
+  // every other client has joined (joiners bump sweeps_coalesced at join
+  // time), so this test cannot flake on scheduling. The 10s cap only
+  // bounds a genuinely broken build.
+  cfg.sweep_sealing = [&svc_ptr, kClients] {
+    for (int spin = 0; spin < 10000; ++spin) {
+      if (svc_ptr->service_stats().sweeps_coalesced ==
+          static_cast<std::uint64_t>(kClients - 1))
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::vector<std::vector<std::uint32_t>> swept;
+  std::mutex swept_mu;
+  cfg.sweep_started = [&](const std::string&,
+                          const std::vector<std::uint32_t>& g) {
+    std::lock_guard<std::mutex> lk(swept_mu);
+    swept.push_back(g);
+  };
+  PlanningService service(std::move(cfg));
+  svc_ptr = &service;
+
+  std::vector<PlanResponse> responses(kClients);
+  {
+    std::vector<std::thread> pool;
+    for (int c = 0; c < kClients; ++c)
+      pool.emplace_back([&, c] {
+        PlanRequest req;
+        req.scenario = "mpeg2-tiny";
+        req.grid = grids[c];
+        responses[c] = service.plan(req);
+      });
+    for (auto& t : pool) t.join();
+  }
+
+  // Exactly ONE replay sweep, over exactly the union grid.
+  const ServiceStats stats = service.service_stats();
+  EXPECT_EQ(stats.sweeps_started, 1u);
+  EXPECT_EQ(stats.sweeps_coalesced, static_cast<std::uint64_t>(kClients - 1));
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0], union_grid);
+  // 2 + 2 + 3 + 2 requested points replayed as 5 union points.
+  EXPECT_EQ(stats.union_points_saved, 9u - union_grid.size());
+
+  int leaders = 0, followers = 0;
+  for (const PlanResponse& r : responses) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.union_points, union_grid.size());
+    if (r.sweep == SweepRole::kLeader)
+      ++leaders;
+    else if (r.sweep == SweepRole::kCoalesced)
+      ++followers;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(followers, kClients - 1);
+
+  // BIT-IDENTITY: each coalesced response must match what an uncoalesced
+  // service (fresh instance, same store, no hooks) computes for the same
+  // grid — through plan_response_digest, so every assignment entry,
+  // expected-miss double and prediction is compared bit-for-bit.
+  PlanningService direct({make_store(tmp), 1, nullptr, nullptr});
+  for (int c = 0; c < kClients; ++c) {
+    PlanRequest req;
+    req.scenario = "mpeg2-tiny";
+    req.grid = grids[c];
+    const PlanResponse ref = direct.plan(req);
+    ASSERT_TRUE(ref.ok) << ref.error;
+    EXPECT_EQ(ref.sweep, SweepRole::kLeader);
+    EXPECT_EQ(plan_response_digest(responses[c]), plan_response_digest(ref))
+        << "grid index " << c;
+  }
+  EXPECT_EQ(direct.service_stats().sweeps_coalesced, 0u);
+}
+
+TEST(PlanService, CoalescingStressBitIdenticalUnderLoad) {
+  // The TSan target: several rounds of mixed-grid bursts with a real
+  // merge window and no orchestration hooks — scheduling decides who
+  // leads, who joins and who opens a second sweep; every answer must
+  // still be bit-identical to the uncoalesced reference. (The exact
+  // sweep count is NOT asserted here — that is the hook-orchestrated
+  // test's and the socket bench's job.)
+  TempDir tmp;
+  const std::vector<std::vector<std::uint32_t>> grids = {
+      {1, 2, 4, 8, 16}, {1, 4, 16}, {2, 8}, {4, 8, 16}};
+
+  PlanningService reference({make_store(tmp), 1, nullptr, nullptr});
+  std::vector<std::string> want;
+  for (const auto& g : grids) {
+    PlanRequest req;
+    req.scenario = "mpeg2-tiny";
+    req.grid = g;
+    const PlanResponse r = reference.plan(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    want.push_back(plan_response_digest(r));
+  }
+
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  cfg.coalesce_window_ms = 5.0;
+  PlanningService service(std::move(cfg));
+  constexpr int kRounds = 3;
+  constexpr int kThreads = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<PlanResponse> responses(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+      pool.emplace_back([&, t] {
+        PlanRequest req;
+        req.scenario = "mpeg2-tiny";
+        req.grid = grids[t % grids.size()];
+        responses[t] = service.plan(req);
+      });
+    for (auto& t : pool) t.join();
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(responses[t].ok) << responses[t].error;
+      EXPECT_EQ(plan_response_digest(responses[t]), want[t % grids.size()])
+          << "round " << round << " thread " << t;
+    }
+  }
+  const ServiceStats stats = service.service_stats();
+  EXPECT_GE(stats.sweeps_started, 1u);
+  EXPECT_EQ(stats.sweeps_started + stats.sweeps_coalesced,
+            static_cast<std::uint64_t>(kRounds * kThreads));
+}
+
+TEST(PlanService, DuplicateGridSizesAreRejectedAsRequestErrors) {
+  TempDir tmp;
+  PlanningService service({make_store(tmp), 1, nullptr, nullptr});
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  req.grid = {4, 2, 4};
+  const PlanResponse resp = service.plan(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("duplicate"), std::string::npos) << resp.error;
+}
+
 TEST(PlanProtocol, ParsesFullRequests) {
   PlanRequest req;
   std::string err;
@@ -586,6 +739,85 @@ TEST(PlanProtocol, RejectsNonFiniteAndNegativeEps) {
     std::string err;
     EXPECT_TRUE(parse_plan_request(good, req, err)) << good << ": " << err;
   }
+}
+
+TEST(PlanProtocol, RejectsRepeatedOptions) {
+  // Last-one-wins would silently serve a different plan than the client
+  // meant (and which one "wins" would be an accident of parse order), so
+  // every repeat is an explicit request error naming the key.
+  for (const char* bad :
+       {"s grid=1,2 grid=4", "s runs=1 runs=2", "s l2=32768 l2=65536",
+        "s eps=0.1 eps=0.1", "s deadline_ms=5 deadline_ms=5",
+        "s grid=1 runs=2 grid=1"}) {
+    PlanRequest req;
+    std::string err;
+    EXPECT_FALSE(parse_plan_request(bad, req, err)) << bad;
+    EXPECT_NE(err.find("repeated option"), std::string::npos)
+        << bad << ": " << err;
+  }
+  // A repeat of one key must not poison a different key.
+  PlanRequest req;
+  std::string err;
+  EXPECT_TRUE(parse_plan_request("s grid=1,2 runs=2", req, err)) << err;
+}
+
+TEST(PlanProtocol, ParsesAdmissionDeadline) {
+  PlanRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_plan_request("mpeg2-tiny deadline_ms=250", req, err))
+      << err;
+  ASSERT_TRUE(req.deadline_ms.has_value());
+  EXPECT_EQ(*req.deadline_ms, 250u);
+
+  PlanRequest bare;
+  ASSERT_TRUE(parse_plan_request("mpeg2-tiny", bare, err)) << err;
+  EXPECT_FALSE(bare.deadline_ms.has_value());
+
+  for (const char* bad : {"s deadline_ms=", "s deadline_ms=-1",
+                          "s deadline_ms=5s", "s deadline_ms=1e3"}) {
+    PlanRequest r;
+    EXPECT_FALSE(parse_plan_request(bad, r, err)) << bad;
+    EXPECT_NE(err.find("deadline_ms"), std::string::npos)
+        << bad << ": " << err;
+  }
+}
+
+TEST(PlanProtocol, ResponseDigestSeparatesAnswersBitForBit) {
+  // The JSON wire rounds floats for humans; plan_response_digest is the
+  // machine-grade identity the coalescing bench compares. It must be
+  // stable across identical responses and move on ANY bit of the
+  // assignment, totals or predictions — including a double changed past
+  // the JSON rounding.
+  PlanResponse a;
+  a.scenario = "s";
+  a.assignment.feasible = true;
+  a.assignment.total_sets = 64;
+  a.assignment.used_sets = 48;
+  a.assignment.expected_task_misses = 123.25;
+  opt::PlanEntry e;
+  e.name = "task0";
+  e.is_task = true;
+  e.sets = 16;
+  e.expected_misses = 100.5;
+  e.partition.base_set = 0;
+  e.partition.num_sets = 16;
+  a.assignment.entries.push_back(e);
+  a.tasks.push_back(PlanResponse::TaskPrediction{"task0", 16, 100.5, 2e6});
+
+  PlanResponse b = a;
+  EXPECT_EQ(plan_response_digest(a), plan_response_digest(b));
+
+  b.assignment.entries[0].expected_misses =
+      std::nextafter(100.5, std::numeric_limits<double>::infinity());
+  EXPECT_NE(plan_response_digest(a), plan_response_digest(b));
+
+  PlanResponse c = a;
+  c.assignment.entries[0].partition.base_set = 1;
+  EXPECT_NE(plan_response_digest(a), plan_response_digest(c));
+
+  PlanResponse d = a;
+  d.tasks[0].predicted_cycles = 2e6 + 1;
+  EXPECT_NE(plan_response_digest(a), plan_response_digest(d));
 }
 
 }  // namespace
