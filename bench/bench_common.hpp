@@ -34,18 +34,21 @@ using core::parse_profiler;
 using core::parse_replay_kernel;
 using core::parse_store_l2;
 using core::parse_store_l2_dir;
+using core::parse_store_l2_target;
 using core::parse_trace_dir;
 using core::parse_trace_mode;
 
 /// The persistent capture store selected by --trace-dir / --trace (null
-/// when absent or --trace=off). With --store-l2-dir / --store-l2 the
-/// local dir becomes the L1 of a tiered store over the shared far dir,
-/// so every bench can replay a fleet-shared capture corpus.
+/// when absent or --trace=off). With --store-l2-dir DIR, --store-l2-dir
+/// tcp://host:port or --store-l2 tcp://host:port the local dir becomes
+/// the L1 of a tiered store over the shared far tier (a directory or a
+/// blob_server daemon), so every bench can replay a fleet-shared capture
+/// corpus.
 inline std::shared_ptr<opt::TraceStore> parse_trace_store(int argc,
                                                           char** argv) {
   return core::open_trace_store(
       parse_trace_dir(argc, argv), parse_trace_mode(argc, argv),
-      parse_store_l2_dir(argc, argv), parse_store_l2(argc, argv));
+      parse_store_l2_target(argc, argv), parse_store_l2(argc, argv));
 }
 
 inline apps::AppConfig app1_content() {

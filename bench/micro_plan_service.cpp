@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "micro_plan_service needs a store (--trace=off?)\n");
     return 1;
   }
-  const std::string l2_dir = bench::parse_store_l2_dir(argc, argv);
+  const std::string l2_target = bench::parse_store_l2_target(argc, argv);
   const core::StoreL2Mode l2 = bench::parse_store_l2(argc, argv);
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
@@ -86,10 +86,11 @@ int main(int argc, char** argv) {
       core::parse_plan_cache_budget_entries(argc, argv)};
 
   // Each service instance composes its own backend over the shared dirs —
-  // fresh instances model separate server processes, tiered when
-  // --store-l2-dir is given (captures AND .cmsplan entries read through).
+  // fresh instances model separate server processes, tiered when a far
+  // tier is given: a directory, or a tcp:// blob_server endpoint
+  // (captures AND .cmsplan entries read through either way).
   const auto make_backend = [&] {
-    return core::open_store_backend(dir, mode, l2_dir, l2);
+    return core::open_store_backend(dir, mode, l2_target, l2);
   };
   const auto open_store = [&] {
     return svc::open_service_store(make_backend(), mode, capacity);

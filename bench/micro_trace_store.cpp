@@ -20,20 +20,33 @@
 //               "warm_hits": 1, "warm_misses": 0}, "bytes": 123456}, ...],
 //    "identical": true, "all_hits": false}
 //
-// With --store-l2-dir the store is TIERED: --trace-dir is the L1 of an
-// opt::TieredBackend over the far directory, and a fourth L2-ONLY-WARM
-// pass runs per scenario — a fresh, EMPTY L1 (trace-dir + ".l2only",
-// wiped at startup) over the same L2, so every capture must arrive by
+// With a far tier the store is TIERED: --trace-dir is the L1 of an
+// opt::TieredBackend over the far target — a directory
+// (--store-l2-dir DIR) or a blob_server daemon over TCP
+// (--store-l2 tcp://host:port) — and a fourth L2-ONLY-WARM pass runs
+// per scenario: a fresh, EMPTY L1 (trace-dir + ".l2only", wiped at
+// startup) over the same L2, so every capture must arrive by
 // read-through from the far tier. Exits 4 if that pass missed; per-tier
-// counters (l1/l2 hits, promotions, write-throughs) join the JSON.
+// counters (l1/l2 hits, promotions, promotion failures, write-throughs)
+// join the JSON. A tcp:// far tier additionally emits round-trip
+// counters ("net": rpc count/failures/retries/reconnects and total/max
+// latency ms aggregated over every store instance of the run).
+//
+// --expect-l2-errors flips the far-tier assertions for fault-injection
+// CI (daemon killed mid-run): the L2-only pass is ALLOWED to miss
+// (captures regenerate live), but the run must have OBSERVED L2 errors —
+// exit 5 if it degraded without logging any, since then the fault never
+// actually fired.
 //
 // Flags: --jobs N       campaign workers (0 = hardware)
 //        --quick        tiny scenarios only, no fullsim arm (TSan/CI smoke)
 //        --trace-dir D  store directory (default micro_trace_store.traces)
 //        --trace MODE   off|ro|rw store mode (default rw)
-//        --store-l2-dir D  far tier directory (enables tiered mode)
-//        --store-l2 MODE   off|ro|rw far-tier mode (default rw)
+//        --store-l2-dir T  far tier: directory or tcp://host:port
+//        --store-l2 MODE   off|ro|rw far-tier mode, or tcp://host:port
+//                          (implies rw against that endpoint)
 //        --expect-hits  fail unless the cold pass was all store hits
+//        --expect-l2-errors  tolerate L2-only misses; require l2_errors > 0
 //        --full         force the fullsim identity arm even with --quick
 #include <chrono>
 #include <cstdio>
@@ -44,6 +57,8 @@
 
 #include "bench/bench_common.hpp"
 #include "core/scenario.hpp"
+#include "opt/net_backend.hpp"
+#include "opt/store_backend.hpp"
 #include "opt/trace_store.hpp"
 
 using namespace cms;
@@ -68,26 +83,50 @@ std::uintmax_t dir_bytes(const std::string& dir) {
   return total;
 }
 
-/// `, "<key>": {...per-tier counters...}` for a tiered store's stats,
-/// "" otherwise.
-std::string tiers_json(const char* key, const opt::TraceStore::Stats& st) {
-  if (!st.tiers) return "";
-  char buf[320];
-  std::snprintf(
-      buf, sizeof(buf),
-      ", \"%s\": {\"l1_hits\": %llu, \"l1_misses\": %llu, "
-      "\"l2_hits\": %llu, \"l2_misses\": %llu, \"l2_errors\": %llu, "
-      "\"promotions\": %llu, \"l1_writes\": %llu, \"l2_writes\": %llu}",
-      key, static_cast<unsigned long long>(st.tiers->l1_hits),
-      static_cast<unsigned long long>(st.tiers->l1_misses),
-      static_cast<unsigned long long>(st.tiers->l2_hits),
-      static_cast<unsigned long long>(st.tiers->l2_misses),
-      static_cast<unsigned long long>(st.tiers->l2_errors),
-      static_cast<unsigned long long>(st.tiers->promotions),
-      static_cast<unsigned long long>(st.tiers->l1_writes),
-      static_cast<unsigned long long>(st.tiers->l2_writes));
-  return buf;
+/// The NetBackend serving as `store`'s far tier, if that's what it is.
+std::shared_ptr<opt::NetBackend> net_l2_of(
+    const std::shared_ptr<opt::TraceStore>& store) {
+  if (!store) return nullptr;
+  const auto tiered =
+      std::dynamic_pointer_cast<opt::TieredBackend>(store->backend());
+  if (!tiered) return nullptr;
+  return std::dynamic_pointer_cast<opt::NetBackend>(tiered->l2());
 }
+
+/// Running totals of the tcp:// far tier across every store instance
+/// (each pass composes its own NetBackend, so aggregate at teardown).
+struct NetTotals {
+  opt::NetBackend::Counters sum;
+  bool any = false;
+
+  void absorb(const std::shared_ptr<opt::TraceStore>& store) {
+    const auto net = net_l2_of(store);
+    if (!net) return;
+    const opt::NetBackend::Counters c = net->counters();
+    sum.ops += c.ops;
+    sum.failures += c.failures;
+    sum.retries += c.retries;
+    sum.reconnects += c.reconnects;
+    sum.total_ms += c.total_ms;
+    if (c.max_ms > sum.max_ms) sum.max_ms = c.max_ms;
+    any = true;
+  }
+
+  std::string json() const {
+    if (!any) return "";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"net\": {\"ops\": %llu, \"failures\": %llu, "
+                  "\"retries\": %llu, \"reconnects\": %llu, "
+                  "\"total_ms\": %.2f, \"max_ms\": %.2f}",
+                  static_cast<unsigned long long>(sum.ops),
+                  static_cast<unsigned long long>(sum.failures),
+                  static_cast<unsigned long long>(sum.retries),
+                  static_cast<unsigned long long>(sum.reconnects),
+                  sum.total_ms, sum.max_ms);
+    return buf;
+  }
+};
 
 }  // namespace
 
@@ -103,9 +142,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "micro_trace_store needs a store (--trace=off?)\n");
     return 1;
   }
-  const std::string l2_dir = bench::parse_store_l2_dir(argc, argv);
+  const std::string l2_target = bench::parse_store_l2_target(argc, argv);
   const core::StoreL2Mode l2 = bench::parse_store_l2(argc, argv);
-  const bool tiered = !l2_dir.empty() && l2 != core::StoreL2Mode::kOff;
+  const bool tiered = !l2_target.empty() && l2 != core::StoreL2Mode::kOff;
+  const bool expect_l2_errors =
+      bench::has_flag(argc, argv, "--expect-l2-errors");
   // L2-only-warm pass: a fresh EMPTY L1 over the shared far tier, so
   // every capture must read through. Wiped once up front.
   const std::string l2only_dir = dir + ".l2only";
@@ -121,6 +162,11 @@ int main(int argc, char** argv) {
   bool cold_all_hits = true;
   bool warm_all_hits = true;
   bool l2only_all_hits = true;
+  std::uint64_t l2_errors_total = 0;
+  NetTotals net;
+  const auto absorb_tiers = [&](const opt::TraceStore::Stats& st) {
+    if (st.tiers) l2_errors_total += st.tiers->l2_errors;
+  };
   std::printf("{\"bench\": \"micro_trace_store\", \"trace_dir\": \"%s\", "
               "\"scenarios\": [",
               dir.c_str());
@@ -143,23 +189,27 @@ int main(int argc, char** argv) {
     // Cold pass: consult the store (first run captures + writes back,
     // repeat runs are served from disk — or read through from the L2
     // when tiered).
-    const auto cold_store = core::open_trace_store(dir, mode, l2_dir, l2);
+    const auto cold_store = core::open_trace_store(dir, mode, l2_target, l2);
     const std::uintmax_t bytes_before = dir_bytes(dir);
     opt::MissProfile cold;
     const core::Experiment exp_cold = core::scenarios().make_experiment(
         names[s], jobs, core::ProfilerMode::kTraceReplay, cold_store);
     const double cold_ms = wall_ms([&] { cold = exp_cold.profile(); });
     const opt::TraceStore::Stats cold_stats = cold_store->stats();
+    absorb_tiers(cold_stats);
+    net.absorb(cold_store);
     const std::uintmax_t bytes = dir_bytes(dir) - bytes_before;
 
     // Warm pass: a FRESH store instance over the same directory — every
     // capture must come off disk (the L1 alone can serve it).
-    const auto warm_store = core::open_trace_store(dir, mode, l2_dir, l2);
+    const auto warm_store = core::open_trace_store(dir, mode, l2_target, l2);
     opt::MissProfile warm;
     const core::Experiment exp_warm = core::scenarios().make_experiment(
         names[s], jobs, core::ProfilerMode::kTraceReplay, warm_store);
     const double warm_ms = wall_ms([&] { warm = exp_warm.profile(); });
     const opt::TraceStore::Stats warm_stats = warm_store->stats();
+    absorb_tiers(warm_stats);
+    net.absorb(warm_store);
 
     // L2-only-warm pass (tiered only): a fresh EMPTY L1 over the same
     // far tier — zero captures, everything by read-through.
@@ -167,12 +217,14 @@ int main(int argc, char** argv) {
     opt::TraceStore::Stats l2only_stats;
     if (tiered) {
       const auto l2only_store =
-          core::open_trace_store(l2only_dir, mode, l2_dir, l2);
+          core::open_trace_store(l2only_dir, mode, l2_target, l2);
       opt::MissProfile l2only;
       const core::Experiment exp_l2only = core::scenarios().make_experiment(
           names[s], jobs, core::ProfilerMode::kTraceReplay, l2only_store);
       l2only_ms = wall_ms([&] { l2only = exp_l2only.profile(); });
       l2only_stats = l2only_store->stats();
+      absorb_tiers(l2only_stats);
+      net.absorb(l2only_store);
       identical = identical && reference.identical(l2only);
       l2only_all_hits = l2only_all_hits && l2only_stats.misses == 0;
     }
@@ -200,17 +252,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(warm_stats.misses),
         static_cast<unsigned long long>(l2only_stats.hits),
         static_cast<unsigned long long>(l2only_stats.misses),
-        tiers_json("cold_tiers", cold_stats).c_str(),
-        tiers_json("l2only_tiers", l2only_stats).c_str(),
+        opt::tier_counters_json(cold_stats.tiers, "cold_tiers").c_str(),
+        opt::tier_counters_json(l2only_stats.tiers, "l2only_tiers").c_str(),
         static_cast<unsigned long long>(bytes));
   }
-  std::printf("], \"identical\": %s, \"all_hits\": %s}\n",
+  std::printf("], \"identical\": %s, \"all_hits\": %s, \"l2_errors\": %llu%s}\n",
               all_identical ? "true" : "false",
-              cold_all_hits ? "true" : "false");
+              cold_all_hits ? "true" : "false",
+              static_cast<unsigned long long>(l2_errors_total),
+              net.json().c_str());
 
   if (!all_identical) return 1;
   if (!warm_all_hits) return 2;
   if (expect_hits && !cold_all_hits) return 3;
-  if (!l2only_all_hits) return 4;
+  // Fault-injection runs EXPECT the far tier to fail under them: misses
+  // are fine (captures regenerate), but a run that saw no L2 errors at
+  // all means the injected fault never fired.
+  if (!expect_l2_errors && !l2only_all_hits) return 4;
+  if (expect_l2_errors && l2_errors_total == 0) return 5;
   return 0;
 }

@@ -125,24 +125,6 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// `, "tiers": {...}` when the store sits on a TieredBackend, "" otherwise.
-std::string tiers_json(
-    const std::optional<opt::StoreBackend::TierCounters>& t) {
-  if (!t) return "";
-  return format(
-      ", \"tiers\": {\"l1_hits\": %llu, \"l1_misses\": %llu, "
-      "\"l2_hits\": %llu, \"l2_misses\": %llu, \"l2_errors\": %llu, "
-      "\"promotions\": %llu, \"l1_writes\": %llu, \"l2_writes\": %llu}",
-      static_cast<unsigned long long>(t->l1_hits),
-      static_cast<unsigned long long>(t->l1_misses),
-      static_cast<unsigned long long>(t->l2_hits),
-      static_cast<unsigned long long>(t->l2_misses),
-      static_cast<unsigned long long>(t->l2_errors),
-      static_cast<unsigned long long>(t->promotions),
-      static_cast<unsigned long long>(t->l1_writes),
-      static_cast<unsigned long long>(t->l2_writes));
-}
-
 std::string error_json(const std::string& message) {
   return format("{\"ok\": false, \"error\": \"%s\"}",
                 json_escape(message).c_str());
@@ -240,7 +222,7 @@ std::string stats_json(const svc::PlanningService& service,
       static_cast<unsigned long long>(st.entries),
       static_cast<unsigned long long>(st.bytes),
       static_cast<unsigned long long>(st.pinned),
-      tiers_json(st.tiers).c_str(),
+      opt::tier_counters_json(st.tiers).c_str(),
       static_cast<unsigned long long>(pc.hits),
       static_cast<unsigned long long>(pc.misses),
       static_cast<unsigned long long>(pc.inserts),
@@ -256,7 +238,7 @@ std::string stats_json(const svc::PlanningService& service,
       static_cast<unsigned long long>(pc.bytes),
       static_cast<unsigned long long>(pc.disk_entries),
       static_cast<unsigned long long>(pc.disk_bytes),
-      tiers_json(pc.tiers).c_str());
+      opt::tier_counters_json(pc.tiers).c_str());
   if (server != nullptr) {
     const net::LineServer::Stats ns = server->stats();
     out += format(
@@ -346,7 +328,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "plan_server needs a store (--trace=off?)\n");
     return 1;
   }
-  const std::string l2_dir = core::parse_store_l2_dir(argc, argv);
+  const std::string l2_target = core::parse_store_l2_target(argc, argv);
   const core::StoreL2Mode l2 = core::parse_store_l2(argc, argv);
   const opt::TraceStore::Capacity capacity{
       core::parse_service_budget_bytes(argc, argv),
@@ -361,7 +343,7 @@ int main(int argc, char** argv) {
   // and the plan cache's disk tier, so both kinds of blob ride the same
   // L1/L2 tiering and the same far directory.
   const std::shared_ptr<opt::StoreBackend> backend =
-      core::open_store_backend(dir, mode, l2_dir, l2);
+      core::open_store_backend(dir, mode, l2_target, l2);
   svc::PlanningServiceConfig svc_cfg;
   svc_cfg.store = svc::open_service_store(backend, mode, capacity);
   svc_cfg.jobs = jobs;

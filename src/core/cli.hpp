@@ -390,18 +390,22 @@ inline std::string parse_store_l2_dir(int argc, char** argv) {
 
 /// Parse `--store-l2 MODE` / `--store-l2=MODE` where MODE is `off`
 /// (ignore the L2 dir), `ro` (read through, never write through — a
-/// frozen shared tier) or `rw` (read + write through). Returns `def`
-/// when absent — read-write, so `--store-l2-dir` alone gives the
-/// expected capture-once-globally behavior; unknown modes warn and keep
-/// `def`.
+/// frozen shared tier), `rw` (read + write through) or a
+/// `tcp://host:port` endpoint (sugar for a read-write networked far
+/// tier; the endpoint itself is picked up by parse_store_l2_target).
+/// Returns `def` when absent — read-write, so `--store-l2-dir` alone
+/// gives the expected capture-once-globally behavior; unknown modes
+/// warn and keep `def`.
 inline StoreL2Mode parse_store_l2(int argc, char** argv,
                                   StoreL2Mode def = StoreL2Mode::kReadWrite) {
   const auto parse_value = [def](const char* v) -> StoreL2Mode {
     if (std::strcmp(v, "off") == 0) return StoreL2Mode::kOff;
     if (std::strcmp(v, "ro") == 0) return StoreL2Mode::kReadOnly;
     if (std::strcmp(v, "rw") == 0) return StoreL2Mode::kReadWrite;
+    if (std::strncmp(v, "tcp://", 6) == 0) return StoreL2Mode::kReadWrite;
     std::fprintf(stderr,
-                 "warning: ignoring bad --store-l2 value '%s' (off|ro|rw)\n",
+                 "warning: ignoring bad --store-l2 value '%s' "
+                 "(off|ro|rw|tcp://host:port)\n",
                  v);
     return def;
   };
@@ -415,6 +419,20 @@ inline StoreL2Mode parse_store_l2(int argc, char** argv,
       return parse_value(argv[i] + 11);
   }
   return def;
+}
+
+/// The far-tier TARGET the flags describe: `--store-l2-dir` verbatim
+/// (a directory, or a `tcp://host:port` endpoint — pair with
+/// `--store-l2 ro` for a frozen remote), else a `tcp://` value given
+/// directly to `--store-l2` (the common one-flag networked spelling
+/// `--store-l2 tcp://host:port`), else "". open_store_backend dispatches
+/// on the tcp:// prefix.
+inline std::string parse_store_l2_target(int argc, char** argv) {
+  const std::string dir = parse_store_l2_dir(argc, argv);
+  if (!dir.empty()) return dir;
+  const std::string mode = parse_string_flag(argc, argv, "--store-l2");
+  if (mode.rfind("tcp://", 0) == 0) return mode;
+  return {};
 }
 
 }  // namespace cms::core

@@ -1,0 +1,84 @@
+#include "net/frame_server.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "net/socket_server.hpp"
+
+namespace cms::net {
+
+std::string frame_encode(const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  for (int i = 0; i < 4; ++i)
+    wire.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  wire += payload;
+  return wire;
+}
+
+struct FrameServer::Impl {
+  explicit Impl(SocketServerConfig cfg) : server(std::move(cfg)) {}
+  SocketServer server;
+};
+
+FrameServer::FrameServer(FrameServerConfig cfg) {
+  if (!cfg.handler)
+    throw std::invalid_argument("FrameServer needs a handler");
+  if (cfg.workers == 0)
+    throw std::invalid_argument("FrameServer needs at least one worker");
+  // A frame longer than a u32 length prefix can describe is unframeable.
+  if (cfg.max_frame_bytes > 0xFFFFFFFFu)
+    throw std::invalid_argument("FrameServer max_frame_bytes exceeds u32");
+
+  SocketServerConfig scfg;
+  scfg.port = cfg.port;
+  scfg.workers = cfg.workers;
+  scfg.max_pending = cfg.max_pending;
+  scfg.max_write_buffer_bytes = cfg.max_write_buffer_bytes;
+  scfg.handler = std::move(cfg.handler);
+  scfg.busy_response = std::move(cfg.busy_response);
+  scfg.fatal_response = std::move(cfg.fatal_response);
+
+  const std::size_t max_frame = cfg.max_frame_bytes;
+  scfg.extract = [max_frame](std::string& rbuf, std::string& out) {
+    if (rbuf.size() < kFrameHeaderBytes) return Extract::kNeedMore;
+    std::uint32_t len = 0;
+    for (std::size_t i = 0; i < kFrameHeaderBytes; ++i)
+      len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(rbuf[i]))
+             << (8 * i);
+    if (len > max_frame) return Extract::kFatal;
+    if (rbuf.size() < kFrameHeaderBytes + len) return Extract::kNeedMore;
+    out.assign(rbuf, kFrameHeaderBytes, len);
+    rbuf.erase(0, kFrameHeaderBytes + len);
+    return Extract::kMessage;
+  };
+  scfg.encode = [](std::string payload) { return frame_encode(payload); };
+
+  impl_ = std::make_unique<Impl>(std::move(scfg));
+}
+
+FrameServer::~FrameServer() = default;
+
+std::uint16_t FrameServer::port() const { return impl_->server.port(); }
+
+void FrameServer::start() { impl_->server.start(); }
+
+void FrameServer::shutdown() { impl_->server.shutdown(); }
+
+void FrameServer::join() { impl_->server.join(); }
+
+FrameServer::Stats FrameServer::stats() const {
+  const SocketServer::Stats s = impl_->server.stats();
+  Stats out;
+  out.accepted = s.accepted;
+  out.requests = s.requests;
+  out.served = s.served;
+  out.shed = s.shed;
+  out.closed_protocol = s.closed_protocol;
+  out.closed_slow = s.closed_slow;
+  return out;
+}
+
+}  // namespace cms::net

@@ -1,0 +1,93 @@
+// Length-prefixed binary framing over the generic net::SocketServer
+// core — the transport the networked blob store rides (ARCHITECTURE.md
+// "Blob wire protocol").
+//
+// Wire format, both directions: a 4-byte little-endian payload length,
+// then exactly that many payload bytes. Payloads are opaque to the
+// transport (any byte value, including '\n' and '\0'); an empty payload
+// (length 0) is a legal frame. A declared length above max_frame_bytes
+// is fatal: the framing cannot be resynced, so the canned
+// fatal_response is answered at the frame's slot (everything admitted
+// before it still answers in order) and the connection closes after
+// flushing.
+//
+// All SocketServer contracts apply: per-connection response ordering,
+// bounded admission queue shedding with busy_response, slow-consumer
+// close, graceful drain. Frames carry no admission deadline — the blob
+// protocol's client enforces its own IO timeouts instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace cms::net {
+
+/// Bytes of the little-endian length prefix on every frame.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Wrap a payload in its wire framing (4-byte LE length + payload).
+/// Shared by the server's encode hook and blocking clients.
+std::string frame_encode(const std::string& payload);
+
+struct FrameServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
+  std::uint16_t port = 0;
+  /// Worker threads calling `handler`.
+  unsigned workers = 4;
+  /// Bound on admitted-but-not-started frames across all connections.
+  std::size_t max_pending = 256;
+  /// Largest accepted frame payload; a longer declared length closes
+  /// the connection (fatal framing).
+  std::size_t max_frame_bytes = 64u << 20;
+  /// Outbound-buffer cap per connection (slow consumer close). Sized
+  /// for blob traffic: several max-size frames in flight.
+  std::size_t max_write_buffer_bytes = 256u << 20;
+
+  /// Application callback: one request payload in, one response payload
+  /// out (framing added by the server). Called concurrently from worker
+  /// threads; must be thread-safe. May block.
+  std::function<std::string(const std::string& payload)> handler;
+
+  /// Canned response payload for a frame shed by the full queue.
+  std::string busy_response;
+  /// Canned response payload answered before closing on an oversized
+  /// frame.
+  std::string fatal_response;
+};
+
+class FrameServer {
+ public:
+  /// Binds + listens on 127.0.0.1:cfg.port (throws std::system_error /
+  /// std::invalid_argument on failure) but serves nothing until start().
+  explicit FrameServer(FrameServerConfig cfg);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// The resolved listening port (after an ephemeral bind).
+  std::uint16_t port() const;
+
+  void start();
+  /// Async-signal-safe graceful drain request (see SocketServer).
+  void shutdown();
+  void join();
+
+  struct Stats {
+    std::uint64_t accepted = 0;         // connections accepted
+    std::uint64_t requests = 0;         // frames admitted or shed
+    std::uint64_t served = 0;           // responses produced by handler
+    std::uint64_t shed = 0;             // busy_response (queue full)
+    std::uint64_t closed_protocol = 0;  // closed on oversized frames
+    std::uint64_t closed_slow = 0;      // closed on write-buffer cap
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cms::net

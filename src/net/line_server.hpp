@@ -32,13 +32,18 @@
 //    self-pipe; install it in a SIGTERM handler).  The server then stops
 //    accepting and stops READING, but every already-admitted request is
 //    served and every response byte flushed before join() returns.
-//  * Lines are capped at max_line_bytes; an overlong line gets
-//    Config::overlong_response and the connection is closed (the stream
-//    is mid-garbage — there is no safe resync).
+//  * Lines are capped at max_line_bytes; an overlong line — terminated
+//    or not — gets Config::overlong_response at its slot and the
+//    connection closes after flushing (the stream is mid-garbage — there
+//    is no safe resync). Requests pipelined behind the overlong line are
+//    never admitted.
 //
 // The server is transport only: it knows nothing about the plan
 // protocol beyond the three canned response strings the embedder
 // provides.  examples/plan_server.cpp binds it to svc::PlanningService.
+// The poll loop / worker pool / ordering machinery lives in
+// net::SocketServer; this class is the newline framing over it
+// (net::FrameServer is the binary sibling).
 #pragma once
 
 #include <atomic>

@@ -48,7 +48,7 @@ std::optional<StoreBackend::Blob> DirBackend::get(BlobKind kind,
   // Cheap-miss precheck: a cold key must not pay for an ifstream failure
   // + exception on every probe.
   if (!fs::exists(path, ec) || ec) return std::nullopt;
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     // Vanished between the existence check and the open (a peer's
     // eviction): an ordinary miss. Still present but unopenable is an
@@ -57,7 +57,13 @@ std::optional<StoreBackend::Blob> DirBackend::get(BlobKind kind,
       throw std::runtime_error(path + ": cannot open store entry");
     return std::nullopt;
   }
+  in.seekg(0, std::ios::end);
   const std::streamsize size = in.tellg();
+  // An unseekable "entry" (a FIFO or device node at the entry path)
+  // reports -1 here; without the guard the size_t cast below would ask
+  // for a SIZE_MAX allocation. Present but unreadable -> throw.
+  if (size < 0)
+    throw std::runtime_error(path + ": cannot size store entry");
   in.seekg(0);
   Blob bytes(static_cast<std::size_t>(size));
   if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
@@ -233,7 +239,10 @@ std::optional<StoreBackend::Blob> TieredBackend::get(
       promotions_.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
       // A failed promotion costs the next read another L2 trip, nothing
-      // more; the bytes in hand are still a hit.
+      // more; the bytes in hand are still a hit. Counted separately
+      // from l2_errors — the far tier answered fine, the NEAR tier
+      // refused the copy.
+      promotion_failures_.fetch_add(1, std::memory_order_relaxed);
       log_warn() << "tiered store: L1 promotion failed: " << e.what();
     }
   }
@@ -292,9 +301,36 @@ std::optional<StoreBackend::TierCounters> TieredBackend::tier_counters()
   c.l2_misses = l2_misses_.load(std::memory_order_relaxed);
   c.l2_errors = l2_errors_.load(std::memory_order_relaxed);
   c.promotions = promotions_.load(std::memory_order_relaxed);
+  c.promotion_failures = promotion_failures_.load(std::memory_order_relaxed);
   c.l1_writes = l1_writes_.load(std::memory_order_relaxed);
   c.l2_writes = l2_writes_.load(std::memory_order_relaxed);
   return c;
+}
+
+std::string tier_counters_json(
+    const std::optional<StoreBackend::TierCounters>& t, const char* key) {
+  if (!t) return {};
+  std::string json = ", \"";
+  json += key;
+  json += "\": {";
+  const auto field = [&json](const char* name, std::uint64_t v, bool last) {
+    json += "\"";
+    json += name;
+    json += "\": ";
+    json += std::to_string(v);
+    if (!last) json += ", ";
+  };
+  field("l1_hits", t->l1_hits, false);
+  field("l1_misses", t->l1_misses, false);
+  field("l2_hits", t->l2_hits, false);
+  field("l2_misses", t->l2_misses, false);
+  field("l2_errors", t->l2_errors, false);
+  field("promotions", t->promotions, false);
+  field("promotion_failures", t->promotion_failures, false);
+  field("l1_writes", t->l1_writes, false);
+  field("l2_writes", t->l2_writes, true);
+  json += "}";
+  return json;
 }
 
 }  // namespace cms::opt

@@ -89,15 +89,19 @@ class StoreBackend {
   /// TieredBackend observability (monotonic, race-free). l1_misses
   /// counts near-tier misses (whether or not L2 then hit); l2_errors
   /// counts degraded L2 operations (logged, never surfaced as errors).
+  /// promotion_failures separates a healthy tier from one whose every
+  /// L2 hit fails to copy into L1 — each such hit pays the far-tier
+  /// round trip again forever, which only this counter can reveal.
   struct TierCounters {
     std::uint64_t l1_hits = 0;
     std::uint64_t l1_misses = 0;
     std::uint64_t l2_hits = 0;
     std::uint64_t l2_misses = 0;
     std::uint64_t l2_errors = 0;
-    std::uint64_t promotions = 0;  // L2 hits copied into L1
-    std::uint64_t l1_writes = 0;   // put() near-tier publishes
-    std::uint64_t l2_writes = 0;   // write-through publishes
+    std::uint64_t promotions = 0;          // L2 hits copied into L1
+    std::uint64_t promotion_failures = 0;  // L2 hits whose L1 copy failed
+    std::uint64_t l1_writes = 0;           // put() near-tier publishes
+    std::uint64_t l2_writes = 0;           // write-through publishes
   };
 
   virtual ~StoreBackend() = default;
@@ -238,8 +242,17 @@ class TieredBackend final : public StoreBackend {
   std::atomic<std::uint64_t> l2_misses_{0};
   std::atomic<std::uint64_t> l2_errors_{0};
   std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> promotion_failures_{0};
   std::atomic<std::uint64_t> l1_writes_{0};
   std::atomic<std::uint64_t> l2_writes_{0};
 };
+
+/// The one JSON spelling of TierCounters — a `, "KEY": {...}` fragment
+/// for embedding in a stats object, or "" when `t` is empty (untiered).
+/// Shared by plan_server's stats endpoint and the store benches so
+/// every emitter names the same keys.
+std::string tier_counters_json(
+    const std::optional<StoreBackend::TierCounters>& t,
+    const char* key = "tiers");
 
 }  // namespace cms::opt

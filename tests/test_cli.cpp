@@ -185,6 +185,33 @@ TEST(ParseStoreL2Dir, BothFormsAndDefault) {
   EXPECT_EQ(l2_dir_of({"--store-l2", "rw"}), "");
 }
 
+TEST(ParseStoreL2, TcpEndpointImpliesReadWrite) {
+  // `--store-l2 tcp://host:port` is the networked far tier in one flag:
+  // the value doubles as the target, and the mode is rw.
+  EXPECT_EQ(l2_of({"--store-l2", "tcp://10.0.0.1:9000"}, StoreL2Mode::kOff),
+            StoreL2Mode::kReadWrite);
+  EXPECT_EQ(l2_of({"--store-l2=tcp://h:1"}, StoreL2Mode::kOff),
+            StoreL2Mode::kReadWrite);
+}
+
+std::string l2_target_of(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parse_store_l2_target(static_cast<int>(args.size()),
+                               const_cast<char**>(args.data()));
+}
+
+TEST(ParseStoreL2Target, DirWinsThenTcpModeValue) {
+  // The explicit dir flag (which itself may carry a tcp:// url) always
+  // wins; otherwise a tcp:// mode value is the target; otherwise none.
+  EXPECT_EQ(l2_target_of({"--store-l2-dir", "far"}), "far");
+  EXPECT_EQ(l2_target_of({"--store-l2-dir=tcp://h:1"}), "tcp://h:1");
+  EXPECT_EQ(l2_target_of({"--store-l2", "tcp://h:2"}), "tcp://h:2");
+  EXPECT_EQ(l2_target_of({"--store-l2-dir", "far", "--store-l2=tcp://h:3"}),
+            "far");
+  EXPECT_EQ(l2_target_of({"--store-l2", "rw"}), "");  // a mode, not a target
+  EXPECT_EQ(l2_target_of({}), "");
+}
+
 unsigned clients_of(std::vector<const char*> args, unsigned def = 4) {
   args.insert(args.begin(), "prog");
   return parse_service_clients(static_cast<int>(args.size()),

@@ -7,6 +7,11 @@
 // a graceful shutdown() drains every admitted request before join()
 // returns. Everything runs against a stub handler — the transport knows
 // nothing of the plan protocol, and these tests keep it that way.
+//
+// net::FrameServer (the length-prefixed binary cousin built on the same
+// net::SocketServer machinery) gets the equivalent suite: binary-safe
+// echo with pipelined ordering, byte-dripped reassembly, oversized-frame
+// fatality, and busy shedding with framed canned responses.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -27,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame_server.hpp"
 #include "net/line_server.hpp"
 
 namespace cms::net {
@@ -80,6 +86,19 @@ class TestClient {
       if (n <= 0) return std::nullopt;
       buf_.append(chunk, static_cast<std::size_t>(n));
     }
+  }
+
+  /// Exactly `n` raw bytes; nullopt when the server closed first.
+  std::optional<std::string> recv_exact(std::size_t n) {
+    while (buf_.size() < n) {
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(got));
+    }
+    std::string out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return out;
   }
 
  private:
@@ -252,6 +271,36 @@ TEST(LineServer, OverlongLineAnswersThenCloses) {
   EXPECT_EQ(server.stats().closed_overlong, 1u);
 }
 
+TEST(LineServer, OverlongTerminatedLineInOneBatchStillCloses) {
+  // Regression: the cap used to be enforced only on the UNTERMINATED
+  // tail of the read buffer, so an overlong line whose '\n' arrived in
+  // the same recv() batch sailed straight into the handler. The cap must
+  // apply to extracted lines too: answer the error at the line's slot,
+  // close after the flush, and never admit anything pipelined behind it.
+  std::atomic<int> handled_long{0};
+  LineServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_line_bytes = 32;
+  cfg.overlong_response = "TOO-LONG";
+  cfg.handler = [&](const std::string& line) {
+    if (line.size() > 32) ++handled_long;
+    return "ok:" + line;
+  };
+  LineServer server(std::move(cfg));
+  server.start();
+
+  TestClient c(server.port());
+  // ONE batch: a good line, a terminated overlong line, a line behind it.
+  c.send_raw("short\n" + std::string(100, 'a') + "\nafter\n");
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("ok:short"));
+  EXPECT_EQ(c.recv_line(), std::optional<std::string>("TOO-LONG"));
+  EXPECT_EQ(c.recv_line(), std::nullopt);  // closed; "after" never answered
+  EXPECT_EQ(handled_long.load(), 0);       // the handler never saw it
+  const LineServer::Stats s = server.stats();
+  EXPECT_EQ(s.closed_overlong, 1u);
+  EXPECT_EQ(s.served, 1u);  // only "short"
+}
+
 TEST(LineServer, CrlfAndBlankLinesAreTolerated) {
   LineServerConfig cfg;
   cfg.workers = 1;
@@ -308,6 +357,144 @@ TEST(LineServer, ConstructorValidatesConfig) {
   LineServerConfig ok;
   ok.handler = [](const std::string&) { return std::string("x"); };
   LineServer server(std::move(ok));
+  EXPECT_GT(server.port(), 0);
+}
+
+/// Blocking length-prefixed-frame client for FrameServer tests.
+class FrameClient {
+ public:
+  explicit FrameClient(std::uint16_t port) : c_(port) {}
+
+  void send_frame(const std::string& payload) {
+    c_.send_raw(frame_encode(payload));
+  }
+  void send_raw(const std::string& bytes) { c_.send_raw(bytes); }
+
+  /// One response frame payload; nullopt when the server closed.
+  std::optional<std::string> recv_frame() {
+    const auto header = c_.recv_exact(kFrameHeaderBytes);
+    if (!header) return std::nullopt;
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i)
+      len = (len << 8) | static_cast<unsigned char>((*header)[i]);
+    if (len == 0) return std::string();
+    return c_.recv_exact(len);
+  }
+
+ private:
+  TestClient c_;
+};
+
+TEST(FrameServer, EchoesBinaryPayloadsInRequestOrder) {
+  FrameServerConfig cfg;
+  cfg.workers = 4;
+  cfg.handler = [](const std::string& payload) {
+    return "echo:" + payload;
+  };
+  FrameServer server(std::move(cfg));
+  server.start();
+
+  FrameClient c(server.port());
+  // Payloads with embedded '\n' and '\0' — exactly what line framing
+  // cannot carry — pipelined in one burst.
+  std::vector<std::string> payloads = {
+      std::string("a\nb"), std::string("c\0d", 3), std::string(),
+      std::string(1000, '\xff')};
+  for (const auto& p : payloads) c.send_frame(p);
+  for (const auto& p : payloads) {
+    const auto resp = c.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(*resp, "echo:" + p);
+  }
+  const FrameServer::Stats s = server.stats();
+  EXPECT_EQ(s.served, payloads.size());
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(FrameServer, PartialHeaderAndPayloadChunksReassemble) {
+  FrameServerConfig cfg;
+  cfg.workers = 1;
+  cfg.handler = [](const std::string& payload) { return payload + "!"; };
+  FrameServer server(std::move(cfg));
+  server.start();
+
+  FrameClient c(server.port());
+  const std::string wire = frame_encode("hello");
+  // Drip the frame byte by byte: header split, payload split.
+  for (char b : wire) {
+    c.send_raw(std::string(1, b));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(c.recv_frame(), std::optional<std::string>("hello!"));
+}
+
+TEST(FrameServer, OversizedFrameAnswersFatalThenCloses) {
+  std::atomic<int> handled{0};
+  FrameServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_frame_bytes = 64;
+  cfg.fatal_response = "FATAL";
+  cfg.handler = [&](const std::string& payload) {
+    ++handled;
+    return payload;
+  };
+  FrameServer server(std::move(cfg));
+  server.start();
+
+  FrameClient c(server.port());
+  c.send_frame("fine");
+  // A header declaring a 1 MB frame: fatal on sight — the body is never
+  // even sent, so the server must not wait for it.
+  c.send_raw(std::string("\x00\x00\x10\x00", 4));  // 0x00100000 LE
+  EXPECT_EQ(c.recv_frame(), std::optional<std::string>("fine"));
+  EXPECT_EQ(c.recv_frame(), std::optional<std::string>("FATAL"));
+  EXPECT_EQ(c.recv_frame(), std::nullopt);  // connection closed
+  EXPECT_EQ(handled.load(), 1);
+  EXPECT_EQ(server.stats().closed_protocol, 1u);
+}
+
+TEST(FrameServer, BoundedQueueShedsWithBusyFrame) {
+  Gate gate;
+  FrameServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_pending = 1;
+  cfg.busy_response = "BUSY";
+  cfg.handler = [&](const std::string& payload) {
+    if (payload == "block") gate.block();
+    return "ok:" + payload;
+  };
+  FrameServer server(std::move(cfg));
+  server.start();
+
+  FrameClient c(server.port());
+  c.send_frame("block");
+  gate.wait_entered(1);
+  c.send_frame("q1");
+  c.send_frame("q2");
+  c.send_frame("q3");
+  while (server.stats().requests < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.stats().shed, 2u);
+  gate.release();
+
+  const char* want[] = {"ok:block", "ok:q1", "BUSY", "BUSY"};
+  for (const char* w : want) {
+    const auto resp = c.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(*resp, w);
+  }
+}
+
+TEST(FrameServer, ConstructorValidatesConfig) {
+  FrameServerConfig no_handler;
+  EXPECT_THROW(FrameServer{std::move(no_handler)}, std::invalid_argument);
+  FrameServerConfig no_workers;
+  no_workers.workers = 0;
+  no_workers.handler = [](const std::string&) { return std::string(); };
+  EXPECT_THROW(FrameServer{std::move(no_workers)}, std::invalid_argument);
+  FrameServerConfig ok;
+  ok.handler = [](const std::string&) { return std::string("x"); };
+  FrameServer server(std::move(ok));
   EXPECT_GT(server.port(), 0);
 }
 

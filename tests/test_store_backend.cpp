@@ -6,12 +6,24 @@
 // the TieredBackend composition: read-through with promote-on-hit,
 // write-through, L1-only remove/list, and the degradation guarantee —
 // every L2 failure is counted and logged, never surfaced as an error.
+//
+// opt::NetBackend (the tcp:// far tier) runs the SAME contract suite
+// against an in-process blob server (net::FrameServer +
+// opt::handle_blob_request over a MemBackend), plus a fault-injection
+// suite: server gone mid-conversation, garbage and corrupted response
+// frames, connection refused, stale-pool recovery across a server
+// restart — and the flapping-L2 stress re-runs with the network in the
+// loop, same counter algebra.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -22,6 +34,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/frame_server.hpp"
+#include "opt/blob_protocol.hpp"
+#include "opt/net_backend.hpp"
 #include "opt/store_backend.hpp"
 
 namespace cms::opt {
@@ -87,7 +102,71 @@ class FailingBackend final : public StoreBackend {
   MemBackend inner_;
 };
 
-// ---- The contract every backend satisfies (Dir and Mem) ----
+/// An in-process blob server + NetBackend client over it: the loopback
+/// version of the example_blob_server deployment, close enough to the
+/// real thing that the full backend contract can run over the wire.
+struct NetHarness {
+  std::shared_ptr<StoreBackend> exported;
+  std::unique_ptr<net::FrameServer> server;
+  std::shared_ptr<NetBackend> client;
+  bool writable = true;
+
+  ~NetHarness() { stop_server(); }
+
+  void stop_server() {
+    if (!server) return;
+    server->shutdown();
+    server->join();
+    server.reset();
+  }
+
+  /// A fresh server over the same exported backend on the SAME port —
+  /// what a daemon restart looks like to a client with pooled sockets.
+  void restart_server() {
+    const std::uint16_t port = server ? server->port() : 0;
+    stop_server();
+    start_server(port);
+  }
+
+  void start_server(std::uint16_t port) {
+    net::FrameServerConfig scfg;
+    scfg.port = port;
+    scfg.workers = 4;
+    scfg.busy_response = blob_error_response("busy");
+    scfg.fatal_response = blob_error_response("bad frame");
+    const std::shared_ptr<StoreBackend> backend = exported;
+    const bool rw = writable;
+    scfg.handler = [backend, rw](const std::string& payload) {
+      return handle_blob_request(*backend, payload, rw);
+    };
+    server = std::make_unique<net::FrameServer>(std::move(scfg));
+    server->start();
+  }
+};
+
+std::shared_ptr<NetHarness> make_net_harness(
+    std::shared_ptr<StoreBackend> exported, NetBackendConfig ccfg = {},
+    bool writable = true) {
+  auto h = std::make_shared<NetHarness>();
+  h->exported = std::move(exported);
+  h->writable = writable;
+  h->start_server(0);
+  ccfg.port = h->server->port();
+  h->client = std::make_shared<NetBackend>(ccfg);
+  return h;
+}
+
+/// Client config tuned so deliberate faults fail in milliseconds, not
+/// the production multi-second timeouts.
+NetBackendConfig fast_fail_config() {
+  NetBackendConfig cfg;
+  cfg.connect_timeout_ms = 250;
+  cfg.io_timeout_ms = 500;
+  cfg.retry_backoff_ms = 1;
+  return cfg;
+}
+
+// ---- The contract every backend satisfies (Dir, Mem and Net) ----
 
 struct BackendFactory {
   const char* name;
@@ -101,6 +180,13 @@ std::vector<BackendFactory> contract_backends() {
          return std::make_shared<DirBackend>(tmp.file("store"));
        }},
       {"mem", [](TempDir&) { return std::make_shared<MemBackend>(); }},
+      {"net",
+       [](TempDir&) -> std::shared_ptr<StoreBackend> {
+         const auto h = make_net_harness(std::make_shared<MemBackend>());
+         // Alias: the contract test holds one pointer; the harness
+         // (server + exported store) rides along until it drops.
+         return std::shared_ptr<StoreBackend>(h, h->client.get());
+       }},
   };
 }
 
@@ -232,6 +318,28 @@ TEST(DirBackend, StatOfUnstatableEntryReportsUnknownSize) {
   const auto sz = b.stat(BlobKind::kTrace, "ghost");
   ASSERT_TRUE(sz.has_value());
   EXPECT_EQ(*sz, 0u);
+}
+
+TEST(DirBackend, GetOfUnseekableEntryThrowsInsteadOfHugeAlloc) {
+  // Regression: a FIFO (or device node) wearing an entry's name opens
+  // fine but cannot seek, so tellg() reports -1 — which the old code
+  // cast straight to size_t and passed to the Blob constructor as a
+  // SIZE_MAX allocation. Present-but-unreadable must throw, with the
+  // path in the message.
+  TempDir tmp;
+  DirBackend b(tmp.file("store"));
+  const std::string path = b.path_of(BlobKind::kTrace, "fifo");
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << strerror(errno);
+  // Hold an O_RDWR end open so the read-side open below cannot block.
+  const int holder = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(holder, 0);
+  try {
+    b.get(BlobKind::kTrace, "fifo");
+    FAIL() << "get() of a FIFO entry did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  ::close(holder);
 }
 
 TEST(DirBackend, RemoveOfStuckEntryReportsFailed) {
@@ -467,7 +575,28 @@ TEST(TieredBackend, FailedPromotionIsStillAHit) {
   EXPECT_EQ(*got, blob_of("far"));
   const auto c = tiered.tier_counters();
   EXPECT_EQ(c->l2_hits, 1u);
-  EXPECT_EQ(c->promotions, 0u);  // never counted as promoted
+  EXPECT_EQ(c->promotions, 0u);           // never counted as promoted
+  EXPECT_EQ(c->promotion_failures, 1u);   // ...but no longer log-only
+  EXPECT_EQ(c->l2_errors, 0u);  // the FAR tier answered fine
+}
+
+TEST(TieredBackend, TierCountersJsonSurfacesPromotionFailures) {
+  // The stats JSON plan_server and the benches emit is built by one
+  // shared helper; pin that new counters (promotion_failures) show up
+  // there instead of silently falling out of the reports.
+  const auto l1 = std::make_shared<FailingBackend>();
+  const auto l2 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, l2);
+  l2->put(BlobKind::kTrace, "k", blob_of("far"));
+  l1->fail_put = true;
+  ASSERT_TRUE(tiered.get(BlobKind::kTrace, "k").has_value());
+
+  const std::string json = tier_counters_json(tiered.tier_counters());
+  EXPECT_NE(json.find("\"tiers\""), std::string::npos);
+  EXPECT_NE(json.find("\"promotion_failures\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"l2_hits\": 1"), std::string::npos);
+  // And the no-tiers case renders as nothing, not broken JSON.
+  EXPECT_EQ(tier_counters_json(std::nullopt), "");
 }
 
 TEST(TieredBackend, DescribeNamesBothTiers) {
@@ -478,21 +607,167 @@ TEST(TieredBackend, DescribeNamesBothTiers) {
   EXPECT_EQ(tiered.describe(), "tiered(dir:" + tmp.file("near") + ", mem)");
 }
 
+// ---- NetBackend: endpoint parsing and fault injection ----
+
+TEST(NetBackend, ParseTcpEndpointAcceptsHostColonPort) {
+  const NetBackendConfig cfg = parse_tcp_endpoint("tcp://10.1.2.3:9000");
+  EXPECT_EQ(cfg.host, "10.1.2.3");
+  EXPECT_EQ(cfg.port, 9000);
+}
+
+TEST(NetBackend, ParseTcpEndpointRejectsMalformedUrls) {
+  EXPECT_THROW(parse_tcp_endpoint("10.1.2.3:9000"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://hostonly"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://:9000"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:port"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:0"), std::runtime_error);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:70000"), std::runtime_error);
+}
+
+TEST(NetBackend, DescribeNamesTheEndpoint) {
+  const auto h = make_net_harness(std::make_shared<MemBackend>());
+  EXPECT_EQ(h->client->describe(),
+            "tcp://127.0.0.1:" + std::to_string(h->server->port()));
+}
+
+TEST(NetBackend, ReadOnlyExportRejectsWritesServesReads) {
+  const auto mem = std::make_shared<MemBackend>();
+  mem->put(BlobKind::kTrace, "k", blob_of("published"));
+  const auto h =
+      make_net_harness(mem, fast_fail_config(), /*writable=*/false);
+  const auto got = h->client->get(BlobKind::kTrace, "k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob_of("published"));
+  // Writes come back as server errors, not silent drops.
+  EXPECT_THROW(h->client->put(BlobKind::kTrace, "w", blob_of("x")),
+               std::runtime_error);
+  EXPECT_FALSE(mem->contains(BlobKind::kTrace, "w"));
+  // remove() maps every failure to kFailed per the StoreBackend contract.
+  EXPECT_EQ(h->client->remove(BlobKind::kTrace, "k"),
+            StoreBackend::RemoveOutcome::kFailed);
+  EXPECT_TRUE(mem->contains(BlobKind::kTrace, "k"));
+}
+
+TEST(NetBackend, ServerGoneMidConversationThrowsThenTieredDegrades) {
+  const auto h =
+      make_net_harness(std::make_shared<MemBackend>(), fast_fail_config());
+  h->client->put(BlobKind::kTrace, "k", blob_of("v"));  // pools a socket
+  h->stop_server();
+
+  // Bare client: transport failure after all retries IS an exception —
+  // NetBackend cannot distinguish "absent" from "unreachable".
+  EXPECT_THROW(h->client->get(BlobKind::kTrace, "k"), std::runtime_error);
+  EXPECT_EQ(h->client->counters().failures, 1u);
+
+  // Under the tiered seam the same failure is a counted, logged miss.
+  const auto l1 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, h->client);
+  EXPECT_NO_THROW({
+    EXPECT_FALSE(tiered.get(BlobKind::kTrace, "k").has_value());
+  });
+  EXPECT_GT(tiered.tier_counters()->l2_errors, 0u);
+  // And remove() never throws even with the daemon gone.
+  EXPECT_EQ(h->client->remove(BlobKind::kTrace, "k"),
+            StoreBackend::RemoveOutcome::kFailed);
+}
+
+TEST(NetBackend, ConnectRefusedFailsAfterConfiguredRetries) {
+  // Grab an ephemeral port that is then closed again: connecting to it
+  // refuses immediately, so the retry loop spins through its budget
+  // fast. The resulting counters pin the retry policy: one op, every
+  // retry taken, one failure.
+  std::uint16_t dead_port = 0;
+  {
+    net::FrameServerConfig scfg;
+    scfg.handler = [](const std::string& p) { return p; };
+    net::FrameServer probe(std::move(scfg));
+    dead_port = probe.port();
+  }
+  NetBackendConfig cfg = fast_fail_config();
+  cfg.port = dead_port;
+  cfg.retries = 2;
+  NetBackend nb(cfg);
+  EXPECT_THROW(nb.get(BlobKind::kTrace, "k"), std::runtime_error);
+  const NetBackend::Counters c = nb.counters();
+  EXPECT_EQ(c.ops, 1u);
+  EXPECT_EQ(c.retries, 2u);
+  EXPECT_EQ(c.failures, 1u);
+}
+
+TEST(NetBackend, GarbageResponseThrowsWithoutRetry) {
+  // A server that answers every frame with bytes that are not a blob
+  // response: protocol corruption, NOT a transport fault — the client
+  // must throw immediately instead of retrying garbage.
+  net::FrameServerConfig scfg;
+  scfg.handler = [](const std::string&) {
+    return std::string("these are not the bytes you are looking for");
+  };
+  net::FrameServer server(std::move(scfg));
+  server.start();
+  NetBackendConfig cfg = fast_fail_config();
+  cfg.port = server.port();
+  cfg.retries = 3;
+  NetBackend nb(cfg);
+  EXPECT_THROW(nb.get(BlobKind::kTrace, "k"), std::runtime_error);
+  EXPECT_EQ(nb.counters().retries, 0u);  // corruption is never retried
+  server.shutdown();
+  server.join();
+}
+
+TEST(NetBackend, CorruptedPayloadFailsTheChecksum) {
+  // A man-in-the-middle flipping one payload byte: the frame parses, the
+  // header validates, but the bulk-bytes checksum must catch the damage.
+  const auto mem = std::make_shared<MemBackend>();
+  mem->put(BlobKind::kTrace, "k", blob_of("precious payload bytes"));
+  net::FrameServerConfig scfg;
+  scfg.handler = [mem](const std::string& payload) {
+    std::string resp = handle_blob_request(*mem, payload);
+    resp[resp.size() / 2] ^= 0x01;  // one bit, mid-payload
+    return resp;
+  };
+  net::FrameServer server(std::move(scfg));
+  server.start();
+  NetBackendConfig cfg = fast_fail_config();
+  cfg.port = server.port();
+  NetBackend nb(cfg);
+  EXPECT_THROW(nb.get(BlobKind::kTrace, "k"), std::runtime_error);
+  EXPECT_EQ(nb.counters().retries, 0u);
+  server.shutdown();
+  server.join();
+}
+
+TEST(NetBackend, ServerRestartRecoversThePooledConnection) {
+  // A pooled socket from before a daemon restart is dead on arrival;
+  // the client must treat that stale-connection failure as free (no
+  // retry budget spent), dial fresh, and succeed.
+  const auto h =
+      make_net_harness(std::make_shared<MemBackend>(), fast_fail_config());
+  h->client->put(BlobKind::kTrace, "k", blob_of("survives"));  // pools
+  h->restart_server();
+
+  const auto got = h->client->get(BlobKind::kTrace, "k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob_of("survives"));
+  const NetBackend::Counters c = h->client->counters();
+  EXPECT_EQ(c.failures, 0u);
+  EXPECT_EQ(c.reconnects, 2u);  // the original dial + the recovery dial
+}
+
 // ---- Tiered stress: concurrent reads/writes/evictions + failing L2 ----
 
-TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
-  // 8 threads hammer one tiered backend over a small digest set while a
-  // toggler flips the far tier between healthy and failing. Invariants:
-  // no call ever throws (degradation, never errors), every successful
-  // get returns the digest's canonical bytes, and the counters add up
-  // (gets == l1 hits + l1 misses; every l1 miss resolves to an l2 hit,
-  // l2 miss or l2 error). TSan runs this to certify the seam.
+/// The shared stress body: `kThreads` threads hammer one tiered backend
+/// over a small digest set while a toggler flips `flapper` between
+/// healthy and failing. Invariants: no call ever throws (degradation,
+/// never errors), every successful get returns the digest's canonical
+/// bytes, and the counters add up (gets == l1 hits + l1 misses; every
+/// l1 miss resolves to an l2 hit, l2 miss or l2 error). TSan runs both
+/// instantiations — direct and over-the-wire — to certify the seam.
+void run_flapping_l2_stress(TieredBackend& tiered, FailingBackend& flapper,
+                            int ops_per_thread) {
   constexpr int kThreads = 8;
-  constexpr int kOps = 200;
   constexpr std::uint64_t kDigests = 5;
-  const auto l1 = std::make_shared<MemBackend>();
-  const auto l2 = std::make_shared<FailingBackend>();
-  TieredBackend tiered(l1, l2);
 
   const auto digest_of = [](std::uint64_t d) {
     return "stress-" + std::to_string(d);
@@ -506,12 +781,12 @@ TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
     bool failing = false;
     while (!stop.load()) {
       failing = !failing;
-      l2->fail_get = failing;
-      l2->fail_put = failing;
-      l2->fail_stat = failing;
+      flapper.fail_get = failing;
+      flapper.fail_put = failing;
+      flapper.fail_stat = failing;
       std::this_thread::yield();
     }
-    l2->fail_get = l2->fail_put = l2->fail_stat = false;
+    flapper.fail_get = flapper.fail_put = flapper.fail_stat = false;
   });
 
   std::atomic<std::uint64_t> gets{0};
@@ -520,7 +795,7 @@ TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
   for (int t = 0; t < kThreads; ++t)
     pool.emplace_back([&, t] {
       Rng rng(0x71E2EDull + static_cast<std::uint64_t>(t));
-      for (int op = 0; op < kOps; ++op) {
+      for (int op = 0; op < ops_per_thread; ++op) {
         const std::uint64_t d = rng.below(kDigests);
         const std::string digest = digest_of(d);
         switch (rng.below(5)) {
@@ -559,6 +834,27 @@ TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
     if (const auto got = tiered.get(BlobKind::kTrace, digest_of(d))) {
       EXPECT_EQ(*got, bytes_of(d));
     }
+}
+
+TEST(TieredBackendStress, ConcurrentOpsWithFlappingL2StayConsistent) {
+  const auto l1 = std::make_shared<MemBackend>();
+  const auto l2 = std::make_shared<FailingBackend>();
+  TieredBackend tiered(l1, l2);
+  run_flapping_l2_stress(tiered, *l2, 200);
+}
+
+TEST(TieredBackendStress, FlappingL2OverTheWireStaysConsistent) {
+  // Same invariants with the whole network stack in the loop: the
+  // flapping backend sits BEHIND an in-process blob server, so every
+  // injected failure travels as a kError response and every healthy op
+  // as a framed RPC. The tiered seam must not care which L2 it has.
+  const auto flapper = std::make_shared<FailingBackend>();
+  const auto h = make_net_harness(flapper, fast_fail_config());
+  const auto l1 = std::make_shared<MemBackend>();
+  TieredBackend tiered(l1, h->client);
+  run_flapping_l2_stress(tiered, *flapper, 60);
+  EXPECT_GT(h->client->counters().ops, 0u);
+  EXPECT_EQ(h->client->counters().retries, 0u);  // server errors never retry
 }
 
 }  // namespace
