@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   if (!core::scenarios().has("sensor-pipeline"))
     core::scenarios().add({"sensor-pipeline",
                            "3-stage sample->filter->log sensor pipeline",
-                           make_sensor_app, cfg});
+                           make_sensor_app, cfg, /*phases=*/{}});
 
   core::Experiment exp(make_sensor_app, cfg);
   const opt::MissProfile prof = exp.profile();

@@ -21,16 +21,20 @@
 // in request order per connection):
 //
 //   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
-//                   [deadline_ms=MS]
+//                   [deadline_ms=MS] [phases=all]
 //       -> {"ok": true, "scenario": ..., "sweep": "leader|coalesced|
 //           cache", "union_points": N, "plan_digest": "...", ...}
 //       Each option may appear AT MOST ONCE (repeats are request
 //       errors); eps must be finite and >= 0 (omit for auto-tune).
+//       phases=all plans every phase of a streaming scenario; the
+//       response then carries a "phases" array of per-phase responses
+//       (each with its own plan_digest) instead of a single assignment.
 //       deadline_ms is an ADMISSION deadline: if the request is still
 //       queued when it expires, the server answers
 //       {"ok": false, "error": "error deadline expired in queue"}
 //       without planning; once started, a request always completes.
-//   scenarios          list registered scenario names
+//   scenarios          list registered scenarios: name, description and
+//                      phase count (0 = classic fixed-mix scenario)
 //   stats              service + store + plan-cache (+ net) counters
 //   gc                 enforce the store + plan-cache budgets now
 //   quit | exit        stdin mode: leave (EOF works too). Socket mode:
@@ -131,15 +135,37 @@ std::string error_json(const std::string& message) {
 }
 
 std::string response_json(const svc::PlanResponse& resp) {
-  if (!resp.ok)
-    return format("{\"ok\": false, \"scenario\": \"%s\", \"error\": \"%s\"}",
-                  json_escape(resp.scenario).c_str(),
+  // Per-phase entries of a phased response carry their phase name.
+  const std::string phase_field =
+      resp.phase.empty()
+          ? std::string()
+          : format(", \"phase\": \"%s\"", json_escape(resp.phase).c_str());
+  if (!resp.ok && resp.phases.empty())
+    return format("{\"ok\": false, \"scenario\": \"%s\"%s, \"error\": \"%s\"}",
+                  json_escape(resp.scenario).c_str(), phase_field.c_str(),
                   json_escape(resp.error).c_str());
+  if (!resp.phases.empty()) {
+    // Phased response (phases=all): one full response object per phase;
+    // the top level aggregates ok and carries the digest over ALL phases.
+    std::string out = format("{\"ok\": %s, \"scenario\": \"%s\"",
+                             resp.ok ? "true" : "false",
+                             json_escape(resp.scenario).c_str());
+    if (!resp.ok)
+      out += format(", \"error\": \"%s\"", json_escape(resp.error).c_str());
+    out += ", \"phases\": [";
+    for (std::size_t i = 0; i < resp.phases.size(); ++i) {
+      if (i) out += ", ";
+      out += response_json(resp.phases[i]);
+    }
+    out += format("], \"plan_digest\": \"%s\", \"ms\": {\"total\": %.1f}}",
+                  svc::plan_response_digest(resp).c_str(), resp.total_ms);
+    return out;
+  }
   std::string out = format(
-      "{\"ok\": true, \"scenario\": \"%s\", \"feasible\": %s, "
+      "{\"ok\": true, \"scenario\": \"%s\"%s, \"feasible\": %s, "
       "\"expected_task_misses\": %.1f, \"used_sets\": %u, "
       "\"total_sets\": %u, \"captured\": %llu, \"store_hits\": %llu",
-      json_escape(resp.scenario).c_str(),
+      json_escape(resp.scenario).c_str(), phase_field.c_str(),
       resp.assignment.feasible ? "true" : "false",
       resp.assignment.expected_task_misses, resp.assignment.used_sets,
       resp.assignment.total_sets,
@@ -177,10 +203,17 @@ std::string response_json(const svc::PlanResponse& resp) {
 }
 
 std::string scenarios_json() {
-  const std::vector<std::string> names = core::scenarios().names();
+  // One registry lock for the whole listing (ScenarioRegistry::list), not
+  // a get() per name. phases > 0 marks a streaming scenario (plannable
+  // per phase via `plan <name> phases=all`).
+  const std::vector<core::ScenarioInfo> rows = core::scenarios().list();
   std::string out = "{\"ok\": true, \"scenarios\": [";
-  for (std::size_t i = 0; i < names.size(); ++i)
-    out += format("%s\"%s\"", i ? ", " : "", names[i].c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out += format(
+        "%s{\"name\": \"%s\", \"description\": \"%s\", \"phases\": %llu}",
+        i ? ", " : "", json_escape(rows[i].name).c_str(),
+        json_escape(rows[i].description).c_str(),
+        static_cast<unsigned long long>(rows[i].phase_count));
   out += "]}";
   return out;
 }
@@ -195,7 +228,7 @@ std::string stats_json(const svc::PlanningService& service,
       "%llu, \"deferred\": %llu, \"store_hits\": %llu, "
       "\"coalesced\": %llu, \"plan_cache_hits\": %llu, "
       "\"sweeps_started\": %llu, \"sweeps_coalesced\": %llu, "
-      "\"union_points_saved\": %llu}, "
+      "\"union_points_saved\": %llu, \"sweeps_sealed_early\": %llu}, "
       "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": %llu, "
       "\"evictions\": %llu, \"entries\": %llu, \"bytes\": %llu, "
       "\"pinned\": %llu%s}, "
@@ -215,6 +248,7 @@ std::string stats_json(const svc::PlanningService& service,
       static_cast<unsigned long long>(ss.sweeps_started),
       static_cast<unsigned long long>(ss.sweeps_coalesced),
       static_cast<unsigned long long>(ss.union_points_saved),
+      static_cast<unsigned long long>(ss.sweeps_sealed_early),
       static_cast<unsigned long long>(st.hits),
       static_cast<unsigned long long>(st.misses),
       static_cast<unsigned long long>(st.writes),

@@ -1,5 +1,7 @@
 #include "apps/applications.hpp"
 
+#include <stdexcept>
+
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 
@@ -35,7 +37,122 @@ bool frame_matches(const std::vector<std::uint8_t>& got, const Image& want,
   return true;
 }
 
+/// Instantiate the 2xJPEG+Canny pipelines of one phase unit (same content
+/// derivation and builder order as make_jpeg_canny_app, under u.prefix)
+/// and return its output oracle.
+std::function<bool()> build_jpeg_canny(kpn::Network& net,
+                                       const SharedCodecTables& tables,
+                                       PhaseUnit& u) {
+  const AppConfig& cfg = u.content;
+  u.jpeg1 = std::make_unique<JpegSequence>(
+      jpeg_encode_sequence(cfg.jpeg1_width, cfg.jpeg1_height, cfg.jpeg_pictures,
+                           cfg.jpeg_quality, cfg.seed));
+  u.jpeg2 = std::make_unique<JpegSequence>(
+      jpeg_encode_sequence(cfg.jpeg2_width, cfg.jpeg2_height, cfg.jpeg_pictures,
+                           cfg.jpeg_quality, cfg.seed ^ 0xBEEF));
+  for (int f = 0; f < cfg.canny_frames; ++f)
+    u.canny_srcs.push_back(testimg::blocks(cfg.canny_width, cfg.canny_height,
+                                           (cfg.seed ^ 0xF00D) + f));
+
+  u.jpeg_pipe1 = add_jpeg_decoder(net, "1", *u.jpeg1, tables, u.prefix);
+  u.jpeg_pipe2 = add_jpeg_decoder(net, "2", *u.jpeg2, tables, u.prefix);
+  u.canny_pipe = add_canny(net, u.canny_srcs, u.prefix);
+
+  const JpegSequence* s1 = u.jpeg1.get();
+  const JpegSequence* s2 = u.jpeg2.get();
+  const kpn::FrameBuffer* out1 = u.jpeg_pipe1.output;
+  const kpn::FrameBuffer* out2 = u.jpeg_pipe2.output;
+  const kpn::FrameBuffer* cout = u.canny_pipe.output;
+  const Image canny_want = canny_reference(u.canny_srcs.back());
+  return [s1, s2, out1, out2, cout, canny_want]() {
+    bool ok = true;
+    ok &= frame_matches(out1->host_data(),
+                        jpeg_reference_decode(s1->pictures.back()), "jpeg1");
+    ok &= frame_matches(out2->host_data(),
+                        jpeg_reference_decode(s2->pictures.back()), "jpeg2");
+    const int w = canny_want.width(), h = canny_want.height();
+    const auto& got = cout->host_data();
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        if (got[static_cast<std::size_t>(y) * w + x] != canny_want.at(x, y)) {
+          log_warn() << "canny mismatch at (" << x << "," << y << ")";
+          return false;
+        }
+    return ok;
+  };
+}
+
+/// Same for the MPEG2 decoder (mirrors make_m2v_app).
+std::function<bool()> build_mpeg2(kpn::Network& net,
+                                  const SharedCodecTables& tables,
+                                  PhaseUnit& u) {
+  const AppConfig& cfg = u.content;
+  std::vector<Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.m2v_frames));
+  for (int f = 0; f < cfg.m2v_frames; ++f)
+    frames.push_back(testimg::moving_boxes(cfg.m2v_width, cfg.m2v_height, f,
+                                           cfg.seed ^ 0xC0DE));
+  u.m2v = std::make_unique<M2vStream>(m2v_encode(frames, cfg.m2v_qscale));
+
+  u.m2v_pipe = add_m2v_decoder(net, *u.m2v, tables, u.prefix);
+
+  const M2vStream* stream = u.m2v.get();
+  const M2vOutput* output = u.m2v_pipe.output;
+  return [stream, output]() {
+    const std::vector<Image> want = m2v_reference_decode(*stream);
+    if (want.size() != output->frames().size()) {
+      log_warn() << "mpeg2: frame count mismatch";
+      return false;
+    }
+    for (std::size_t f = 0; f < want.size(); ++f)
+      if (!frame_matches(output->frames()[f], want[f], "mpeg2 frame"))
+        return false;
+    return true;
+  };
+}
+
+/// The codec-table block is shared across every phase, so all JPEG phases
+/// must agree on jpeg_quality and any MPEG2 phase pins it to the 75 the
+/// classic m2v app hardcodes. Returns the resolved quality; throws with
+/// the offending phase index otherwise.
+int resolve_shared_quality(const std::vector<AppPhase>& phases) {
+  int quality = -1;
+  std::size_t quality_phase = 0;
+  bool any_m2v = false;
+  for (std::size_t k = 0; k < phases.size(); ++k) {
+    const AppPhase& p = phases[k];
+    if (mix_has_mpeg2(p.mix)) any_m2v = true;
+    if (!mix_has_jpeg_canny(p.mix)) continue;
+    if (quality == -1) {
+      quality = p.content.jpeg_quality;
+      quality_phase = k;
+    } else if (quality != p.content.jpeg_quality) {
+      throw std::invalid_argument(
+          "phased app: phase " + std::to_string(k) + " jpeg_quality " +
+          std::to_string(p.content.jpeg_quality) + " conflicts with phase " +
+          std::to_string(quality_phase) + "'s " + std::to_string(quality) +
+          " (the codec-table block is shared)");
+    }
+  }
+  if (quality == -1) quality = 75;
+  if (any_m2v && quality != 75)
+    throw std::invalid_argument(
+        "phased app: MPEG2 phases need the quality-75 shared tables, but a "
+        "JPEG phase asks for jpeg_quality " + std::to_string(quality));
+  return quality;
+}
+
 }  // namespace
+
+const char* to_string(AppMix mix) {
+  switch (mix) {
+    case AppMix::kNone: return "none";
+    case AppMix::kJpegCanny: return "jpeg-canny";
+    case AppMix::kMpeg2: return "mpeg2";
+    case AppMix::kBoth: return "jpeg-canny+mpeg2";
+  }
+  return "?";
+}
 
 AppConfig AppConfig::tiny(std::uint64_t seed) {
   AppConfig cfg;
@@ -145,6 +262,73 @@ Application make_m2v_app(const AppConfig& cfg) {
       if (!frame_matches(output->frames()[f], want[f], "mpeg2 frame"))
         return false;
     return true;
+  };
+  return app;
+}
+
+Application make_mix_app(AppMix mix, const AppConfig& cfg) {
+  switch (mix) {
+    case AppMix::kJpegCanny: return make_jpeg_canny_app(cfg);
+    case AppMix::kMpeg2: return make_m2v_app(cfg);
+    case AppMix::kBoth:
+      return make_phased_app({AppPhase{"all", AppMix::kBoth, cfg}});
+    case AppMix::kNone: break;
+  }
+  throw std::invalid_argument("make_mix_app: empty app mix");
+}
+
+Application make_phased_app(const std::vector<AppPhase>& phases) {
+  if (phases.empty())
+    throw std::invalid_argument("phased app needs at least one phase");
+  for (std::size_t k = 0; k < phases.size(); ++k)
+    if (phases[k].mix == AppMix::kNone)
+      throw std::invalid_argument("phased app: phase " + std::to_string(k) +
+                                  " references an empty app mix");
+  const int quality = resolve_shared_quality(phases);
+
+  std::size_t total_tasks = 0;
+  for (const AppPhase& p : phases) total_tasks += mix_task_count(p.mix);
+
+  Application app;
+  app.name = phases.size() == 1 ? std::string(to_string(phases[0].mix))
+                                : "phased(" + std::to_string(phases.size()) +
+                                      ")";
+  app.net = std::make_unique<kpn::Network>();
+  make_segments(app, total_tasks);
+  app.tables = std::make_unique<SharedCodecTables>(app.appl_data, quality);
+
+  std::vector<std::function<bool()>> checks;
+  checks.reserve(phases.size() * 2);
+  for (std::size_t k = 0; k < phases.size(); ++k) {
+    auto u = std::make_unique<PhaseUnit>();
+    u->name = phases[k].name.empty() ? "phase" + std::to_string(k)
+                                     : phases[k].name;
+    // A single-phase app keeps bare names: its plan entries then map onto
+    // a multi-phase run of the same mix by prepending that run's prefix.
+    if (phases.size() > 1) {
+      u->prefix = "p";
+      u->prefix += std::to_string(k);
+      u->prefix += '/';
+    }
+    u->mix = phases[k].mix;
+    u->content = phases[k].content;
+
+    const std::size_t task_begin = app.net->tasks().size();
+    if (mix_has_jpeg_canny(u->mix))
+      checks.push_back(build_jpeg_canny(*app.net, *app.tables, *u));
+    if (mix_has_mpeg2(u->mix))
+      checks.push_back(build_mpeg2(*app.net, *app.tables, *u));
+    const auto& tasks = app.net->tasks();
+    for (std::size_t i = task_begin; i < tasks.size(); ++i)
+      u->tasks.push_back(tasks[i]->id());
+
+    app.phases.push_back(std::move(u));
+  }
+
+  app.verify = [checks]() {
+    bool ok = true;
+    for (const auto& check : checks) ok &= check();
+    return ok;
   };
   return app;
 }

@@ -21,6 +21,30 @@
 
 namespace cms::apps {
 
+/// Which of the paper's two evaluation applications a workload (or one
+/// phase of a streaming workload) runs. Flag-style: kBoth co-runs them.
+enum class AppMix : std::uint8_t {
+  kNone = 0,
+  kJpegCanny = 1,  // 2x JPEG + Canny (15 tasks)
+  kMpeg2 = 2,      // MPEG2 decoder (13 tasks)
+  kBoth = 3,
+};
+const char* to_string(AppMix mix);
+
+constexpr bool mix_has_jpeg_canny(AppMix m) {
+  return (static_cast<std::uint8_t>(m) &
+          static_cast<std::uint8_t>(AppMix::kJpegCanny)) != 0;
+}
+constexpr bool mix_has_mpeg2(AppMix m) {
+  return (static_cast<std::uint8_t>(m) &
+          static_cast<std::uint8_t>(AppMix::kMpeg2)) != 0;
+}
+
+/// Number of KPN tasks an AppMix instantiates.
+constexpr std::size_t mix_task_count(AppMix m) {
+  return (mix_has_jpeg_canny(m) ? 15 : 0) + (mix_has_mpeg2(m) ? 13 : 0);
+}
+
 struct AppConfig {
   // Application 1 content.
   int jpeg1_width = 176, jpeg1_height = 144;  // QCIF
@@ -49,6 +73,39 @@ struct AppConfig {
   std::uint64_t digest() const;
 };
 
+/// Content + pipelines of one phase of a phased (streaming) application.
+/// Heap-held so the owning Application stays movable while verify
+/// closures keep stable interior pointers.
+struct PhaseUnit {
+  std::string name;
+  /// Name prefix of this phase's tasks and buffers inside the combined
+  /// network ("p1/IDCT1"); empty for single-phase apps, so an isolation
+  /// run of the same mix+content produces names that map onto the
+  /// combined run by prepending this prefix (opt::map_phase_plan).
+  std::string prefix;
+  AppMix mix = AppMix::kNone;
+  AppConfig content;
+
+  std::unique_ptr<JpegSequence> jpeg1, jpeg2;
+  std::unique_ptr<M2vStream> m2v;
+  std::vector<Image> canny_srcs;
+  JpegPipeline jpeg_pipe1, jpeg_pipe2;
+  CannyPipeline canny_pipe;
+  M2vPipeline m2v_pipe;
+
+  /// This phase's task ids, in creation order (the engine's phase
+  /// schedule is built from these).
+  std::vector<TaskId> tasks;
+};
+
+/// One phase of a streaming workload, as requested from make_phased_app:
+/// mix + content; iteration counts inside `content` set the phase length.
+struct AppPhase {
+  std::string name;
+  AppMix mix = AppMix::kNone;
+  AppConfig content;
+};
+
 /// One fully assembled workload. Owns its content streams, network and
 /// shared tables; non-copyable, heap-held members keep internal pointers
 /// stable.
@@ -72,6 +129,12 @@ class Application {
   CannyPipeline canny_pipe;
   M2vPipeline m2v_pipe;
 
+  /// Phase units of a phased (streaming) app, in schedule order; empty
+  /// for the classic fixed-mix apps. All phases share one network, one
+  /// set of static segments and one codec-table block; each phase's
+  /// pipelines live under its PhaseUnit::prefix.
+  std::vector<std::unique_ptr<PhaseUnit>> phases;
+
   /// Functional-correctness oracle; call after a simulation run.
   /// Returns true when every pipeline produced bit-exact output.
   std::function<bool()> verify;
@@ -88,5 +151,24 @@ Application make_jpeg_canny_app(const AppConfig& cfg);
 
 /// Application 2: MPEG2 decoder (13 tasks).
 Application make_m2v_app(const AppConfig& cfg);
+
+/// Generalized factory: any AppMix as one workload. kJpegCanny and
+/// kMpeg2 delegate to the classic builders above (bit-identical names
+/// and layout); kBoth co-runs both pipelines in one network. Throws
+/// std::invalid_argument for kNone.
+Application make_mix_app(AppMix mix, const AppConfig& cfg);
+
+/// Streaming workload: every phase's pipelines instantiated in ONE
+/// network (names under "p<k>/" prefixes when there is more than one
+/// phase), sharing the static segments and codec tables. The engine's
+/// phase schedule (sim::TimingEngine::set_phase_schedule) gates phase
+/// k+1's tasks until phase k drained, so the app mix changes mid-run.
+/// verify() is the AND of every phase's oracle.
+///
+/// Constraint: the codec-table block is shared, so all JPEG phases must
+/// agree on jpeg_quality, and mixing MPEG2 phases (fixed quality-75
+/// tables) with a different JPEG quality throws std::invalid_argument —
+/// as does an empty schedule or a phase with AppMix::kNone.
+Application make_phased_app(const std::vector<AppPhase>& phases);
 
 }  // namespace cms::apps

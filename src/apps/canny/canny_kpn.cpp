@@ -490,7 +490,8 @@ void CannyMaxThreshold::run(sim::TaskContext& ctx) {
 
 // ----------------------------------------------------------------- builder
 
-CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames) {
+CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames,
+                        const std::string& prefix) {
   assert(!frames.empty());
   const int w = frames[0].width(), h = frames[0].height();
   const int passes = static_cast<int>(frames.size());
@@ -498,8 +499,9 @@ CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames) {
 
   CannyPipeline p;
   p.source = net.make_frame_buffer(
-      "cannySrc", static_cast<std::uint64_t>(w) * h * frames.size());
-  p.output = net.make_frame_buffer("cannyOut", static_cast<std::uint64_t>(w) * h);
+      prefix + "cannySrc", static_cast<std::uint64_t>(w) * h * frames.size());
+  p.output = net.make_frame_buffer(prefix + "cannyOut",
+                                   static_cast<std::uint64_t>(w) * h);
   // Pre-fill the sources (host-side; the first simulated reads cold-miss).
   for (std::size_t f = 0; f < frames.size(); ++f)
     std::copy(frames[f].pixels().begin(), frames[f].pixels().end(),
@@ -508,13 +510,13 @@ CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames) {
 
   const auto ltoks = static_cast<std::uint32_t>(w / 8) * 4;
   const auto gtoks = static_cast<std::uint32_t>(w / 4) * 4;
-  auto* raw = net.make_fifo<PixLineTok>("cnRaw", ltoks);
-  auto* sm_a = net.make_fifo<PixLineTok>("cnSmoothA", ltoks);
-  auto* sm_b = net.make_fifo<PixLineTok>("cnSmoothB", ltoks);
-  auto* gx = net.make_fifo<GradLineTok>("cnGx", gtoks);
-  auto* gy = net.make_fifo<GradLineTok>("cnGy", gtoks);
-  auto* mh = net.make_fifo<GradLineTok>("cnMagH", gtoks);
-  auto* mv = net.make_fifo<GradLineTok>("cnMagV", gtoks);
+  auto* raw = net.make_fifo<PixLineTok>(prefix + "cnRaw", ltoks);
+  auto* sm_a = net.make_fifo<PixLineTok>(prefix + "cnSmoothA", ltoks);
+  auto* sm_b = net.make_fifo<PixLineTok>(prefix + "cnSmoothB", ltoks);
+  auto* gx = net.make_fifo<GradLineTok>(prefix + "cnGx", gtoks);
+  auto* gy = net.make_fifo<GradLineTok>(prefix + "cnGy", gtoks);
+  auto* mh = net.make_fifo<GradLineTok>(prefix + "cnMagH", gtoks);
+  auto* mv = net.make_fifo<GradLineTok>(prefix + "cnMagV", gtoks);
 
   kpn::ProcessSpec small;
   small.heap_bytes = 4096;
@@ -525,20 +527,21 @@ CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames) {
   kpn::ProcessSpec lines3w;
   lines3w.heap_bytes = static_cast<std::uint64_t>(w) * 8 + 4096;
 
-  p.front =
-      net.add_process<CannyFront>("FrCanny", small, p.source, w, h, raw, passes);
-  p.lowpass = net.add_process<CannyLowPass>("LowPass", lines5, w, h, raw, sm_a,
-                                            sm_b, passes);
-  p.hsobel = net.add_process<CannySobel>("HorizSobel", lines3, w, h, true, sm_a,
-                                         gx, passes);
-  p.vsobel = net.add_process<CannySobel>("VertSobel", lines3, w, h, false, sm_b,
-                                         gy, passes);
-  p.hnms = net.add_process<CannyHorizNms>("HorizNMS", lines3, w, h, gx, gy, mh,
-                                          passes);
-  p.vnms =
-      net.add_process<CannyVertNms>("VertNMS", lines3w, w, h, mh, mv, passes);
-  p.threshold = net.add_process<CannyMaxThreshold>("MaxTreshold", small, w, h,
-                                                   mv, p.output, passes);
+  p.front = net.add_process<CannyFront>(prefix + "FrCanny", small, p.source, w,
+                                        h, raw, passes);
+  p.lowpass = net.add_process<CannyLowPass>(prefix + "LowPass", lines5, w, h,
+                                            raw, sm_a, sm_b, passes);
+  p.hsobel = net.add_process<CannySobel>(prefix + "HorizSobel", lines3, w, h,
+                                         true, sm_a, gx, passes);
+  p.vsobel = net.add_process<CannySobel>(prefix + "VertSobel", lines3, w, h,
+                                         false, sm_b, gy, passes);
+  p.hnms = net.add_process<CannyHorizNms>(prefix + "HorizNMS", lines3, w, h, gx,
+                                          gy, mh, passes);
+  p.vnms = net.add_process<CannyVertNms>(prefix + "VertNMS", lines3w, w, h, mh,
+                                         mv, passes);
+  p.threshold = net.add_process<CannyMaxThreshold>(prefix + "MaxTreshold",
+                                                   small, w, h, mv, p.output,
+                                                   passes);
   return p;
 }
 

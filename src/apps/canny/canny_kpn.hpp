@@ -183,6 +183,9 @@ struct CannyPipeline {
 
 /// Build the pipeline over a sequence of equally sized source frames
 /// (one detection pass per frame — the periodic model with fresh input).
-CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames);
+/// A non-empty `prefix` is prepended to every task, fifo and frame-buffer
+/// name (phased streaming scenarios instantiate the pipeline per phase).
+CannyPipeline add_canny(kpn::Network& net, const std::vector<Image>& frames,
+                        const std::string& prefix = "");
 
 }  // namespace cms::apps

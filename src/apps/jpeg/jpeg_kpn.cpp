@@ -209,37 +209,40 @@ void JpegBackEnd::run(sim::TaskContext& ctx) {
 
 JpegPipeline add_jpeg_decoder(kpn::Network& net, const std::string& suffix,
                               const JpegSequence& seq,
-                              const SharedCodecTables& tables) {
+                              const SharedCodecTables& tables,
+                              const std::string& prefix) {
   JpegPipeline p;
   const int width = seq.width(), height = seq.height();
   const int pictures = seq.num_pictures();
-  auto* blocks = net.make_fifo<JpegBlockTok>("jpegBlocks" + suffix, 8);
-  auto* pixels = net.make_fifo<JpegPixTok>("jpegPixels" + suffix, 8);
+  auto* blocks = net.make_fifo<JpegBlockTok>(prefix + "jpegBlocks" + suffix, 8);
+  auto* pixels = net.make_fifo<JpegPixTok>(prefix + "jpegPixels" + suffix, 8);
   auto* lines = net.make_fifo<JpegLineTok>(
-      "jpegLines" + suffix, static_cast<std::uint32_t>(width / 8) * 10);
+      prefix + "jpegLines" + suffix, static_cast<std::uint32_t>(width / 8) * 10);
   p.output = net.make_frame_buffer(
-      "jpegOut" + suffix, static_cast<std::uint64_t>(width) * height);
+      prefix + "jpegOut" + suffix, static_cast<std::uint64_t>(width) * height);
 
   kpn::ProcessSpec fe_spec;
   fe_spec.heap_bytes = seq.total_payload_bytes() + 4096;
-  p.frontend = net.add_process<JpegFrontEnd>("FrontEnd" + suffix, fe_spec, &seq,
-                                             &tables, blocks);
+  p.frontend = net.add_process<JpegFrontEnd>(prefix + "FrontEnd" + suffix,
+                                             fe_spec, &seq, &tables, blocks);
 
   kpn::ProcessSpec idct_spec;
   idct_spec.heap_bytes = 4096;
-  p.idct = net.add_process<JpegIdct>("IDCT" + suffix, idct_spec,
+  p.idct = net.add_process<JpegIdct>(prefix + "IDCT" + suffix, idct_spec,
                                      seq.blocks_per_picture() * pictures,
                                      &tables, blocks, pixels);
 
   kpn::ProcessSpec raster_spec;
   raster_spec.heap_bytes = static_cast<std::uint64_t>(width) * 8 + 4096;
-  p.raster = net.add_process<JpegRaster>("Raster" + suffix, raster_spec, width,
-                                         height, pixels, lines, pictures);
+  p.raster = net.add_process<JpegRaster>(prefix + "Raster" + suffix,
+                                         raster_spec, width, height, pixels,
+                                         lines, pictures);
 
   kpn::ProcessSpec be_spec;
   be_spec.heap_bytes = 4096;
-  p.backend = net.add_process<JpegBackEnd>("BackEnd" + suffix, be_spec, width,
-                                           height, lines, p.output, pictures);
+  p.backend = net.add_process<JpegBackEnd>(prefix + "BackEnd" + suffix, be_spec,
+                                           width, height, lines, p.output,
+                                           pictures);
   return p;
 }
 

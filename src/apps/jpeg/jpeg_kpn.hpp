@@ -133,9 +133,13 @@ struct JpegPipeline {
 };
 
 /// Build one JPEG decoder instance. Task names follow the paper's Table 1
-/// ("FrontEnd1", "IDCT1", ...). `seq` must outlive the network.
+/// ("FrontEnd1", "IDCT1", ...). `seq` must outlive the network. A
+/// non-empty `prefix` is prepended to every task, fifo and frame-buffer
+/// name ("p0/FrontEnd1") so several instances of the same suffix can
+/// coexist in one network (phased streaming scenarios).
 JpegPipeline add_jpeg_decoder(kpn::Network& net, const std::string& suffix,
                               const JpegSequence& seq,
-                              const SharedCodecTables& tables);
+                              const SharedCodecTables& tables,
+                              const std::string& prefix = "");
 
 }  // namespace cms::apps

@@ -617,34 +617,35 @@ void M2vOutput::run(sim::TaskContext& ctx) {
 // ----------------------------------------------------------------- builder
 
 M2vPipeline add_m2v_decoder(kpn::Network& net, const M2vStream& stream,
-                            const SharedCodecTables& tables) {
+                            const SharedCodecTables& tables,
+                            const std::string& prefix) {
   M2vPipeline p;
   const std::uint64_t frame_bytes =
       static_cast<std::uint64_t>(stream.width) * stream.height;
-  p.frame0 = net.make_frame_buffer("m2vFrame0", frame_bytes);
-  p.frame1 = net.make_frame_buffer("m2vFrame1", frame_bytes);
-  p.display = net.make_frame_buffer("m2vDisplay", frame_bytes);
+  p.frame0 = net.make_frame_buffer(prefix + "m2vFrame0", frame_bytes);
+  p.frame1 = net.make_frame_buffer(prefix + "m2vFrame1", frame_bytes);
+  p.display = net.make_frame_buffer(prefix + "m2vDisplay", frame_bytes);
   const std::vector<kpn::FrameBuffer*> pool = {p.frame0, p.frame1};
 
-  auto* chunks = net.make_fifo<M2vChunkTok>("m2vChunks", 32);
-  auto* payload = net.make_fifo<M2vChunkTok>("m2vPayload", 32);
-  auto* fi_vld = net.make_fifo<M2vFrameInfoTok>("m2vFiVld", 4);
-  auto* fi_mm = net.make_fifo<M2vFrameInfoTok>("m2vFiMm", 4);
-  auto* mv_codes = net.make_fifo<M2vMvCodeTok>("m2vMvCodes", 32);
-  auto* coefs = net.make_fifo<M2vCoefTok>("m2vCoefs", 16);
-  auto* dcts = net.make_fifo<M2vDctTok>("m2vDcts", 16);
-  auto* residuals = net.make_fifo<M2vResTok>("m2vResiduals", 16);
-  auto* mvs = net.make_fifo<M2vMvTok>("m2vMvs", 32);
-  auto* refblocks = net.make_fifo<M2vPredTok>("m2vRefBlocks", 16);
-  auto* preds = net.make_fifo<M2vPredTok>("m2vPreds", 16);
-  auto* recon = net.make_fifo<M2vReconTok>("m2vRecon", 16);
-  auto* framedone = net.make_fifo<M2vDoneTok>("m2vFrameDone", 2);
-  auto* ref_ready = net.make_fifo<M2vDoneTok>("m2vRefReady", 2);
-  auto* slots_rd = net.make_fifo<M2vSlotTok>("m2vSlotsRd", 4);
-  auto* slots_wr = net.make_fifo<M2vSlotTok>("m2vSlotsWr", 4);
-  auto* slots_st = net.make_fifo<M2vSlotTok>("m2vSlotsSt", 4);
-  auto* display_tok = net.make_fifo<M2vBandTok>("m2vDisplayTok", 2);
-  auto* releases = net.make_fifo<M2vReleaseTok>("m2vReleases", 4);
+  auto* chunks = net.make_fifo<M2vChunkTok>(prefix + "m2vChunks", 32);
+  auto* payload = net.make_fifo<M2vChunkTok>(prefix + "m2vPayload", 32);
+  auto* fi_vld = net.make_fifo<M2vFrameInfoTok>(prefix + "m2vFiVld", 4);
+  auto* fi_mm = net.make_fifo<M2vFrameInfoTok>(prefix + "m2vFiMm", 4);
+  auto* mv_codes = net.make_fifo<M2vMvCodeTok>(prefix + "m2vMvCodes", 32);
+  auto* coefs = net.make_fifo<M2vCoefTok>(prefix + "m2vCoefs", 16);
+  auto* dcts = net.make_fifo<M2vDctTok>(prefix + "m2vDcts", 16);
+  auto* residuals = net.make_fifo<M2vResTok>(prefix + "m2vResiduals", 16);
+  auto* mvs = net.make_fifo<M2vMvTok>(prefix + "m2vMvs", 32);
+  auto* refblocks = net.make_fifo<M2vPredTok>(prefix + "m2vRefBlocks", 16);
+  auto* preds = net.make_fifo<M2vPredTok>(prefix + "m2vPreds", 16);
+  auto* recon = net.make_fifo<M2vReconTok>(prefix + "m2vRecon", 16);
+  auto* framedone = net.make_fifo<M2vDoneTok>(prefix + "m2vFrameDone", 2);
+  auto* ref_ready = net.make_fifo<M2vDoneTok>(prefix + "m2vRefReady", 2);
+  auto* slots_rd = net.make_fifo<M2vSlotTok>(prefix + "m2vSlotsRd", 4);
+  auto* slots_wr = net.make_fifo<M2vSlotTok>(prefix + "m2vSlotsWr", 4);
+  auto* slots_st = net.make_fifo<M2vSlotTok>(prefix + "m2vSlotsSt", 4);
+  auto* display_tok = net.make_fifo<M2vBandTok>(prefix + "m2vDisplayTok", 2);
+  auto* releases = net.make_fifo<M2vReleaseTok>(prefix + "m2vReleases", 4);
 
   const int total_blocks = stream.num_frames * stream.mbs_per_frame() * 4;
 
@@ -657,29 +658,29 @@ M2vPipeline add_m2v_decoder(kpn::Network& net, const M2vStream& stream,
   kpn::ProcessSpec vld_spec;
   vld_spec.heap_bytes = stream.max_frame_payload + 4096;
 
-  p.input = net.add_process<M2vInput>("input", in_spec, &stream, chunks);
-  p.hdr = net.add_process<M2vHdr>("hdr", hdr_spec, chunks, payload, fi_vld, fi_mm);
-  p.vld = net.add_process<M2vVld>("vld", vld_spec, &stream, fi_vld, payload,
+  p.input = net.add_process<M2vInput>(prefix + "input", in_spec, &stream, chunks);
+  p.hdr = net.add_process<M2vHdr>(prefix + "hdr", hdr_spec, chunks, payload, fi_vld, fi_mm);
+  p.vld = net.add_process<M2vVld>(prefix + "vld", vld_spec, &stream, fi_vld, payload,
                                   mv_codes, coefs);
-  p.isiq = net.add_process<M2vIsiq>("isiq", small, total_blocks, &tables, coefs,
+  p.isiq = net.add_process<M2vIsiq>(prefix + "isiq", small, total_blocks, &tables, coefs,
                                     dcts);
-  p.idct = net.add_process<M2vIdct>("idct", small, total_blocks, dcts, residuals);
-  p.decmv = net.add_process<M2vDecMv>("decMV", small, &stream, mv_codes, mvs);
-  p.memman = net.add_process<M2vMemMan>("memMan", small, stream.num_frames,
+  p.idct = net.add_process<M2vIdct>(prefix + "idct", small, total_blocks, dcts, residuals);
+  p.decmv = net.add_process<M2vDecMv>(prefix + "decMV", small, &stream, mv_codes, mvs);
+  p.memman = net.add_process<M2vMemMan>(prefix + "memMan", small, stream.num_frames,
                                         fi_mm, releases, slots_rd, slots_wr,
                                         slots_st);
-  p.predictrd = net.add_process<M2vPredictRd>("predictRD", small, &stream, pool,
+  p.predictrd = net.add_process<M2vPredictRd>(prefix + "predictRD", small, &stream, pool,
                                               mvs, slots_rd, ref_ready,
                                               refblocks);
-  p.predict = net.add_process<M2vPredict>("predict", small, total_blocks,
+  p.predict = net.add_process<M2vPredict>(prefix + "predict", small, total_blocks,
                                           refblocks, preds);
-  p.add = net.add_process<M2vAdd>("add", small, total_blocks, residuals, preds,
+  p.add = net.add_process<M2vAdd>(prefix + "add", small, total_blocks, residuals, preds,
                                   recon);
-  p.writemb = net.add_process<M2vWriteMb>("writeMB", small, &stream, pool, recon,
+  p.writemb = net.add_process<M2vWriteMb>(prefix + "writeMB", small, &stream, pool, recon,
                                           slots_wr, framedone, ref_ready);
-  p.store = net.add_process<M2vStore>("store", small, &stream, pool, p.display,
+  p.store = net.add_process<M2vStore>(prefix + "store", small, &stream, pool, p.display,
                                       framedone, slots_st, display_tok, releases);
-  p.output = net.add_process<M2vOutput>("output", small, &stream, p.display,
+  p.output = net.add_process<M2vOutput>(prefix + "output", small, &stream, p.display,
                                         display_tok);
   return p;
 }

@@ -417,7 +417,10 @@ struct M2vPipeline {
 };
 
 /// Build the 13-task decoder. `stream` and `tables` must outlive the net.
+/// A non-empty `prefix` is prepended to every task, fifo and frame-buffer
+/// name (phased streaming scenarios instantiate the decoder per phase).
 M2vPipeline add_m2v_decoder(kpn::Network& net, const M2vStream& stream,
-                            const SharedCodecTables& tables);
+                            const SharedCodecTables& tables,
+                            const std::string& prefix = "");
 
 }  // namespace cms::apps

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "opt/plan_schedule.hpp"
+
 namespace cms::opt {
 
 DynamicPartitioner::DynamicPartitioner(const PartitionPlan& initial,
@@ -84,26 +86,12 @@ void DynamicPartitioner::epoch(Cycle /*now*/, mem::MemoryHierarchy& hierarchy) {
   const std::vector<mem::Partition> after = layout();
 
   // Every set a client relinquishes must be flushed before the table is
-  // rewritten: its dirty lines would otherwise be dropped silently (the
-  // client never looks there again) and its stale lines would pollute the
-  // range's new owner. Shifted-but-kept sets need no flush — leftover
-  // lines there stay evictable by their own client.
+  // rewritten (see flush_relinquished). Shifted-but-kept sets need no
+  // flush — leftover lines there stay evictable by their own client.
   for (std::size_t i = 0; i < clients_.size(); ++i) {
-    const std::uint32_t ob = before[i].base_set;
-    const std::uint32_t oe = ob + before[i].num_sets;
-    const std::uint32_t nb = after[i].base_set;
-    const std::uint32_t ne = nb + after[i].num_sets;
-    // Old range minus new range: at most two contiguous pieces.
-    const std::uint32_t left_end = std::min(oe, std::max(ob, nb));
-    if (left_end > ob) {
-      flushed_sets_ += left_end - ob;
-      flush_writebacks_ += hierarchy.flush_l2_sets(ob, left_end - ob);
-    }
-    const std::uint32_t right_begin = std::max(ob, std::min(oe, ne));
-    if (oe > right_begin) {
-      flushed_sets_ += oe - right_begin;
-      flush_writebacks_ += hierarchy.flush_l2_sets(right_begin, oe - right_begin);
-    }
+    const FlushCost cost = flush_relinquished(hierarchy, before[i], after[i]);
+    flushed_sets_ += cost.sets;
+    flush_writebacks_ += cost.writebacks;
   }
 
   ++moves_;

@@ -1,0 +1,92 @@
+#include "opt/plan_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cms::opt {
+
+PhaseLayout map_phase_plan(
+    const PartitionPlan& plan, std::size_t phase, const std::string& prefix,
+    const std::map<std::string, mem::ClientId>& run_clients) {
+  PhaseLayout out;
+  out.phase = phase;
+  out.spare = plan.spare;
+  out.total_sets = plan.total_sets;
+  out.entries.reserve(plan.entries.size());
+  for (const PlanEntry& e : plan.entries) {
+    // Static segments are shared across phases and keep their bare
+    // names; everything else lives under the phase's prefix.
+    const bool shared = !e.is_task && e.kind == kpn::BufferKind::kSegment;
+    const std::string run_name = shared ? e.name : prefix + e.name;
+    const auto it = run_clients.find(run_name);
+    if (it == run_clients.end())
+      throw std::invalid_argument(
+          "map_phase_plan: plan entry '" + e.name + "' (phase " +
+          std::to_string(phase) + ") maps to '" + run_name +
+          "', which the combined run does not have");
+    PlanEntry mapped = e;
+    mapped.client = it->second;
+    mapped.name = run_name;
+    out.entries.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+FlushCost flush_relinquished(mem::MemoryHierarchy& hierarchy,
+                             const mem::Partition& before,
+                             const mem::Partition& after) {
+  FlushCost cost;
+  const std::uint32_t ob = before.base_set;
+  const std::uint32_t oe = ob + before.num_sets;
+  const std::uint32_t nb = after.base_set;
+  const std::uint32_t ne = nb + after.num_sets;
+  // Old range minus new range: at most two contiguous pieces.
+  const std::uint32_t left_end = std::min(oe, std::max(ob, nb));
+  if (left_end > ob) {
+    cost.sets += left_end - ob;
+    cost.writebacks += hierarchy.flush_l2_sets(ob, left_end - ob);
+  }
+  const std::uint32_t right_begin = std::max(ob, std::min(oe, ne));
+  if (oe > right_begin) {
+    cost.sets += oe - right_begin;
+    cost.writebacks += hierarchy.flush_l2_sets(right_begin, oe - right_begin);
+  }
+  return cost;
+}
+
+void PhasePlanFollower::install(std::size_t phase,
+                                mem::MemoryHierarchy& hierarchy) {
+  const PhaseLayout* next = schedule_.find(phase);
+  if (!next) return;
+
+  // Flush what the outgoing layout's clients relinquish. A client absent
+  // from the incoming layout gives up its whole range; a client present
+  // in both gives up old-minus-new. (The spare/default range is not
+  // flush-tracked, mirroring DynamicPartitioner: gated tasks generate no
+  // traffic of their own there.)
+  for (const PlanEntry& old : current_) {
+    mem::Partition after{0, 0};
+    for (const PlanEntry& e : next->entries)
+      if (e.client == old.client) {
+        after = e.partition;
+        break;
+      }
+    const FlushCost cost = flush_relinquished(hierarchy, old.partition, after);
+    flushed_sets_ += cost.sets;
+    flush_writebacks_ += cost.writebacks;
+  }
+
+  mem::PartitionedCache& l2 = hierarchy.l2();
+  l2.partition_table().clear();
+  for (const PlanEntry& e : next->entries)
+    l2.partition_table().assign(e.client, e.partition);
+  if (next->spare.num_sets > 0)
+    l2.partition_table().set_default_partition(next->spare);
+  l2.set_mode(mem::PartitionMode::kSetPartitioned);
+
+  if (installed_) ++moves_;
+  installed_ = true;
+  current_ = next->entries;
+}
+
+}  // namespace cms::opt

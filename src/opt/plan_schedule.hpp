@@ -1,0 +1,109 @@
+// Plan-driven repartitioning for phased (streaming) workloads.
+//
+// The paper's static allocation assumes one fixed app mix; a streaming
+// scenario changes its mix at phase boundaries. The compositional answer
+// is to *replan*, not to steal: plan each phase's mix in isolation with
+// the normal MCKP planner, map the per-phase plans onto the combined
+// run's clients (PlanSchedule), and have a controller install the next
+// layout the moment the engine activates a phase (PhasePlanFollower,
+// driven by sim::TimingEngine's phase hook). Inside a phase every client
+// keeps the paper's guarantee; the only best-effort cost is the switch
+// itself, accounted the same way DynamicPartitioner accounts set
+// stealing (sets flushed + dirty writebacks), so plan-following and
+// miss-driven stealing compare head to head (bench/ablation_phased).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/hierarchy.hpp"
+#include "opt/planner.hpp"
+
+namespace cms::opt {
+
+/// One phase's cache layout, mapped onto the clients of the combined
+/// phased run (entries carry run ClientIds, not solo-app ones).
+struct PhaseLayout {
+  std::size_t phase = 0;
+  std::vector<PlanEntry> entries;
+  mem::Partition spare;  // default partition while this phase is active
+  std::uint32_t total_sets = 0;
+};
+
+/// The per-phase layouts of a streaming scenario, in phase order.
+struct PlanSchedule {
+  std::vector<PhaseLayout> phases;
+
+  const PhaseLayout* find(std::size_t phase) const {
+    for (const auto& p : phases)
+      if (p.phase == phase) return &p;
+    return nullptr;
+  }
+};
+
+/// Map a solo-app plan for one phase onto the combined run's clients by
+/// name: tasks, fifos and frame buffers of phase k live under its prefix
+/// ("p<k>/" + solo name), while the static segments (kind kSegment) are
+/// shared and keep their bare names. `run_clients` is the combined run's
+/// name -> client map (tasks and buffers alike). A plan entry whose
+/// mapped name is missing from the run throws std::invalid_argument —
+/// the plan was made for different content or the wrong mix.
+PhaseLayout map_phase_plan(const PartitionPlan& plan, std::size_t phase,
+                           const std::string& prefix,
+                           const std::map<std::string, mem::ClientId>& run_clients);
+
+/// Cost of one partition-range change (see flush_relinquished).
+struct FlushCost {
+  std::uint64_t sets = 0;
+  std::uint64_t writebacks = 0;
+};
+
+/// Flush every set `before` owns but `after` does not (old range minus
+/// new range — at most two contiguous pieces). Sets a client relinquishes
+/// must be flushed before the partition table is rewritten: their dirty
+/// lines would otherwise be dropped silently (the client never looks
+/// there again) and their stale lines would pollute the range's new
+/// owner. Shared by DynamicPartitioner (set stealing) and
+/// PhasePlanFollower (phase-boundary replanning).
+FlushCost flush_relinquished(mem::MemoryHierarchy& hierarchy,
+                             const mem::Partition& before,
+                             const mem::Partition& after);
+
+/// Installs the planned layout of each phase as the engine activates it:
+///
+///   PhasePlanFollower follower(schedule);
+///   follower.install(0, hierarchy);  // phase 0, before run()
+///   engine.set_phase_hook([&](std::size_t k, Cycle, mem::MemoryHierarchy& h) {
+///     follower.install(k, h);
+///   });
+///
+/// Each install flushes exactly the sets the previous layout's clients
+/// relinquish, then rewrites the partition table and the spare/default
+/// range. A phase without a layout in the schedule leaves the table
+/// untouched (and counts nothing).
+class PhasePlanFollower {
+ public:
+  explicit PhasePlanFollower(PlanSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  void install(std::size_t phase, mem::MemoryHierarchy& hierarchy);
+
+  /// Layout switches after the initial install (= phase boundaries that
+  /// repartitioned), and their flush cost — the same accounting
+  /// DynamicPartitioner reports for stealing.
+  std::uint64_t moves() const { return moves_; }
+  std::uint64_t flushed_sets() const { return flushed_sets_; }
+  std::uint64_t flush_writebacks() const { return flush_writebacks_; }
+
+ private:
+  PlanSchedule schedule_;
+  std::vector<PlanEntry> current_;  // layout currently in the table
+  bool installed_ = false;
+  std::uint64_t moves_ = 0;
+  std::uint64_t flushed_sets_ = 0;
+  std::uint64_t flush_writebacks_ = 0;
+};
+
+}  // namespace cms::opt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 
 namespace cms::sim {
 
@@ -93,6 +94,58 @@ void TimingEngine::step_access(ProcState& ps, std::size_t p) {
   if (ps.pending.empty()) tst.dispatched = false;
 }
 
+void TimingEngine::set_phase_schedule(
+    const std::vector<std::vector<TaskId>>& phases) {
+  std::vector<std::size_t> phase_of(tasks_.size(),
+                                    std::numeric_limits<std::size_t>::max());
+  for (std::size_t k = 0; k < phases.size(); ++k) {
+    for (const TaskId id : phases[k]) {
+      std::size_t idx = tasks_.size();
+      for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (tasks_[i]->id() == id) {
+          idx = i;
+          break;
+        }
+      if (idx == tasks_.size())
+        throw std::invalid_argument("phase schedule names task " +
+                                    std::to_string(id) +
+                                    ", which this engine does not run");
+      if (phase_of[idx] != std::numeric_limits<std::size_t>::max())
+        throw std::invalid_argument("phase schedule lists task " +
+                                    std::to_string(id) + " twice (phases " +
+                                    std::to_string(phase_of[idx]) + " and " +
+                                    std::to_string(k) + ")");
+      phase_of[idx] = k;
+    }
+  }
+  for (std::size_t i = 0; i < phase_of.size(); ++i)
+    if (phase_of[i] == std::numeric_limits<std::size_t>::max())
+      throw std::invalid_argument("phase schedule misses task " +
+                                  std::to_string(tasks_[i]->id()) + " (" +
+                                  tasks_[i]->name() + ")");
+  phase_of_ = std::move(phase_of);
+  num_phases_ = phases.size();
+  active_phase_ = 0;
+  phase_entry_ = {0};
+}
+
+void TimingEngine::advance_phases(Cycle now) {
+  // Earlier phases are drained by induction: a phase only activates once
+  // its predecessor's tasks are all done, and done tasks stay done.
+  while (active_phase_ + 1 < num_phases_) {
+    bool drained = true;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      if (phase_of_[i] == active_phase_ && !tasks_[i]->done()) {
+        drained = false;
+        break;
+      }
+    if (!drained) break;
+    ++active_phase_;
+    phase_entry_.push_back(now);
+    if (phase_hook_) phase_hook_(active_phase_, now, platform_.hierarchy());
+  }
+}
+
 bool TimingEngine::all_done() const {
   return std::all_of(tasks_.begin(), tasks_.end(),
                      [](const Task* t) { return t->done(); });
@@ -123,6 +176,17 @@ SimResults TimingEngine::run() {
     const bool app_finished = finished_ && finished_();
     for (std::size_t i = 0; i < tasks_.size(); ++i)
       busy[i] = task_states_[i].dispatched;
+
+    if (num_phases_ > 1) {
+      // Phase bookkeeping runs BEFORE the dispatch scan of the same
+      // iteration: the moment a phase drains, its successor's tasks are
+      // already eligible below — a fully gated network can never be
+      // mistaken for a deadlock. Gating rides the busy[] mask, which
+      // Os::pick and the quantum-keep fast path both honor.
+      advance_phases(procs_[order[0]].clock);
+      for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (phase_of_[i] > active_phase_) busy[i] = true;
+    }
 
     if (epoch_hook_ && epoch_length_ > 0) {
       const Cycle now = procs_[order[0]].clock;

@@ -53,6 +53,27 @@ class TimingEngine {
     epoch_hook_ = std::move(hook);
   }
 
+  /// Streaming phase support: partition the tasks into consecutive
+  /// phases. A task only becomes dispatchable once its phase is active,
+  /// and phase k+1 activates when every task of phase k is done() — the
+  /// app mix changes mid-run, deterministically (activation depends on
+  /// task completion, never on wall clock or worker interleaving). Every
+  /// engine task must appear in exactly one phase; anything else throws
+  /// std::invalid_argument. Phase 0 is active from the start.
+  void set_phase_schedule(const std::vector<std::vector<TaskId>>& phases);
+
+  /// Fired on each phase ACTIVATION (phase >= 1, at the earliest
+  /// processor clock of that iteration) — the seam plan-driven
+  /// repartitioning installs per-phase layouts through. Not fired for
+  /// phase 0: install its layout before run(), like any initial plan.
+  using PhaseHook =
+      std::function<void(std::size_t phase, Cycle now, mem::MemoryHierarchy&)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
+  std::size_t active_phase() const { return active_phase_; }
+  /// Activation cycle of each phase reached so far (index 0 is always 0).
+  const std::vector<Cycle>& phase_entry_cycles() const { return phase_entry_; }
+
   /// Run to completion and collect results. Statistics of the hierarchy
   /// are reset at the start of the run.
   SimResults run();
@@ -75,6 +96,9 @@ class TimingEngine {
   void dispatch(ProcState& ps, std::size_t p, int idx);
   /// Replay the next pending access of proc `p` (timing phase).
   void step_access(ProcState& ps, std::size_t p);
+  /// Activate every phase whose predecessor has fully drained (firing the
+  /// phase hook per activation).
+  void advance_phases(Cycle now);
   bool all_done() const;
   SimResults collect(bool deadlocked, bool hit_limit);
 
@@ -90,6 +114,12 @@ class TimingEngine {
   Cycle epoch_length_ = 0;
   EpochHook epoch_hook_;
   Cycle next_epoch_ = 0;
+
+  std::vector<std::size_t> phase_of_;  // task index -> phase; empty = unphased
+  std::size_t num_phases_ = 0;
+  std::size_t active_phase_ = 0;
+  PhaseHook phase_hook_;
+  std::vector<Cycle> phase_entry_ = {0};
 };
 
 }  // namespace cms::sim

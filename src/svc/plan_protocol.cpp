@@ -48,7 +48,7 @@ bool parse_plan_request(const std::string& operands, PlanRequest& req,
   }
   std::string kv;
   bool seen_grid = false, seen_runs = false, seen_l2 = false,
-       seen_eps = false, seen_deadline = false;
+       seen_eps = false, seen_deadline = false, seen_phases = false;
   while (in >> kv) {
     const auto eq = kv.find('=');
     const std::string key = kv.substr(0, eq);
@@ -120,18 +120,29 @@ bool parse_plan_request(const std::string& operands, PlanRequest& req,
         return false;
       }
       req.deadline_ms = ms;
+    } else if (key == "phases") {
+      if (!once(seen_phases)) return false;
+      // Only the explicit form is accepted: a future per-phase selection
+      // ("phases=0,2") must not change the meaning of today's requests.
+      if (val != "all") {
+        error = bad_value("phases", val, "'all' expected");
+        return false;
+      }
+      req.phases = true;
     } else {
       error = "unknown option '" + key +
-              "' (grid=|runs=|l2=|eps=|deadline_ms=)";
+              "' (grid=|runs=|l2=|eps=|deadline_ms=|phases=)";
       return false;
     }
   }
   return true;
 }
 
-std::string plan_response_digest(const PlanResponse& resp) {
-  serialize::ByteWriter w;
-  w.str("planresp-v1");
+namespace {
+
+/// One response's own answer (assignment + predictions) — shared by the
+/// top-level digest and each per-phase sub-digest.
+void digest_one(serialize::ByteWriter& w, const PlanResponse& resp) {
   const opt::PartitionPlan& plan = resp.assignment;
   w.varint(plan.entries.size());
   for (const opt::PlanEntry& e : plan.entries) {
@@ -157,6 +168,25 @@ std::string plan_response_digest(const PlanResponse& resp) {
     w.varint(t.sets);
     w.fixed64(std::bit_cast<std::uint64_t>(t.predicted_misses));
     w.fixed64(std::bit_cast<std::uint64_t>(t.predicted_cycles));
+  }
+}
+
+}  // namespace
+
+std::string plan_response_digest(const PlanResponse& resp) {
+  serialize::ByteWriter w;
+  w.str("planresp-v1");
+  digest_one(w, resp);
+  // Phased responses append every per-phase answer. Classic responses
+  // write NOTHING here, so their digests are byte-identical to the
+  // pre-phases format (persisted references stay valid).
+  if (!resp.phases.empty()) {
+    w.str("phases");
+    w.varint(resp.phases.size());
+    for (const PlanResponse& ph : resp.phases) {
+      w.str(ph.phase);
+      digest_one(w, ph);
+    }
   }
   return serialize::fnv1a128_hex(w.bytes().data(), w.size());
 }

@@ -4,7 +4,7 @@
 // stdin loop and the src/net socket server share this parser verbatim).
 //
 //   plan <scenario> [grid=a,b,c] [runs=N] [l2=BYTES] [eps=X]
-//                   [deadline_ms=MS]
+//                   [deadline_ms=MS] [phases=all]
 //
 // Values are validated strictly: integers must be plain decimal (the
 // digits-only policy of core/cli.hpp — "64k" or "+5" are rejected, never

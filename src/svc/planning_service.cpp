@@ -93,11 +93,15 @@ struct PlanningService::SweepOutcome {
 };
 
 struct PlanningService::SweepState {
-  // grid / sealed / merged / sum_points are guarded by sweeps_mu_.
+  // grid / sealed / merged / sum_points / last_join are guarded by
+  // sweeps_mu_.
   std::vector<std::uint32_t> grid;  // union under construction, sorted unique
   bool sealed = false;
   std::uint64_t sum_points = 0;  // Σ requested |grid| across merged requests
   Clock::time_point opened = Clock::now();
+  /// Most recent open-sweep join (= opened until someone joins); the
+  /// adaptive merge window seals early once this goes quiet.
+  Clock::time_point last_join = Clock::now();
   std::promise<std::shared_ptr<const SweepOutcome>> promise;
   std::shared_future<std::shared_ptr<const SweepOutcome>> future;
 };
@@ -168,6 +172,12 @@ core::Experiment PlanningService::make_experiment(
         "scenario '" + req.scenario +
         "' has no trace_key; the planning service needs content-addressed "
         "captures");
+  return build_experiment(req, std::move(spec.factory), std::move(cfg));
+}
+
+core::Experiment PlanningService::build_experiment(
+    const PlanRequest& req, core::AppFactory factory,
+    core::ExperimentConfig cfg) const {
   if (!req.grid.empty()) {
     for (const std::uint32_t sets : req.grid)
       if (sets == 0)
@@ -214,7 +224,7 @@ core::Experiment PlanningService::make_experiment(
   cfg.profiler = core::ProfilerMode::kTraceReplay;
   cfg.jobs = cfg_.jobs;
   cfg.replay_kernel = cfg_.replay_kernel;
-  return core::Experiment(std::move(spec.factory), std::move(cfg));
+  return core::Experiment(std::move(factory), std::move(cfg));
 }
 
 CaptureSource PlanningService::ensure_capture(const core::Experiment& exp,
@@ -303,268 +313,333 @@ PlanResponse PlanningService::plan(const PlanRequest& req) {
   const auto t0 = Clock::now();
   requests_.fetch_add(1, std::memory_order_relaxed);
   try {
-    const core::Experiment exp = make_experiment(req);
-    const std::uint32_t runs = std::max(1u, exp.config().profile_runs);
-
-    resp.captures.reserve(runs);
-    for (std::uint32_t r = 0; r < runs; ++r) {
-      PlanResponse::RunProvenance prov;
-      prov.jitter = r;  // profile_jobs uses the run index as jitter seed
-      prov.digest = exp.trace_digest(r);
-      resp.captures.push_back(std::move(prov));
-    }
-
-    // Memoized plan lookup FIRST: the capture digests + resolved sweep +
-    // planner config address the whole response (opt::PlanKey), so a hit
-    // needs no pin, no capture, no replay and no MCKP solve.
-    std::string plan_key;
-    std::shared_ptr<const opt::PlanCacheEntry> memo;
-    if (cfg_.plan_cache != nullptr) {
-      const auto tk = Clock::now();
-      opt::PlanKey key;
-      key.capture_digests.reserve(runs);
-      for (const auto& prov : resp.captures)
-        key.capture_digests.push_back(prov.digest);
-      key.grid = exp.config().profile_grid;
-      key.runs = runs;
-      key.l2_size_bytes = exp.config().platform.hier.l2.size_bytes;
-      key.planner = exp.config().planner;
-      plan_key = key.digest();
-      memo = cfg_.plan_cache->get(plan_key);
-      resp.plan_cache_ms = ms_since(tk);
-    }
-    if (memo != nullptr) {
-      for (auto& prov : resp.captures)
-        prov.source = CaptureSource::kPlanCached;
-      resp.assignment = memo->plan;
-      resp.tasks.reserve(memo->predictions.size());
-      for (const opt::PlanPrediction& p : memo->predictions)
-        resp.tasks.push_back(PlanResponse::TaskPrediction{
-            p.name, p.sets, p.misses, p.cycles});
-      resp.plan_source = PlanSource::kCache;
-      resp.sweep = SweepRole::kCache;
-      // No replay executed — the cached bits are kernel-independent.
-      resp.replay_kernel = "cache";
-      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      resp.ok = true;
-      resp.total_ms = ms_since(t0);
-      return resp;
-    }
-
-    // ---- SWEEP COALESCING (see the header's contract) ----
-    // Join a concurrent sweep over the same captures, or open one. A grid
-    // with duplicate sizes (only reachable via a scenario DEFAULT grid —
-    // make_experiment rejects explicit duplicates) is not sliceable, so
-    // it bypasses coalescing and keeps the legacy double-accumulation
-    // semantics verbatim.
-    const std::vector<std::uint32_t>& my_grid = exp.config().profile_grid;
-    const std::vector<std::uint32_t> my_sorted = sorted_unique(my_grid);
-    const bool coalescable = my_sorted.size() == my_grid.size();
-    std::shared_ptr<SweepState> sweep;
-    bool follower = false;
-    std::string skey;
-    if (coalescable) {
-      std::vector<std::string> digests;
-      digests.reserve(resp.captures.size());
-      for (const auto& prov : resp.captures) digests.push_back(prov.digest);
-      skey = sweep_key(req.scenario, std::move(digests), runs, exp.config());
-      std::lock_guard<std::mutex> lk(sweeps_mu_);
-      const auto it = sweeps_.find(skey);
-      if (it != sweeps_.end()) {
-        SweepState& st = *it->second;
-        // An OPEN sweep absorbs any grid; a SEALED one can still serve a
-        // late arrival whose sizes it already covers. A sealed sweep that
-        // does NOT cover us is simply stale — we open a fresh one over it
-        // (its leader erases by identity, never clobbering ours).
-        if (!st.sealed) {
-          merge_into(st.grid, my_sorted);
-          st.sum_points += my_sorted.size();
-          sweep = it->second;
-          follower = true;
-        } else if (covers(st.grid, my_sorted)) {
-          st.sum_points += my_sorted.size();
-          sweep = it->second;
-          follower = true;
-        }
-      }
-      if (sweep == nullptr) {
-        sweep = std::make_shared<SweepState>();
-        sweep->grid = my_sorted;
-        sweep->sum_points = my_sorted.size();
-        sweep->future = sweep->promise.get_future().share();
-        sweeps_[skey] = sweep;
-      }
-      if (follower)  // counted at JOIN time: sealing hooks can watch it
-        sweeps_coalesced_.fetch_add(1, std::memory_order_relaxed);
-    }
-
-    opt::MissProfile prof;
-    if (follower) {
-      // The leader replays our sizes for us. No pin, no store probe, no
-      // replay: block on the shared outcome (a leader failure rethrows
-      // here and becomes this request's error response), then slice our
-      // own columns out of the union profile — bit-identical to having
-      // run the sweep alone.
-      const auto tw = Clock::now();
-      const std::shared_ptr<const SweepOutcome> out = sweep->future.get();
-      resp.profile_ms = ms_since(tw);  // wait time; capture_ms stays 0
-      for (auto& prov : resp.captures)
-        prov.source = CaptureSource::kCoalesced;
-      resp.sweep = SweepRole::kCoalesced;
-      resp.union_points = static_cast<std::uint32_t>(out->grid.size());
-      resp.replay_kernel = out->replay_kernel;
-      prof = slice_profile(out->profile, my_sorted);
+    if (req.phases) {
+      plan_phases(req, resp);
     } else {
-      // Pin every digest this request will replay BEFORE ensuring
-      // captures: from here to the end of the request, capacity eviction
-      // cannot touch them (pins release when `pins` dies). Sweep
-      // followers of THIS request never pin — their whole store
-      // interaction is inherited from us, and the union profile they
-      // slice lives in memory, immune to eviction.
-      const auto tc = Clock::now();
-      std::vector<opt::TraceStore::Pin> pins;
-      pins.reserve(runs);
-      // Missing digests are ensured one at a time: with the default 1-2
-      // jitter runs a cold request pays at most two sequential simulations
-      // ONCE per store lifetime, and per-digest single-flight stays simple.
-      // (Batching pending captures onto a Campaign, as capture_runs_for
-      // does, is the upgrade path if workloads with many runs appear.)
-      // EVERYTHING between sweep registration and publication runs inside
-      // this try: any failure must reach the followers (set_exception) or
-      // they would block forever.
-      try {
-        for (const auto& prov : resp.captures)
-          pins.push_back(store_->pin(prov.digest));
-        for (auto& prov : resp.captures)
-          prov.source = ensure_capture(
-              exp, static_cast<std::uint32_t>(prov.jitter), prov.digest);
-        resp.capture_ms = ms_since(tc);
-
-        if (sweep != nullptr) {
-          // Merge window: hold the sweep open for the full window so a
-          // concurrent burst folds completely. Deliberately UNCONDITIONAL
-          // (no "skip if alone" early exit): burst peers may still be in a
-          // front end's admission queue — not yet inside plan() — when the
-          // leader gets here, and any in-flight heuristic would race with
-          // them. The window is opt-in (default 0) and trades exactly that
-          // much leader latency for a deterministic merge guarantee:
-          // everything admitted within the window joins this sweep.
-          if (cfg_.coalesce_window_ms > 0.0) {
-            for (;;) {
-              const double left =
-                  cfg_.coalesce_window_ms - ms_since(sweep->opened);
-              if (left <= 0.0) break;
-              std::this_thread::sleep_for(
-                  std::chrono::duration<double, std::milli>(
-                      std::min(left, 5.0)));
-            }
-          }
-          if (cfg_.sweep_sealing) cfg_.sweep_sealing();
-        }
-        std::vector<std::uint32_t> union_grid = my_sorted;
-        if (sweep != nullptr) {
-          std::lock_guard<std::mutex> lk(sweeps_mu_);
-          sweep->sealed = true;
-          union_grid = sweep->grid;
-        }
-
-        // Every capture is now resident and pinned: the profiling sweep
-        // is a pure store-hit replay (over a read-only store it also runs
-        // any deferred captures — see ensure_capture). Replay the UNION
-        // grid once; the fused multi-size kernel makes the extra columns
-        // nearly free.
-        resp.replay_kernel = opt::to_string(
-            opt::resolve_replay_kernel(exp.config().replay_kernel));
-        sweeps_started_.fetch_add(1, std::memory_order_relaxed);
-        if (cfg_.sweep_started) cfg_.sweep_started(req.scenario, union_grid);
-        const auto tp = Clock::now();
-        auto out = std::make_shared<SweepOutcome>();
-        if (sweep == nullptr || union_grid == my_grid) {
-          out->profile = exp.profile();
-        } else {
-          core::ExperimentConfig ucfg = exp.config();
-          ucfg.profile_grid = union_grid;
-          const core::Experiment uexp(exp.factory(), std::move(ucfg));
-          out->profile = uexp.profile();
-        }
-        resp.profile_ms = ms_since(tp);
-        resp.sweep = SweepRole::kLeader;
-        resp.union_points = static_cast<std::uint32_t>(
-            sweep == nullptr ? my_grid.size() : union_grid.size());
-        // The non-coalescable path keeps the full profile verbatim
-        // (duplicate sizes and all); a coalescing leader slices its own
-        // columns exactly like its followers do.
-        prof = sweep == nullptr ? std::move(out->profile)
-                                : slice_profile(out->profile, my_sorted);
-
-        if (sweep != nullptr) {
-          out->grid = std::move(union_grid);
-          out->replay_kernel = resp.replay_kernel;
-          out->capture_ms = resp.capture_ms;
-          out->profile_ms = resp.profile_ms;
-          // Retire the sweep BEFORE publishing: once the table entry is
-          // gone no one can join anymore, so sum_points read in the same
-          // critical section is final and the saved-points accounting is
-          // exact. Erase by identity — a stale sealed entry may have been
-          // replaced by a newer leader's.
-          std::uint64_t saved = 0;
-          {
-            std::lock_guard<std::mutex> lk(sweeps_mu_);
-            saved = sweep->sum_points - out->grid.size();
-            const auto sit = sweeps_.find(skey);
-            if (sit != sweeps_.end() && sit->second == sweep)
-              sweeps_.erase(sit);
-          }
-          union_points_saved_.fetch_add(saved, std::memory_order_relaxed);
-          sweep->promise.set_value(std::move(out));
-        }
-      } catch (...) {
-        if (sweep != nullptr) {
-          {
-            std::lock_guard<std::mutex> lk(sweeps_mu_);
-            const auto sit = sweeps_.find(skey);
-            if (sit != sweeps_.end() && sit->second == sweep)
-              sweeps_.erase(sit);
-          }
-          sweep->promise.set_exception(std::current_exception());
-        }
-        throw;
-      }
+      const core::Experiment exp = make_experiment(req);
+      run_request(exp, req.scenario, resp);
     }
-
-    const auto tl = Clock::now();
-    resp.assignment = exp.plan(prof);
-    resp.plan_ms = ms_since(tl);
-
-    for (const opt::PlanEntry& e : resp.assignment.entries) {
-      if (!e.is_task) continue;
-      PlanResponse::TaskPrediction t;
-      t.name = e.name;
-      t.sets = e.sets;
-      t.predicted_misses = e.expected_misses;
-      t.predicted_cycles = prof.active_cycles(e.name, e.sets);
-      resp.tasks.push_back(std::move(t));
-    }
-
-    if (cfg_.plan_cache != nullptr) {
-      opt::PlanCacheEntry entry;
-      entry.profile = prof;
-      entry.plan = resp.assignment;
-      entry.predictions.reserve(resp.tasks.size());
-      for (const auto& t : resp.tasks)
-        entry.predictions.push_back(opt::PlanPrediction{
-            t.name, t.sets, t.predicted_misses, t.predicted_cycles});
-      const double eps = exp.config().planner.curvature_eps;
-      entry.curvature_eps = eps < 0.0 ? opt::auto_curvature_eps(prof) : eps;
-      cfg_.plan_cache->put(plan_key, std::move(entry));
-    }
-    resp.ok = true;
   } catch (const std::exception& e) {
     resp.error = e.what();
     resp.ok = false;
   }
   resp.total_ms = ms_since(t0);
   return resp;
+}
+
+void PlanningService::plan_phases(const PlanRequest& req, PlanResponse& resp) {
+  core::ScenarioSpec spec = core::scenarios().get(req.scenario);
+  if (spec.phases.empty())
+    throw std::invalid_argument(
+        "scenario '" + req.scenario +
+        "' has no phase schedule; phases=all needs a streaming scenario");
+  resp.phases.reserve(spec.phases.size());
+  for (const core::ScenarioPhase& ph : spec.phases) {
+    PlanResponse pr;
+    pr.scenario = req.scenario;
+    pr.phase = ph.name;
+    const auto tp = Clock::now();
+    try {
+      // The phase plans its mix IN ISOLATION — the paper's compositional
+      // step — under the scenario's platform/planner settings and the
+      // request's overrides. Its trace key is mix+content scoped, so a
+      // repeated phase (and any other scenario running the same apps on
+      // the same content) reuses the captures and hits the plan cache.
+      core::ExperimentConfig cfg = spec.experiment;
+      cfg.trace_key = ph.trace_key;
+      const core::Experiment exp =
+          build_experiment(req, ph.factory, std::move(cfg));
+      run_request(exp, req.scenario, pr);
+    } catch (const std::exception& e) {
+      pr.error = e.what();
+      pr.ok = false;
+    }
+    pr.total_ms = ms_since(tp);
+    resp.phases.push_back(std::move(pr));
+  }
+  resp.ok = true;
+  for (const PlanResponse& pr : resp.phases)
+    if (!pr.ok) {
+      resp.ok = false;
+      resp.error = "phase '" + pr.phase + "': " + pr.error;
+      break;
+    }
+}
+
+void PlanningService::run_request(const core::Experiment& exp,
+                                  const std::string& scenario,
+                                  PlanResponse& resp) {
+  const std::uint32_t runs = std::max(1u, exp.config().profile_runs);
+
+  resp.captures.reserve(runs);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    PlanResponse::RunProvenance prov;
+    prov.jitter = r;  // profile_jobs uses the run index as jitter seed
+    prov.digest = exp.trace_digest(r);
+    resp.captures.push_back(std::move(prov));
+  }
+
+  // Memoized plan lookup FIRST: the capture digests + resolved sweep +
+  // planner config address the whole response (opt::PlanKey), so a hit
+  // needs no pin, no capture, no replay and no MCKP solve.
+  std::string plan_key;
+  std::shared_ptr<const opt::PlanCacheEntry> memo;
+  if (cfg_.plan_cache != nullptr) {
+    const auto tk = Clock::now();
+    opt::PlanKey key;
+    key.capture_digests.reserve(runs);
+    for (const auto& prov : resp.captures)
+      key.capture_digests.push_back(prov.digest);
+    key.grid = exp.config().profile_grid;
+    key.runs = runs;
+    key.l2_size_bytes = exp.config().platform.hier.l2.size_bytes;
+    key.planner = exp.config().planner;
+    plan_key = key.digest();
+    memo = cfg_.plan_cache->get(plan_key);
+    resp.plan_cache_ms = ms_since(tk);
+  }
+  if (memo != nullptr) {
+    for (auto& prov : resp.captures)
+      prov.source = CaptureSource::kPlanCached;
+    resp.assignment = memo->plan;
+    resp.tasks.reserve(memo->predictions.size());
+    for (const opt::PlanPrediction& p : memo->predictions)
+      resp.tasks.push_back(PlanResponse::TaskPrediction{
+          p.name, p.sets, p.misses, p.cycles});
+    resp.plan_source = PlanSource::kCache;
+    resp.sweep = SweepRole::kCache;
+    // No replay executed — the cached bits are kernel-independent.
+    resp.replay_kernel = "cache";
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    resp.ok = true;
+    return;
+  }
+
+  // ---- SWEEP COALESCING (see the header's contract) ----
+  // Join a concurrent sweep over the same captures, or open one. A grid
+  // with duplicate sizes (only reachable via a scenario DEFAULT grid —
+  // make_experiment rejects explicit duplicates) is not sliceable, so
+  // it bypasses coalescing and keeps the legacy double-accumulation
+  // semantics verbatim.
+  const std::vector<std::uint32_t>& my_grid = exp.config().profile_grid;
+  const std::vector<std::uint32_t> my_sorted = sorted_unique(my_grid);
+  const bool coalescable = my_sorted.size() == my_grid.size();
+  std::shared_ptr<SweepState> sweep;
+  bool follower = false;
+  std::string skey;
+  if (coalescable) {
+    std::vector<std::string> digests;
+    digests.reserve(resp.captures.size());
+    for (const auto& prov : resp.captures) digests.push_back(prov.digest);
+    skey = sweep_key(scenario, std::move(digests), runs, exp.config());
+    std::lock_guard<std::mutex> lk(sweeps_mu_);
+    const auto it = sweeps_.find(skey);
+    if (it != sweeps_.end()) {
+      SweepState& st = *it->second;
+      // An OPEN sweep absorbs any grid; a SEALED one can still serve a
+      // late arrival whose sizes it already covers. A sealed sweep that
+      // does NOT cover us is simply stale — we open a fresh one over it
+      // (its leader erases by identity, never clobbering ours).
+      if (!st.sealed) {
+        merge_into(st.grid, my_sorted);
+        st.sum_points += my_sorted.size();
+        st.last_join = Clock::now();  // feeds the adaptive merge window
+        sweep = it->second;
+        follower = true;
+      } else if (covers(st.grid, my_sorted)) {
+        st.sum_points += my_sorted.size();
+        sweep = it->second;
+        follower = true;
+      }
+    }
+    if (sweep == nullptr) {
+      sweep = std::make_shared<SweepState>();
+      sweep->grid = my_sorted;
+      sweep->sum_points = my_sorted.size();
+      sweep->future = sweep->promise.get_future().share();
+      sweeps_[skey] = sweep;
+    }
+    if (follower)  // counted at JOIN time: sealing hooks can watch it
+      sweeps_coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  opt::MissProfile prof;
+  if (follower) {
+    // The leader replays our sizes for us. No pin, no store probe, no
+    // replay: block on the shared outcome (a leader failure rethrows
+    // here and becomes this request's error response), then slice our
+    // own columns out of the union profile — bit-identical to having
+    // run the sweep alone.
+    const auto tw = Clock::now();
+    const std::shared_ptr<const SweepOutcome> out = sweep->future.get();
+    resp.profile_ms = ms_since(tw);  // wait time; capture_ms stays 0
+    for (auto& prov : resp.captures)
+      prov.source = CaptureSource::kCoalesced;
+    resp.sweep = SweepRole::kCoalesced;
+    resp.union_points = static_cast<std::uint32_t>(out->grid.size());
+    resp.replay_kernel = out->replay_kernel;
+    prof = slice_profile(out->profile, my_sorted);
+  } else {
+    // Pin every digest this request will replay BEFORE ensuring
+    // captures: from here to the end of the request, capacity eviction
+    // cannot touch them (pins release when `pins` dies). Sweep
+    // followers of THIS request never pin — their whole store
+    // interaction is inherited from us, and the union profile they
+    // slice lives in memory, immune to eviction.
+    const auto tc = Clock::now();
+    std::vector<opt::TraceStore::Pin> pins;
+    pins.reserve(runs);
+    // Missing digests are ensured one at a time: with the default 1-2
+    // jitter runs a cold request pays at most two sequential simulations
+    // ONCE per store lifetime, and per-digest single-flight stays simple.
+    // (Batching pending captures onto a Campaign, as capture_runs_for
+    // does, is the upgrade path if workloads with many runs appear.)
+    // EVERYTHING between sweep registration and publication runs inside
+    // this try: any failure must reach the followers (set_exception) or
+    // they would block forever.
+    try {
+      for (const auto& prov : resp.captures)
+        pins.push_back(store_->pin(prov.digest));
+      for (auto& prov : resp.captures)
+        prov.source = ensure_capture(
+            exp, static_cast<std::uint32_t>(prov.jitter), prov.digest);
+      resp.capture_ms = ms_since(tc);
+
+      if (sweep != nullptr) {
+        // Merge window: hold the sweep open so a concurrent burst folds
+        // completely — but ADAPT to the arrival rate. Burst peers may
+        // still sit in a front end's admission queue when the leader
+        // gets here, so some hold is always paid; once no one has
+        // joined for a quiet gap, though, the burst is over and holding
+        // the full window would be pure latency (the classic failure:
+        // a lone request paying the whole window for nobody). The gap
+        // is window/4 clamped to [1, 50] ms: joiners keep resetting it,
+        // so a steady trickle still merges until the full window —
+        // the worst-case hold — elapses.
+        if (cfg_.coalesce_window_ms > 0.0) {
+          const double gap =
+              std::clamp(cfg_.coalesce_window_ms / 4.0, 1.0, 50.0);
+          bool early = false;
+          for (;;) {
+            const double left =
+                cfg_.coalesce_window_ms - ms_since(sweep->opened);
+            if (left <= 0.0) break;
+            double quiet;
+            {
+              std::lock_guard<std::mutex> lk(sweeps_mu_);
+              quiet = ms_since(sweep->last_join);
+            }
+            if (quiet >= gap) {
+              early = true;
+              break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(std::clamp(
+                    std::min(left, gap - quiet), 0.1, 5.0)));
+          }
+          if (early)
+            sweeps_sealed_early_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (cfg_.sweep_sealing) cfg_.sweep_sealing();
+      }
+      std::vector<std::uint32_t> union_grid = my_sorted;
+      if (sweep != nullptr) {
+        std::lock_guard<std::mutex> lk(sweeps_mu_);
+        sweep->sealed = true;
+        union_grid = sweep->grid;
+      }
+
+      // Every capture is now resident and pinned: the profiling sweep
+      // is a pure store-hit replay (over a read-only store it also runs
+      // any deferred captures — see ensure_capture). Replay the UNION
+      // grid once; the fused multi-size kernel makes the extra columns
+      // nearly free.
+      resp.replay_kernel = opt::to_string(
+          opt::resolve_replay_kernel(exp.config().replay_kernel));
+      sweeps_started_.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.sweep_started) cfg_.sweep_started(scenario, union_grid);
+      const auto tp = Clock::now();
+      auto out = std::make_shared<SweepOutcome>();
+      if (sweep == nullptr || union_grid == my_grid) {
+        out->profile = exp.profile();
+      } else {
+        core::ExperimentConfig ucfg = exp.config();
+        ucfg.profile_grid = union_grid;
+        const core::Experiment uexp(exp.factory(), std::move(ucfg));
+        out->profile = uexp.profile();
+      }
+      resp.profile_ms = ms_since(tp);
+      resp.sweep = SweepRole::kLeader;
+      resp.union_points = static_cast<std::uint32_t>(
+          sweep == nullptr ? my_grid.size() : union_grid.size());
+      // The non-coalescable path keeps the full profile verbatim
+      // (duplicate sizes and all); a coalescing leader slices its own
+      // columns exactly like its followers do.
+      prof = sweep == nullptr ? std::move(out->profile)
+                              : slice_profile(out->profile, my_sorted);
+
+      if (sweep != nullptr) {
+        out->grid = std::move(union_grid);
+        out->replay_kernel = resp.replay_kernel;
+        out->capture_ms = resp.capture_ms;
+        out->profile_ms = resp.profile_ms;
+        // Retire the sweep BEFORE publishing: once the table entry is
+        // gone no one can join anymore, so sum_points read in the same
+        // critical section is final and the saved-points accounting is
+        // exact. Erase by identity — a stale sealed entry may have been
+        // replaced by a newer leader's.
+        std::uint64_t saved = 0;
+        {
+          std::lock_guard<std::mutex> lk(sweeps_mu_);
+          saved = sweep->sum_points - out->grid.size();
+          const auto sit = sweeps_.find(skey);
+          if (sit != sweeps_.end() && sit->second == sweep)
+            sweeps_.erase(sit);
+        }
+        union_points_saved_.fetch_add(saved, std::memory_order_relaxed);
+        sweep->promise.set_value(std::move(out));
+      }
+    } catch (...) {
+      if (sweep != nullptr) {
+        {
+          std::lock_guard<std::mutex> lk(sweeps_mu_);
+          const auto sit = sweeps_.find(skey);
+          if (sit != sweeps_.end() && sit->second == sweep)
+            sweeps_.erase(sit);
+        }
+        sweep->promise.set_exception(std::current_exception());
+      }
+      throw;
+    }
+  }
+
+  const auto tl = Clock::now();
+  resp.assignment = exp.plan(prof);
+  resp.plan_ms = ms_since(tl);
+
+  for (const opt::PlanEntry& e : resp.assignment.entries) {
+    if (!e.is_task) continue;
+    PlanResponse::TaskPrediction t;
+    t.name = e.name;
+    t.sets = e.sets;
+    t.predicted_misses = e.expected_misses;
+    t.predicted_cycles = prof.active_cycles(e.name, e.sets);
+    resp.tasks.push_back(std::move(t));
+  }
+
+  if (cfg_.plan_cache != nullptr) {
+    opt::PlanCacheEntry entry;
+    entry.profile = prof;
+    entry.plan = resp.assignment;
+    entry.predictions.reserve(resp.tasks.size());
+    for (const auto& t : resp.tasks)
+      entry.predictions.push_back(opt::PlanPrediction{
+          t.name, t.sets, t.predicted_misses, t.predicted_cycles});
+    const double eps = exp.config().planner.curvature_eps;
+    entry.curvature_eps = eps < 0.0 ? opt::auto_curvature_eps(prof) : eps;
+    cfg_.plan_cache->put(plan_key, std::move(entry));
+  }
+  resp.ok = true;
 }
 
 opt::TraceStore::GcResult PlanningService::gc() {
@@ -588,6 +663,8 @@ ServiceStats PlanningService::service_stats() const {
   s.sweeps_started = sweeps_started_.load(std::memory_order_relaxed);
   s.sweeps_coalesced = sweeps_coalesced_.load(std::memory_order_relaxed);
   s.union_points_saved = union_points_saved_.load(std::memory_order_relaxed);
+  s.sweeps_sealed_early =
+      sweeps_sealed_early_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -120,6 +120,14 @@ struct PlanRequest {
   /// ignores it (an admitted request runs to completion) and it is part
   /// of no cache or sweep key.
   std::optional<std::uint64_t> deadline_ms;
+  /// Phased planning (wire form `phases=all`): plan EVERY phase of a
+  /// streaming scenario through the normal pipeline — per-phase capture
+  /// digests, sweeps and plan-cache entries, so phases sharing a mix and
+  /// content (within this scenario or across scenarios) dedup naturally.
+  /// The response carries one full per-phase PlanResponse in schedule
+  /// order (PlanResponse::phases). Requesting it for a scenario without
+  /// a phase schedule is a request error.
+  bool phases = false;
 };
 
 /// Where one jitter run's capture came from.
@@ -157,6 +165,9 @@ struct PlanResponse {
   bool ok = false;
   std::string error;  // set when !ok
   std::string scenario;
+  /// Phase name when this is one per-phase entry of a phased response
+  /// (see `phases` below); empty at top level and for classic scenarios.
+  std::string phase;
 
   /// The L2 partition assignment (opt::PartitionPlan) — bit-identical to
   /// what a direct Experiment::plan(profile()) would produce.
@@ -216,6 +227,13 @@ struct PlanResponse {
   double plan_ms = 0.0;       // MCKP planning
   double plan_cache_ms = 0.0; // plan-cache key + lookup (0 without a cache)
   double total_ms = 0.0;
+
+  /// Per-phase responses of a phased request (PlanRequest::phases), in
+  /// schedule order; empty otherwise. The top level then carries no
+  /// assignment of its own — each phase does — and its ok is the AND of
+  /// the phases' (error = the first failing phase's, prefixed with the
+  /// phase name).
+  std::vector<PlanResponse> phases;
 };
 
 struct PlanningServiceConfig {
@@ -242,14 +260,18 @@ struct PlanningServiceConfig {
   /// the resolved kernel is echoed in PlanResponse::replay_kernel.
   opt::ReplayKernel replay_kernel = opt::ReplayKernel::kAuto;
   /// Sweep-coalescing merge window: a sweep leader holds its sweep OPEN
-  /// for this long after it was registered, so every request of a short
-  /// concurrent burst folds its grid into one union sweep. The hold is
-  /// deliberately unconditional — burst peers may still sit in a front
-  /// end's admission queue, invisible to any in-flight heuristic — so a
-  /// cache-missing leader pays the full window as extra latency; that is
-  /// the trade the flag buys (everything admitted within the window is
-  /// GUARANTEED to merge). 0 (the default) adds no latency and still
-  /// coalesces whatever arrives during the leader's capture phase.
+  /// for AT MOST this long after it was registered, so every request of
+  /// a short concurrent burst folds its grid into one union sweep. The
+  /// hold ADAPTS to the arrival rate: when no new request has joined the
+  /// sweep for a quiet gap (a quarter of the window, clamped to
+  /// [1, 50] ms) the burst is over and the sweep seals early — a lone
+  /// request pays roughly the gap, never the whole window (such seals
+  /// are counted in ServiceStats::sweeps_sealed_early). A steady
+  /// trickle of joiners keeps resetting the gap, so the full window
+  /// stays the worst-case leader latency and everything admitted within
+  /// it is still guaranteed to merge. 0 (the default) adds no latency
+  /// and still coalesces whatever arrives during the leader's capture
+  /// phase.
   double coalesce_window_ms = 0.0;
   /// Observability hook: invoked by a sweep leader right BEFORE it seals
   /// the union grid (after the merge window). Tests use it to hold a
@@ -285,6 +307,9 @@ struct ServiceStats {
   /// Σ over completed sweeps of (requested grid points across all merged
   /// requests − union grid points): replay work avoided by coalescing.
   std::uint64_t union_points_saved = 0;
+  /// Merge windows that sealed EARLY because the arrival rate dropped
+  /// (no join for the adaptive quiet gap before the window elapsed).
+  std::uint64_t sweeps_sealed_early = 0;
 };
 
 class PlanningService {
@@ -323,6 +348,21 @@ class PlanningService {
   struct SweepState;
 
   core::Experiment make_experiment(const PlanRequest& req) const;
+  /// Apply the request's validated overrides to `cfg`, force the
+  /// service's store / replay profiler / jobs / kernel, and build the
+  /// Experiment (shared by the whole-scenario and per-phase paths).
+  core::Experiment build_experiment(const PlanRequest& req,
+                                    core::AppFactory factory,
+                                    core::ExperimentConfig cfg) const;
+  /// Body of one plan computation — everything after the Experiment is
+  /// built: plan-cache probe, sweep coalescing, replay, MCKP solve.
+  /// Throws on failure; on return resp.ok == true (total_ms is the
+  /// caller's). `scenario` labels the sweep key and the hooks.
+  void run_request(const core::Experiment& exp, const std::string& scenario,
+                   PlanResponse& resp);
+  /// Phased request (PlanRequest::phases): one run_request per compiled
+  /// scenario phase, results in resp.phases.
+  void plan_phases(const PlanRequest& req, PlanResponse& resp);
   CaptureSource ensure_capture(const core::Experiment& exp,
                                std::uint32_t run, const std::string& digest);
 
@@ -338,6 +378,7 @@ class PlanningService {
   std::atomic<std::uint64_t> sweeps_started_{0};
   std::atomic<std::uint64_t> sweeps_coalesced_{0};
   std::atomic<std::uint64_t> union_points_saved_{0};
+  std::atomic<std::uint64_t> sweeps_sealed_early_{0};
 
   std::mutex mu_;  // guards inflight_
   std::unordered_map<std::string, std::shared_future<void>> inflight_;

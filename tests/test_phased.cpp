@@ -1,0 +1,343 @@
+// Phased (streaming) workload tests: engine phase gating and schedule
+// validation, make_phased_app assembly rules, per-phase campaign
+// determinism across worker counts, per-phase planning through the
+// planning service (phases sharing mix+content hit the plan cache), and
+// the plan-following controller (map_phase_plan + PhasePlanFollower)
+// against the proven PartitionPlan::apply path.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "opt/dynamic.hpp"
+#include "opt/plan_schedule.hpp"
+#include "sim/engine.hpp"
+#include "svc/plan_protocol.hpp"
+#include "svc/planning_service.hpp"
+
+namespace cms {
+namespace {
+
+std::vector<apps::AppPhase> tiny_stream_phases() {
+  apps::AppConfig jpeg = apps::AppConfig::tiny();
+  jpeg.jpeg_pictures = 1;
+  jpeg.canny_frames = 1;
+  apps::AppConfig m2v = apps::AppConfig::tiny();
+  m2v.m2v_frames = 2;
+  return {{"in", apps::AppMix::kJpegCanny, jpeg},
+          {"steady", apps::AppMix::kMpeg2, m2v},
+          {"out", apps::AppMix::kJpegCanny, jpeg}};
+}
+
+/// Minimal combined-run harness (the bench's pattern): phase schedule
+/// installed, optional pre-run layout/hook decided by the caller.
+struct Harness {
+  apps::Application app;
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<sim::Os> os;
+  std::unique_ptr<sim::TimingEngine> engine;
+
+  explicit Harness(const core::ScenarioSpec& spec, bool phase_schedule = true)
+      : app(spec.factory()) {
+    sim::PlatformConfig pc = spec.experiment.platform;
+    pc.rt_data = app.rt_data;
+    pc.rt_bss = app.rt_bss;
+    platform = std::make_unique<sim::Platform>(pc);
+    for (const auto& b : app.net->buffers())
+      platform->hierarchy().l2().interval_table().add(b.base, b.footprint,
+                                                      b.id);
+    os = std::make_unique<sim::Os>(spec.experiment.policy, pc.hier.num_procs);
+    engine = std::make_unique<sim::TimingEngine>(*platform, *os,
+                                                 app.net->tasks());
+    engine->set_buffer_names(app.net->buffer_names());
+    if (phase_schedule && !app.phases.empty()) {
+      std::vector<std::vector<TaskId>> phases;
+      for (const auto& u : app.phases) phases.push_back(u->tasks);
+      engine->set_phase_schedule(phases);
+    }
+  }
+};
+
+std::map<std::string, mem::ClientId> client_map(const apps::Application& app) {
+  std::map<std::string, mem::ClientId> clients;
+  for (const sim::Task* t : app.net->tasks())
+    clients[t->name()] = mem::ClientId::task(t->id());
+  for (const auto& b : app.net->buffers())
+    clients[b.name] = mem::ClientId::buffer(b.id);
+  return clients;
+}
+
+TEST(PhasedApp, CombinedNetworkPrefixesPhasesAndSharesSegments) {
+  const apps::Application app = apps::make_phased_app(tiny_stream_phases());
+  ASSERT_EQ(app.phases.size(), 3u);
+  EXPECT_EQ(app.phases[0]->prefix, "p0/");
+  EXPECT_EQ(app.phases[1]->prefix, "p1/");
+  EXPECT_EQ(app.phases[2]->prefix, "p2/");
+  EXPECT_EQ(app.phases[0]->tasks.size(), 15u);  // jpeg-canny
+  EXPECT_EQ(app.phases[1]->tasks.size(), 13u);  // mpeg2
+  EXPECT_EQ(app.net->processes().size(), 15u + 13u + 15u);
+
+  // Every task name carries its phase prefix; the static segments stay
+  // shared (bare names, one copy).
+  for (const auto& u : app.phases)
+    for (const TaskId id : u->tasks) {
+      const sim::Task* t = app.net->tasks()[static_cast<std::size_t>(id)];
+      EXPECT_EQ(t->name().rfind(u->prefix, 0), 0u) << t->name();
+    }
+  EXPECT_GT(app.appl_data.size, 0u);
+  int segments = 0;
+  for (const auto& b : app.net->buffers())
+    if (b.kind == kpn::BufferKind::kSegment) ++segments;
+  EXPECT_EQ(segments, 4);  // appl/rt data+bss, shared — not per phase
+}
+
+TEST(PhasedApp, RejectsBadSchedules) {
+  EXPECT_THROW(apps::make_phased_app({}), std::invalid_argument);
+
+  auto phases = tiny_stream_phases();
+  phases[1].mix = apps::AppMix::kNone;
+  try {
+    apps::make_phased_app(phases);
+    FAIL() << "empty mix accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("phase 1"), std::string::npos)
+        << e.what();
+  }
+
+  // The codec-table block is shared, so JPEG phases must agree on
+  // quality — and MPEG2's fixed quality-75 tables pin it for mixed
+  // schedules.
+  auto conflict = tiny_stream_phases();
+  conflict[2].content.jpeg_quality = 50;
+  EXPECT_THROW(apps::make_phased_app(conflict), std::invalid_argument);
+}
+
+TEST(PhasedEngine, GatesPhasesAndFiresHooksInOrder) {
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  Harness h(spec);
+  std::vector<std::size_t> hooks;
+  h.engine->set_phase_hook(
+      [&hooks](std::size_t k, Cycle, mem::MemoryHierarchy&) {
+        hooks.push_back(k);
+      });
+  const sim::SimResults r = h.engine->run();
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(h.app.verify());
+
+  // Phase 0 never fires a hook; 1 and 2 fire exactly once, in order.
+  EXPECT_EQ(hooks, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(h.engine->active_phase(), 2u);
+  const auto& entry = h.engine->phase_entry_cycles();
+  ASSERT_EQ(entry.size(), 3u);
+  EXPECT_EQ(entry[0], 0u);
+  EXPECT_LT(entry[1], entry[2]);  // strictly later activation
+  EXPECT_GT(entry[1], 0u);
+}
+
+TEST(PhasedEngine, RunsAreDeterministic) {
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  sim::SimResults first;
+  for (int i = 0; i < 2; ++i) {
+    Harness h(spec);
+    const sim::SimResults r = h.engine->run();
+    EXPECT_TRUE(h.app.verify());
+    if (i == 0) {
+      first = r;
+    } else {
+      EXPECT_EQ(r.l2_misses, first.l2_misses);
+      EXPECT_EQ(r.l2_accesses, first.l2_accesses);
+      EXPECT_EQ(r.makespan, first.makespan);
+    }
+  }
+}
+
+TEST(PhasedEngine, ScheduleValidationNamesTheOffendingTask) {
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  Harness h(spec, /*phase_schedule=*/false);
+  std::vector<std::vector<TaskId>> phases;
+  for (const auto& u : h.app.phases) phases.push_back(u->tasks);
+
+  auto twice = phases;
+  twice[1].push_back(phases[0][0]);
+  try {
+    h.engine->set_phase_schedule(twice);
+    FAIL() << "duplicate task accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("twice"), std::string::npos)
+        << e.what();
+  }
+
+  auto missing = phases;
+  missing[2].pop_back();
+  try {
+    h.engine->set_phase_schedule(missing);
+    FAIL() << "incomplete schedule accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("misses task"), std::string::npos)
+        << e.what();
+  }
+
+  auto unknown = phases;
+  unknown[0].push_back(static_cast<TaskId>(999));
+  EXPECT_THROW(h.engine->set_phase_schedule(unknown), std::invalid_argument);
+}
+
+TEST(PhasedCampaign, PerPhaseProfilesAreWorkerCountInvariant) {
+  // The streaming scenario's planning campaign is the per-phase isolation
+  // sweep; like every campaign it must be bit-identical at any worker
+  // count (ROADMAP determinism contract).
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  ASSERT_FALSE(spec.phases.empty());
+  const core::ScenarioPhase& ph = spec.phases[1];  // mpeg2 steady-state
+  opt::MissProfile reference;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    core::ExperimentConfig cfg = spec.experiment;
+    cfg.trace_key = ph.trace_key;
+    cfg.jobs = jobs;
+    const core::Experiment exp(ph.factory, cfg);
+    const opt::MissProfile prof = exp.profile();
+    if (jobs == 1u)
+      reference = prof;
+    else
+      EXPECT_TRUE(prof.identical(reference)) << "jobs=" << jobs;
+  }
+}
+
+TEST(PhasedPlanning, RepeatedPhaseHitsThePlanCache) {
+  // stream-tiny's phases 0 and 2 run the same mix on the same content,
+  // so they share a trace_key — the service plans the mix once and phase
+  // 2 is a pure plan-cache hit with a bit-identical answer.
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_EQ(spec.phases[0].trace_key, spec.phases[2].trace_key);
+  EXPECT_NE(spec.phases[0].trace_key, spec.phases[1].trace_key);
+
+  svc::PlanningServiceConfig cfg;
+  cfg.store = std::make_shared<opt::TraceStore>(
+      std::make_shared<opt::MemBackend>(), /*read_only=*/false);
+  cfg.plan_cache = std::make_shared<opt::PlanCache>(opt::PlanCache::Config{});
+  svc::PlanningService service(std::move(cfg));
+
+  svc::PlanRequest req;
+  req.scenario = "stream-tiny";
+  req.phases = true;
+  const svc::PlanResponse resp = service.plan(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_EQ(resp.phases.size(), 3u);
+  for (const svc::PlanResponse& ph : resp.phases) {
+    EXPECT_TRUE(ph.ok) << ph.phase << ": " << ph.error;
+    EXPECT_TRUE(ph.assignment.feasible) << ph.phase;
+    EXPECT_FALSE(ph.phase.empty());
+  }
+  EXPECT_EQ(resp.phases[0].phase, "jpeg-in");
+  EXPECT_EQ(resp.phases[1].phase, "mpeg2-steady");
+
+  // Phase 2 = phase 0, bit for bit; only one capture+solve per distinct
+  // mix, the repeat came from the memo.
+  EXPECT_TRUE(
+      resp.phases[2].assignment.identical(resp.phases[0].assignment));
+  EXPECT_EQ(resp.phases[2].plan_source, svc::PlanSource::kCache);
+  const svc::ServiceStats stats = service.service_stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.captured, 2u);  // jpeg-canny mix + mpeg2 mix
+
+  // A classic fixed-mix scenario has no phase schedule to plan.
+  svc::PlanRequest classic;
+  classic.scenario = "mpeg2-tiny";
+  classic.phases = true;
+  const svc::PlanResponse err = service.plan(classic);
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.error.find("phase schedule"), std::string::npos) << err.error;
+}
+
+TEST(PlanFollower, MatchesHandInstalledLayoutBitForBit) {
+  // A one-phase schedule through map_phase_plan + PhasePlanFollower must
+  // reproduce the proven PartitionPlan::apply path exactly: same layout
+  // in the table, same simulation, same miss counts.
+  const core::ScenarioSpec spec = core::scenarios().get("mpeg2-tiny");
+  core::Experiment exp(spec.factory, spec.experiment);
+  const opt::PartitionPlan plan = exp.plan(exp.profile());
+  ASSERT_TRUE(plan.feasible);
+
+  sim::SimResults by_hand, by_follower;
+  for (const bool use_follower : {false, true}) {
+    Harness h(spec);
+    mem::PartitionedCache& l2 = h.platform->hierarchy().l2();
+    if (use_follower) {
+      opt::PlanSchedule schedule;
+      schedule.phases.push_back(
+          opt::map_phase_plan(plan, 0, "", client_map(h.app)));
+      opt::PhasePlanFollower follower(std::move(schedule));
+      follower.install(0, h.platform->hierarchy());
+      by_follower = h.engine->run();
+      EXPECT_EQ(follower.moves(), 0u);
+      EXPECT_EQ(follower.flushed_sets(), 0u);  // nothing relinquished yet
+    } else {
+      plan.apply(l2);
+      by_hand = h.engine->run();
+    }
+    EXPECT_TRUE(h.app.verify());
+  }
+  EXPECT_EQ(by_follower.l2_misses, by_hand.l2_misses);
+  EXPECT_EQ(by_follower.l2_accesses, by_hand.l2_accesses);
+  EXPECT_EQ(by_follower.makespan, by_hand.makespan);
+}
+
+TEST(PlanFollower, InstallsEachPhaseOnceAndAccountsFlushes) {
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  Harness h(spec);
+
+  std::map<std::string, opt::PartitionPlan> plans;
+  for (const core::ScenarioPhase& ph : spec.phases) {
+    if (plans.count(ph.trace_key) != 0) continue;
+    core::ExperimentConfig cfg = spec.experiment;
+    cfg.trace_key = ph.trace_key;
+    const core::Experiment exp(ph.factory, cfg);
+    plans.emplace(ph.trace_key, exp.plan(exp.profile()));
+  }
+  const auto clients = client_map(h.app);
+  opt::PlanSchedule schedule;
+  for (std::size_t k = 0; k < spec.phases.size(); ++k)
+    schedule.phases.push_back(
+        opt::map_phase_plan(plans.at(spec.phases[k].trace_key), k,
+                            h.app.phases[k]->prefix, clients));
+
+  opt::PhasePlanFollower follower(std::move(schedule));
+  follower.install(0, h.platform->hierarchy());
+  h.engine->set_phase_hook(
+      [&follower](std::size_t k, Cycle, mem::MemoryHierarchy& hier) {
+        follower.install(k, hier);
+      });
+  const sim::SimResults r = h.engine->run();
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(h.app.verify());
+  EXPECT_EQ(follower.moves(), 2u);  // two phase boundaries repartitioned
+  EXPECT_GT(follower.flushed_sets(), 0u);
+}
+
+TEST(PlanFollower, MapPhasePlanRejectsUnknownClients) {
+  const core::ScenarioSpec spec = core::scenarios().get("stream-tiny");
+  const core::ScenarioPhase& ph = spec.phases[0];
+  core::ExperimentConfig cfg = spec.experiment;
+  cfg.trace_key = ph.trace_key;
+  const core::Experiment exp(ph.factory, cfg);
+  const opt::PartitionPlan plan = exp.plan(exp.profile());
+
+  // A wrong prefix maps every per-phase client to a name the combined
+  // run does not have.
+  const apps::Application app = core::scenarios().get("stream-tiny").factory();
+  try {
+    opt::map_phase_plan(plan, 0, "p9/", client_map(app));
+    FAIL() << "bogus prefix accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("does not have"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace cms

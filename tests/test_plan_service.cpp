@@ -671,6 +671,39 @@ TEST(PlanService, CoalescingStressBitIdenticalUnderLoad) {
             static_cast<std::uint64_t>(kRounds * kThreads));
 }
 
+TEST(PlanService, AdaptiveWindowSealsEarlyForLoneRequests) {
+  // BUGFIX regression: a fixed coalesce window made every cache-missing
+  // sweep's leader sleep out the WHOLE window even when no other request
+  // existed — a lone request against a 10s window paid 10s of pure
+  // latency. The window now adapts to the arrival rate: no join for a
+  // quiet gap (window/4, clamped to [1,50] ms) seals the sweep early, so
+  // a lone request pays roughly the gap while a burst still merges.
+  TempDir tmp;
+  PlanningServiceConfig cfg;
+  cfg.store = make_store(tmp);
+  cfg.coalesce_window_ms = 10000.0;  // fixed-hold behavior would take 10s
+  PlanningService service(std::move(cfg));
+
+  PlanRequest req;
+  req.scenario = "mpeg2-tiny";
+  const PlanResponse resp = service.plan(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.sweep, SweepRole::kLeader);
+  // Sealed early: far below the window (generous bound — the gap is
+  // 50 ms; seconds here would mean the fixed hold is back).
+  EXPECT_LT(resp.total_ms, 5000.0);
+  const ServiceStats stats = service.service_stats();
+  EXPECT_EQ(stats.sweeps_started, 1u);
+  EXPECT_EQ(stats.sweeps_sealed_early, 1u);
+
+  // Same answer as an unwindowed service — the window trades latency
+  // only, never the response.
+  PlanningService direct({make_store(tmp), 1, nullptr, nullptr});
+  const PlanResponse ref = direct.plan(req);
+  ASSERT_TRUE(ref.ok) << ref.error;
+  EXPECT_EQ(plan_response_digest(resp), plan_response_digest(ref));
+}
+
 TEST(PlanService, DuplicateGridSizesAreRejectedAsRequestErrors) {
   TempDir tmp;
   PlanningService service({make_store(tmp), 1, nullptr, nullptr});
@@ -759,6 +792,31 @@ TEST(PlanProtocol, RejectsRepeatedOptions) {
   PlanRequest req;
   std::string err;
   EXPECT_TRUE(parse_plan_request("s grid=1,2 runs=2", req, err)) << err;
+}
+
+TEST(PlanProtocol, ParsesPhasedRequests) {
+  PlanRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_plan_request("stream-tiny phases=all", req, err)) << err;
+  EXPECT_EQ(req.scenario, "stream-tiny");
+  EXPECT_TRUE(req.phases);
+
+  PlanRequest bare;
+  ASSERT_TRUE(parse_plan_request("stream-tiny", bare, err)) << err;
+  EXPECT_FALSE(bare.phases);
+
+  // Only the explicit form is accepted — a future "phases=0,2" must not
+  // silently mean something else today.
+  for (const char* bad : {"s phases=", "s phases=1", "s phases=0,2",
+                          "s phases=ALL", "s phases"}) {
+    PlanRequest r;
+    EXPECT_FALSE(parse_plan_request(bad, r, err)) << bad;
+    EXPECT_NE(err.find("phases"), std::string::npos) << bad << ": " << err;
+  }
+  PlanRequest repeated;
+  EXPECT_FALSE(
+      parse_plan_request("s phases=all phases=all", repeated, err));
+  EXPECT_NE(err.find("repeated option"), std::string::npos) << err;
 }
 
 TEST(PlanProtocol, ParsesAdmissionDeadline) {
